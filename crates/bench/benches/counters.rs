@@ -1,0 +1,79 @@
+//! Criterion: streaming distinct-counter update throughput — the cost HIP
+//! adds to a HyperLogLog pipeline (one predictable branch + occasionally a
+//! float sum) and the other counter flavors.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use adsketch_stream::counter::{
+    DistinctCounter, HipBottomKCounter, HipKMinsCounter, HipKPartitionCounter,
+};
+use adsketch_stream::{HipHll, HyperLogLog, MorrisCounter};
+use adsketch_util::RankHasher;
+
+const STREAM: u64 = 100_000;
+
+fn bench_counters(c: &mut Criterion) {
+    let hasher = RankHasher::new(3);
+    let mut group = c.benchmark_group("counters");
+    group.throughput(Throughput::Elements(STREAM));
+    group.sample_size(20);
+    group.bench_function("hll_insert", |b| {
+        b.iter(|| {
+            let mut s = HyperLogLog::new(64);
+            for e in 0..STREAM {
+                s.insert(&hasher, black_box(e));
+            }
+            black_box(s.estimate())
+        })
+    });
+    group.bench_function("hip_hll_insert", |b| {
+        b.iter(|| {
+            let mut s = HipHll::new(64);
+            for e in 0..STREAM {
+                s.insert(&hasher, black_box(e));
+            }
+            black_box(s.estimate())
+        })
+    });
+    group.bench_function("hip_bottomk_insert", |b| {
+        b.iter(|| {
+            let mut s = HipBottomKCounter::new(64, 3);
+            for e in 0..STREAM {
+                s.insert(black_box(e));
+            }
+            black_box(s.estimate())
+        })
+    });
+    group.bench_function("hip_kmins_insert", |b| {
+        b.iter(|| {
+            let mut s = HipKMinsCounter::new(64, 3);
+            for e in 0..STREAM {
+                s.insert(black_box(e));
+            }
+            black_box(s.estimate())
+        })
+    });
+    group.bench_function("hip_kpartition_insert", |b| {
+        b.iter(|| {
+            let mut s = HipKPartitionCounter::new(64, 3);
+            for e in 0..STREAM {
+                s.insert(black_box(e));
+            }
+            black_box(s.estimate())
+        })
+    });
+    group.bench_function("morris_increment", |b| {
+        b.iter(|| {
+            let mut m = MorrisCounter::new(1.1, 5);
+            for _ in 0..STREAM {
+                m.increment();
+            }
+            black_box(m.estimate())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_counters);
+criterion_main!(benches);

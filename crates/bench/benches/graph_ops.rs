@@ -1,0 +1,33 @@
+//! Criterion: graph substrate operations (traversal, transpose,
+//! generation) — the floor under ADS construction cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use adsketch_graph::{bfs, dijkstra, generators};
+
+fn bench_graph(c: &mut Criterion) {
+    let n = 20_000;
+    let g = generators::barabasi_albert(n, 5, 3);
+    let gw = generators::random_weighted_digraph(n, 5, 0.5, 2.5, 4);
+
+    let mut group = c.benchmark_group("graph_ops");
+    group.sample_size(20);
+    group.bench_function("bfs_20k", |b| {
+        b.iter(|| black_box(bfs::bfs_distances(&g, black_box(0))))
+    });
+    group.bench_function("dijkstra_20k", |b| {
+        b.iter(|| black_box(dijkstra::dijkstra_distances(&gw, black_box(0))))
+    });
+    group.bench_function("transpose_20k", |b| b.iter(|| black_box(g.transpose())));
+    group.bench_function("generate_ba_20k", |b| {
+        b.iter(|| black_box(generators::barabasi_albert_edges(n, 5, 3)))
+    });
+    group.bench_function("generate_gnp_20k", |b| {
+        b.iter(|| black_box(generators::gnp_edges(n, 5e-4, 3)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_graph);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Criterion: MinHash sketch primitives (insert, merge, estimate) across
+//! the three flavors.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use adsketch_minhash::{BottomKSketch, KMinsSketch, KPartitionSketch};
+use adsketch_util::RankHasher;
+
+const STREAM: u64 = 50_000;
+
+fn bench_minhash(c: &mut Criterion) {
+    let h = RankHasher::new(9);
+    let mut group = c.benchmark_group("minhash_ops");
+    group.throughput(Throughput::Elements(STREAM));
+    group.sample_size(20);
+    group.bench_function("bottomk64_insert", |b| {
+        b.iter(|| {
+            let mut s = BottomKSketch::new(64);
+            for e in 0..STREAM {
+                s.insert(&h, black_box(e));
+            }
+            black_box(s.estimate())
+        })
+    });
+    group.bench_function("kmins64_insert", |b| {
+        b.iter(|| {
+            let mut s = KMinsSketch::new(64);
+            for e in 0..STREAM {
+                s.insert(&h, black_box(e));
+            }
+            black_box(s.estimate())
+        })
+    });
+    group.bench_function("kpartition64_insert", |b| {
+        b.iter(|| {
+            let mut s = KPartitionSketch::new(64);
+            for e in 0..STREAM {
+                s.insert(&h, black_box(e));
+            }
+            black_box(s.estimate())
+        })
+    });
+
+    // Merges of two populated sketches.
+    let mut a = BottomKSketch::new(64);
+    let mut b2 = BottomKSketch::new(64);
+    for e in 0..10_000u64 {
+        a.insert(&h, e);
+        b2.insert(&h, e + 5_000);
+    }
+    group.bench_function("bottomk64_merge", |b| {
+        b.iter(|| {
+            let mut m = a.clone();
+            m.merge(&b2);
+            black_box(m)
+        })
+    });
+    group.bench_function("jaccard64", |b| {
+        b.iter(|| black_box(adsketch_minhash::similarity::jaccard(&a, &b2)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_minhash);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Criterion: query-time cost of HIP vs basic estimators on a built ADS
+//! set (queries are sketch-local: O(k log n) work, no graph access).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use adsketch_core::{basic, centrality, AdsSet};
+use adsketch_graph::generators;
+
+fn bench_queries(c: &mut Criterion) {
+    let n = 5_000;
+    let g = generators::barabasi_albert(n, 4, 11);
+    let ads = AdsSet::build(&g, 16, 5);
+    let sketch = ads.sketch(0);
+    let hip = ads.hip(0);
+
+    let mut group = c.benchmark_group("queries");
+    group.bench_function("hip_weights_derive", |b| {
+        b.iter(|| black_box(sketch.hip_weights()))
+    });
+    group.bench_function("hip_cardinality_at", |b| {
+        b.iter(|| black_box(hip.cardinality_at(black_box(3.0))))
+    });
+    group.bench_function("basic_cardinality_at", |b| {
+        b.iter(|| black_box(basic::cardinality_at(sketch, black_box(3.0))))
+    });
+    group.bench_function("harmonic_centrality", |b| {
+        b.iter(|| black_box(centrality::harmonic(&hip)))
+    });
+    group.bench_function("qg_filtered", |b| {
+        b.iter(|| {
+            black_box(hip.centrality(
+                |d| if d <= 2.0 { 1.0 } else { 0.0 },
+                |v| (v % 2) as f64,
+            ))
+        })
+    });
+    group.bench_function("size_estimator", |b| {
+        b.iter(|| black_box(adsketch_core::size_est::cardinality_at(sketch, 3.0)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_queries);
+criterion_main!(benches);

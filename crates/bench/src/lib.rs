@@ -1,0 +1,57 @@
+//! Shared helpers for the adsketch experiment binaries.
+//!
+//! The real content of this crate is its binaries (`fig2`, `fig3`,
+//! `tbl_*`) and criterion benches; see `DESIGN.md` §6 for the experiment
+//! index and `EXPERIMENTS.md` for paper-vs-measured results.
+
+pub mod table;
+
+pub use table::Table;
+
+/// Parses `--name value` from the process arguments, with a default.
+pub fn arg_u64(name: &str, default: u64) -> u64 {
+    let flag = format!("--{name}");
+    let args: Vec<String> = std::env::args().collect();
+    for i in 0..args.len() {
+        if args[i] == flag {
+            if let Some(v) = args.get(i + 1).and_then(|s| s.parse().ok()) {
+                return v;
+            }
+            eprintln!("warning: could not parse value for {flag}; using {default}");
+        }
+    }
+    default
+}
+
+/// Geometric checkpoint grid `{1..9} × 10^j` up to and including `max` —
+/// the sampling grid for all error-vs-cardinality experiments (log-x
+/// plots in the paper).
+pub fn checkpoints(max: u64) -> Vec<u64> {
+    let mut out = Vec::new();
+    let mut decade = 1u64;
+    loop {
+        for m in 1..=9u64 {
+            let c = m * decade;
+            if c > max {
+                if out.last() != Some(&max) {
+                    out.push(max);
+                }
+                return out;
+            }
+            out.push(c);
+        }
+        decade *= 10;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checkpoint_grid() {
+        assert_eq!(checkpoints(25), vec![1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 20, 25]);
+        assert_eq!(checkpoints(3), vec![1, 2, 3]);
+        assert_eq!(*checkpoints(1_000_000).last().unwrap(), 1_000_000);
+    }
+}

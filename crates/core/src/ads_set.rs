@@ -1,0 +1,187 @@
+//! A per-graph collection of bottom-k all-distances sketches.
+
+use adsketch_graph::{Graph, NodeId};
+
+use crate::bottomk::BottomKAds;
+use crate::error::CoreError;
+use crate::hip::HipWeights;
+use crate::uniform_ranks;
+
+/// Forward bottom-k ADSs for every node of a graph.
+///
+/// Obtained from one of the builders in [`crate::builder`] (or the brute
+/// force in [`crate::reference`]). `sketches[v]` samples the nodes
+/// *reachable from* `v` with their forward distances.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdsSet {
+    k: usize,
+    sketches: Vec<BottomKAds>,
+}
+
+impl AdsSet {
+    /// Builds the ADS set with PrunedDijkstra (the general-purpose
+    /// algorithm: weighted or unweighted graphs) using deterministic
+    /// uniform ranks derived from `seed`.
+    ///
+    /// Panics only on internal invariant violations; construction itself
+    /// cannot fail for a valid [`Graph`].
+    pub fn build(g: &Graph, k: usize, seed: u64) -> Self {
+        let ranks = uniform_ranks(g.num_nodes(), seed);
+        crate::builder::pruned_dijkstra::build(g, k, &ranks)
+            .expect("uniform ranks are always valid")
+    }
+
+    /// Wraps pre-built sketches (one per node).
+    pub fn from_sketches(k: usize, sketches: Vec<BottomKAds>) -> Self {
+        assert!(sketches.iter().all(|s| s.k() == k), "mixed k in ADS set");
+        Self { k, sketches }
+    }
+
+    /// The sketch parameter k.
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of nodes covered.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.sketches.len()
+    }
+
+    /// The ADS of node `v`.
+    #[inline]
+    pub fn sketch(&self, v: NodeId) -> &BottomKAds {
+        &self.sketches[v as usize]
+    }
+
+    /// All sketches, indexed by node.
+    #[inline]
+    pub fn sketches(&self) -> &[BottomKAds] {
+        &self.sketches
+    }
+
+    /// HIP adjusted weights for node `v` (see [`crate::hip`]).
+    pub fn hip(&self, v: NodeId) -> HipWeights {
+        self.sketches[v as usize].hip_weights()
+    }
+
+    /// Total number of stored entries across all nodes.
+    pub fn total_entries(&self) -> usize {
+        self.sketches.iter().map(|s| s.len()).sum()
+    }
+
+    /// Mean entries per node — Lemma 2.2 predicts
+    /// `k(1 + ln n − ln k)` on a strongly-connected graph.
+    pub fn mean_entries(&self) -> f64 {
+        if self.sketches.is_empty() {
+            0.0
+        } else {
+            self.total_entries() as f64 / self.sketches.len() as f64
+        }
+    }
+
+    /// Estimated distance distribution of the whole graph: sums every
+    /// node's HIP neighborhood function, excluding each node itself —
+    /// the ANF/HyperANF quantity, estimated sketch-side. Returns
+    /// `(distance, estimated #ordered pairs within distance)` pairs.
+    pub fn distance_distribution_estimate(&self) -> Vec<(f64, f64)> {
+        let mut events: Vec<(f64, f64)> = Vec::new();
+        for s in &self.sketches {
+            for it in s.hip_weights().items() {
+                if it.dist > 0.0 {
+                    events.push((it.dist, it.weight));
+                }
+            }
+        }
+        events.sort_unstable_by(|a, b| a.0.total_cmp(&b.0));
+        let mut out: Vec<(f64, f64)> = Vec::new();
+        let mut acc = 0.0;
+        for (d, w) in events {
+            acc += w;
+            match out.last_mut() {
+                Some(last) if last.0 == d => last.1 = acc,
+                _ => out.push((d, acc)),
+            }
+        }
+        out
+    }
+
+    /// Validates every sketch's structural invariants.
+    pub fn validate(&self) -> Result<(), String> {
+        for (v, s) in self.sketches.iter().enumerate() {
+            s.validate().map_err(|e| format!("node {v}: {e}"))?;
+        }
+        Ok(())
+    }
+}
+
+/// Builds with explicit ranks (weighted-node sketches, tests).
+pub fn build_with_ranks(g: &Graph, k: usize, ranks: &[f64]) -> Result<AdsSet, CoreError> {
+    crate::builder::pruned_dijkstra::build(g, k, ranks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adsketch_graph::generators;
+
+    #[test]
+    fn build_and_query_roundtrip() {
+        let g = generators::gnp(120, 0.05, 3);
+        let ads = AdsSet::build(&g, 4, 9);
+        assert_eq!(ads.k(), 4);
+        assert_eq!(ads.num_nodes(), 120);
+        assert!(ads.validate().is_ok());
+        assert!(ads.total_entries() >= 120, "every node samples itself");
+        let hip = ads.hip(0);
+        assert!(hip.reachable_estimate() >= 1.0);
+    }
+
+    #[test]
+    fn mean_entries_tracks_lemma_2_2() {
+        use adsketch_util::harmonic::expected_bottomk_ads_size;
+        let n = 400;
+        let g = generators::barabasi_albert(n, 3, 5);
+        let k = 4;
+        // Average over seeds to tame variance.
+        let mut total = 0.0;
+        let runs = 20;
+        for seed in 0..runs {
+            total += AdsSet::build(&g, k, seed).mean_entries();
+        }
+        let mean = total / runs as f64;
+        let expect = expected_bottomk_ads_size(n as u64, k);
+        assert!(
+            (mean - expect).abs() / expect < 0.1,
+            "mean {mean} vs Lemma 2.2 {expect}"
+        );
+    }
+
+    #[test]
+    fn distance_distribution_estimate_close_to_exact() {
+        let g = generators::gnp(150, 0.04, 11);
+        let exact = adsketch_graph::exact::distance_distribution(&g);
+        let mut est_final = 0.0;
+        let runs = 15;
+        for seed in 0..runs {
+            let ads = AdsSet::build(&g, 8, seed);
+            let dd = ads.distance_distribution_estimate();
+            est_final += dd.last().map_or(0.0, |&(_, c)| c);
+        }
+        est_final /= runs as f64;
+        let truth = exact.connected_pairs() as f64;
+        assert!(
+            (est_final - truth).abs() / truth < 0.1,
+            "estimated pairs {est_final}, exact {truth}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "mixed k")]
+    fn from_sketches_rejects_mixed_k() {
+        let a = BottomKAds::empty(2);
+        let b = BottomKAds::empty(3);
+        let _ = AdsSet::from_sketches(2, vec![a, b]);
+    }
+}

@@ -1,0 +1,162 @@
+//! Dynamic-programming ADS construction for unweighted graphs
+//! (paper, Section 3; the ANF/HyperANF computation pattern).
+//!
+//! Iteration `d` relaxes exactly the edges whose source sketch changed in
+//! iteration `d−1`, so entries are inserted in increasing distance and are
+//! never retracted. Within an iteration, candidates are applied in
+//! ascending node id, matching the canonical `(dist, id)` order.
+
+use adsketch_graph::{Graph, NodeId};
+
+use crate::ads_set::AdsSet;
+use crate::builder::{validate_ranks, BuildStats, PartialAds};
+use crate::error::CoreError;
+
+/// Builds the forward bottom-k ADS set of an unweighted graph.
+pub fn build(g: &Graph, k: usize, ranks: &[f64]) -> Result<AdsSet, CoreError> {
+    build_with_stats(g, k, ranks).map(|(s, _)| s)
+}
+
+/// Like [`build`], also returning work counters (`rounds` = eccentricity
+/// bound actually reached).
+pub fn build_with_stats(
+    g: &Graph,
+    k: usize,
+    ranks: &[f64],
+) -> Result<(AdsSet, BuildStats), CoreError> {
+    if g.is_weighted() {
+        return Err(CoreError::RequiresUnweighted);
+    }
+    let n = g.num_nodes();
+    validate_ranks(ranks, n)?;
+    let gt = g.transpose();
+    let mut partials: Vec<PartialAds> = vec![PartialAds::default(); n];
+    let mut stats = BuildStats::default();
+
+    // Distance 0: every node samples itself.
+    let mut frontier: Vec<Vec<(NodeId, f64)>> = vec![Vec::new(); n];
+    for v in 0..n as NodeId {
+        partials[v as usize].insert_distance_monotone(k, v, 0.0, ranks[v as usize]);
+        stats.insertions += 1;
+        frontier[v as usize].push((v, ranks[v as usize]));
+    }
+
+    let mut dist = 0.0f64;
+    loop {
+        dist += 1.0;
+        // Collect candidates: an entry inserted at u last round propagates
+        // to u's out-neighbors in the transpose (= in-neighbors in g).
+        let mut candidates: Vec<Vec<(NodeId, f64)>> = vec![Vec::new(); n];
+        let mut any = false;
+        for u in 0..n as NodeId {
+            if frontier[u as usize].is_empty() {
+                continue;
+            }
+            for &y in gt.neighbors(u) {
+                stats.relaxations += frontier[u as usize].len() as u64;
+                candidates[y as usize].extend_from_slice(&frontier[u as usize]);
+                any = true;
+            }
+        }
+        if !any {
+            break;
+        }
+        stats.rounds += 1;
+        // Apply candidates in ascending node id (canonical order within the
+        // distance level), deduplicated.
+        let mut new_frontier: Vec<Vec<(NodeId, f64)>> = vec![Vec::new(); n];
+        let mut inserted_any = false;
+        for v in 0..n {
+            let cs = &mut candidates[v];
+            if cs.is_empty() {
+                continue;
+            }
+            cs.sort_unstable_by_key(|&(node, _)| node);
+            cs.dedup_by_key(|&mut (node, _)| node);
+            for &(node, rank) in cs.iter() {
+                if partials[v].insert_distance_monotone(k, node, dist, rank) {
+                    stats.insertions += 1;
+                    new_frontier[v].push((node, rank));
+                    inserted_any = true;
+                }
+            }
+        }
+        if !inserted_any {
+            break;
+        }
+        frontier = new_frontier;
+    }
+
+    let sketches = partials.into_iter().map(|p| p.into_ads(k)).collect();
+    Ok((AdsSet::from_sketches(k, sketches), stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adsketch_graph::generators;
+    use crate::uniform_ranks;
+
+    #[test]
+    fn rejects_weighted_graphs() {
+        let g = Graph::directed_weighted(2, &[(0, 1, 2.0)]).unwrap();
+        assert_eq!(
+            build(&g, 2, &[0.1, 0.2]).unwrap_err(),
+            CoreError::RequiresUnweighted
+        );
+    }
+
+    #[test]
+    fn matches_pruned_dijkstra_on_random_digraphs() {
+        for seed in 0..6u64 {
+            let g = generators::gnp_directed(80, 0.05, seed);
+            let ranks = uniform_ranks(80, seed + 400);
+            let dp = build(&g, 3, &ranks).unwrap();
+            let pd = crate::builder::pruned_dijkstra::build(&g, 3, &ranks).unwrap();
+            assert_eq!(dp, pd, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn matches_brute_force_on_undirected() {
+        for seed in 0..4u64 {
+            let g = generators::gnp(60, 0.07, seed + 17);
+            let ranks = uniform_ranks(60, seed + 500);
+            let dp = build(&g, 2, &ranks).unwrap();
+            let brute = crate::reference::build_bottomk(&g, 2, &ranks);
+            assert_eq!(dp, brute, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn rounds_bounded_by_diameter() {
+        let g = Graph::undirected(20, &generators::path_edges(20)).unwrap();
+        let ranks = uniform_ranks(20, 3);
+        let (_, stats) = build_with_stats(&g, 2, &ranks).unwrap();
+        assert!(
+            stats.rounds <= 19,
+            "rounds {} must be at most the diameter",
+            stats.rounds
+        );
+    }
+
+    #[test]
+    fn star_graph_with_ties() {
+        let g = Graph::undirected(30, &generators::star_edges(30)).unwrap();
+        let ranks = uniform_ranks(30, 9);
+        let dp = build(&g, 3, &ranks).unwrap();
+        let brute = crate::reference::build_bottomk(&g, 3, &ranks);
+        assert_eq!(dp, brute);
+    }
+
+    #[test]
+    fn empty_and_singleton_graphs() {
+        let g = Graph::directed(0, &[]).unwrap();
+        let set = build(&g, 2, &[]).unwrap();
+        assert_eq!(set.num_nodes(), 0);
+
+        let g1 = Graph::directed(1, &[]).unwrap();
+        let set1 = build(&g1, 2, &[0.4]).unwrap();
+        assert_eq!(set1.sketch(0).len(), 1);
+    }
+}

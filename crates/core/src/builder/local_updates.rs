@@ -1,0 +1,227 @@
+//! LocalUpdates ADS construction (paper, Algorithm 2): node-centric
+//! message passing for weighted graphs, executed in synchronized rounds
+//! as on Pregel/MapReduce-style platforms.
+//!
+//! Unlike PrunedDijkstra and DP, entries can be admitted and later
+//! *displaced* when a shorter path or a lower-ranked closer node arrives —
+//! the overhead the paper bounds with the `(1+ε)`-approximate admission
+//! rule (pass `epsilon > 0`). With `epsilon = 0` the fixpoint equals the
+//! exact canonical ADS.
+
+use adsketch_graph::{Graph, NodeId};
+
+use crate::ads_set::AdsSet;
+use crate::builder::{validate_ranks, BuildStats, PartialAds};
+use crate::error::CoreError;
+
+/// A message: "node `node` with rank `rank` is at distance `dist` of you".
+#[derive(Debug, Clone, Copy)]
+struct Msg {
+    target: NodeId,
+    node: NodeId,
+    rank: f64,
+    dist: f64,
+}
+
+/// Builds the exact forward bottom-k ADS set (ε = 0).
+pub fn build(g: &Graph, k: usize, ranks: &[f64]) -> Result<AdsSet, CoreError> {
+    build_approx_with_stats(g, k, ranks, 0.0).map(|(s, _)| s)
+}
+
+/// Like [`build`] with work counters.
+pub fn build_with_stats(
+    g: &Graph,
+    k: usize,
+    ranks: &[f64],
+) -> Result<(AdsSet, BuildStats), CoreError> {
+    build_approx_with_stats(g, k, ranks, 0.0)
+}
+
+/// `(1+ε)`-approximate construction: candidate entries must beat the k-th
+/// smallest rank within distance `(1+ε)·d`, trading sketch exactness for a
+/// provably logarithmic retraction overhead (paper, Section 3).
+pub fn build_approx_with_stats(
+    g: &Graph,
+    k: usize,
+    ranks: &[f64],
+    epsilon: f64,
+) -> Result<(AdsSet, BuildStats), CoreError> {
+    if !(epsilon.is_finite() && epsilon >= 0.0) {
+        return Err(CoreError::InvalidEpsilon { epsilon });
+    }
+    let n = g.num_nodes();
+    validate_ranks(ranks, n)?;
+    let gt = g.transpose();
+    let mut partials: Vec<PartialAds> = vec![PartialAds::default(); n];
+    let mut stats = BuildStats::default();
+
+    // Initialization: each node holds itself and announces it.
+    let mut inbox: Vec<Msg> = Vec::new();
+    for u in 0..n as NodeId {
+        partials[u as usize].insert_general(k, u, 0.0, ranks[u as usize], epsilon);
+        stats.insertions += 1;
+        for (y, w) in gt.arcs(u) {
+            inbox.push(Msg {
+                target: y,
+                node: u,
+                rank: ranks[u as usize],
+                dist: w,
+            });
+        }
+    }
+
+    while !inbox.is_empty() {
+        stats.rounds += 1;
+        // Keep only the shortest copy of each (target, node) pair this
+        // round — a cheap, semantics-preserving message reduction.
+        inbox.sort_unstable_by(|a, b| {
+            (a.target, a.node)
+                .cmp(&(b.target, b.node))
+                .then(a.dist.total_cmp(&b.dist))
+        });
+        inbox.dedup_by_key(|m| (m.target, m.node));
+        let mut outbox: Vec<Msg> = Vec::new();
+        for m in inbox.drain(..) {
+            stats.relaxations += 1;
+            let (inserted, removed) =
+                partials[m.target as usize].insert_general(k, m.node, m.dist, m.rank, epsilon);
+            stats.removals += removed as u64;
+            if inserted {
+                stats.insertions += 1;
+                for (y, w) in gt.arcs(m.target) {
+                    outbox.push(Msg {
+                        target: y,
+                        node: m.node,
+                        rank: m.rank,
+                        dist: m.dist + w,
+                    });
+                }
+            }
+        }
+        inbox = outbox;
+    }
+
+    let sketches = partials.into_iter().map(|p| p.into_ads(k)).collect();
+    Ok((AdsSet::from_sketches(k, sketches), stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adsketch_graph::generators;
+    use crate::uniform_ranks;
+
+    #[test]
+    fn matches_pruned_dijkstra_on_weighted_digraphs() {
+        for seed in 0..6u64 {
+            let g = generators::random_weighted_digraph(50, 4, 0.5, 2.5, seed);
+            let ranks = uniform_ranks(50, seed + 600);
+            let lu = build(&g, 3, &ranks).unwrap();
+            let pd = crate::builder::pruned_dijkstra::build(&g, 3, &ranks).unwrap();
+            assert_eq!(lu, pd, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn matches_on_unweighted_with_ties() {
+        for seed in 0..4u64 {
+            let g = generators::gnp(50, 0.08, seed + 31);
+            let ranks = uniform_ranks(50, seed + 700);
+            let lu = build(&g, 2, &ranks).unwrap();
+            let brute = crate::reference::build_bottomk(&g, 2, &ranks);
+            assert_eq!(lu, brute, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn handles_weighted_undirected() {
+        let edges = generators::assign_uniform_weights(
+            &generators::gnp_edges(40, 0.1, 3),
+            0.5,
+            2.0,
+            4,
+        );
+        let g = Graph::undirected_weighted(40, &edges).unwrap();
+        let ranks = uniform_ranks(40, 5);
+        let lu = build(&g, 4, &ranks).unwrap();
+        let pd = crate::builder::pruned_dijkstra::build(&g, 4, &ranks).unwrap();
+        assert_eq!(lu, pd);
+    }
+
+    #[test]
+    fn rejects_negative_epsilon() {
+        let g = generators::gnp(5, 0.5, 1);
+        let ranks = uniform_ranks(5, 1);
+        assert!(matches!(
+            build_approx_with_stats(&g, 2, &ranks, -0.5),
+            Err(CoreError::InvalidEpsilon { .. })
+        ));
+    }
+
+    #[test]
+    fn approx_mode_reduces_churn_and_respects_guarantee() {
+        // A graph engineered for retractions: long chain distances that
+        // shortcut edges later undercut.
+        let g = generators::random_weighted_digraph(80, 5, 0.1, 10.0, 12);
+        let ranks = uniform_ranks(80, 13);
+        let (exact, exact_stats) = build_with_stats(&g, 4, &ranks).unwrap();
+        let eps = 0.25;
+        let (approx, approx_stats) =
+            build_approx_with_stats(&g, 4, &ranks, eps).unwrap();
+        assert!(
+            approx_stats.insertions <= exact_stats.insertions,
+            "ε-rule must not insert more ({} vs {})",
+            approx_stats.insertions,
+            exact_stats.insertions
+        );
+        // Guarantee: every entry of the exact ADS that is missing from the
+        // approximate one must fail the (1+ε)-relaxed threshold, i.e. the
+        // approx sketch holds k entries within (1+ε)·d with lower ranks.
+        for v in 0..80u32 {
+            let ex = exact.sketch(v);
+            let ap = approx.sketch(v);
+            for e in ex.entries() {
+                if ap.get(e.node).is_some() {
+                    continue;
+                }
+                let blockers = ap
+                    .entries()
+                    .iter()
+                    .filter(|b| {
+                        b.dist <= e.dist * (1.0 + eps)
+                            && (b.rank, b.node) < (e.rank, e.node)
+                    })
+                    .count();
+                assert!(
+                    blockers >= 4,
+                    "node {v}: dropped entry {} lacks (1+ε) justification",
+                    e.node
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn stats_report_retractions_on_adversarial_order() {
+        // A weighted graph where low-rank nodes are far: entries inserted
+        // early must later be displaced.
+        let mut arcs = Vec::new();
+        // Chain 0→1→…→19 with weight 1 plus a shortcut 0→19 of weight 30
+        // (the shortcut delivers node 19's entries early at distance 30,
+        // then the chain path displaces them with distance 19).
+        for i in 0..19u32 {
+            arcs.push((i, i + 1, 1.0));
+        }
+        arcs.push((0, 19, 30.0));
+        let g = Graph::directed_weighted(20, &arcs).unwrap();
+        // Transposed propagation: messages flow 19→…→0.
+        let ranks = uniform_ranks(20, 21);
+        let (set, _stats) = build_with_stats(&g, 2, &ranks).unwrap();
+        let pd = crate::builder::pruned_dijkstra::build(&g, 2, &ranks).unwrap();
+        assert_eq!(set, pd);
+        // The shortest distance must win for node 19 in ADS(0) if present.
+        if let Some(e) = set.sketch(0).get(19) {
+            assert_eq!(e.dist, 19.0);
+        }
+    }
+}

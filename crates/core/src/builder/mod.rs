@@ -1,0 +1,63 @@
+//! Scalable ADS construction algorithms (paper, Section 3 and Appendix B).
+//!
+//! All three build the *same* canonical bottom-k ADS set (tested to be
+//! bitwise identical to the brute force in [`crate::reference`]):
+//!
+//! * [`pruned_dijkstra`] — Algorithm 1: one pruned Dijkstra per node in
+//!   increasing rank order. Works on weighted and unweighted graphs;
+//!   `O(km log n)` expected edge relaxations.
+//! * [`dp`] — the node-centric dynamic-programming / Bellman–Ford approach
+//!   (ANF/HyperANF style). Unweighted graphs only; entries are inserted in
+//!   increasing distance, so no entry is ever retracted.
+//! * [`local_updates`] — Algorithm 2: asynchronous-style message passing
+//!   (here executed in synchronized rounds, as on Pregel/MapReduce), the
+//!   extension of DP to weighted graphs. Entries may be inserted and later
+//!   displaced by shorter paths, so sketches support deletion; also
+//!   provides the `(1+ε)`-approximate variant that bounds the retraction
+//!   overhead.
+//!
+//! Builders for the other two flavors ([`kmins`]/[`kpartition`]) reduce to
+//! bottom-1 runs of PrunedDijkstra per permutation/bucket.
+
+pub mod dp;
+pub mod kmins;
+pub mod kpartition;
+pub mod local_updates;
+pub mod parallel;
+mod partial;
+pub mod pruned_dijkstra;
+
+pub(crate) use partial::PartialAds;
+
+/// Work counters reported by the builders (the paper's cost model counts
+/// edge relaxations; Appendix B.2 discusses their per-operation cost).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BuildStats {
+    /// Edge relaxations / messages processed.
+    pub relaxations: u64,
+    /// Entries inserted into sketches (including ones later displaced).
+    pub insertions: u64,
+    /// Entries removed again (LocalUpdates only — its extra overhead).
+    pub removals: u64,
+    /// Synchronized rounds (DP: graph diameter; LocalUpdates: bounded by
+    /// the shortest-path hop diameter).
+    pub rounds: u64,
+}
+
+pub(crate) fn validate_ranks(
+    ranks: &[f64],
+    n: usize,
+) -> Result<(), crate::error::CoreError> {
+    if ranks.len() != n {
+        return Err(crate::error::CoreError::RankCountMismatch {
+            ranks: ranks.len(),
+            nodes: n,
+        });
+    }
+    for &r in ranks {
+        if !(r.is_finite() && r >= 0.0) {
+            return Err(crate::error::CoreError::InvalidRank { rank: r });
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,237 @@
+//! Parallel ADS construction with `std::thread::scope`.
+//!
+//! Three construction strategies parallelize naturally (paper, Appendix
+//! B.4 discusses deeper pipelining of PrunedDijkstra itself; these simpler
+//! decompositions already give near-linear speedups and keep outputs
+//! *bitwise identical* to the sequential builders):
+//!
+//! * per-node: each node's ADS depends only on its own canonical order, so
+//!   the brute-force builder shards nodes across threads
+//!   ([`build_bottomk_per_node`]);
+//! * per-permutation: a k-mins ADS set is k independent bottom-1 builds
+//!   ([`build_kmins`]);
+//! * per-bucket: a k-partition ADS set is k independent bucket-restricted
+//!   bottom-1 builds ([`build_kpartition`]).
+
+use adsketch_graph::dijkstra::dijkstra_order_canonical;
+use adsketch_graph::{Graph, NodeId};
+use adsketch_util::RankHasher;
+
+use crate::ads_set::AdsSet;
+use crate::bottomk::BottomKAds;
+use crate::builder::pruned_dijkstra::run_core;
+use crate::error::CoreError;
+use crate::kmins::{KMinsAds, KMinsRecord};
+use crate::kpartition::{KPartRecord, KPartitionAds};
+use crate::reference::bottomk_from_order;
+
+fn thread_count(requested: usize) -> usize {
+    if requested > 0 {
+        requested
+    } else {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    }
+}
+
+/// Per-node parallel bottom-k construction (`threads = 0` ⇒ all cores).
+/// Output equals [`crate::reference::build_bottomk`] exactly.
+pub fn build_bottomk_per_node(g: &Graph, k: usize, ranks: &[f64], threads: usize) -> AdsSet {
+    assert_eq!(ranks.len(), g.num_nodes());
+    let n = g.num_nodes();
+    let t = thread_count(threads).min(n.max(1));
+    let mut sketches: Vec<Option<BottomKAds>> = vec![None; n];
+    if n > 0 {
+        let chunk = n.div_ceil(t);
+        std::thread::scope(|scope| {
+            for (i, slot) in sketches.chunks_mut(chunk).enumerate() {
+                let start = i * chunk;
+                scope.spawn(move || {
+                    for (j, out) in slot.iter_mut().enumerate() {
+                        let v = (start + j) as NodeId;
+                        let order = dijkstra_order_canonical(g, v);
+                        *out = Some(bottomk_from_order(k, &order, ranks));
+                    }
+                });
+            }
+        });
+    }
+    AdsSet::from_sketches(
+        k,
+        sketches.into_iter().map(|s| s.expect("filled")).collect(),
+    )
+}
+
+/// Per-permutation parallel k-mins construction; output equals
+/// [`crate::builder::kmins::build`] exactly.
+pub fn build_kmins(
+    g: &Graph,
+    k: usize,
+    hasher: &RankHasher,
+    threads: usize,
+) -> Result<Vec<KMinsAds>, CoreError> {
+    assert!(k >= 1);
+    let n = g.num_nodes();
+    let t = thread_count(threads).min(k);
+    let mut per_perm: Vec<Option<Result<Vec<Vec<KMinsRecord>>, CoreError>>> = vec![None; k];
+    std::thread::scope(|scope| {
+        for (chunk_idx, slot) in per_perm.chunks_mut(k.div_ceil(t)).enumerate() {
+            let start = chunk_idx * k.div_ceil(t);
+            scope.spawn(move || {
+                for (j, out) in slot.iter_mut().enumerate() {
+                    let h = (start + j) as u32;
+                    let ranks: Vec<f64> =
+                        (0..n as u64).map(|v| hasher.perm_rank(v, h)).collect();
+                    *out = Some(run_core(g, 1, &ranks, None, false).map(|(partials, _)| {
+                        partials
+                            .into_iter()
+                            .map(|p| {
+                                p.entries
+                                    .into_iter()
+                                    .map(|e| KMinsRecord {
+                                        node: e.node,
+                                        dist: e.dist,
+                                        rank: e.rank,
+                                        perm: h,
+                                    })
+                                    .collect()
+                            })
+                            .collect()
+                    }));
+                }
+            });
+        }
+    });
+    let mut records: Vec<Vec<KMinsRecord>> = vec![Vec::new(); n];
+    for slot in per_perm {
+        let per_node = slot.expect("filled")?;
+        for (v, rs) in per_node.into_iter().enumerate() {
+            records[v].extend(rs);
+        }
+    }
+    Ok(records
+        .into_iter()
+        .map(|mut rs| {
+            rs.sort_unstable_by(|a, b| {
+                a.dist
+                    .total_cmp(&b.dist)
+                    .then(a.node.cmp(&b.node))
+                    .then(a.perm.cmp(&b.perm))
+            });
+            KMinsAds::from_records(k, rs)
+        })
+        .collect())
+}
+
+/// Per-bucket parallel k-partition construction; output equals
+/// [`crate::builder::kpartition::build`] exactly.
+pub fn build_kpartition(
+    g: &Graph,
+    k: usize,
+    hasher: &RankHasher,
+    threads: usize,
+) -> Result<Vec<KPartitionAds>, CoreError> {
+    assert!(k >= 1);
+    let n = g.num_nodes();
+    let ranks: Vec<f64> = (0..n as u64).map(|v| hasher.rank(v)).collect();
+    let mut buckets: Vec<Vec<NodeId>> = vec![Vec::new(); k];
+    for v in 0..n as NodeId {
+        buckets[hasher.bucket(v as u64, k)].push(v);
+    }
+    let t = thread_count(threads).min(k);
+    let ranks_ref = &ranks;
+    let buckets_ref = &buckets;
+    let mut per_bucket: Vec<Option<Result<Vec<Vec<KPartRecord>>, CoreError>>> = vec![None; k];
+    std::thread::scope(|scope| {
+        for (chunk_idx, slot) in per_bucket.chunks_mut(k.div_ceil(t)).enumerate() {
+            let start = chunk_idx * k.div_ceil(t);
+            scope.spawn(move || {
+                for (j, out) in slot.iter_mut().enumerate() {
+                    let b = start + j;
+                    if buckets_ref[b].is_empty() {
+                        *out = Some(Ok(vec![Vec::new(); n]));
+                        continue;
+                    }
+                    *out = Some(
+                        run_core(g, 1, ranks_ref, Some(&buckets_ref[b]), false).map(
+                            |(partials, _)| {
+                                partials
+                                    .into_iter()
+                                    .map(|p| {
+                                        p.entries
+                                            .into_iter()
+                                            .map(|e| KPartRecord {
+                                                node: e.node,
+                                                dist: e.dist,
+                                                rank: e.rank,
+                                                bucket: b as u32,
+                                            })
+                                            .collect()
+                                    })
+                                    .collect()
+                            },
+                        ),
+                    );
+                }
+            });
+        }
+    });
+    let mut records: Vec<Vec<KPartRecord>> = vec![Vec::new(); n];
+    for slot in per_bucket {
+        let per_node = slot.expect("filled")?;
+        for (v, rs) in per_node.into_iter().enumerate() {
+            records[v].extend(rs);
+        }
+    }
+    Ok(records
+        .into_iter()
+        .map(|mut rs| {
+            rs.sort_unstable_by(|a, b| a.dist.total_cmp(&b.dist).then(a.node.cmp(&b.node)));
+            KPartitionAds::from_records(k, rs)
+        })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::uniform_ranks;
+    use adsketch_graph::generators;
+
+    #[test]
+    fn per_node_matches_sequential() {
+        let g = generators::gnp_directed(80, 0.05, 3);
+        let ranks = uniform_ranks(80, 4);
+        for threads in [1usize, 2, 0] {
+            let par = build_bottomk_per_node(&g, 3, &ranks, threads);
+            let seq = crate::reference::build_bottomk(&g, 3, &ranks);
+            assert_eq!(par, seq, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn kmins_parallel_matches_sequential() {
+        let g = generators::gnp_directed(60, 0.06, 5);
+        let h = RankHasher::new(6);
+        let par = build_kmins(&g, 5, &h, 3).unwrap();
+        let seq = crate::builder::kmins::build(&g, 5, &h).unwrap();
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn kpartition_parallel_matches_sequential() {
+        let g = generators::gnp_directed(60, 0.06, 7);
+        let h = RankHasher::new(8);
+        let par = build_kpartition(&g, 6, &h, 4).unwrap();
+        let seq = crate::builder::kpartition::build(&g, 6, &h).unwrap();
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn empty_graph_parallel() {
+        let g = adsketch_graph::Graph::directed(0, &[]).unwrap();
+        let set = build_bottomk_per_node(&g, 2, &[], 4);
+        assert_eq!(set.num_nodes(), 0);
+    }
+}

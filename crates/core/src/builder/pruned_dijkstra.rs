@@ -1,0 +1,263 @@
+//! PrunedDijkstra ADS construction (paper, Algorithm 1).
+//!
+//! Nodes are processed in increasing rank order; each runs a Dijkstra on
+//! the transpose graph, inserting itself into the sketches of the nodes it
+//! scans and pruning wherever the sketch already holds k closer (and
+//! necessarily lower-ranked) entries. Pruning is exact: an entry that fails
+//! at `v` fails at every node behind `v` on a shortest path, so the
+//! search volume shrinks as ranks grow, giving `O(km log n)` expected
+//! relaxations in total.
+
+use adsketch_graph::dijkstra::{dijkstra_visit, Visit};
+use adsketch_graph::{Graph, NodeId};
+
+use crate::ads_set::AdsSet;
+use crate::builder::{validate_ranks, BuildStats, PartialAds};
+use crate::error::CoreError;
+
+/// Builds the forward bottom-k ADS set of `g` for the given node ranks.
+pub fn build(g: &Graph, k: usize, ranks: &[f64]) -> Result<AdsSet, CoreError> {
+    build_with_stats(g, k, ranks).map(|(set, _)| set)
+}
+
+/// Like [`build`], also returning work counters.
+pub fn build_with_stats(
+    g: &Graph,
+    k: usize,
+    ranks: &[f64],
+) -> Result<(AdsSet, BuildStats), CoreError> {
+    let partials = run_core(g, k, ranks, None, false)?;
+    finish(k, partials)
+}
+
+/// Tieless (Appendix A) variant: at most k entries per distinct distance,
+/// no id tie-breaking. Pair it with
+/// [`crate::tieless::TielessAds::from_entries`] for HIP estimation.
+pub fn build_tieless_entries(
+    g: &Graph,
+    k: usize,
+    ranks: &[f64],
+) -> Result<Vec<Vec<crate::entry::AdsEntry>>, CoreError> {
+    let (partials, _) = run_core(g, k, ranks, None, true)?;
+    Ok(partials.into_iter().map(|p| p.entries).collect())
+}
+
+/// Core loop, also used by the k-mins and k-partition builders
+/// (`sources = Some(..)` restricts which nodes act as sources; all nodes
+/// still *receive* entries).
+pub(crate) fn run_core(
+    g: &Graph,
+    k: usize,
+    ranks: &[f64],
+    sources: Option<&[NodeId]>,
+    tieless: bool,
+) -> Result<(Vec<PartialAds>, BuildStats), CoreError> {
+    let n = g.num_nodes();
+    validate_ranks(ranks, n)?;
+    let gt = g.transpose();
+    let mut order: Vec<NodeId> = match sources {
+        Some(s) => s.to_vec(),
+        None => (0..n as NodeId).collect(),
+    };
+    // Increasing rank, ties by id (ranks are hash-derived, collisions are
+    // ~2^-53 but the order must still be total).
+    order.sort_unstable_by(|&a, &b| {
+        ranks[a as usize]
+            .total_cmp(&ranks[b as usize])
+            .then(a.cmp(&b))
+    });
+    let mut partials: Vec<PartialAds> = vec![PartialAds::default(); n];
+    let mut stats = BuildStats::default();
+    for &u in &order {
+        let r_u = ranks[u as usize];
+        dijkstra_visit(&gt, u, |v, d| {
+            stats.relaxations += 1;
+            let p = &mut partials[v as usize];
+            let inserted = if tieless {
+                p.insert_rank_monotone_tieless(k, u, d, r_u)
+            } else {
+                p.insert_rank_monotone(k, u, d, r_u)
+            };
+            if inserted {
+                stats.insertions += 1;
+                Visit::Continue
+            } else {
+                Visit::Prune
+            }
+        });
+    }
+    Ok((partials, stats))
+}
+
+fn finish(
+    k: usize,
+    (partials, stats): (Vec<PartialAds>, BuildStats),
+) -> Result<(AdsSet, BuildStats), CoreError> {
+    let sketches = partials.into_iter().map(|p| p.into_ads(k)).collect();
+    Ok((AdsSet::from_sketches(k, sketches), stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adsketch_graph::generators;
+    use crate::uniform_ranks;
+
+    #[test]
+    fn matches_brute_force_on_unweighted_digraph() {
+        for seed in 0..5u64 {
+            let g = generators::gnp_directed(60, 0.08, seed);
+            let ranks = uniform_ranks(60, seed + 100);
+            let fast = build(&g, 3, &ranks).unwrap();
+            let slow = crate::reference::build_bottomk(&g, 3, &ranks);
+            assert_eq!(fast, slow, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn matches_brute_force_on_weighted_digraph() {
+        for seed in 0..5u64 {
+            let g = generators::random_weighted_digraph(50, 4, 0.5, 3.0, seed);
+            let ranks = uniform_ranks(50, seed + 200);
+            let fast = build(&g, 4, &ranks).unwrap();
+            let slow = crate::reference::build_bottomk(&g, 4, &ranks);
+            assert_eq!(fast, slow, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn matches_brute_force_with_distance_ties() {
+        // Unweighted undirected graphs are full of equal distances; the
+        // canonical (dist, id) order must agree between builders.
+        for seed in 0..5u64 {
+            let g = generators::gnp(70, 0.06, seed + 9);
+            let ranks = uniform_ranks(70, seed + 300);
+            let fast = build(&g, 2, &ranks).unwrap();
+            let slow = crate::reference::build_bottomk(&g, 2, &ranks);
+            assert_eq!(fast, slow, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn disconnected_components_stay_separate() {
+        // Two disjoint triangles.
+        let g = Graph::undirected(6, &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)])
+            .unwrap();
+        let ranks = uniform_ranks(6, 4);
+        let set = build(&g, 8, &ranks).unwrap();
+        for v in 0..3u32 {
+            assert_eq!(set.sketch(v).len(), 3, "k ≥ n: whole component sampled");
+            assert!(set.sketch(v).entries().iter().all(|e| e.node < 3));
+        }
+        for v in 3..6u32 {
+            assert!(set.sketch(v).entries().iter().all(|e| e.node >= 3));
+        }
+    }
+
+    #[test]
+    fn k_at_least_n_samples_everything() {
+        let g = generators::gnp(30, 0.2, 1);
+        let ranks = uniform_ranks(30, 2);
+        let set = build(&g, 64, &ranks).unwrap();
+        let reach = adsketch_graph::bfs::reachable_count(&g, 0);
+        assert_eq!(set.sketch(0).len(), reach);
+        // HIP estimate is exact when everything is sampled with weight 1.
+        let hip = set.hip(0);
+        assert!((hip.reachable_estimate() - reach as f64).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pruning_reduces_relaxations() {
+        let g = generators::barabasi_albert(500, 3, 7);
+        let ranks = uniform_ranks(500, 8);
+        let (_, stats) = build_with_stats(&g, 2, &ranks).unwrap();
+        // Unpruned cost would be n · m; pruned must be far below.
+        let full = (g.num_nodes() as u64) * (g.num_nodes() as u64);
+        assert!(
+            stats.relaxations < full / 4,
+            "relaxations {} vs full {}",
+            stats.relaxations,
+            full
+        );
+        assert!(stats.insertions >= 500, "each node samples itself");
+    }
+
+    #[test]
+    fn directed_forward_semantics() {
+        // Path 0→1→2: ADS(0) samples downstream nodes, ADS(2) only itself.
+        let g = Graph::directed(3, &[(0, 1), (1, 2)]).unwrap();
+        let ranks = uniform_ranks(3, 5);
+        let set = build(&g, 4, &ranks).unwrap();
+        assert_eq!(set.sketch(0).len(), 3);
+        assert_eq!(set.sketch(2).len(), 1);
+        assert_eq!(set.sketch(0).get(2).unwrap().dist, 2.0);
+    }
+
+    #[test]
+    fn zero_weight_edges_tie_correctly() {
+        // Zero-weight arcs put several nodes at identical distances —
+        // including distance 0 from each other — exercising the
+        // (dist, id) tie-breaking everywhere at once.
+        use adsketch_util::rng::{Rng64, SplitMix64};
+        for seed in 0..4u64 {
+            let mut rng = SplitMix64::new(seed);
+            let n = 40usize;
+            let mut arcs = Vec::new();
+            for u in 0..n as u32 {
+                for _ in 0..3 {
+                    let v = rng.range_usize(n) as u32;
+                    if v != u {
+                        // Half the arcs have zero weight.
+                        let w = if rng.bernoulli(0.5) { 0.0 } else { 1.0 };
+                        arcs.push((u, v, w));
+                    }
+                }
+            }
+            let g = Graph::directed_weighted(n, &arcs).unwrap();
+            let ranks = uniform_ranks(n, seed + 900);
+            let fast = build(&g, 3, &ranks).unwrap();
+            let slow = crate::reference::build_bottomk(&g, 3, &ranks);
+            assert_eq!(fast, slow, "seed {seed}");
+            let lu = crate::builder::local_updates::build(&g, 3, &ranks).unwrap();
+            assert_eq!(lu, slow, "local updates, seed {seed}");
+        }
+    }
+
+    #[test]
+    fn rejects_bad_ranks() {
+        let g = generators::gnp(10, 0.3, 1);
+        assert!(matches!(
+            build(&g, 2, &[0.5; 9]),
+            Err(CoreError::RankCountMismatch { .. })
+        ));
+        let mut bad = uniform_ranks(10, 1);
+        bad[3] = f64::NAN;
+        assert!(matches!(
+            build(&g, 2, &bad),
+            Err(CoreError::InvalidRank { .. })
+        ));
+    }
+
+    #[test]
+    fn tieless_respects_per_distance_cap() {
+        // Star graph: all leaves at distance 1. The tieless ADS keeps at
+        // most k entries per distance level.
+        let g = Graph::undirected(50, &generators::star_edges(50)).unwrap();
+        let ranks = uniform_ranks(50, 6);
+        let k = 4;
+        let entries = build_tieless_entries(&g, k, &ranks).unwrap();
+        // ADS of the center: level 0 = itself, level 1 = at most k leaves.
+        let center = &entries[0];
+        let level1 = center.iter().filter(|e| e.dist == 1.0).count();
+        assert!(level1 <= k, "level-1 entries {level1} exceed k");
+        // Canonical ADS would include far more level-1 leaves.
+        let canonical = build(&g, k, &ranks).unwrap();
+        let canon_level1 = canonical
+            .sketch(0)
+            .entries()
+            .iter()
+            .filter(|e| e.dist == 1.0)
+            .count();
+        assert!(canon_level1 > k, "canonical keeps {canon_level1} > k under ties");
+    }
+}

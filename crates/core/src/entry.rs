@@ -1,0 +1,83 @@
+//! ADS entries and the canonical closeness order.
+//!
+//! The paper defines ADSs assuming unique distances, "which can be achieved
+//! using tie breaking". This crate fixes the canonical order around any
+//! source node as the lexicographic order on `(distance, node id)` — a
+//! deterministic total order independent of the random ranks, so the HIP
+//! analysis of Section 5 applies unchanged. Every builder and estimator in
+//! this crate uses exactly this order, which is what makes their outputs
+//! bitwise comparable.
+
+use adsketch_graph::NodeId;
+use std::cmp::Ordering;
+
+/// One ADS entry: a sampled node, its distance from the sketch's source,
+/// and its random rank.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdsEntry {
+    /// The sampled node.
+    pub node: NodeId,
+    /// Shortest-path distance from the source to `node`.
+    pub dist: f64,
+    /// The node's random rank (`U[0,1)` for uniform sketches; an `Exp(β)`
+    /// value for weighted sketches, see [`crate::weighted`]).
+    pub rank: f64,
+}
+
+impl AdsEntry {
+    /// Creates an entry.
+    #[inline]
+    pub fn new(node: NodeId, dist: f64, rank: f64) -> Self {
+        Self { node, dist, rank }
+    }
+
+    /// Canonical comparison by `(dist, node)`.
+    #[inline]
+    pub fn cmp_canonical(&self, other: &Self) -> Ordering {
+        self.dist
+            .total_cmp(&other.dist)
+            .then(self.node.cmp(&other.node))
+    }
+
+    /// Canonical comparison against a bare `(dist, node)` key.
+    #[inline]
+    pub fn cmp_key(&self, dist: f64, node: NodeId) -> Ordering {
+        self.dist.total_cmp(&dist).then(self.node.cmp(&node))
+    }
+}
+
+/// Compares two `(dist, node)` keys canonically.
+#[inline]
+pub fn key_cmp(a: (f64, NodeId), b: (f64, NodeId)) -> Ordering {
+    a.0.total_cmp(&b.0).then(a.1.cmp(&b.1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_order_distance_first() {
+        let a = AdsEntry::new(5, 1.0, 0.9);
+        let b = AdsEntry::new(2, 2.0, 0.1);
+        assert_eq!(a.cmp_canonical(&b), Ordering::Less);
+    }
+
+    #[test]
+    fn canonical_order_breaks_ties_by_id() {
+        let a = AdsEntry::new(3, 1.0, 0.9);
+        let b = AdsEntry::new(7, 1.0, 0.1);
+        assert_eq!(a.cmp_canonical(&b), Ordering::Less);
+        assert_eq!(b.cmp_canonical(&a), Ordering::Greater);
+        assert_eq!(a.cmp_canonical(&a), Ordering::Equal);
+    }
+
+    #[test]
+    fn key_cmp_matches_entry_cmp() {
+        let a = AdsEntry::new(3, 1.5, 0.2);
+        assert_eq!(a.cmp_key(1.5, 3), Ordering::Equal);
+        assert_eq!(a.cmp_key(1.5, 4), Ordering::Less);
+        assert_eq!(a.cmp_key(1.4, 0), Ordering::Greater);
+        assert_eq!(key_cmp((1.0, 2), (1.0, 3)), Ordering::Less);
+    }
+}

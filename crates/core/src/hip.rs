@@ -1,0 +1,245 @@
+//! HIP adjusted weights and query evaluation (paper, Section 5).
+//!
+//! A [`HipWeights`] is the estimator-ready form of an ADS: each sampled
+//! node carries an *adjusted weight* `a_vj = 1/τ_vj ≥ 1`, the inverse of
+//! its conditional ("historic") inclusion probability. Because
+//! `E[a_vj] = 1` for every node reachable from `v` (and 0 contributes for
+//! excluded nodes), any statistic of the form `Q_g(v) = Σ_j g(j, d_vj)` is
+//! estimated *unbiasedly* by the sum `Σ_{j ∈ ADS(v)} a_vj · g(j, d_vj)` —
+//! equation (5) of the paper — evaluated over only `O(k log n)` sketch
+//! entries.
+//!
+//! The flavor-specific HIP probability computations live with their sketch
+//! types ([`crate::bottomk`], [`crate::kmins`], [`crate::kpartition`],
+//! [`crate::tieless`], [`crate::weighted`]); they all produce this type.
+
+use adsketch_graph::NodeId;
+
+/// One HIP item: a sampled node, its distance, and its adjusted weight.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HipItem {
+    /// The sampled node.
+    pub node: NodeId,
+    /// Distance from the sketch's source node.
+    pub dist: f64,
+    /// Adjusted weight `1/τ ≥ 1`.
+    pub weight: f64,
+}
+
+/// Adjusted weights of one node's ADS, sorted by `(dist, node)`, with
+/// prefix sums for O(log) cumulative queries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HipWeights {
+    items: Vec<HipItem>,
+    /// `prefix[i]` = sum of weights of `items[..=i]`.
+    prefix: Vec<f64>,
+}
+
+impl HipWeights {
+    /// Wraps items already sorted canonically by `(dist, node)`.
+    pub fn from_sorted_items(items: Vec<HipItem>) -> Self {
+        debug_assert!(items
+            .windows(2)
+            .all(|w| (w[0].dist, w[0].node) <= (w[1].dist, w[1].node)));
+        let mut prefix = Vec::with_capacity(items.len());
+        let mut acc = 0.0;
+        for it in &items {
+            debug_assert!(it.weight >= 0.0 && it.weight.is_finite());
+            acc += it.weight;
+            prefix.push(acc);
+        }
+        Self { items, prefix }
+    }
+
+    /// The weighted items in canonical order.
+    #[inline]
+    pub fn items(&self) -> &[HipItem] {
+        &self.items
+    }
+
+    /// Number of sketch entries.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True if the sketch was empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// HIP estimate of the d-neighborhood cardinality `|N_d(v)|`
+    /// (nodes within distance ≤ `d`, including the source):
+    /// `Σ_{dist ≤ d} a_vj`. Unbiased; CV ≤ `1/sqrt(2(k−1))` (Theorem 5.1).
+    pub fn cardinality_at(&self, d: f64) -> f64 {
+        let idx = self.items.partition_point(|e| e.dist <= d);
+        if idx == 0 {
+            0.0
+        } else {
+            self.prefix[idx - 1]
+        }
+    }
+
+    /// HIP estimate of the number of reachable nodes (including the
+    /// source).
+    pub fn reachable_estimate(&self) -> f64 {
+        self.prefix.last().copied().unwrap_or(0.0)
+    }
+
+    /// The estimated cumulative neighborhood function: for each distinct
+    /// distance in the sketch, the estimated `|N_d(v)|`. The exact
+    /// counterpart is `adsketch_graph::exact::neighborhood_function`.
+    pub fn neighborhood_function(&self) -> Vec<(f64, f64)> {
+        let mut out: Vec<(f64, f64)> = Vec::new();
+        for (it, &cum) in self.items.iter().zip(&self.prefix) {
+            match out.last_mut() {
+                Some(last) if last.0 == it.dist => last.1 = cum,
+                _ => out.push((it.dist, cum)),
+            }
+        }
+        out
+    }
+
+    /// HIP estimate of a general distance-based statistic
+    /// `Q_g(v) = Σ_{j reachable} g(j, d_vj)` (paper equations (1)/(5)):
+    /// `Σ_{j ∈ ADS} a_vj · g(j, d_vj)`. `g` must be non-negative for the
+    /// variance bounds to apply; unbiasedness holds for any `g`.
+    pub fn qg<F>(&self, mut g: F) -> f64
+    where
+        F: FnMut(NodeId, f64) -> f64,
+    {
+        self.items
+            .iter()
+            .map(|it| it.weight * g(it.node, it.dist))
+            .sum()
+    }
+
+    /// HIP estimate of the distance-decay centrality
+    /// `C_{α,β}(v) = Σ_j α(d_vj) β(j)` (paper equations (2)/(3)) — `α`
+    /// non-increasing, `β` an arbitrary non-negative node filter that may
+    /// be chosen after the sketch was built.
+    pub fn centrality<A, B>(&self, mut alpha: A, mut beta: B) -> f64
+    where
+        A: FnMut(f64) -> f64,
+        B: FnMut(NodeId) -> f64,
+    {
+        self.qg(|node, dist| alpha(dist) * beta(node))
+    }
+
+    /// Estimated distance quantile: the smallest sketch distance `d` such
+    /// that the estimated `|N_d(v)|` reaches a `q` fraction of the
+    /// estimated reachable set — e.g. `q = 0.5` gives the estimated median
+    /// distance from `v`, a per-node effective-radius statistic.
+    pub fn distance_quantile(&self, q: f64) -> Option<f64> {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1]");
+        let total = self.reachable_estimate();
+        if total == 0.0 {
+            return None;
+        }
+        let need = q * total;
+        let idx = self.prefix.partition_point(|&c| c < need);
+        self.items.get(idx.min(self.items.len() - 1)).map(|it| it.dist)
+    }
+
+    /// Compresses to a distance → adjusted-weight list, dropping node
+    /// identities (the paper's note after equation (5): sufficient for any
+    /// statistic where `g` depends only on distance).
+    pub fn compress_distances(&self) -> Vec<(f64, f64)> {
+        let mut out: Vec<(f64, f64)> = Vec::new();
+        for it in &self.items {
+            match out.last_mut() {
+                Some(last) if last.0 == it.dist => last.1 += it.weight,
+                _ => out.push((it.dist, it.weight)),
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> HipWeights {
+        HipWeights::from_sorted_items(vec![
+            HipItem { node: 0, dist: 0.0, weight: 1.0 },
+            HipItem { node: 2, dist: 1.0, weight: 1.0 },
+            HipItem { node: 5, dist: 1.0, weight: 2.0 },
+            HipItem { node: 1, dist: 3.0, weight: 4.0 },
+        ])
+    }
+
+    #[test]
+    fn cardinality_queries() {
+        let h = sample();
+        assert_eq!(h.cardinality_at(-0.5), 0.0);
+        assert_eq!(h.cardinality_at(0.0), 1.0);
+        assert_eq!(h.cardinality_at(1.0), 4.0);
+        assert_eq!(h.cardinality_at(2.9), 4.0);
+        assert_eq!(h.cardinality_at(3.0), 8.0);
+        assert_eq!(h.reachable_estimate(), 8.0);
+    }
+
+    #[test]
+    fn neighborhood_function_merges_equal_distances() {
+        let h = sample();
+        assert_eq!(
+            h.neighborhood_function(),
+            vec![(0.0, 1.0), (1.0, 4.0), (3.0, 8.0)]
+        );
+    }
+
+    #[test]
+    fn qg_weights_statistics() {
+        let h = sample();
+        // g = 1 ⇒ reachability estimate.
+        assert_eq!(h.qg(|_, _| 1.0), 8.0);
+        // g = dist ⇒ estimated sum of distances.
+        assert_eq!(h.qg(|_, d| d), 1.0 + 2.0 + 12.0);
+        // g filtering on node id.
+        assert_eq!(h.qg(|n, _| if n == 5 { 1.0 } else { 0.0 }), 2.0);
+    }
+
+    #[test]
+    fn centrality_combines_alpha_beta() {
+        let h = sample();
+        // Threshold kernel at distance 1, filter to even node ids: nodes 0
+        // (w=1) and 2 (w=1) qualify; node 5 is odd, node 1 is too far.
+        let c = h.centrality(
+            |d| if d <= 1.0 { 1.0 } else { 0.0 },
+            |n| if n % 2 == 0 { 1.0 } else { 0.0 },
+        );
+        assert_eq!(c, 2.0);
+    }
+
+    #[test]
+    fn distance_quantile_walks_the_step_function() {
+        let h = sample(); // cumulative: 1 @0, 4 @1, 8 @3
+        assert_eq!(h.distance_quantile(0.0), Some(0.0));
+        assert_eq!(h.distance_quantile(0.1), Some(0.0)); // 0.8 ≤ 1
+        assert_eq!(h.distance_quantile(0.5), Some(1.0)); // 4 ≤ 4
+        assert_eq!(h.distance_quantile(0.51), Some(3.0));
+        assert_eq!(h.distance_quantile(1.0), Some(3.0));
+        let empty = HipWeights::from_sorted_items(vec![]);
+        assert_eq!(empty.distance_quantile(0.5), None);
+    }
+
+    #[test]
+    fn compress_distances_sums_weights() {
+        let h = sample();
+        assert_eq!(
+            h.compress_distances(),
+            vec![(0.0, 1.0), (1.0, 3.0), (3.0, 4.0)]
+        );
+    }
+
+    #[test]
+    fn empty_weights() {
+        let h = HipWeights::from_sorted_items(vec![]);
+        assert!(h.is_empty());
+        assert_eq!(h.cardinality_at(5.0), 0.0);
+        assert_eq!(h.qg(|_, _| 1.0), 0.0);
+        assert!(h.neighborhood_function().is_empty());
+    }
+}

@@ -1,0 +1,216 @@
+//! The permutation cardinality estimator (paper, Section 5.4).
+//!
+//! When ranks are a strict random permutation `σ : V → {1…n}` (which
+//! dominates i.i.d. uniform ranks in information content), the gaps
+//! between sketch updates carry extra signal: after an update, with `μ`
+//! the k-th smallest permutation rank seen, the expected number of distinct
+//! elements until the next update is `(n−s+1)/(μ−k+1)` (sampling without
+//! replacement). Summing these data-driven gap weights yields an estimator
+//! that matches HIP for small cardinalities and clearly beats it once the
+//! cardinality exceeds ≈ 0.2·n (the paper's Figure 2).
+
+/// Streaming permutation-rank cardinality estimator.
+///
+/// Feed the permutation ranks of *distinct* elements in arrival order
+/// (stream semantics — in the graph setting, canonical distance order).
+///
+/// Note on bias: the estimate is a sum of backward-looking gap weights
+/// attributed at sketch updates, so elements arriving after the most
+/// recent update are not yet reflected — a small `O(1/k)` downward bias at
+/// arbitrary query points (exactly the estimator the paper describes; the
+/// paper evaluates it only empirically). Its variance is nevertheless
+/// clearly below HIP's once the cardinality exceeds ≈ 0.2·n.
+#[derive(Debug, Clone)]
+pub struct PermutationCardinality {
+    n: u64,
+    k: usize,
+    /// Max-heap of the k smallest permutation ranks seen (1-based).
+    sketch: std::collections::BinaryHeap<u32>,
+    s_hat: f64,
+}
+
+impl PermutationCardinality {
+    /// Creates an estimator for a domain of `n` elements with sketch size
+    /// `k ≥ 1`.
+    pub fn new(n: u64, k: usize) -> Self {
+        assert!(k >= 1);
+        assert!(n >= k as u64, "domain must hold at least k elements");
+        Self {
+            n,
+            k,
+            sketch: std::collections::BinaryHeap::with_capacity(k + 1),
+            s_hat: 0.0,
+        }
+    }
+
+    /// The current k-th smallest permutation rank `μ`, if the sketch is
+    /// full.
+    fn mu(&self) -> Option<u32> {
+        (self.sketch.len() == self.k).then(|| *self.sketch.peek().expect("full sketch"))
+    }
+
+    /// Processes the next distinct element's permutation rank
+    /// `sigma ∈ {1…n}`; returns `true` if the sketch was updated.
+    pub fn process(&mut self, sigma: u32) -> bool {
+        debug_assert!(sigma >= 1 && sigma as u64 <= self.n, "rank out of range");
+        match self.mu() {
+            None => {
+                // Fill phase: the first k distinct elements all enter with
+                // weight 1 — the estimate is exact while s ≤ k.
+                self.sketch.push(sigma);
+                self.s_hat += 1.0;
+                true
+            }
+            Some(mu) => {
+                if sigma >= mu {
+                    return false;
+                }
+                // Weight from the *previous* sketch state (paper: compute
+                // w with the μ and ŝ in effect when the update arrives).
+                let w = (self.n as f64 - self.s_hat + 1.0) / (mu - self.k as u32 + 1) as f64;
+                self.sketch.pop();
+                self.sketch.push(sigma);
+                self.s_hat += w;
+                true
+            }
+        }
+    }
+
+    /// The current cardinality estimate, with the saturation correction:
+    /// once the sketch holds exactly `{1…k}` no further updates can occur,
+    /// and the paper's correction `ŝ(k+1)/k − 1` accounts for the
+    /// unobservable tail.
+    pub fn estimate(&self) -> f64 {
+        if self.mu() == Some(self.k as u32) {
+            self.s_hat * (self.k as f64 + 1.0) / self.k as f64 - 1.0
+        } else {
+            self.s_hat
+        }
+    }
+
+    /// Number of elements currently retained (≤ k).
+    pub fn sketch_len(&self) -> usize {
+        self.sketch.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adsketch_util::rng::{Rng64, SplitMix64};
+    use adsketch_util::stats::ErrorStats;
+
+    #[test]
+    fn exact_until_k() {
+        let mut p = PermutationCardinality::new(100, 5);
+        for (i, sigma) in [50u32, 3, 77, 20, 9].iter().enumerate() {
+            p.process(*sigma);
+            assert_eq!(p.estimate(), (i + 1) as f64);
+        }
+    }
+
+    #[test]
+    fn non_updates_leave_estimate() {
+        let mut p = PermutationCardinality::new(100, 2);
+        p.process(10);
+        p.process(20);
+        let before = p.estimate();
+        assert!(!p.process(30), "rank above μ must not update");
+        assert_eq!(p.estimate(), before);
+    }
+
+    #[test]
+    fn near_unbiased_over_permutations() {
+        // For several true cardinalities s, E[ŝ] ≈ s up to the documented
+        // O(1/k) last-gap bias (always downward, never exceeding ≈ 1/k).
+        let n = 400u64;
+        let k = 8;
+        for &s in &[50usize, 200, 390] {
+            let mut err = ErrorStats::new(s as f64);
+            for seed in 0..1500u64 {
+                let mut rng = SplitMix64::new(seed * 13 + s as u64);
+                let perm = rng.permutation(n as usize);
+                let mut p = PermutationCardinality::new(n, k);
+                for &sigma in perm.iter().take(s) {
+                    p.process(sigma + 1);
+                }
+                err.push(p.estimate());
+            }
+            let bias = err.relative_bias();
+            assert!(
+                bias <= 0.01 && bias > -1.2 / k as f64,
+                "s = {s}: relative bias {bias} outside the expected band"
+            );
+        }
+    }
+
+    #[test]
+    fn beats_hip_at_large_fractions() {
+        // Paper: clear advantage once s ≥ 0.2 n. Compare at s = 0.9 n.
+        use adsketch_util::topk::KSmallest;
+        use adsketch_util::RankHasher;
+        let n = 500u64;
+        let k = 8;
+        let s = 450usize;
+        let mut perm_err = ErrorStats::new(s as f64);
+        let mut hip_err = ErrorStats::new(s as f64);
+        for seed in 0..1200u64 {
+            // Permutation estimator.
+            let mut rng = SplitMix64::new(seed + 5);
+            let perm = rng.permutation(n as usize);
+            let mut p = PermutationCardinality::new(n, k);
+            for &sigma in perm.iter().take(s) {
+                p.process(sigma + 1);
+            }
+            perm_err.push(p.estimate());
+            // Plain bottom-k HIP on uniform ranks.
+            let h = RankHasher::new(seed + 5);
+            let mut ks = KSmallest::new(k);
+            let mut acc = 0.0;
+            for e in 0..s as u64 {
+                let r = h.rank(e);
+                if ks.would_enter(r, e) {
+                    acc += 1.0 / ks.threshold_rank_or(1.0);
+                    ks.offer(r, e);
+                }
+            }
+            hip_err.push(acc);
+        }
+        assert!(
+            perm_err.nrmse() < hip_err.nrmse() * 0.8,
+            "perm {} should clearly beat HIP {}",
+            perm_err.nrmse(),
+            hip_err.nrmse()
+        );
+    }
+
+    #[test]
+    fn saturation_estimate_is_sensible() {
+        // Feed the full domain: the sketch saturates at {1..k}; the
+        // corrected estimate should land near n.
+        let n = 300u64;
+        let k = 8;
+        let mut err = ErrorStats::new(n as f64);
+        for seed in 0..800u64 {
+            let mut rng = SplitMix64::new(seed + 99);
+            let perm = rng.permutation(n as usize);
+            let mut p = PermutationCardinality::new(n, k);
+            for &sigma in &perm {
+                p.process(sigma + 1);
+            }
+            assert_eq!(p.mu(), Some(k as u32), "full domain saturates");
+            err.push(p.estimate());
+        }
+        assert!(
+            err.relative_bias().abs() < 0.05,
+            "saturated bias {}",
+            err.relative_bias()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least k")]
+    fn rejects_tiny_domain() {
+        let _ = PermutationCardinality::new(3, 5);
+    }
+}

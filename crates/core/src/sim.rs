@@ -1,0 +1,306 @@
+//! Stream-order simulation harness (paper, Section 5.5).
+//!
+//! The content of an ADS — and therefore the behavior of every
+//! neighborhood-cardinality estimator — depends only on the sequence of
+//! random ranks in canonical distance order, not on any graph structure.
+//! The paper exploits this to evaluate estimators on a synthetic stream of
+//! `n` distinct elements; [`StreamSim`] is that experiment: it advances one
+//! element at a time, maintaining *all five* Figure-2 estimators
+//! incrementally, so NRMSE/MRE can be sampled at any prefix cardinality.
+//!
+//! [`BaseBHipSim`] is the analogous harness for base-b rounded ranks
+//! (Section 5.6), and is reused by the `tbl_base_b` experiment.
+
+use adsketch_util::ranks::BaseB;
+use adsketch_util::rng::{Rng64, SplitMix64};
+use adsketch_util::topk::KSmallest;
+use adsketch_util::RankHasher;
+
+use adsketch_minhash::baseb::BaseBBottomK;
+use adsketch_minhash::estimators::{
+    bottomk_cardinality, kmins_cardinality, kpartition_cardinality,
+};
+
+use crate::permutation::PermutationCardinality;
+
+/// Incremental state of the five neighborhood-cardinality estimators over
+/// a stream of distinct elements in distance order.
+#[derive(Debug, Clone)]
+pub struct StreamSim {
+    k: usize,
+    hasher: RankHasher,
+    processed: u64,
+    /// k-mins sketch: per-permutation minima.
+    kmins: Vec<f64>,
+    /// k-partition sketch: per-bucket minima.
+    kpart: Vec<f64>,
+    /// Bottom-k sketch (k smallest `(rank, id)`).
+    botk: KSmallest,
+    /// Running HIP estimate (sum of adjusted weights).
+    hip_sum: f64,
+    /// Permutation estimator, when a domain size was given.
+    perm: Option<(Vec<u32>, PermutationCardinality)>,
+}
+
+impl StreamSim {
+    /// Creates the harness. `perm_domain` enables the permutation
+    /// estimator for a stream drawn from a domain of exactly that size
+    /// (elements `0..perm_domain` in some order).
+    pub fn new(k: usize, seed: u64, perm_domain: Option<u64>) -> Self {
+        assert!(k >= 2, "the basic estimators need k ≥ 2");
+        let perm = perm_domain.map(|n| {
+            let mut rng = SplitMix64::new(seed ^ 0x9E37_79B9_7F4A_7C15);
+            (rng.permutation(n as usize), PermutationCardinality::new(n, k))
+        });
+        Self {
+            k,
+            hasher: RankHasher::new(seed),
+            processed: 0,
+            kmins: vec![1.0; k],
+            kpart: vec![1.0; k],
+            botk: KSmallest::new(k),
+            hip_sum: 0.0,
+            perm,
+        }
+    }
+
+    /// Number of distinct elements processed so far (the ground truth the
+    /// estimators target).
+    #[inline]
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Processes the next distinct element.
+    pub fn step(&mut self) {
+        let e = self.processed;
+        self.processed += 1;
+        // k-mins.
+        for (i, m) in self.kmins.iter_mut().enumerate() {
+            let r = self.hasher.perm_rank(e, i as u32);
+            if r < *m {
+                *m = r;
+            }
+        }
+        // k-partition.
+        let b = self.hasher.bucket(e, self.k);
+        let r = self.hasher.rank(e);
+        if r < self.kpart[b] {
+            self.kpart[b] = r;
+        }
+        // Bottom-k + HIP: the adjusted weight uses the threshold *before*
+        // insertion (Lemma 5.1).
+        if self.botk.would_enter(r, e) {
+            self.hip_sum += 1.0 / self.botk.threshold_rank_or(1.0);
+            self.botk.offer(r, e);
+        }
+        // Permutation estimator (1-based σ ranks).
+        if let Some((perm, est)) = self.perm.as_mut() {
+            est.process(perm[e as usize] + 1);
+        }
+    }
+
+    /// Basic k-mins estimate (Section 4.1).
+    pub fn kmins_basic(&self) -> f64 {
+        kmins_cardinality(&self.kmins)
+    }
+
+    /// Basic k-partition estimate (Section 4.3).
+    pub fn kpartition_basic(&self) -> f64 {
+        kpartition_cardinality(&self.kpart)
+    }
+
+    /// Basic bottom-k estimate (Section 4.2).
+    pub fn bottomk_basic(&self) -> f64 {
+        bottomk_cardinality(
+            self.k,
+            self.botk.len(),
+            self.botk.threshold().map(|t| t.rank),
+        )
+    }
+
+    /// Bottom-k HIP estimate (Section 5.1).
+    pub fn bottomk_hip(&self) -> f64 {
+        self.hip_sum
+    }
+
+    /// Permutation estimate (Section 5.4); `None` if no domain was given.
+    pub fn permutation(&self) -> Option<f64> {
+        self.perm.as_ref().map(|(_, est)| est.estimate())
+    }
+}
+
+/// Incremental bottom-k HIP estimator over base-b rounded ranks
+/// (Section 5.6): identical to the full-rank HIP except that thresholds and
+/// inclusion tests use the discretized rank values, inflating the variance
+/// by ≈ `(1+b)/2`.
+#[derive(Debug, Clone)]
+pub struct BaseBHipSim {
+    hasher: RankHasher,
+    sketch: BaseBBottomK,
+    processed: u64,
+    hip_sum: f64,
+}
+
+impl BaseBHipSim {
+    /// Creates the harness for sketch size `k` and rounding base `base`.
+    pub fn new(k: usize, base: BaseB, seed: u64) -> Self {
+        Self {
+            hasher: RankHasher::new(seed),
+            sketch: BaseBBottomK::new(k, base),
+            processed: 0,
+            hip_sum: 0.0,
+        }
+    }
+
+    /// Number of distinct elements processed.
+    #[inline]
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Processes the next distinct element.
+    pub fn step(&mut self) {
+        let e = self.processed;
+        self.processed += 1;
+        let r = self.hasher.rank(e);
+        // The inclusion probability is exactly the discretized threshold
+        // value (P(r' < b^-m) = b^-m), so the inverse-probability weight is
+        // 1/threshold_value, taken before the offer.
+        let tau = self.sketch.threshold_value();
+        if self.sketch.offer(r) {
+            self.hip_sum += 1.0 / tau;
+        }
+    }
+
+    /// The running HIP estimate.
+    pub fn estimate(&self) -> f64 {
+        self.hip_sum
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adsketch_util::stats::{cv_basic, cv_hip, ErrorStats};
+
+    #[test]
+    fn exact_for_small_prefixes() {
+        let mut sim = StreamSim::new(8, 3, Some(100));
+        for i in 1..=8u64 {
+            sim.step();
+            if i < 8 {
+                // The basic bottom-k estimator is exact only below k: at
+                // n = k the sketch is full and switches to (k−1)/τ_k.
+                assert_eq!(sim.bottomk_basic(), i as f64);
+            }
+            assert_eq!(sim.bottomk_hip(), i as f64);
+            assert_eq!(sim.permutation(), Some(i as f64));
+        }
+    }
+
+    #[test]
+    fn all_estimators_converge() {
+        let n = 5000u64;
+        let k = 64;
+        let mut sim = StreamSim::new(k, 7, None);
+        for _ in 0..n {
+            sim.step();
+        }
+        for (name, est) in [
+            ("kmins", sim.kmins_basic()),
+            ("kpart", sim.kpartition_basic()),
+            ("botk", sim.bottomk_basic()),
+            ("hip", sim.bottomk_hip()),
+        ] {
+            let rel = (est - n as f64).abs() / n as f64;
+            assert!(rel < 0.5, "{name}: estimate {est} for truth {n}");
+        }
+    }
+
+    /// The headline Figure-2 shape: at n >> k, HIP's NRMSE ≈ basic/√2.
+    #[test]
+    fn hip_nrmse_is_factor_sqrt2_below_basic() {
+        let n = 3000u64;
+        let k = 10;
+        let runs = 1200;
+        let mut basic = ErrorStats::new(n as f64);
+        let mut hip = ErrorStats::new(n as f64);
+        for seed in 0..runs {
+            let mut sim = StreamSim::new(k, seed, None);
+            for _ in 0..n {
+                sim.step();
+            }
+            basic.push(sim.bottomk_basic());
+            hip.push(sim.bottomk_hip());
+        }
+        // Against the paper's reference curves.
+        assert!(
+            (basic.nrmse() - cv_basic(k)).abs() / cv_basic(k) < 0.2,
+            "basic NRMSE {} vs theory {}",
+            basic.nrmse(),
+            cv_basic(k)
+        );
+        assert!(
+            (hip.nrmse() - cv_hip(k)).abs() / cv_hip(k) < 0.2,
+            "HIP NRMSE {} vs theory {}",
+            hip.nrmse(),
+            cv_hip(k)
+        );
+        let ratio = basic.nrmse() / hip.nrmse();
+        assert!(
+            (ratio - std::f64::consts::SQRT_2).abs() < 0.2,
+            "ratio {ratio}"
+        );
+    }
+
+    #[test]
+    fn base_b_hip_unbiased_and_inflated() {
+        let n = 2000u64;
+        let k = 16;
+        let runs = 1500;
+        for &b in &[2.0, 1.2] {
+            let base = BaseB::new(b);
+            let mut err = ErrorStats::new(n as f64);
+            for seed in 0..runs {
+                let mut sim = BaseBHipSim::new(k, base, seed * 31 + 7);
+                for _ in 0..n {
+                    sim.step();
+                }
+                err.push(sim.estimate());
+            }
+            let z = err.relative_bias() / err.bias_std_error();
+            assert!(z.abs() < 4.0, "base {b}: bias z = {z}");
+            // CV should track sqrt((1+b)/(4(k-1))) (Section 5.6).
+            let theory = base.hip_cv(k);
+            assert!(
+                (err.nrmse() - theory).abs() / theory < 0.25,
+                "base {b}: NRMSE {} vs theory {theory}",
+                err.nrmse()
+            );
+        }
+    }
+
+    #[test]
+    fn permutation_dominates_hip_near_domain_size() {
+        let n = 300u64;
+        let k = 6;
+        let runs = 1500;
+        let mut hip = ErrorStats::new(280.0);
+        let mut perm = ErrorStats::new(280.0);
+        for seed in 0..runs {
+            let mut sim = StreamSim::new(k, seed + 50, Some(n));
+            for _ in 0..280 {
+                sim.step();
+            }
+            hip.push(sim.bottomk_hip());
+            perm.push(sim.permutation().unwrap());
+        }
+        assert!(
+            perm.nrmse() < hip.nrmse(),
+            "perm {} should beat HIP {} at 93% of domain",
+            perm.nrmse(),
+            hip.nrmse()
+        );
+    }
+}

@@ -1,0 +1,101 @@
+//! Breadth-first search for unweighted (hop-count) distances.
+
+use std::collections::VecDeque;
+
+use crate::csr::{Graph, NodeId};
+
+/// Sentinel for "unreachable" in [`bfs_distances`].
+pub const UNREACHABLE: u32 = u32::MAX;
+
+/// Hop distances from `src` to every node; [`UNREACHABLE`] if no path.
+///
+/// Edge weights, if present, are ignored — use
+/// [`crate::dijkstra::dijkstra_distances`] for weighted distances.
+pub fn bfs_distances(g: &Graph, src: NodeId) -> Vec<u32> {
+    let mut dist = vec![UNREACHABLE; g.num_nodes()];
+    let mut queue = VecDeque::new();
+    dist[src as usize] = 0;
+    queue.push_back(src);
+    while let Some(v) = queue.pop_front() {
+        let dv = dist[v as usize];
+        for &u in g.neighbors(v) {
+            if dist[u as usize] == UNREACHABLE {
+                dist[u as usize] = dv + 1;
+                queue.push_back(u);
+            }
+        }
+    }
+    dist
+}
+
+/// Nodes reachable from `src` (including `src`), sorted by the canonical
+/// `(distance, id)` order the sketches are defined over, paired with their
+/// hop distance.
+pub fn bfs_order_canonical(g: &Graph, src: NodeId) -> Vec<(NodeId, u32)> {
+    let dist = bfs_distances(g, src);
+    let mut order: Vec<(NodeId, u32)> = dist
+        .iter()
+        .enumerate()
+        .filter(|(_, &d)| d != UNREACHABLE)
+        .map(|(v, &d)| (v as NodeId, d))
+        .collect();
+    order.sort_unstable_by_key(|&(v, d)| (d, v));
+    order
+}
+
+/// Number of nodes reachable from `src` (including `src`).
+pub fn reachable_count(g: &Graph, src: NodeId) -> usize {
+    bfs_distances(g, src)
+        .iter()
+        .filter(|&&d| d != UNREACHABLE)
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path5() -> Graph {
+        Graph::directed(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]).unwrap()
+    }
+
+    #[test]
+    fn distances_on_path() {
+        let d = bfs_distances(&path5(), 0);
+        assert_eq!(d, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn unreachable_marked() {
+        let d = bfs_distances(&path5(), 2);
+        assert_eq!(d[0], UNREACHABLE);
+        assert_eq!(d[1], UNREACHABLE);
+        assert_eq!(&d[2..], &[0, 1, 2]);
+    }
+
+    #[test]
+    fn canonical_order_sorts_ties_by_id() {
+        // Star: 0 at the center; all leaves at distance 1.
+        let g = Graph::directed(5, &[(0, 4), (0, 2), (0, 3), (0, 1)]).unwrap();
+        let order = bfs_order_canonical(&g, 0);
+        assert_eq!(order, vec![(0, 0), (1, 1), (2, 1), (3, 1), (4, 1)]);
+    }
+
+    #[test]
+    fn reachable_counts() {
+        assert_eq!(reachable_count(&path5(), 0), 5);
+        assert_eq!(reachable_count(&path5(), 3), 2);
+    }
+
+    #[test]
+    fn bfs_ignores_weights() {
+        let g = Graph::directed_weighted(3, &[(0, 1, 100.0), (1, 2, 100.0)]).unwrap();
+        assert_eq!(bfs_distances(&g, 0), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn cycle_distances() {
+        let g = Graph::directed(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]).unwrap();
+        assert_eq!(bfs_distances(&g, 1), vec![3, 0, 1, 2]);
+    }
+}

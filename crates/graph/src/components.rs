@@ -1,0 +1,161 @@
+//! Union-find and weakly connected components.
+
+use crate::csr::{Graph, NodeId};
+
+/// Disjoint-set union with path halving and union by size.
+#[derive(Debug, Clone)]
+pub struct UnionFind {
+    parent: Vec<u32>,
+    size: Vec<u32>,
+}
+
+impl UnionFind {
+    /// `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        Self {
+            parent: (0..n as u32).collect(),
+            size: vec![1; n],
+        }
+    }
+
+    /// Representative of `x`'s set.
+    pub fn find(&mut self, x: u32) -> u32 {
+        let mut x = x;
+        while self.parent[x as usize] != x {
+            let gp = self.parent[self.parent[x as usize] as usize];
+            self.parent[x as usize] = gp;
+            x = gp;
+        }
+        x
+    }
+
+    /// Merges the sets of `a` and `b`; returns `true` if they were distinct.
+    pub fn union(&mut self, a: u32, b: u32) -> bool {
+        let (mut ra, mut rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        if self.size[ra as usize] < self.size[rb as usize] {
+            std::mem::swap(&mut ra, &mut rb);
+        }
+        self.parent[rb as usize] = ra;
+        self.size[ra as usize] += self.size[rb as usize];
+        true
+    }
+
+    /// Whether `a` and `b` are in the same set.
+    pub fn connected(&mut self, a: u32, b: u32) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Size of `x`'s set.
+    pub fn set_size(&mut self, x: u32) -> usize {
+        let r = self.find(x);
+        self.size[r as usize] as usize
+    }
+}
+
+/// Result of a connected-components computation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Components {
+    /// Component label per node, in `0..num_components`.
+    pub labels: Vec<u32>,
+    /// Number of components.
+    pub num_components: usize,
+}
+
+/// Weakly connected components (arc direction ignored).
+pub fn connected_components(g: &Graph) -> Components {
+    let n = g.num_nodes();
+    let mut uf = UnionFind::new(n);
+    for u in 0..n as NodeId {
+        for &v in g.neighbors(u) {
+            uf.union(u, v);
+        }
+    }
+    let mut labels = vec![u32::MAX; n];
+    let mut next = 0u32;
+    for v in 0..n as u32 {
+        let r = uf.find(v);
+        if labels[r as usize] == u32::MAX {
+            labels[r as usize] = next;
+            next += 1;
+        }
+        labels[v as usize] = labels[r as usize];
+    }
+    Components {
+        labels,
+        num_components: next as usize,
+    }
+}
+
+/// Nodes of the largest weakly connected component.
+pub fn largest_component(g: &Graph) -> Vec<NodeId> {
+    let comps = connected_components(g);
+    if comps.num_components == 0 {
+        return Vec::new();
+    }
+    let mut counts = vec![0usize; comps.num_components];
+    for &l in &comps.labels {
+        counts[l as usize] += 1;
+    }
+    let best = counts
+        .iter()
+        .enumerate()
+        .max_by_key(|(_, &c)| c)
+        .map(|(i, _)| i as u32)
+        .expect("non-empty");
+    (0..g.num_nodes() as NodeId)
+        .filter(|&v| comps.labels[v as usize] == best)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn union_find_basics() {
+        let mut uf = UnionFind::new(5);
+        assert!(!uf.connected(0, 1));
+        assert!(uf.union(0, 1));
+        assert!(!uf.union(0, 1));
+        assert!(uf.connected(0, 1));
+        uf.union(2, 3);
+        uf.union(1, 3);
+        assert!(uf.connected(0, 2));
+        assert_eq!(uf.set_size(3), 4);
+        assert_eq!(uf.set_size(4), 1);
+    }
+
+    #[test]
+    fn components_of_two_paths() {
+        let g = Graph::undirected(6, &[(0, 1), (1, 2), (3, 4)]).unwrap();
+        let c = connected_components(&g);
+        assert_eq!(c.num_components, 3); // {0,1,2}, {3,4}, {5}
+        assert_eq!(c.labels[0], c.labels[2]);
+        assert_ne!(c.labels[0], c.labels[3]);
+        assert_ne!(c.labels[3], c.labels[5]);
+    }
+
+    #[test]
+    fn weak_components_ignore_direction() {
+        let g = Graph::directed(3, &[(0, 1), (2, 1)]).unwrap();
+        let c = connected_components(&g);
+        assert_eq!(c.num_components, 1);
+    }
+
+    #[test]
+    fn largest_component_found() {
+        let g = Graph::undirected(7, &[(0, 1), (1, 2), (2, 3), (4, 5)]).unwrap();
+        assert_eq!(largest_component(&g), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn empty_graph_components() {
+        let g = Graph::directed(0, &[]).unwrap();
+        let c = connected_components(&g);
+        assert_eq!(c.num_components, 0);
+        assert!(largest_component(&g).is_empty());
+    }
+}

@@ -1,0 +1,339 @@
+//! Compressed-sparse-row graph representation.
+//!
+//! Nodes are dense `u32` ids `0..n`. Arcs are stored in CSR form: a single
+//! offsets array plus a targets array (and a parallel weights array when the
+//! graph is weighted). Undirected graphs are stored as symmetric arc pairs,
+//! so all traversal code handles one representation.
+
+use crate::error::GraphError;
+
+/// Node identifier: dense `0..n`.
+pub type NodeId = u32;
+
+/// A finite directed graph in CSR form, optionally edge-weighted.
+///
+/// # Examples
+///
+/// ```
+/// use adsketch_graph::Graph;
+///
+/// // A directed triangle 0→1→2→0.
+/// let g = Graph::directed(3, &[(0, 1), (1, 2), (2, 0)]).unwrap();
+/// assert_eq!(g.num_nodes(), 3);
+/// assert_eq!(g.num_arcs(), 3);
+/// assert_eq!(g.neighbors(0), &[1]);
+/// assert!(!g.is_weighted());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Graph {
+    offsets: Vec<usize>,
+    targets: Vec<NodeId>,
+    weights: Option<Vec<f64>>,
+}
+
+impl Graph {
+    /// Builds a directed, unweighted graph from arcs `(u, v)`.
+    pub fn directed(n: usize, arcs: &[(NodeId, NodeId)]) -> Result<Self, GraphError> {
+        Self::build(n, arcs.iter().map(|&(u, v)| (u, v, 1.0)), false)
+    }
+
+    /// Builds a directed, weighted graph from arcs `(u, v, w)`; weights must
+    /// be finite and non-negative.
+    pub fn directed_weighted(
+        n: usize,
+        arcs: &[(NodeId, NodeId, f64)],
+    ) -> Result<Self, GraphError> {
+        Self::build(n, arcs.iter().copied(), true)
+    }
+
+    /// Builds an undirected, unweighted graph: each edge `(u, v)` becomes
+    /// the arc pair `u→v, v→u` (self-loops become a single arc).
+    pub fn undirected(n: usize, edges: &[(NodeId, NodeId)]) -> Result<Self, GraphError> {
+        let arcs = symmetrize(edges.iter().map(|&(u, v)| (u, v, 1.0)));
+        Self::build(n, arcs.into_iter(), false)
+    }
+
+    /// Builds an undirected, weighted graph (symmetric arc weights).
+    pub fn undirected_weighted(
+        n: usize,
+        edges: &[(NodeId, NodeId, f64)],
+    ) -> Result<Self, GraphError> {
+        let arcs = symmetrize(edges.iter().copied());
+        Self::build(n, arcs.into_iter(), true)
+    }
+
+    fn build(
+        n: usize,
+        arcs: impl Iterator<Item = (NodeId, NodeId, f64)>,
+        weighted: bool,
+    ) -> Result<Self, GraphError> {
+        let mut triples: Vec<(NodeId, NodeId, f64)> = Vec::with_capacity(arcs.size_hint().0);
+        for (u, v, w) in arcs {
+            if u as usize >= n {
+                return Err(GraphError::InvalidNode { node: u as u64, num_nodes: n });
+            }
+            if v as usize >= n {
+                return Err(GraphError::InvalidNode { node: v as u64, num_nodes: n });
+            }
+            if weighted && !(w.is_finite() && w >= 0.0) {
+                return Err(GraphError::InvalidWeight { weight: w });
+            }
+            triples.push((u, v, w));
+        }
+        // Canonical adjacency order: sort by (src, dst).
+        triples.sort_unstable_by_key(|a| (a.0, a.1));
+        let mut offsets = vec![0usize; n + 1];
+        for &(u, _, _) in &triples {
+            offsets[u as usize + 1] += 1;
+        }
+        for i in 0..n {
+            offsets[i + 1] += offsets[i];
+        }
+        let targets: Vec<NodeId> = triples.iter().map(|t| t.1).collect();
+        let weights = weighted.then(|| triples.iter().map(|t| t.2).collect());
+        Ok(Self { offsets, targets, weights })
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of stored arcs (an undirected edge counts twice).
+    #[inline]
+    pub fn num_arcs(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Whether per-arc weights are stored.
+    #[inline]
+    pub fn is_weighted(&self) -> bool {
+        self.weights.is_some()
+    }
+
+    /// Out-degree of `v`.
+    #[inline]
+    pub fn out_degree(&self, v: NodeId) -> usize {
+        self.offsets[v as usize + 1] - self.offsets[v as usize]
+    }
+
+    /// Out-neighbors of `v` in ascending id order.
+    #[inline]
+    pub fn neighbors(&self, v: NodeId) -> &[NodeId] {
+        &self.targets[self.offsets[v as usize]..self.offsets[v as usize + 1]]
+    }
+
+    /// Out-arcs of `v` as `(target, weight)`; the weight is `1.0` for
+    /// unweighted graphs.
+    #[inline]
+    pub fn arcs(&self, v: NodeId) -> impl Iterator<Item = (NodeId, f64)> + '_ {
+        let lo = self.offsets[v as usize];
+        let hi = self.offsets[v as usize + 1];
+        let ws = self.weights.as_deref();
+        self.targets[lo..hi]
+            .iter()
+            .enumerate()
+            .map(move |(i, &t)| (t, ws.map_or(1.0, |w| w[lo + i])))
+    }
+
+    /// All arcs `(u, v, w)` of the graph in canonical order.
+    pub fn all_arcs(&self) -> impl Iterator<Item = (NodeId, NodeId, f64)> + '_ {
+        (0..self.num_nodes() as NodeId).flat_map(move |u| self.arcs(u).map(move |(v, w)| (u, v, w)))
+    }
+
+    /// The transpose graph (every arc reversed). Weights are preserved.
+    ///
+    /// Forward all-distances sketches of every node are computed by running
+    /// searches on the transpose (paper, Algorithm 1).
+    pub fn transpose(&self) -> Self {
+        let n = self.num_nodes();
+        let mut offsets = vec![0usize; n + 1];
+        for &t in &self.targets {
+            offsets[t as usize + 1] += 1;
+        }
+        for i in 0..n {
+            offsets[i + 1] += offsets[i];
+        }
+        let mut cursor = offsets.clone();
+        let mut targets = vec![0 as NodeId; self.targets.len()];
+        let mut weights = self.weights.as_ref().map(|_| vec![0.0; self.targets.len()]);
+        for u in 0..n as NodeId {
+            for (v, w) in self.arcs(u) {
+                let slot = cursor[v as usize];
+                cursor[v as usize] += 1;
+                targets[slot] = u;
+                if let Some(ws) = weights.as_mut() {
+                    ws[slot] = w;
+                }
+            }
+        }
+        // Targets within each source may be unsorted after bucketing;
+        // restore canonical order (stable w.r.t. weights).
+        let mut g = Self { offsets, targets, weights };
+        g.sort_adjacency();
+        g
+    }
+
+    fn sort_adjacency(&mut self) {
+        let n = self.num_nodes();
+        for u in 0..n {
+            let lo = self.offsets[u];
+            let hi = self.offsets[u + 1];
+            if let Some(ws) = self.weights.as_mut() {
+                let mut pairs: Vec<(NodeId, f64)> = self.targets[lo..hi]
+                    .iter()
+                    .copied()
+                    .zip(ws[lo..hi].iter().copied())
+                    .collect();
+                pairs.sort_unstable_by(|a, b| a.0.cmp(&b.0).then(a.1.total_cmp(&b.1)));
+                for (i, (t, w)) in pairs.into_iter().enumerate() {
+                    self.targets[lo + i] = t;
+                    ws[lo + i] = w;
+                }
+            } else {
+                self.targets[lo..hi].sort_unstable();
+            }
+        }
+    }
+
+    /// Total weight of all arcs (arc count if unweighted).
+    pub fn total_weight(&self) -> f64 {
+        match &self.weights {
+            Some(ws) => ws.iter().sum(),
+            None => self.num_arcs() as f64,
+        }
+    }
+}
+
+fn symmetrize(
+    edges: impl Iterator<Item = (NodeId, NodeId, f64)>,
+) -> Vec<(NodeId, NodeId, f64)> {
+    let mut arcs = Vec::with_capacity(edges.size_hint().0 * 2);
+    for (u, v, w) in edges {
+        arcs.push((u, v, w));
+        if u != v {
+            arcs.push((v, u, w));
+        }
+    }
+    arcs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn directed_basics() {
+        let g = Graph::directed(4, &[(0, 1), (0, 2), (1, 3), (3, 0)]).unwrap();
+        assert_eq!(g.num_nodes(), 4);
+        assert_eq!(g.num_arcs(), 4);
+        assert_eq!(g.neighbors(0), &[1, 2]);
+        assert_eq!(g.neighbors(2), &[] as &[NodeId]);
+        assert_eq!(g.out_degree(1), 1);
+        assert_eq!(g.total_weight(), 4.0);
+    }
+
+    #[test]
+    fn adjacency_is_sorted_regardless_of_input_order() {
+        let g = Graph::directed(3, &[(0, 2), (0, 1)]).unwrap();
+        assert_eq!(g.neighbors(0), &[1, 2]);
+    }
+
+    #[test]
+    fn undirected_doubles_arcs() {
+        let g = Graph::undirected(3, &[(0, 1), (1, 2)]).unwrap();
+        assert_eq!(g.num_arcs(), 4);
+        assert_eq!(g.neighbors(1), &[0, 2]);
+    }
+
+    #[test]
+    fn self_loop_is_single_arc_in_undirected() {
+        let g = Graph::undirected(2, &[(0, 0), (0, 1)]).unwrap();
+        assert_eq!(g.neighbors(0), &[0, 1]);
+        assert_eq!(g.num_arcs(), 3);
+    }
+
+    #[test]
+    fn weighted_arcs_kept() {
+        let g = Graph::directed_weighted(2, &[(0, 1, 2.5)]).unwrap();
+        assert!(g.is_weighted());
+        let arcs: Vec<_> = g.arcs(0).collect();
+        assert_eq!(arcs, vec![(1, 2.5)]);
+        assert_eq!(g.total_weight(), 2.5);
+    }
+
+    #[test]
+    fn unweighted_arcs_report_unit_weight() {
+        let g = Graph::directed(2, &[(0, 1)]).unwrap();
+        let arcs: Vec<_> = g.arcs(0).collect();
+        assert_eq!(arcs, vec![(1, 1.0)]);
+    }
+
+    #[test]
+    fn invalid_node_rejected() {
+        assert!(matches!(
+            Graph::directed(2, &[(0, 5)]),
+            Err(GraphError::InvalidNode { node: 5, .. })
+        ));
+        assert!(matches!(
+            Graph::directed(2, &[(7, 0)]),
+            Err(GraphError::InvalidNode { node: 7, .. })
+        ));
+    }
+
+    #[test]
+    fn invalid_weight_rejected() {
+        assert!(matches!(
+            Graph::directed_weighted(2, &[(0, 1, f64::NAN)]),
+            Err(GraphError::InvalidWeight { .. })
+        ));
+        assert!(matches!(
+            Graph::directed_weighted(2, &[(0, 1, -3.0)]),
+            Err(GraphError::InvalidWeight { .. })
+        ));
+    }
+
+    #[test]
+    fn transpose_reverses_arcs() {
+        let g = Graph::directed(3, &[(0, 1), (0, 2), (1, 2)]).unwrap();
+        let t = g.transpose();
+        assert_eq!(t.neighbors(2), &[0, 1]);
+        assert_eq!(t.neighbors(0), &[] as &[NodeId]);
+        assert_eq!(t.transpose(), g, "double transpose is identity");
+    }
+
+    #[test]
+    fn transpose_preserves_weights() {
+        let g = Graph::directed_weighted(3, &[(0, 1, 2.0), (2, 1, 5.0)]).unwrap();
+        let t = g.transpose();
+        let arcs: Vec<_> = t.arcs(1).collect();
+        assert_eq!(arcs, vec![(0, 2.0), (2, 5.0)]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::directed(0, &[]).unwrap();
+        assert_eq!(g.num_nodes(), 0);
+        assert_eq!(g.num_arcs(), 0);
+        let t = g.transpose();
+        assert_eq!(t.num_nodes(), 0);
+    }
+
+    #[test]
+    fn all_arcs_roundtrip() {
+        let arcs = vec![(0, 1, 1.5), (1, 2, 0.5), (2, 0, 3.0)];
+        let g = Graph::directed_weighted(3, &arcs).unwrap();
+        let got: Vec<_> = g.all_arcs().collect();
+        assert_eq!(got, arcs);
+    }
+
+    #[test]
+    fn parallel_arcs_are_kept() {
+        // Multigraph support: duplicates allowed (shortest-path code just
+        // sees both).
+        let g = Graph::directed(2, &[(0, 1), (0, 1)]).unwrap();
+        assert_eq!(g.num_arcs(), 2);
+        assert_eq!(g.neighbors(0), &[1, 1]);
+    }
+}

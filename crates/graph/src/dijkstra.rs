@@ -1,0 +1,258 @@
+//! Dijkstra's single-source shortest paths with a pruning visitor.
+//!
+//! The ADS construction algorithm PrunedDijkstra (paper, Algorithm 1) runs
+//! one Dijkstra per node *in rank order* and prunes the search at nodes
+//! whose sketch was not improved. [`dijkstra_visit`] exposes exactly that
+//! control point: the visitor is called once per settled node and decides
+//! whether the search continues through it.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::csr::{Graph, NodeId};
+
+/// Visitor verdict for a settled node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Visit {
+    /// Relax the node's out-arcs and continue.
+    Continue,
+    /// Do not relax out of this node (PrunedDijkstra's prune), but keep
+    /// processing the rest of the frontier.
+    Prune,
+    /// Abort the whole search.
+    Stop,
+}
+
+/// Totally ordered f64 wrapper for heap keys.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct OrdF64(f64);
+
+impl Eq for OrdF64 {}
+impl PartialOrd for OrdF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for OrdF64 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// Runs Dijkstra from `src`, invoking `visitor(node, dist)` exactly once per
+/// settled (reachable) node in non-decreasing distance order; ties are
+/// popped in ascending node id when simultaneously queued.
+///
+/// Edge weights must be non-negative (guaranteed by [`Graph`] construction).
+/// Unweighted graphs use weight 1 per arc.
+pub fn dijkstra_visit<F>(g: &Graph, src: NodeId, mut visitor: F)
+where
+    F: FnMut(NodeId, f64) -> Visit,
+{
+    let n = g.num_nodes();
+    debug_assert!((src as usize) < n);
+    let mut dist = vec![f64::INFINITY; n];
+    let mut settled = vec![false; n];
+    let mut heap: BinaryHeap<Reverse<(OrdF64, NodeId)>> = BinaryHeap::new();
+    dist[src as usize] = 0.0;
+    heap.push(Reverse((OrdF64(0.0), src)));
+    while let Some(Reverse((OrdF64(d), v))) = heap.pop() {
+        if settled[v as usize] {
+            continue;
+        }
+        settled[v as usize] = true;
+        match visitor(v, d) {
+            Visit::Stop => return,
+            Visit::Prune => continue,
+            Visit::Continue => {}
+        }
+        for (u, w) in g.arcs(v) {
+            let nd = d + w;
+            if nd < dist[u as usize] {
+                dist[u as usize] = nd;
+                heap.push(Reverse((OrdF64(nd), u)));
+            }
+        }
+    }
+}
+
+/// Shortest-path distances from `src`; `f64::INFINITY` marks unreachable
+/// nodes. Uses BFS when the graph is unweighted.
+pub fn dijkstra_distances(g: &Graph, src: NodeId) -> Vec<f64> {
+    if !g.is_weighted() {
+        return crate::bfs::bfs_distances(g, src)
+            .into_iter()
+            .map(|d| {
+                if d == crate::bfs::UNREACHABLE {
+                    f64::INFINITY
+                } else {
+                    d as f64
+                }
+            })
+            .collect();
+    }
+    let mut out = vec![f64::INFINITY; g.num_nodes()];
+    dijkstra_visit(g, src, |v, d| {
+        out[v as usize] = d;
+        Visit::Continue
+    });
+    out
+}
+
+/// Reachable nodes from `src` sorted by the canonical `(distance, id)`
+/// order, paired with their distance.
+pub fn dijkstra_order_canonical(g: &Graph, src: NodeId) -> Vec<(NodeId, f64)> {
+    let dist = dijkstra_distances(g, src);
+    let mut order: Vec<(NodeId, f64)> = dist
+        .iter()
+        .enumerate()
+        .filter(|(_, d)| d.is_finite())
+        .map(|(v, &d)| (v as NodeId, d))
+        .collect();
+    order.sort_unstable_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn weighted_diamond() -> Graph {
+        // 0→1 (1), 0→2 (4), 1→2 (2), 1→3 (6), 2→3 (3)
+        Graph::directed_weighted(
+            4,
+            &[(0, 1, 1.0), (0, 2, 4.0), (1, 2, 2.0), (1, 3, 6.0), (2, 3, 3.0)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn shortest_distances() {
+        let d = dijkstra_distances(&weighted_diamond(), 0);
+        assert_eq!(d, vec![0.0, 1.0, 3.0, 6.0]);
+    }
+
+    #[test]
+    fn unreachable_is_infinite() {
+        let g = Graph::directed_weighted(3, &[(0, 1, 1.0)]).unwrap();
+        let d = dijkstra_distances(&g, 0);
+        assert_eq!(d[1], 1.0);
+        assert!(d[2].is_infinite());
+    }
+
+    #[test]
+    fn visitor_sees_nondecreasing_distances() {
+        let mut last = -1.0;
+        dijkstra_visit(&weighted_diamond(), 0, |_, d| {
+            assert!(d >= last);
+            last = d;
+            Visit::Continue
+        });
+        assert_eq!(last, 6.0);
+    }
+
+    #[test]
+    fn visitor_called_once_per_node() {
+        let mut seen = vec![0usize; 4];
+        dijkstra_visit(&weighted_diamond(), 0, |v, _| {
+            seen[v as usize] += 1;
+            Visit::Continue
+        });
+        assert_eq!(seen, vec![1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn prune_cuts_subtree() {
+        // Path 0→1→2; pruning at 1 must keep 2 unvisited.
+        let g = Graph::directed_weighted(3, &[(0, 1, 1.0), (1, 2, 1.0)]).unwrap();
+        let mut visited = Vec::new();
+        dijkstra_visit(&g, 0, |v, _| {
+            visited.push(v);
+            if v == 1 {
+                Visit::Prune
+            } else {
+                Visit::Continue
+            }
+        });
+        assert_eq!(visited, vec![0, 1]);
+    }
+
+    #[test]
+    fn prune_does_not_stop_other_branches() {
+        // 0→1 (1), 0→2 (2): pruning at 1 must still reach 2.
+        let g = Graph::directed_weighted(3, &[(0, 1, 1.0), (0, 2, 2.0)]).unwrap();
+        let mut visited = Vec::new();
+        dijkstra_visit(&g, 0, |v, _| {
+            visited.push(v);
+            if v == 1 {
+                Visit::Prune
+            } else {
+                Visit::Continue
+            }
+        });
+        assert_eq!(visited, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn stop_aborts() {
+        let mut count = 0;
+        dijkstra_visit(&weighted_diamond(), 0, |_, _| {
+            count += 1;
+            Visit::Stop
+        });
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn unweighted_falls_back_to_bfs() {
+        let g = Graph::directed(4, &[(0, 1), (1, 2), (2, 3)]).unwrap();
+        assert_eq!(dijkstra_distances(&g, 0), vec![0.0, 1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn canonical_order_ties_by_id() {
+        // Two equal-length routes: nodes 1 and 2 both at distance 1.
+        let g = Graph::directed_weighted(3, &[(0, 2, 1.0), (0, 1, 1.0)]).unwrap();
+        let order = dijkstra_order_canonical(&g, 0);
+        assert_eq!(order, vec![(0, 0.0), (1, 1.0), (2, 1.0)]);
+    }
+
+    #[test]
+    fn matches_bellman_ford_on_random_graph() {
+        use adsketch_util::rng::{Rng64, SplitMix64};
+        let mut rng = SplitMix64::new(42);
+        let n = 60usize;
+        let mut arcs = Vec::new();
+        for u in 0..n as NodeId {
+            for _ in 0..4 {
+                let v = rng.range_usize(n) as NodeId;
+                let w = rng.unit_f64() * 10.0;
+                arcs.push((u, v, w));
+            }
+        }
+        let g = Graph::directed_weighted(n, &arcs).unwrap();
+        let d = dijkstra_distances(&g, 0);
+        // Bellman–Ford reference.
+        let mut bf = vec![f64::INFINITY; n];
+        bf[0] = 0.0;
+        for _ in 0..n {
+            let mut changed = false;
+            for &(u, v, w) in &arcs {
+                if bf[u as usize] + w < bf[v as usize] - 1e-15 {
+                    bf[v as usize] = bf[u as usize] + w;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        for v in 0..n {
+            if bf[v].is_finite() {
+                assert!((d[v] - bf[v]).abs() < 1e-9, "node {v}: {} vs {}", d[v], bf[v]);
+            } else {
+                assert!(d[v].is_infinite());
+            }
+        }
+    }
+}

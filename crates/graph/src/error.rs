@@ -1,0 +1,85 @@
+//! Error type for graph construction and I/O.
+
+use std::fmt;
+
+/// Errors produced by graph constructors and the edge-list parser.
+#[derive(Debug)]
+pub enum GraphError {
+    /// An endpoint referenced a node id outside `0..n`.
+    InvalidNode {
+        /// The offending node id.
+        node: u64,
+        /// The number of nodes in the graph.
+        num_nodes: usize,
+    },
+    /// An edge weight was not finite and non-negative.
+    InvalidWeight {
+        /// The offending weight.
+        weight: f64,
+    },
+    /// A malformed line in an edge-list file.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// An underlying I/O failure.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::InvalidNode { node, num_nodes } => {
+                write!(f, "node id {node} out of range for graph with {num_nodes} nodes")
+            }
+            GraphError::InvalidWeight { weight } => {
+                write!(f, "edge weight {weight} must be finite and non-negative")
+            }
+            GraphError::Parse { line, message } => {
+                write!(f, "edge-list parse error on line {line}: {message}")
+            }
+            GraphError::Io(e) => write!(f, "I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GraphError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for GraphError {
+    fn from(e: std::io::Error) -> Self {
+        GraphError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = GraphError::InvalidNode { node: 9, num_nodes: 5 };
+        assert!(e.to_string().contains("9"));
+        assert!(e.to_string().contains("5"));
+        let e = GraphError::Parse { line: 3, message: "bad".into() };
+        assert!(e.to_string().contains("line 3"));
+        let e = GraphError::InvalidWeight { weight: -1.0 };
+        assert!(e.to_string().contains("-1"));
+    }
+
+    #[test]
+    fn io_error_source_preserved() {
+        use std::error::Error;
+        let inner = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e = GraphError::from(inner);
+        assert!(e.source().is_some());
+    }
+}

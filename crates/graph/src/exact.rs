@@ -1,0 +1,269 @@
+//! Exact ground truth: the quantities the sketches estimate.
+//!
+//! Everything here is brute force (one shortest-path tree per query node)
+//! and intended for validation and experiment baselines on small/medium
+//! graphs, not for production-scale graphs — that is what the sketches are
+//! for.
+
+use crate::csr::{Graph, NodeId};
+use crate::dijkstra::dijkstra_distances;
+
+/// A node's exact cumulative neighborhood function: the sorted distinct
+/// distances `d` with `|N_d(v)|` (number of nodes within distance `d`,
+/// including `v`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct NeighborhoodFunction {
+    /// Ascending distinct distances, starting at 0.0 (the node itself).
+    pub distances: Vec<f64>,
+    /// `counts[i]` = number of nodes within `distances[i]`.
+    pub counts: Vec<u64>,
+}
+
+impl NeighborhoodFunction {
+    /// `|N_d(v)|` via binary search over the step function.
+    pub fn cardinality_at(&self, d: f64) -> u64 {
+        match self
+            .distances
+            .binary_search_by(|x| x.total_cmp(&d))
+        {
+            Ok(i) => self.counts[i],
+            Err(0) => 0,
+            Err(i) => self.counts[i - 1],
+        }
+    }
+
+    /// Number of reachable nodes (including the source).
+    pub fn reachable(&self) -> u64 {
+        self.counts.last().copied().unwrap_or(0)
+    }
+}
+
+/// Exact neighborhood function of `v` (forward distances).
+pub fn neighborhood_function(g: &Graph, v: NodeId) -> NeighborhoodFunction {
+    let dist = dijkstra_distances(g, v);
+    let mut ds: Vec<f64> = dist.iter().copied().filter(|d| d.is_finite()).collect();
+    ds.sort_unstable_by(f64::total_cmp);
+    let mut distances = Vec::new();
+    let mut counts = Vec::new();
+    let mut count = 0u64;
+    for d in ds {
+        count += 1;
+        if distances.last().is_some_and(|&last: &f64| last == d) {
+            *counts.last_mut().expect("non-empty") = count;
+        } else {
+            distances.push(d);
+            counts.push(count);
+        }
+    }
+    NeighborhoodFunction { distances, counts }
+}
+
+/// Exact sum of forward distances from `v` to all reachable nodes — the
+/// inverse of classic closeness centrality (Bavelas).
+pub fn sum_of_distances(g: &Graph, v: NodeId) -> f64 {
+    dijkstra_distances(g, v)
+        .iter()
+        .filter(|d| d.is_finite())
+        .sum()
+}
+
+/// Exact harmonic centrality `Σ_{j≠v, d_vj<∞} 1/d_vj`.
+pub fn harmonic_centrality(g: &Graph, v: NodeId) -> f64 {
+    dijkstra_distances(g, v)
+        .iter()
+        .filter(|d| d.is_finite() && **d > 0.0)
+        .map(|d| 1.0 / d)
+        .sum()
+}
+
+/// Exact distance-decay centrality `Σ_j α(d_vj)·β(j)` over reachable `j`
+/// (the paper's `C_{α,β}(v)`, equation (2)); `α(0)` applies to `v` itself.
+pub fn centrality_exact<A, B>(g: &Graph, v: NodeId, alpha: A, beta: B) -> f64
+where
+    A: Fn(f64) -> f64,
+    B: Fn(NodeId) -> f64,
+{
+    dijkstra_distances(g, v)
+        .iter()
+        .enumerate()
+        .filter(|(_, d)| d.is_finite())
+        .map(|(j, &d)| alpha(d) * beta(j as NodeId))
+        .sum()
+}
+
+/// The whole-graph distance distribution: for each distinct finite distance
+/// `d`, the number of ordered pairs `(i, j)`, `i ≠ j`, with `d_ij ≤ d`
+/// (the quantity ANF/HyperANF approximate). O(n · SSSP) — small graphs only.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DistanceDistribution {
+    /// Ascending distinct distances (> 0).
+    pub distances: Vec<f64>,
+    /// Cumulative ordered-pair counts.
+    pub pairs: Vec<u64>,
+}
+
+impl DistanceDistribution {
+    /// Total number of connected ordered pairs.
+    pub fn connected_pairs(&self) -> u64 {
+        self.pairs.last().copied().unwrap_or(0)
+    }
+
+    /// The effective diameter at quantile `q` (e.g. 0.9): the smallest
+    /// distance `d` such that at least a `q` fraction of connected pairs
+    /// are within distance `d`.
+    pub fn effective_diameter(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q));
+        let total = self.connected_pairs();
+        if total == 0 {
+            return 0.0;
+        }
+        let need = (q * total as f64).ceil() as u64;
+        for (d, &c) in self.distances.iter().zip(self.pairs.iter()) {
+            if c >= need {
+                return *d;
+            }
+        }
+        *self.distances.last().expect("non-empty")
+    }
+}
+
+/// Exact distance distribution of the whole graph.
+pub fn distance_distribution(g: &Graph) -> DistanceDistribution {
+    let n = g.num_nodes();
+    let mut all: Vec<f64> = Vec::new();
+    for v in 0..n as NodeId {
+        for (j, d) in dijkstra_distances(g, v).into_iter().enumerate() {
+            if d.is_finite() && j as NodeId != v {
+                all.push(d);
+            }
+        }
+    }
+    all.sort_unstable_by(f64::total_cmp);
+    let mut distances = Vec::new();
+    let mut pairs = Vec::new();
+    let mut count = 0u64;
+    for d in all {
+        count += 1;
+        if distances.last().is_some_and(|&last: &f64| last == d) {
+            *pairs.last_mut().expect("non-empty") = count;
+        } else {
+            distances.push(d);
+            pairs.push(count);
+        }
+    }
+    DistanceDistribution { distances, pairs }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path4() -> Graph {
+        Graph::directed(4, &[(0, 1), (1, 2), (2, 3)]).unwrap()
+    }
+
+    #[test]
+    fn neighborhood_function_on_path() {
+        let nf = neighborhood_function(&path4(), 0);
+        assert_eq!(nf.distances, vec![0.0, 1.0, 2.0, 3.0]);
+        assert_eq!(nf.counts, vec![1, 2, 3, 4]);
+        assert_eq!(nf.cardinality_at(0.0), 1);
+        assert_eq!(nf.cardinality_at(1.5), 2);
+        assert_eq!(nf.cardinality_at(99.0), 4);
+        assert_eq!(nf.cardinality_at(-1.0), 0);
+        assert_eq!(nf.reachable(), 4);
+    }
+
+    #[test]
+    fn neighborhood_function_merges_ties() {
+        let g = Graph::directed(4, &[(0, 1), (0, 2), (0, 3)]).unwrap();
+        let nf = neighborhood_function(&g, 0);
+        assert_eq!(nf.distances, vec![0.0, 1.0]);
+        assert_eq!(nf.counts, vec![1, 4]);
+    }
+
+    #[test]
+    fn sum_of_distances_on_path() {
+        assert_eq!(sum_of_distances(&path4(), 0), 6.0);
+        assert_eq!(sum_of_distances(&path4(), 3), 0.0);
+    }
+
+    #[test]
+    fn harmonic_centrality_on_path() {
+        let h = harmonic_centrality(&path4(), 0);
+        assert!((h - (1.0 + 0.5 + 1.0 / 3.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn centrality_exact_with_filter() {
+        // β selects only odd nodes; α is a distance-1 threshold.
+        let g = Graph::directed(4, &[(0, 1), (0, 2), (1, 3)]).unwrap();
+        let c = centrality_exact(
+            &g,
+            0,
+            |d| if d <= 1.0 { 1.0 } else { 0.0 },
+            |j| if j % 2 == 1 { 1.0 } else { 0.0 },
+        );
+        assert_eq!(c, 1.0); // only node 1 is odd and within distance 1
+    }
+
+    #[test]
+    fn centrality_exact_exponential_decay_matches_manual() {
+        let g = path4();
+        let c = centrality_exact(&g, 0, |d| 0.5f64.powf(d), |_| 1.0);
+        assert!((c - (1.0 + 0.5 + 0.25 + 0.125)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distance_distribution_on_undirected_path() {
+        let g = Graph::undirected(3, &[(0, 1), (1, 2)]).unwrap();
+        let dd = distance_distribution(&g);
+        // Ordered pairs: (0,1),(1,0),(1,2),(2,1) at d=1; (0,2),(2,0) at d=2.
+        assert_eq!(dd.distances, vec![1.0, 2.0]);
+        assert_eq!(dd.pairs, vec![4, 6]);
+        assert_eq!(dd.connected_pairs(), 6);
+        assert_eq!(dd.effective_diameter(0.5), 1.0);
+        assert_eq!(dd.effective_diameter(1.0), 2.0);
+    }
+
+    #[test]
+    fn effective_diameter_empty() {
+        let g = Graph::directed(3, &[]).unwrap();
+        let dd = distance_distribution(&g);
+        assert_eq!(dd.connected_pairs(), 0);
+        assert_eq!(dd.effective_diameter(0.9), 0.0);
+    }
+
+    #[test]
+    fn effective_diameter_on_grid() {
+        // 5×5 grid: diameter 8; the q=1.0 effective diameter equals it.
+        let g = Graph::undirected(25, &crate::generators::grid_edges(5, 5)).unwrap();
+        let dd = distance_distribution(&g);
+        assert_eq!(dd.effective_diameter(1.0), 8.0);
+        assert!(dd.effective_diameter(0.5) < 8.0);
+        // Quantiles are monotone.
+        let mut last = 0.0;
+        for q in [0.1, 0.3, 0.5, 0.7, 0.9, 1.0] {
+            let e = dd.effective_diameter(q);
+            assert!(e >= last);
+            last = e;
+        }
+    }
+
+    #[test]
+    fn directed_distance_distribution_asymmetric() {
+        // Directed path: only forward pairs are connected.
+        let g = Graph::directed(4, &[(0, 1), (1, 2), (2, 3)]).unwrap();
+        let dd = distance_distribution(&g);
+        assert_eq!(dd.connected_pairs(), 6); // 3+2+1 ordered pairs
+    }
+
+    #[test]
+    fn weighted_distances_respected() {
+        let g =
+            Graph::directed_weighted(3, &[(0, 1, 2.5), (1, 2, 0.5)]).unwrap();
+        let nf = neighborhood_function(&g, 0);
+        assert_eq!(nf.distances, vec![0.0, 2.5, 3.0]);
+        assert_eq!(sum_of_distances(&g, 0), 5.5);
+    }
+}

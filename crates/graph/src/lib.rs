@@ -1,0 +1,33 @@
+//! Graph substrate for the `adsketch` workspace.
+//!
+//! The ADS algorithms of the paper (PrunedDijkstra, DP, LocalUpdates) need a
+//! compact digraph representation with fast forward/transpose traversal;
+//! the experiments need graph generators and *exact* ground truth to
+//! validate estimates against. This crate provides all of it:
+//!
+//! * [`csr`] — a compressed-sparse-row [`Graph`] (directed or undirected,
+//!   optionally weighted) with O(1) neighbor slices and a transpose
+//!   operation.
+//! * [`bfs`] / [`dijkstra`] — single-source shortest paths with a visitor
+//!   interface supporting *pruning* (the operation PrunedDijkstra is built
+//!   on).
+//! * [`generators`] — Erdős–Rényi G(n,p)/G(n,m), Barabási–Albert,
+//!   Watts–Strogatz, and structured graphs (path, cycle, star, complete,
+//!   2-D grid), plus random edge-weight assignment.
+//! * [`exact`] — exact neighborhood functions, distance distributions and
+//!   closeness/harmonic centralities (the quantities the sketches estimate).
+//! * [`io`] — plain-text edge-list reading/writing.
+//! * [`components`] — union-find and weakly-connected components.
+
+pub mod bfs;
+pub mod components;
+pub mod csr;
+pub mod dijkstra;
+pub mod error;
+pub mod exact;
+pub mod generators;
+pub mod io;
+
+pub use csr::{Graph, NodeId};
+pub use dijkstra::Visit;
+pub use error::GraphError;

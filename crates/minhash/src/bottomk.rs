@@ -1,0 +1,239 @@
+//! Bottom-k MinHash sketch: the k smallest ranks in one permutation
+//! (paper, Section 2; also known as KMV, coordinated order samples, CRC).
+
+use adsketch_util::hashing::RankHasher;
+use adsketch_util::topk::RankedItem;
+
+use crate::estimators::bottomk_cardinality;
+
+/// A bottom-k sketch of a set of `u64` elements: the k elements of smallest
+/// rank, kept with their ranks (a bona-fide uniform sample without
+/// replacement, so element identities are available for similarity and
+/// subset queries).
+///
+/// # Examples
+///
+/// ```
+/// use adsketch_minhash::BottomKSketch;
+/// use adsketch_util::RankHasher;
+///
+/// let h = RankHasher::new(1);
+/// let mut s = BottomKSketch::new(32);
+/// for e in 0..5000u64 {
+///     s.insert(&h, e);
+/// }
+/// let est = s.estimate();
+/// assert!((est - 5000.0).abs() / 5000.0 < 0.5, "est = {est}");
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct BottomKSketch {
+    k: usize,
+    /// Retained items in ascending `(rank, id)` order; length ≤ k.
+    entries: Vec<RankedItem>,
+}
+
+impl BottomKSketch {
+    /// An empty bottom-k sketch (`k ≥ 1`).
+    pub fn new(k: usize) -> Self {
+        assert!(k >= 1, "bottom-k sketch needs k ≥ 1");
+        Self {
+            k,
+            entries: Vec::with_capacity(k),
+        }
+    }
+
+    /// The sample-size parameter k.
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of retained elements (≤ k; < k only when the set itself is
+    /// smaller than k).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if nothing was inserted.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The retained `(rank, id)` items in ascending rank order.
+    #[inline]
+    pub fn items(&self) -> &[RankedItem] {
+        &self.entries
+    }
+
+    /// The inclusion threshold `τ_k` (k-th smallest rank), or `None` while
+    /// the sketch holds fewer than k elements.
+    #[inline]
+    pub fn threshold(&self) -> Option<f64> {
+        (self.entries.len() == self.k).then(|| self.entries[self.k - 1].rank)
+    }
+
+    /// Whether `element` is one of the retained samples.
+    pub fn contains(&self, hasher: &RankHasher, element: u64) -> bool {
+        let item = RankedItem {
+            rank: hasher.rank(element),
+            id: element,
+        };
+        self.entries.binary_search_by(|e| e.cmp(&item)).is_ok()
+    }
+
+    /// Inserts an element; duplicates are detected by id and ignored.
+    /// Returns `true` if the sketch changed.
+    pub fn insert(&mut self, hasher: &RankHasher, element: u64) -> bool {
+        self.insert_ranked(hasher.rank(element), element)
+    }
+
+    /// Inserts a pre-computed `(rank, id)` pair (ADS code path).
+    pub fn insert_ranked(&mut self, rank: f64, id: u64) -> bool {
+        let item = RankedItem { rank, id };
+        match self.entries.binary_search_by(|e| e.cmp(&item)) {
+            Ok(_) => false, // already present
+            Err(pos) => {
+                if pos >= self.k {
+                    return false; // rank too large to enter
+                }
+                self.entries.insert(pos, item);
+                self.entries.truncate(self.k);
+                true
+            }
+        }
+    }
+
+    /// Merges another sketch built with the same hasher; the result equals
+    /// the sketch of the union of the two sets.
+    pub fn merge(&mut self, other: &BottomKSketch) {
+        assert_eq!(self.k, other.k, "cannot merge sketches of different k");
+        for item in &other.entries {
+            self.insert_ranked(item.rank, item.id);
+        }
+    }
+
+    /// The basic cardinality estimate: exact below k, `(k−1)/τ_k` at
+    /// capacity (unbiased, CV ≤ `1/sqrt(k−2)`).
+    pub fn estimate(&self) -> f64 {
+        bottomk_cardinality(self.k, self.entries.len(), self.threshold())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adsketch_util::stats::ErrorStats;
+
+    #[test]
+    fn exact_below_k() {
+        let h = RankHasher::new(2);
+        let mut s = BottomKSketch::new(10);
+        for e in 0..7 {
+            s.insert(&h, e);
+        }
+        assert_eq!(s.estimate(), 7.0);
+        assert!(s.threshold().is_none());
+    }
+
+    #[test]
+    fn keeps_k_smallest_and_sorted() {
+        let h = RankHasher::new(4);
+        let mut s = BottomKSketch::new(5);
+        for e in 0..1000u64 {
+            s.insert(&h, e);
+        }
+        assert_eq!(s.len(), 5);
+        let mut expected: Vec<(f64, u64)> = (0..1000u64).map(|e| (h.rank(e), e)).collect();
+        expected.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let got: Vec<(f64, u64)> = s.items().iter().map(|i| (i.rank, i.id)).collect();
+        assert_eq!(got, expected[..5].to_vec());
+        for w in s.items().windows(2) {
+            assert!(w[0] < w[1], "entries must be strictly sorted");
+        }
+    }
+
+    #[test]
+    fn duplicates_ignored() {
+        let h = RankHasher::new(6);
+        let mut s = BottomKSketch::new(4);
+        assert!(s.insert(&h, 1));
+        assert!(!s.insert(&h, 1));
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.estimate(), 1.0);
+    }
+
+    #[test]
+    fn contains_reports_membership() {
+        let h = RankHasher::new(8);
+        let mut s = BottomKSketch::new(3);
+        for e in 0..100 {
+            s.insert(&h, e);
+        }
+        let ids: Vec<u64> = s.items().iter().map(|i| i.id).collect();
+        for id in ids {
+            assert!(s.contains(&h, id));
+        }
+        // An element with rank above the threshold is not contained.
+        let tau = s.threshold().unwrap();
+        let outside = (0..100u64).find(|&e| h.rank(e) > tau).unwrap();
+        assert!(!s.contains(&h, outside));
+    }
+
+    #[test]
+    fn merge_equals_union_sketch() {
+        let h = RankHasher::new(10);
+        let mut a = BottomKSketch::new(8);
+        let mut b = BottomKSketch::new(8);
+        let mut ab = BottomKSketch::new(8);
+        for e in 0..300 {
+            a.insert(&h, e);
+            ab.insert(&h, e);
+        }
+        for e in 200..600 {
+            b.insert(&h, e);
+            ab.insert(&h, e);
+        }
+        a.merge(&b);
+        assert_eq!(a, ab);
+    }
+
+    #[test]
+    fn merge_is_idempotent_and_commutative() {
+        let h = RankHasher::new(12);
+        let mut a = BottomKSketch::new(4);
+        let mut b = BottomKSketch::new(4);
+        for e in 0..50 {
+            a.insert(&h, e);
+        }
+        for e in 25..80 {
+            b.insert(&h, e);
+        }
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        let mut twice = ab.clone();
+        twice.merge(&b);
+        assert_eq!(twice, ab);
+    }
+
+    #[test]
+    fn estimator_unbiased_at_capacity() {
+        let n = 300u64;
+        let k = 6;
+        let mut err = ErrorStats::new(n as f64);
+        for seed in 0..4000u64 {
+            let h = RankHasher::new(seed);
+            let mut s = BottomKSketch::new(k);
+            for e in 0..n {
+                s.insert(&h, e);
+            }
+            err.push(s.estimate());
+        }
+        let z = err.relative_bias() / err.bias_std_error();
+        assert!(z.abs() < 4.0, "bias z-score {z}");
+    }
+}

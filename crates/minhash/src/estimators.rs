@@ -1,0 +1,211 @@
+//! Basic MinHash cardinality estimators (paper, Section 4).
+//!
+//! These are the estimators the paper proves optimal (UMVUE) for their
+//! respective sketches via the Lehmann–Scheffé theorem — and which HIP then
+//! beats by using the full ADS history instead of a single sketch:
+//!
+//! | sketch | estimator | CV |
+//! |---|---|---|
+//! | k-mins | `(k−1) / Σ_i −ln(1−x_i)` | `1/sqrt(k−2)` exactly |
+//! | bottom-k | `(k−1) / τ_k` | `≤ 1/sqrt(k−2)` |
+//! | k-partition | `k′(k′−1) / Σ_t −ln(1−x_t)` over the `k′` nonempty buckets | `≈ sqrt(k/k′)/sqrt(k−2)`, biased low for n ≲ 2k |
+
+/// Cardinality estimate from a k-mins sketch: the vector of per-permutation
+/// minimum ranks (`1.0` = empty permutation, i.e. the supremum).
+///
+/// The estimator is `(k−1)/Σ −ln(1−x_i)`: viewing `y = −ln(1−x)` as
+/// exponential with rate `n`, the sum is a complete sufficient statistic and
+/// the estimator is the unique UMVUE (paper, Lemmas 4.1–4.2). Unbiased for
+/// `k > 1`; finite variance requires `k > 2`.
+pub fn kmins_cardinality(mins: &[f64]) -> f64 {
+    let k = mins.len();
+    assert!(k > 1, "k-mins estimator requires k > 1");
+    let sum: f64 = mins.iter().map(|&x| exp_transform(x)).sum();
+    if sum == 0.0 {
+        return 0.0;
+    }
+    (k as f64 - 1.0) / sum
+}
+
+/// Converts a uniform rank `x ∈ [0,1]` to its exponential equivalent
+/// `y = −ln(1−x)` (rank 1.0 maps to +∞). This 1–1 monotone map preserves
+/// minima, so either parametrization describes the same sketch.
+#[inline]
+pub fn exp_transform(x: f64) -> f64 {
+    debug_assert!((0.0..=1.0).contains(&x));
+    if x >= 1.0 {
+        f64::INFINITY
+    } else {
+        -(-x).ln_1p()
+    }
+}
+
+/// Cardinality estimate from a bottom-k sketch over *uniform* ranks, given
+/// the number of retained elements and (when the sketch is full) the k-th
+/// smallest rank `τ_k`.
+///
+/// For `len < k` the sketch holds the whole set: the estimate is exact.
+/// Otherwise `(k−1)/τ_k` is the conditional inverse-probability (KMV)
+/// estimator — unbiased, with CV ≤ `1/sqrt(k−2)` (paper, Lemma 4.3) — and
+/// `τ_k` is a complete sufficient statistic (Lemma 4.5).
+pub fn bottomk_cardinality(k: usize, len: usize, tau_k: Option<f64>) -> f64 {
+    assert!(k > 1, "bottom-k estimator requires k > 1");
+    match tau_k {
+        None => {
+            debug_assert!(len < k);
+            len as f64
+        }
+        Some(tau) => {
+            debug_assert!(len == k);
+            debug_assert!(tau > 0.0 && tau <= 1.0);
+            (k as f64 - 1.0) / tau
+        }
+    }
+}
+
+/// Cardinality estimate from a k-partition sketch: `mins[t]` is the minimum
+/// rank in bucket `t` (`1.0` = empty bucket).
+///
+/// Uses the paper's Section 4.3 estimator: with `k′` nonempty buckets,
+/// approximate each bucket as an equal `n/k′` share and apply the k′-mins
+/// estimator, scaled by `k′`. Biased low for small `n` (notably `k′ ≤ 1`
+/// estimates 0) — exactly the behavior visible in the paper's Figure 2.
+pub fn kpartition_cardinality(mins: &[f64]) -> f64 {
+    let nonempty: Vec<f64> = mins.iter().copied().filter(|&x| x < 1.0).collect();
+    let kp = nonempty.len();
+    if kp <= 1 {
+        // With one bucket there is no (k′−1) numerator; the paper notes this
+        // as irreducible downward bias.
+        return 0.0;
+    }
+    let sum: f64 = nonempty.iter().map(|&x| exp_transform(x)).sum();
+    kp as f64 * (kp as f64 - 1.0) / sum
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adsketch_util::hashing::RankHasher;
+    use adsketch_util::stats::{cv_basic, ErrorStats};
+
+    #[test]
+    fn exp_transform_edges() {
+        assert_eq!(exp_transform(0.0), 0.0);
+        assert!(exp_transform(1.0).is_infinite());
+        assert!((exp_transform(0.5) - 2f64.ln()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn empty_sketches_estimate_zero() {
+        assert_eq!(kmins_cardinality(&[1.0, 1.0, 1.0]), 0.0);
+        assert_eq!(kpartition_cardinality(&[1.0, 1.0]), 0.0);
+        assert_eq!(bottomk_cardinality(4, 0, None), 0.0);
+    }
+
+    #[test]
+    fn bottomk_exact_below_k() {
+        assert_eq!(bottomk_cardinality(8, 3, None), 3.0);
+    }
+
+    #[test]
+    fn bottomk_formula() {
+        assert_eq!(bottomk_cardinality(5, 5, Some(0.1)), 40.0);
+    }
+
+    #[test]
+    fn kpartition_single_bucket_is_zero() {
+        assert_eq!(kpartition_cardinality(&[0.3, 1.0, 1.0]), 0.0);
+    }
+
+    /// Empirical unbiasedness + CV of the k-mins estimator over many seeds.
+    #[test]
+    fn kmins_unbiased_and_cv_matches_theory() {
+        let k = 8;
+        let n = 500u64;
+        let runs = 4000;
+        let mut err = ErrorStats::new(n as f64);
+        for seed in 0..runs {
+            let h = RankHasher::new(seed);
+            let mut mins = vec![1.0f64; k];
+            for e in 0..n {
+                for (i, m) in mins.iter_mut().enumerate() {
+                    let r = h.perm_rank(e, i as u32);
+                    if r < *m {
+                        *m = r;
+                    }
+                }
+            }
+            err.push(kmins_cardinality(&mins));
+        }
+        let z = err.relative_bias() / err.bias_std_error();
+        assert!(z.abs() < 4.0, "bias z-score {z}");
+        let cv = cv_basic(k);
+        assert!(
+            (err.nrmse() - cv).abs() / cv < 0.15,
+            "NRMSE {} vs theory {cv}",
+            err.nrmse()
+        );
+    }
+
+    /// Empirical unbiasedness + CV bound for the bottom-k estimator.
+    #[test]
+    fn bottomk_unbiased_and_cv_below_bound() {
+        use adsketch_util::topk::KSmallest;
+        let k = 8;
+        let n = 500u64;
+        let runs = 4000;
+        let mut err = ErrorStats::new(n as f64);
+        for seed in 0..runs {
+            let h = RankHasher::new(seed + 100_000);
+            let mut ks = KSmallest::new(k);
+            for e in 0..n {
+                ks.offer(h.rank(e), e);
+            }
+            err.push(bottomk_cardinality(
+                k,
+                ks.len(),
+                ks.threshold().map(|t| t.rank),
+            ));
+        }
+        let z = err.relative_bias() / err.bias_std_error();
+        assert!(z.abs() < 4.0, "bias z-score {z}");
+        assert!(
+            err.nrmse() < cv_basic(k) * 1.1,
+            "NRMSE {} above bound {}",
+            err.nrmse(),
+            cv_basic(k)
+        );
+    }
+
+    /// k-partition behaves like the others for n >> k.
+    #[test]
+    fn kpartition_reasonable_for_large_n() {
+        let k = 16;
+        let n = 4000u64;
+        let runs = 2000;
+        let mut err = ErrorStats::new(n as f64);
+        for seed in 0..runs {
+            let h = RankHasher::new(seed + 200_000);
+            let mut mins = vec![1.0f64; k];
+            for e in 0..n {
+                let b = h.bucket(e, k);
+                let r = h.rank(e);
+                if r < mins[b] {
+                    mins[b] = r;
+                }
+            }
+            err.push(kpartition_cardinality(&mins));
+        }
+        assert!(
+            err.relative_bias().abs() < 0.03,
+            "bias {}",
+            err.relative_bias()
+        );
+        assert!(
+            err.nrmse() < cv_basic(k) * 1.3,
+            "NRMSE {} vs {}",
+            err.nrmse(),
+            cv_basic(k)
+        );
+    }
+}

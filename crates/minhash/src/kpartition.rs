@@ -1,0 +1,188 @@
+//! k-partition MinHash sketch: elements hash into k buckets; the sketch
+//! keeps the minimum rank per bucket (paper, Section 2; the layout
+//! underlying HyperLogLog and one-permutation hashing).
+
+use adsketch_util::hashing::RankHasher;
+
+use crate::estimators::kpartition_cardinality;
+
+/// A k-partition sketch of a set of `u64` elements.
+///
+/// # Examples
+///
+/// ```
+/// use adsketch_minhash::KPartitionSketch;
+/// use adsketch_util::RankHasher;
+///
+/// let h = RankHasher::new(3);
+/// let mut s = KPartitionSketch::new(32);
+/// for e in 0..4000u64 {
+///     s.insert(&h, e);
+/// }
+/// let est = s.estimate();
+/// assert!((est - 4000.0).abs() / 4000.0 < 0.5, "est = {est}");
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct KPartitionSketch {
+    mins: Vec<f64>,
+}
+
+impl KPartitionSketch {
+    /// An empty sketch with `k ≥ 2` buckets.
+    pub fn new(k: usize) -> Self {
+        assert!(k >= 2, "k-partition sketch needs k ≥ 2, got {k}");
+        Self { mins: vec![1.0; k] }
+    }
+
+    /// Wraps pre-computed per-bucket minima (ADS extraction path).
+    pub fn from_mins(mins: Vec<f64>) -> Self {
+        assert!(mins.len() >= 2, "k-partition sketch needs k ≥ 2");
+        assert!(
+            mins.iter().all(|m| (0.0..=1.0).contains(m)),
+            "minima must lie in [0,1]"
+        );
+        Self { mins }
+    }
+
+    /// The number of buckets k.
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.mins.len()
+    }
+
+    /// Per-bucket minimum ranks (1.0 = empty bucket).
+    #[inline]
+    pub fn mins(&self) -> &[f64] {
+        &self.mins
+    }
+
+    /// Number of nonempty buckets `k′`.
+    #[inline]
+    pub fn nonempty(&self) -> usize {
+        self.mins.iter().filter(|&&x| x < 1.0).count()
+    }
+
+    /// Inserts an element (duplicates are no-ops); returns `true` if the
+    /// bucket minimum decreased.
+    pub fn insert(&mut self, hasher: &RankHasher, element: u64) -> bool {
+        let b = hasher.bucket(element, self.k());
+        let r = hasher.rank(element);
+        if r < self.mins[b] {
+            self.mins[b] = r;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Inserts a pre-computed `(bucket, rank)` pair (ADS code path).
+    pub fn insert_at(&mut self, bucket: usize, rank: f64) -> bool {
+        assert!(bucket < self.k(), "bucket out of range");
+        if rank < self.mins[bucket] {
+            self.mins[bucket] = rank;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Merges another sketch built with the same hasher: element-wise
+    /// minimum = sketch of the union.
+    pub fn merge(&mut self, other: &KPartitionSketch) {
+        assert_eq!(self.k(), other.k(), "cannot merge sketches of different k");
+        for (m, &o) in self.mins.iter_mut().zip(&other.mins) {
+            if o < *m {
+                *m = o;
+            }
+        }
+    }
+
+    /// The basic cardinality estimate (Section 4.3): conditioned on the
+    /// number of nonempty buckets. Biased low when fewer than 2 buckets are
+    /// occupied.
+    pub fn estimate(&self) -> f64 {
+        kpartition_cardinality(&self.mins)
+    }
+
+    /// Linear-counting estimate `k·ln(k/empty)` from the empty-bucket count
+    /// — the small-range regime estimator HyperLogLog switches to; exposed
+    /// for comparison experiments.
+    pub fn linear_counting(&self) -> f64 {
+        let k = self.k() as f64;
+        let empty = (self.k() - self.nonempty()) as f64;
+        if empty == 0.0 {
+            f64::INFINITY
+        } else {
+            k * (k / empty).ln()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_sketch() {
+        let s = KPartitionSketch::new(8);
+        assert_eq!(s.nonempty(), 0);
+        assert_eq!(s.estimate(), 0.0);
+        assert_eq!(s.linear_counting(), 0.0 * 8.0); // ln(k/k) = 0
+    }
+
+    #[test]
+    fn duplicates_are_noops() {
+        let h = RankHasher::new(5);
+        let mut s = KPartitionSketch::new(8);
+        s.insert(&h, 9);
+        let snap = s.clone();
+        assert!(!s.insert(&h, 9));
+        assert_eq!(s, snap);
+    }
+
+    #[test]
+    fn merge_equals_union() {
+        let h = RankHasher::new(6);
+        let mut a = KPartitionSketch::new(16);
+        let mut b = KPartitionSketch::new(16);
+        let mut ab = KPartitionSketch::new(16);
+        for e in 0..200 {
+            a.insert(&h, e);
+            ab.insert(&h, e);
+        }
+        for e in 100..400 {
+            b.insert(&h, e);
+            ab.insert(&h, e);
+        }
+        a.merge(&b);
+        assert_eq!(a, ab);
+    }
+
+    #[test]
+    fn linear_counting_tracks_small_sets() {
+        let h = RankHasher::new(7);
+        let mut s = KPartitionSketch::new(1024);
+        for e in 0..100u64 {
+            s.insert(&h, e);
+        }
+        let lc = s.linear_counting();
+        assert!((lc - 100.0).abs() < 20.0, "linear counting {lc}");
+    }
+
+    #[test]
+    fn saturated_linear_counting_is_infinite() {
+        let mut s = KPartitionSketch::new(2);
+        s.insert_at(0, 0.1);
+        s.insert_at(1, 0.2);
+        assert!(s.linear_counting().is_infinite());
+    }
+
+    #[test]
+    fn insert_at_bounds_checked() {
+        let mut s = KPartitionSketch::new(4);
+        assert!(s.insert_at(3, 0.5));
+        assert!(!s.insert_at(3, 0.9));
+        let result = std::panic::catch_unwind(move || s.insert_at(4, 0.1));
+        assert!(result.is_err());
+    }
+}

@@ -1,0 +1,34 @@
+//! MinHash sketches of plain sets and the paper's "basic" cardinality
+//! estimators (Section 4).
+//!
+//! A MinHash sketch summarizes a subset `N` of a domain with respect to
+//! random permutations given by ranks `r(v) ~ U[0,1)`. The three flavors
+//! trade update cost, information content and maintenance cost
+//! (paper, Section 2):
+//!
+//! * [`KMinsSketch`] — the smallest rank in each of `k` independent
+//!   permutations (sampling *with* replacement);
+//! * [`BottomKSketch`] — the `k` smallest ranks in one permutation
+//!   (sampling *without* replacement; the most informative flavor);
+//! * [`KPartitionSketch`] — elements are hashed into `k` buckets; the
+//!   sketch keeps the smallest rank per bucket (one-permutation hashing;
+//!   HyperLogLog's layout).
+//!
+//! Sketches built with the same [`adsketch_util::RankHasher`] are
+//! *coordinated*: the same element gets the same rank everywhere, which
+//! makes sketches mergeable and supports similarity estimation
+//! ([`similarity`]).
+//!
+//! The basic estimators and their exact variance theory live in
+//! [`estimators`]; base-b (rounded-rank) register sketches in [`baseb`].
+
+pub mod baseb;
+pub mod bottomk;
+pub mod estimators;
+pub mod kmins;
+pub mod kpartition;
+pub mod similarity;
+
+pub use bottomk::BottomKSketch;
+pub use kmins::KMinsSketch;
+pub use kpartition::KPartitionSketch;

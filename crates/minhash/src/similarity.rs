@@ -1,0 +1,122 @@
+//! Similarity estimation from coordinated bottom-k sketches.
+//!
+//! Because sketches share one rank assignment, the k smallest ranks of the
+//! *union* of two sets are computable from the two sketches alone, and the
+//! fraction of them present in both sets is an unbiased estimator of the
+//! Jaccard coefficient (Cohen 1997; Broder 1997) — one of the ADS
+//! applications the paper's introduction surveys.
+
+use crate::bottomk::BottomKSketch;
+
+/// Estimates the Jaccard coefficient `|A∩B| / |A∪B|` from two coordinated
+/// bottom-k sketches.
+///
+/// Uses the k smallest ranks of the union; each is in the intersection iff
+/// it appears in both sketches. Returns 0 for two empty sets.
+pub fn jaccard(a: &BottomKSketch, b: &BottomKSketch) -> f64 {
+    assert_eq!(a.k(), b.k(), "sketches must share k");
+    let mut union = a.clone();
+    union.merge(b);
+    if union.is_empty() {
+        return 0.0;
+    }
+    let in_both = union
+        .items()
+        .iter()
+        .filter(|item| {
+            let in_a = a.items().binary_search_by(|e| e.cmp(item)).is_ok();
+            let in_b = b.items().binary_search_by(|e| e.cmp(item)).is_ok();
+            in_a && in_b
+        })
+        .count();
+    in_both as f64 / union.len() as f64
+}
+
+/// Estimates the union cardinality `|A∪B|` by merging the sketches and
+/// applying the basic bottom-k estimator.
+pub fn union_cardinality(a: &BottomKSketch, b: &BottomKSketch) -> f64 {
+    let mut union = a.clone();
+    union.merge(b);
+    union.estimate()
+}
+
+/// Estimates the intersection cardinality as `Jaccard × |A∪B|`.
+pub fn intersection_cardinality(a: &BottomKSketch, b: &BottomKSketch) -> f64 {
+    jaccard(a, b) * union_cardinality(a, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adsketch_util::hashing::RankHasher;
+    use adsketch_util::stats::RunningStat;
+
+    fn sketch_of(h: &RankHasher, k: usize, range: std::ops::Range<u64>) -> BottomKSketch {
+        let mut s = BottomKSketch::new(k);
+        for e in range {
+            s.insert(h, e);
+        }
+        s
+    }
+
+    #[test]
+    fn identical_sets_have_jaccard_one() {
+        let h = RankHasher::new(1);
+        let a = sketch_of(&h, 16, 0..500);
+        let b = sketch_of(&h, 16, 0..500);
+        assert_eq!(jaccard(&a, &b), 1.0);
+    }
+
+    #[test]
+    fn disjoint_sets_have_jaccard_zero() {
+        let h = RankHasher::new(2);
+        let a = sketch_of(&h, 16, 0..500);
+        let b = sketch_of(&h, 16, 1000..1500);
+        assert_eq!(jaccard(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn jaccard_estimate_close_to_truth() {
+        // |A| = |B| = 600, overlap 400 ⇒ J = 400/800 = 0.5.
+        let mut stat = RunningStat::new();
+        for seed in 0..300 {
+            let h = RankHasher::new(seed);
+            let a = sketch_of(&h, 64, 0..600);
+            let b = sketch_of(&h, 64, 200..800);
+            stat.push(jaccard(&a, &b));
+        }
+        assert!((stat.mean() - 0.5).abs() < 0.03, "mean J = {}", stat.mean());
+    }
+
+    #[test]
+    fn union_and_intersection_estimates() {
+        let mut us = RunningStat::new();
+        let mut is = RunningStat::new();
+        for seed in 0..300 {
+            let h = RankHasher::new(seed + 7000);
+            let a = sketch_of(&h, 64, 0..600);
+            let b = sketch_of(&h, 64, 200..800);
+            us.push(union_cardinality(&a, &b));
+            is.push(intersection_cardinality(&a, &b));
+        }
+        assert!((us.mean() - 800.0).abs() / 800.0 < 0.05, "union {}", us.mean());
+        assert!((is.mean() - 400.0).abs() / 400.0 < 0.10, "inter {}", is.mean());
+    }
+
+    #[test]
+    fn small_sets_are_exact() {
+        let h = RankHasher::new(4);
+        let a = sketch_of(&h, 32, 0..10);
+        let b = sketch_of(&h, 32, 5..15);
+        assert!((jaccard(&a, &b) - 5.0 / 15.0).abs() < 1e-12);
+        assert_eq!(union_cardinality(&a, &b), 15.0);
+    }
+
+    #[test]
+    fn empty_sets() {
+        let a = BottomKSketch::new(8);
+        let b = BottomKSketch::new(8);
+        assert_eq!(jaccard(&a, &b), 0.0);
+        assert_eq!(union_cardinality(&a, &b), 0.0);
+    }
+}

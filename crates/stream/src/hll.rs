@@ -1,0 +1,263 @@
+//! HyperLogLog (Flajolet, Fusy, Gandouet, Meunier 2007) — the baseline the
+//! paper's Figure 3 compares HIP against, implemented from the published
+//! pseudocode: k 5-bit saturating registers over a k-partition base-2
+//! sketch, the raw estimator `α_k k² (Σ 2^{−M[i]})^{−1}`, linear counting
+//! in the small range, and the 32-bit-hash correction in the large range.
+
+use adsketch_util::RankHasher;
+
+/// Register saturation value for 5-bit registers ("MB=32" in the paper's
+/// figure captions).
+pub const REGISTER_MAX: u32 = 31;
+
+/// A HyperLogLog sketch with `k` registers.
+///
+/// # Examples
+///
+/// ```
+/// use adsketch_stream::HyperLogLog;
+/// use adsketch_util::RankHasher;
+///
+/// let h = RankHasher::new(5);
+/// let mut hll = HyperLogLog::new(64);
+/// for e in 0..10_000u64 {
+///     hll.insert(&h, e);
+///     hll.insert(&h, e); // duplicates never matter
+/// }
+/// let est = hll.estimate();
+/// assert!((est - 10_000.0).abs() / 10_000.0 < 0.5, "est = {est}");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HyperLogLog {
+    regs: Vec<u8>,
+}
+
+/// The bias-correction constant `α_k` from the HLL analysis.
+pub fn alpha(k: usize) -> f64 {
+    match k {
+        16 => 0.673,
+        32 => 0.697,
+        64 => 0.709,
+        _ => 0.7213 / (1.0 + 1.079 / k as f64),
+    }
+}
+
+/// The base-2 level `min(REGISTER_MAX, ⌈−log2 r⌉)` of a unit rank — the
+/// "position of the leftmost 1-bit" statistic HLL registers store.
+#[inline]
+pub fn level_of(rank: f64) -> u32 {
+    debug_assert!((0.0..1.0).contains(&rank));
+    if rank <= 0.0 {
+        return REGISTER_MAX;
+    }
+    let l = (-rank.log2()).ceil();
+    if l < 1.0 {
+        1
+    } else if l >= REGISTER_MAX as f64 {
+        REGISTER_MAX
+    } else {
+        l as u32
+    }
+}
+
+impl HyperLogLog {
+    /// An empty sketch with `k ≥ 16` registers (the published constants
+    /// assume k ≥ 16; smaller sketches would need re-derived α).
+    pub fn new(k: usize) -> Self {
+        assert!(k >= 16, "HyperLogLog needs k ≥ 16 registers, got {k}");
+        Self { regs: vec![0; k] }
+    }
+
+    /// Number of registers.
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.regs.len()
+    }
+
+    /// The raw registers.
+    #[inline]
+    pub fn registers(&self) -> &[u8] {
+        &self.regs
+    }
+
+    /// Observes an element; returns `true` if a register increased.
+    pub fn insert(&mut self, hasher: &RankHasher, element: u64) -> bool {
+        let b = hasher.bucket(element, self.k());
+        let level = level_of(hasher.rank(element)) as u8;
+        if level > self.regs[b] {
+            self.regs[b] = level;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Register-wise max merge (sketch of the union).
+    pub fn merge(&mut self, other: &HyperLogLog) {
+        assert_eq!(self.k(), other.k(), "cannot merge different k");
+        for (r, &o) in self.regs.iter_mut().zip(&other.regs) {
+            *r = (*r).max(o);
+        }
+    }
+
+    /// The raw estimator `α_k · k² / Σ_i 2^{−M[i]}` — no range
+    /// corrections (the "HLLraw" series of the paper's Figure 3).
+    pub fn raw_estimate(&self) -> f64 {
+        let k = self.k() as f64;
+        let denom: f64 = self.regs.iter().map(|&m| 2f64.powi(-(m as i32))).sum();
+        alpha(self.k()) * k * k / denom
+    }
+
+    /// Number of zero registers (drives the small-range correction).
+    pub fn zero_registers(&self) -> usize {
+        self.regs.iter().filter(|&&r| r == 0).count()
+    }
+
+    /// The bias-corrected estimator from the 2007 paper: linear counting
+    /// `k·ln(k/V)` when the raw estimate is below `(5/2)k` and zero
+    /// registers remain; the 32-bit-space correction
+    /// `−2³² ln(1 − E/2³²)` above `2³²/30`.
+    pub fn estimate(&self) -> f64 {
+        let k = self.k() as f64;
+        let raw = self.raw_estimate();
+        if raw <= 2.5 * k {
+            let v = self.zero_registers();
+            if v > 0 {
+                return k * (k / v as f64).ln();
+            }
+        }
+        const TWO32: f64 = 4_294_967_296.0;
+        if raw > TWO32 / 30.0 {
+            return -TWO32 * (1.0 - raw / TWO32).ln();
+        }
+        raw
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adsketch_util::stats::ErrorStats;
+
+    #[test]
+    #[should_panic(expected = "k ≥ 16")]
+    fn small_k_rejected() {
+        let _ = HyperLogLog::new(8);
+    }
+
+    #[test]
+    fn alpha_constants() {
+        assert_eq!(alpha(16), 0.673);
+        assert_eq!(alpha(64), 0.709);
+        assert!((alpha(1024) - 0.7213 / (1.0 + 1.079 / 1024.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn level_boundaries() {
+        assert_eq!(level_of(0.5), 1);
+        assert_eq!(level_of(0.49), 2);
+        assert_eq!(level_of(0.999_999), 1);
+        assert_eq!(level_of(1e-30), REGISTER_MAX); // saturates
+        assert_eq!(level_of(0.0), REGISTER_MAX);
+    }
+
+    #[test]
+    fn duplicates_never_update() {
+        let h = RankHasher::new(2);
+        let mut hll = HyperLogLog::new(16);
+        for e in 0..100u64 {
+            hll.insert(&h, e);
+        }
+        let snap = hll.clone();
+        for e in 0..100u64 {
+            assert!(!hll.insert(&h, e));
+        }
+        assert_eq!(hll, snap);
+    }
+
+    #[test]
+    fn small_range_uses_linear_counting() {
+        let h = RankHasher::new(3);
+        let mut err = ErrorStats::new(20.0);
+        for seed in 0..500u64 {
+            let h = RankHasher::new(seed + h.seed());
+            let mut hll = HyperLogLog::new(64);
+            for e in 0..20u64 {
+                hll.insert(&h, e);
+            }
+            err.push(hll.estimate());
+        }
+        // Linear counting is quite accurate at n << k.
+        assert!(err.nrmse() < 0.2, "NRMSE {}", err.nrmse());
+    }
+
+    #[test]
+    fn mid_range_nrmse_matches_analysis() {
+        // HLL theory: NRMSE ≈ 1.04/sqrt(k) in the raw regime.
+        let k = 64;
+        let n = 50_000u64;
+        let runs = 400;
+        let mut err = ErrorStats::new(n as f64);
+        for seed in 0..runs {
+            let h = RankHasher::new(seed);
+            let mut hll = HyperLogLog::new(k);
+            for e in 0..n {
+                hll.insert(&h, e);
+            }
+            err.push(hll.estimate());
+        }
+        let theory = 1.04 / (k as f64).sqrt();
+        assert!(
+            (err.nrmse() - theory).abs() / theory < 0.35,
+            "NRMSE {} vs theory {theory}",
+            err.nrmse()
+        );
+    }
+
+    #[test]
+    fn merge_equals_union() {
+        let h = RankHasher::new(9);
+        let mut a = HyperLogLog::new(32);
+        let mut b = HyperLogLog::new(32);
+        let mut ab = HyperLogLog::new(32);
+        for e in 0..500 {
+            a.insert(&h, e);
+            ab.insert(&h, e);
+        }
+        for e in 300..900 {
+            b.insert(&h, e);
+            ab.insert(&h, e);
+        }
+        a.merge(&b);
+        assert_eq!(a, ab);
+    }
+
+    #[test]
+    fn estimator_monotone_under_growth() {
+        // More distinct elements never *decrease* the registers, and the
+        // raw estimate is monotone in the registers.
+        let h = RankHasher::new(21);
+        let mut hll = HyperLogLog::new(32);
+        let mut last_raw = 0.0;
+        for e in 0..50_000u64 {
+            hll.insert(&h, e);
+            if e % 10_000 == 9_999 {
+                let raw = hll.raw_estimate();
+                assert!(raw >= last_raw, "raw estimate must grow: {raw} < {last_raw}");
+                last_raw = raw;
+            }
+        }
+    }
+
+    #[test]
+    fn large_range_correction_formula() {
+        // Force a sketch whose raw estimate exceeds 2^32/30 and check the
+        // correction is applied (estimate < raw).
+        let mut hll = HyperLogLog::new(16);
+        hll.regs.iter_mut().for_each(|r| *r = 28);
+        let raw = hll.raw_estimate();
+        assert!(raw > 4_294_967_296.0 / 30.0);
+        let corrected = hll.estimate();
+        assert!(corrected > raw, "correction inflates (collision-adjusted) estimates: {corrected} vs {raw}");
+    }
+}

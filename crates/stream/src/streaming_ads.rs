@@ -1,0 +1,342 @@
+//! All-distances sketches over data streams (paper, Section 3.1).
+//!
+//! For a stream of timestamped occurrences `(element, t)` there are two
+//! natural "distances":
+//!
+//! * **First occurrence** ([`FirstOccurrenceAds`]): the elapsed time from
+//!   the stream start to an element's first appearance — earlier elements
+//!   are emphasized. Entries arrive in *increasing* distance, so this is a
+//!   plain threshold-maintenance sketch (exactly the sequence of MinHash
+//!   modifications HIP counts in Section 6).
+//! * **Recency** ([`RecencyAds`]): the elapsed time backwards from "now"
+//!   to an element's most recent occurrence — recent elements are
+//!   emphasized, which supports time-decaying statistics. Entries arrive
+//!   in *decreasing* distance: the newest entry always enters and older
+//!   entries must be re-validated.
+//!
+//! Both produce sketches whose entries are `(element, elapsed-time)` pairs
+//! directly usable with the HIP machinery of `adsketch-core` (distance :=
+//! elapsed time).
+
+use adsketch_util::topk::KSmallest;
+use adsketch_util::RankHasher;
+
+/// A sketch entry: an element with its time coordinate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StreamEntry {
+    /// The element.
+    pub element: u64,
+    /// Its time coordinate (see the module docs for which one).
+    pub time: f64,
+    /// Its rank.
+    pub rank: f64,
+    /// The HIP adjusted weight assigned when the entry was admitted
+    /// (first-occurrence sketches only; 0 in recency sketches where
+    /// weights are assigned at query time).
+    pub weight: f64,
+}
+
+/// Bottom-k ADS over first-occurrence times.
+#[derive(Debug, Clone)]
+pub struct FirstOccurrenceAds {
+    hasher: RankHasher,
+    /// Current bottom-k state; element-deduplicating, so re-occurrences
+    /// (even of previously retained elements) are no-ops.
+    sketch: adsketch_minhash::BottomKSketch,
+    entries: Vec<StreamEntry>,
+}
+
+impl FirstOccurrenceAds {
+    /// An empty sketch.
+    pub fn new(k: usize, seed: u64) -> Self {
+        assert!(k >= 1);
+        Self {
+            hasher: RankHasher::new(seed),
+            sketch: adsketch_minhash::BottomKSketch::new(k),
+            entries: Vec::new(),
+        }
+    }
+
+    /// Processes an occurrence of `element` at time `t` (times must be
+    /// non-decreasing). Duplicates and under-threshold ranks are ignored.
+    /// Returns `true` if the sketch gained an entry.
+    pub fn observe(&mut self, element: u64, t: f64) -> bool {
+        debug_assert!(
+            self.entries.last().is_none_or(|e| e.time <= t),
+            "stream times must be non-decreasing"
+        );
+        let tau = self.sketch.threshold().unwrap_or(1.0);
+        if !self.sketch.insert(&self.hasher, element) {
+            return false;
+        }
+        self.entries.push(StreamEntry {
+            element,
+            time: t,
+            rank: self.hasher.rank(element),
+            weight: 1.0 / tau,
+        });
+        true
+    }
+
+    /// All admitted entries in arrival (= increasing time) order. Entries
+    /// remain in the ADS even after leaving the current bottom-k (they
+    /// witness earlier prefixes, exactly like graph ADS entries).
+    pub fn entries(&self) -> &[StreamEntry] {
+        &self.entries
+    }
+
+    /// HIP estimate of the number of distinct elements seen up to time
+    /// `t` (inclusive).
+    pub fn distinct_until(&self, t: f64) -> f64 {
+        self.entries
+            .iter()
+            .take_while(|e| e.time <= t)
+            .map(|e| e.weight)
+            .sum()
+    }
+
+    /// HIP estimate of the total number of distinct elements so far.
+    pub fn distinct(&self) -> f64 {
+        self.entries.iter().map(|e| e.weight).sum()
+    }
+}
+
+/// Bottom-k ADS over recency (time since most recent occurrence).
+///
+/// Maintained exactly as the paper describes: each occurrence removes the
+/// element's previous entry (if any), appends the new one (distance
+/// `T − t` is minimal, so it always belongs), and prunes older entries
+/// that no longer hold one of the k smallest ranks among strictly more
+/// recent entries.
+#[derive(Debug, Clone)]
+pub struct RecencyAds {
+    hasher: RankHasher,
+    k: usize,
+    /// Entries in decreasing recency (most recent first), i.e. increasing
+    /// distance-from-now.
+    entries: Vec<StreamEntry>,
+}
+
+impl RecencyAds {
+    /// An empty sketch.
+    pub fn new(k: usize, seed: u64) -> Self {
+        assert!(k >= 1);
+        Self {
+            hasher: RankHasher::new(seed),
+            k,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Processes an occurrence of `element` at time `t` (non-decreasing).
+    pub fn observe(&mut self, element: u64, t: f64) {
+        debug_assert!(
+            self.entries.first().is_none_or(|e| e.time <= t),
+            "stream times must be non-decreasing"
+        );
+        // Remove the element's stale entry if present.
+        if let Some(i) = self.entries.iter().position(|e| e.element == element) {
+            self.entries.remove(i);
+        }
+        let r = self.hasher.rank(element);
+        self.entries.insert(
+            0,
+            StreamEntry {
+                element,
+                time: t,
+                rank: r,
+                weight: 0.0,
+            },
+        );
+        // Prune: scan from most recent outwards keeping entries whose rank
+        // is among the k smallest seen so far.
+        let mut ks = KSmallest::new(self.k);
+        let mut write = 0;
+        for read in 0..self.entries.len() {
+            let e = self.entries[read];
+            if ks.would_enter(e.rank, e.element) {
+                ks.offer(e.rank, e.element);
+                self.entries[write] = e;
+                write += 1;
+            }
+        }
+        self.entries.truncate(write);
+    }
+
+    /// Entries ordered from most to least recent.
+    pub fn entries(&self) -> &[StreamEntry] {
+        &self.entries
+    }
+
+    /// HIP estimate of the number of distinct elements whose most recent
+    /// occurrence is at time ≥ `t_min`, evaluated at query time `now`:
+    /// entries are scanned from most recent (smallest elapsed time)
+    /// outward with the usual bottom-k HIP thresholds.
+    pub fn distinct_since(&self, t_min: f64) -> f64 {
+        self.decayed_count(|t| if t >= t_min { 1.0 } else { 0.0 })
+    }
+
+    /// HIP estimate of a general time-decaying statistic
+    /// `Σ_{distinct e} α(t_e)` where `t_e` is the element's most recent
+    /// occurrence time and `α ≥ 0` is non-decreasing in `t` (i.e.
+    /// non-increasing in elapsed time — the time-decay kernels of
+    /// Cohen–Strauss aggregates). One sketch answers every kernel.
+    pub fn decayed_count<A>(&self, mut alpha: A) -> f64
+    where
+        A: FnMut(f64) -> f64,
+    {
+        let mut ks = KSmallest::new(self.k);
+        let mut total = 0.0;
+        for e in &self.entries {
+            let tau = ks.threshold_rank_or(1.0);
+            ks.offer(e.rank, e.element);
+            total += alpha(e.time) / tau;
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adsketch_util::stats::ErrorStats;
+
+    #[test]
+    fn first_occurrence_counts_distinct() {
+        let n = 5_000u64;
+        let runs = 600;
+        let mut err = ErrorStats::new(n as f64);
+        for seed in 0..runs {
+            let mut ads = FirstOccurrenceAds::new(16, seed);
+            for e in 0..n {
+                ads.observe(e, e as f64);
+                ads.observe(e / 2, e as f64); // duplicate occurrences
+            }
+            err.push(ads.distinct());
+        }
+        let z = err.relative_bias() / err.bias_std_error();
+        assert!(z.abs() < 4.0, "bias z = {z}");
+    }
+
+    #[test]
+    fn first_occurrence_prefix_queries() {
+        let mut ads = FirstOccurrenceAds::new(4, 3);
+        for e in 0..4u64 {
+            ads.observe(e, e as f64);
+        }
+        // First k are exact.
+        assert_eq!(ads.distinct_until(1.0), 2.0);
+        assert_eq!(ads.distinct_until(3.0), 4.0);
+    }
+
+    #[test]
+    fn first_occurrence_duplicate_of_dropped_element() {
+        let mut ads = FirstOccurrenceAds::new(2, 7);
+        for e in 0..100u64 {
+            ads.observe(e, e as f64);
+        }
+        let len = ads.entries().len();
+        // Re-observing old elements (retained or dropped) adds nothing.
+        for e in 0..100u64 {
+            assert!(!ads.observe(e, 100.0));
+        }
+        assert_eq!(ads.entries().len(), len);
+    }
+
+    #[test]
+    fn recency_keeps_newest_always() {
+        let mut ads = RecencyAds::new(1, 5);
+        for e in 0..50u64 {
+            ads.observe(e, e as f64);
+            assert_eq!(ads.entries()[0].element, e, "newest entry must lead");
+        }
+        // With k = 1 the sketch is the chain of suffix minima: ranks must
+        // increase going from older to... newer entries have *later* times
+        // but the rank of the most recent is unconstrained; going outward
+        // (older), ranks must strictly decrease.
+        for w in ads.entries().windows(2) {
+            assert!(w[1].rank < w[0].rank, "older entries must out-rank");
+        }
+    }
+
+    #[test]
+    fn recency_reoccurrence_moves_element_forward() {
+        let mut ads = RecencyAds::new(4, 9);
+        for e in 0..20u64 {
+            ads.observe(e, e as f64);
+        }
+        ads.observe(3, 20.0);
+        assert_eq!(ads.entries()[0].element, 3);
+        assert_eq!(ads.entries()[0].time, 20.0);
+        // No duplicate of element 3 deeper in the sketch.
+        assert_eq!(
+            ads.entries().iter().filter(|e| e.element == 3).count(),
+            1
+        );
+    }
+
+    #[test]
+    fn recency_window_estimate_unbiased() {
+        // 200 distinct elements, each seen once; query the last 50.
+        let runs = 3000;
+        let mut err = ErrorStats::new(50.0);
+        for seed in 0..runs {
+            let mut ads = RecencyAds::new(8, seed);
+            for e in 0..200u64 {
+                ads.observe(e, e as f64);
+            }
+            err.push(ads.distinct_since(150.0));
+        }
+        let z = err.relative_bias() / err.bias_std_error();
+        assert!(z.abs() < 4.0, "recency bias z = {z}");
+    }
+
+    #[test]
+    fn decayed_count_exponential_kernel_unbiased() {
+        // α(t) = exp(−λ(now − t)): exponentially time-decayed count.
+        let n = 300u64;
+        let lambda = 0.01;
+        let now = n as f64;
+        let truth: f64 = (0..n).map(|t| (-lambda * (now - t as f64)).exp()).sum();
+        let mut err = ErrorStats::new(truth);
+        for seed in 0..2500 {
+            let mut ads = RecencyAds::new(8, seed);
+            for e in 0..n {
+                ads.observe(e, e as f64);
+            }
+            err.push(ads.decayed_count(|t| (-lambda * (now - t)).exp()));
+        }
+        let z = err.relative_bias() / err.bias_std_error();
+        assert!(z.abs() < 4.0, "decayed-count bias z = {z}");
+    }
+
+    #[test]
+    fn decayed_count_with_duplicates_uses_most_recent() {
+        // Re-occurring elements must be weighted by their *latest* time.
+        let mut ads = RecencyAds::new(64, 3);
+        ads.observe(1, 0.0);
+        ads.observe(2, 1.0);
+        ads.observe(1, 2.0); // element 1 refreshed
+        // k ≥ distinct count ⇒ exact: α(t) = t sums the latest times.
+        let got = ads.decayed_count(|t| t);
+        assert_eq!(got, 2.0 + 1.0);
+    }
+
+    #[test]
+    fn recency_full_window_equals_first_occurrence_count() {
+        // Over a duplicate-free stream, counting "everything since 0"
+        // is the same estimation problem as first-occurrence counting
+        // scanned from the other end; both must be unbiased for n.
+        let n = 300u64;
+        let mut err = ErrorStats::new(n as f64);
+        for seed in 0..2000 {
+            let mut ads = RecencyAds::new(8, seed);
+            for e in 0..n {
+                ads.observe(e, e as f64);
+            }
+            err.push(ads.distinct_since(0.0));
+        }
+        let z = err.relative_bias() / err.bias_std_error();
+        assert!(z.abs() < 4.0, "bias z = {z}");
+    }
+}

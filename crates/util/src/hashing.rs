@@ -1,0 +1,208 @@
+//! Stateless hash-derived ranks, permutations, and bucket assignments.
+//!
+//! MinHash and all-distances sketches are defined with respect to random
+//! permutations of the node/element domain, specified by assigning each
+//! element a rank `r(v) ~ U[0,1)` (Section 2 of the paper). [`RankHasher`]
+//! realizes these permutations with a seeded avalanche hash so that
+//!
+//! * the same element always gets the same rank (sketches of different
+//!   nodes/sets are *coordinated*, the property ADS estimators rely on), and
+//! * `k` independent permutations (for k-mins sketches) are obtained by
+//!   mixing a permutation index into the seed.
+//!
+//! Ranks are produced both as raw `u64`s (fast total order, no collisions in
+//! practice) and as unit-interval `f64`s (what the estimators consume).
+
+use crate::rng::mix64;
+
+/// Converts 64 uniform bits to a uniform `f64` in `[0, 1)` (53-bit mantissa).
+#[inline]
+pub fn u64_to_unit_f64(bits: u64) -> f64 {
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// A seeded family of random permutations over `u64` element identifiers.
+///
+/// # Examples
+///
+/// ```
+/// use adsketch_util::RankHasher;
+///
+/// let h = RankHasher::new(42);
+/// let r = h.rank(7);
+/// assert!((0.0..1.0).contains(&r));
+/// assert_eq!(r, RankHasher::new(42).rank(7), "ranks are deterministic");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RankHasher {
+    seed: u64,
+}
+
+impl RankHasher {
+    /// Creates the rank family identified by `seed`.
+    #[inline]
+    pub fn new(seed: u64) -> Self {
+        Self { seed }
+    }
+
+    /// The seed this family was built from.
+    #[inline]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Raw 64-bit rank of `element` in the primary permutation.
+    #[inline]
+    pub fn rank_bits(&self, element: u64) -> u64 {
+        mix64(element.wrapping_add(0x632B_E59B_D9B4_E019).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ self.seed)
+    }
+
+    /// Rank `r(element) ~ U[0,1)` in the primary permutation.
+    #[inline]
+    pub fn rank(&self, element: u64) -> f64 {
+        u64_to_unit_f64(self.rank_bits(element))
+    }
+
+    /// Raw 64-bit rank in the `index`-th independent permutation
+    /// (for k-mins sketches).
+    #[inline]
+    pub fn perm_rank_bits(&self, element: u64, index: u32) -> u64 {
+        let salt = mix64((index as u64).wrapping_add(0xA076_1D64_78BD_642F));
+        mix64(element.wrapping_add(0x632B_E59B_D9B4_E019).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ self.seed ^ salt)
+    }
+
+    /// Rank in the `index`-th independent permutation, as `U[0,1)`.
+    #[inline]
+    pub fn perm_rank(&self, element: u64, index: u32) -> f64 {
+        u64_to_unit_f64(self.perm_rank_bits(element, index))
+    }
+
+    /// Uniform bucket assignment in `[0, k)` for k-partition sketches.
+    ///
+    /// Derived from an independent hash stream, so the bucket is independent
+    /// of the element's rank.
+    #[inline]
+    pub fn bucket(&self, element: u64, k: usize) -> usize {
+        debug_assert!(k > 0);
+        let bits = mix64(
+            element
+                .wrapping_mul(0xD6E8_FEB8_6659_FD93)
+                .wrapping_add(0x2545_F491_4F6C_DD1D)
+                ^ self.seed.rotate_left(32),
+        );
+        // Multiply-shift range reduction (negligible bias for k << 2^64).
+        ((bits as u128 * k as u128) >> 64) as usize
+    }
+
+    /// Exponentially distributed rank with rate `beta` (Section 9:
+    /// non-uniform node weights). Larger `beta` ⇒ stochastically smaller
+    /// rank ⇒ higher inclusion probability.
+    #[inline]
+    pub fn exp_rank(&self, element: u64, beta: f64) -> f64 {
+        debug_assert!(beta > 0.0, "node weight must be positive");
+        let u = self.rank(element);
+        -(-u).ln_1p() / beta
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranks_deterministic_and_seed_sensitive() {
+        let a = RankHasher::new(1);
+        let b = RankHasher::new(2);
+        assert_eq!(a.rank_bits(5), RankHasher::new(1).rank_bits(5));
+        assert_ne!(a.rank_bits(5), b.rank_bits(5));
+    }
+
+    #[test]
+    fn ranks_are_uniformish() {
+        let h = RankHasher::new(99);
+        let n = 100_000u64;
+        let mean: f64 = (0..n).map(|e| h.rank(e)).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean = {mean}");
+        // Kolmogorov–Smirnov-style coarse check on deciles.
+        let mut deciles = [0usize; 10];
+        for e in 0..n {
+            deciles[(h.rank(e) * 10.0) as usize] += 1;
+        }
+        for (i, &c) in deciles.iter().enumerate() {
+            let dev = (c as f64 - n as f64 / 10.0).abs() / (n as f64 / 10.0);
+            assert!(dev < 0.05, "decile {i}: {c}");
+        }
+    }
+
+    #[test]
+    fn permutations_are_independent() {
+        let h = RankHasher::new(7);
+        // Correlation between permutation 0 and 1 ranks should be ~0.
+        let n = 50_000u64;
+        let (mut sx, mut sy, mut sxy, mut sxx, mut syy) = (0.0, 0.0, 0.0, 0.0, 0.0);
+        for e in 0..n {
+            let x = h.perm_rank(e, 0);
+            let y = h.perm_rank(e, 1);
+            sx += x;
+            sy += y;
+            sxy += x * y;
+            sxx += x * x;
+            syy += y * y;
+        }
+        let nf = n as f64;
+        let cov = sxy / nf - (sx / nf) * (sy / nf);
+        let vx = sxx / nf - (sx / nf).powi(2);
+        let vy = syy / nf - (sy / nf).powi(2);
+        let corr = cov / (vx * vy).sqrt();
+        assert!(corr.abs() < 0.02, "corr = {corr}");
+    }
+
+    #[test]
+    fn perm_zero_differs_from_primary() {
+        // perm_rank(e, i) must not collide with rank(e) systematically.
+        let h = RankHasher::new(13);
+        let same = (0..1000u64)
+            .filter(|&e| h.perm_rank_bits(e, 0) == h.rank_bits(e))
+            .count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn buckets_are_balanced_and_independent_of_rank() {
+        let h = RankHasher::new(21);
+        let k = 16;
+        let n = 160_000u64;
+        let mut counts = vec![0usize; k];
+        // Mean rank per bucket should be ~0.5 (independence).
+        let mut rank_sums = vec![0.0f64; k];
+        for e in 0..n {
+            let b = h.bucket(e, k);
+            assert!(b < k);
+            counts[b] += 1;
+            rank_sums[b] += h.rank(e);
+        }
+        for b in 0..k {
+            let dev = (counts[b] as f64 - n as f64 / k as f64).abs() / (n as f64 / k as f64);
+            assert!(dev < 0.05, "bucket {b} count {}", counts[b]);
+            let mean_rank = rank_sums[b] / counts[b] as f64;
+            assert!((mean_rank - 0.5).abs() < 0.02, "bucket {b} mean rank {mean_rank}");
+        }
+    }
+
+    #[test]
+    fn exp_rank_scales_with_beta() {
+        let h = RankHasher::new(3);
+        let n = 100_000u64;
+        let m1: f64 = (0..n).map(|e| h.exp_rank(e, 1.0)).sum::<f64>() / n as f64;
+        let m4: f64 = (0..n).map(|e| h.exp_rank(e, 4.0)).sum::<f64>() / n as f64;
+        assert!((m1 - 1.0).abs() < 0.02, "m1 = {m1}");
+        assert!((m4 - 0.25).abs() < 0.01, "m4 = {m4}");
+    }
+
+    #[test]
+    fn u64_to_unit_f64_extremes() {
+        assert_eq!(u64_to_unit_f64(0), 0.0);
+        let max = u64_to_unit_f64(u64::MAX);
+        assert!(max < 1.0 && max > 0.999_999);
+    }
+}

@@ -1,0 +1,174 @@
+//! Property-based tests (proptest) over the core data structures and
+//! estimator invariants.
+
+use proptest::prelude::*;
+
+use adsketch::core::builder::{local_updates, pruned_dijkstra};
+use adsketch::core::{reference, size_est, uniform_ranks};
+use adsketch::graph::{Graph, NodeId};
+use adsketch::minhash::BottomKSketch;
+use adsketch::stream::MorrisCounter;
+use adsketch::util::ranks::BaseB;
+use adsketch::util::RankHasher;
+
+/// Strategy: a small directed graph as (n, arcs).
+fn small_digraph() -> impl Strategy<Value = (usize, Vec<(NodeId, NodeId)>)> {
+    (2usize..24).prop_flat_map(|n| {
+        let arcs = prop::collection::vec((0..n as NodeId, 0..n as NodeId), 0..80);
+        (Just(n), arcs)
+    })
+}
+
+proptest! {
+    /// Every ADS built from any canonical order over any rank assignment
+    /// satisfies its structural invariants, and its HIP weights are ≥ 1
+    /// and non-decreasing with distance.
+    #[test]
+    fn ads_invariants_hold_for_any_order(
+        seed in 0u64..10_000,
+        n in 1usize..300,
+        k in 1usize..10,
+    ) {
+        let h = RankHasher::new(seed);
+        let ranks: Vec<f64> = (0..n as u64).map(|v| h.rank(v)).collect();
+        let order: Vec<(NodeId, f64)> =
+            (0..n).map(|i| (i as NodeId, (i / 3) as f64)).collect(); // with ties
+        let ads = reference::bottomk_from_order(k, &order, &ranks);
+        prop_assert_eq!(ads.validate(), Ok(()));
+        prop_assert!(ads.len() <= n);
+        prop_assert!(ads.len() >= k.min(n));
+        let hip = ads.hip_weights();
+        let mut last = 0.0;
+        for it in hip.items() {
+            prop_assert!(it.weight >= 1.0 - 1e-12);
+            prop_assert!(it.weight >= last - 1e-12, "weights must not decrease");
+            last = it.weight;
+        }
+    }
+
+    /// The HIP estimate of the full prefix is ≥ the sketch size (each of
+    /// the sampled nodes contributes ≥ 1) and exact when n ≤ k.
+    #[test]
+    fn hip_estimate_bounds(seed in 0u64..10_000, n in 1usize..200, k in 1usize..12) {
+        let h = RankHasher::new(seed);
+        let ranks: Vec<f64> = (0..n as u64).map(|v| h.rank(v)).collect();
+        let order: Vec<(NodeId, f64)> = (0..n).map(|i| (i as NodeId, i as f64)).collect();
+        let ads = reference::bottomk_from_order(k, &order, &ranks);
+        let est = ads.hip_weights().reachable_estimate();
+        prop_assert!(est >= ads.len() as f64 - 1e-9);
+        if n <= k {
+            prop_assert!((est - n as f64).abs() < 1e-9, "exact for n ≤ k");
+        }
+    }
+
+    /// PrunedDijkstra equals the brute force on arbitrary digraphs
+    /// (unweighted, arbitrary topology including self-loops and parallel
+    /// arcs).
+    #[test]
+    fn pruned_dijkstra_equals_brute_force((n, arcs) in small_digraph(), seed in 0u64..1_000, k in 1usize..5) {
+        let g = Graph::directed(n, &arcs).unwrap();
+        let ranks = uniform_ranks(n, seed);
+        let fast = pruned_dijkstra::build(&g, k, &ranks).unwrap();
+        let slow = reference::build_bottomk(&g, k, &ranks);
+        prop_assert_eq!(fast, slow);
+    }
+
+    /// LocalUpdates reaches the same fixpoint on arbitrary digraphs.
+    #[test]
+    fn local_updates_equals_brute_force((n, arcs) in small_digraph(), seed in 0u64..1_000) {
+        let g = Graph::directed(n, &arcs).unwrap();
+        let ranks = uniform_ranks(n, seed);
+        let fast = local_updates::build(&g, 2, &ranks).unwrap();
+        let slow = reference::build_bottomk(&g, 2, &ranks);
+        prop_assert_eq!(fast, slow);
+    }
+
+    /// Bottom-k sketch merge is exactly the sketch of the union, for any
+    /// two element sets.
+    #[test]
+    fn bottomk_merge_is_union(
+        xs in prop::collection::hash_set(0u64..5_000, 0..200),
+        ys in prop::collection::hash_set(0u64..5_000, 0..200),
+        seed in 0u64..1_000,
+        k in 1usize..16,
+    ) {
+        let h = RankHasher::new(seed);
+        let mut a = BottomKSketch::new(k);
+        let mut b = BottomKSketch::new(k);
+        let mut u = BottomKSketch::new(k);
+        for &x in &xs { a.insert(&h, x); u.insert(&h, x); }
+        for &y in &ys { b.insert(&h, y); u.insert(&h, y); }
+        a.merge(&b);
+        prop_assert_eq!(a, u);
+    }
+
+    /// Insertion order never matters for a bottom-k sketch.
+    #[test]
+    fn bottomk_insertion_order_irrelevant(
+        mut xs in prop::collection::vec(0u64..1_000, 1..100),
+        seed in 0u64..1_000,
+    ) {
+        let h = RankHasher::new(seed);
+        let mut fwd = BottomKSketch::new(5);
+        for &x in &xs { fwd.insert(&h, x); }
+        xs.reverse();
+        let mut rev = BottomKSketch::new(5);
+        for &x in &xs { rev.insert(&h, x); }
+        prop_assert_eq!(fwd, rev);
+    }
+
+    /// Base-b discretization: `r/b < r' ≤ r` and levels round-trip.
+    #[test]
+    fn base_b_bracket(r in 1e-12f64..1.0, b in 1.01f64..4.0) {
+        let base = BaseB::new(b);
+        let d = base.discretize(r);
+        prop_assert!(d <= r * (1.0 + 1e-9));
+        prop_assert!(d > r / b * (1.0 - 1e-9));
+        prop_assert_eq!(base.level(d), base.level(r));
+    }
+
+    /// The size estimator is monotone in s and anchored at E_k = k.
+    #[test]
+    fn size_estimator_monotone(k in 1usize..64, s in 0usize..200) {
+        let e1 = size_est::size_estimator(s, k);
+        let e2 = size_est::size_estimator(s + 1, k);
+        prop_assert!(e2 > e1 - 1e-12);
+        prop_assert!((size_est::size_estimator(k, k) - k as f64).abs() < 1e-9);
+    }
+
+    /// Morris counters never go negative and exponents are monotone under
+    /// adds.
+    #[test]
+    fn morris_monotone(adds in prop::collection::vec(0.0f64..50.0, 0..50), seed in 0u64..1_000) {
+        let mut c = MorrisCounter::new(1.3, seed);
+        let mut last_x = 0;
+        for a in adds {
+            c.add(a);
+            prop_assert!(c.exponent() >= last_x);
+            last_x = c.exponent();
+            prop_assert!(c.estimate() >= 0.0);
+        }
+    }
+
+    /// MinHash extraction from an ADS at distance d equals the sketch of
+    /// the distance-d prefix built directly.
+    #[test]
+    fn ads_minhash_extraction_consistent(
+        seed in 0u64..5_000,
+        n in 1usize..150,
+        k in 1usize..8,
+        cut in 0usize..150,
+    ) {
+        let cut = cut.min(n);
+        let h = RankHasher::new(seed);
+        let ranks: Vec<f64> = (0..n as u64).map(|v| h.rank(v)).collect();
+        let order: Vec<(NodeId, f64)> = (0..n).map(|i| (i as NodeId, i as f64)).collect();
+        let ads = reference::bottomk_from_order(k, &order, &ranks);
+        let extracted = ads.minhash_at(cut as f64);
+        let mut direct = BottomKSketch::new(k);
+        for e in 0..=cut.min(n - 1) as u64 {
+            direct.insert_ranked(ranks[e as usize], e);
+        }
+        prop_assert_eq!(extracted, direct);
+    }
+}
