@@ -14,19 +14,15 @@ fn bench_builders(c: &mut Criterion) {
         let g = generators::barabasi_albert(n, 4, 7);
         let ranks = uniform_ranks(n, 3);
         let k = 16;
-        group.bench_with_input(
-            BenchmarkId::new("pruned_dijkstra", n),
-            &n,
-            |b, _| b.iter(|| pruned_dijkstra::build(&g, k, &ranks).unwrap()),
-        );
+        group.bench_with_input(BenchmarkId::new("pruned_dijkstra", n), &n, |b, _| {
+            b.iter(|| pruned_dijkstra::build(&g, k, &ranks).unwrap())
+        });
         group.bench_with_input(BenchmarkId::new("dp", n), &n, |b, _| {
             b.iter(|| dp::build(&g, k, &ranks).unwrap())
         });
-        group.bench_with_input(
-            BenchmarkId::new("local_updates", n),
-            &n,
-            |b, _| b.iter(|| local_updates::build(&g, k, &ranks).unwrap()),
-        );
+        group.bench_with_input(BenchmarkId::new("local_updates", n), &n, |b, _| {
+            b.iter(|| local_updates::build(&g, k, &ranks).unwrap())
+        });
     }
     // Weighted graph: DP does not apply.
     let gw = generators::random_weighted_digraph(1_000, 6, 0.5, 2.5, 9);

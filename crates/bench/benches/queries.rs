@@ -29,10 +29,7 @@ fn bench_queries(c: &mut Criterion) {
     });
     group.bench_function("qg_filtered", |b| {
         b.iter(|| {
-            black_box(hip.centrality(
-                |d| if d <= 2.0 { 1.0 } else { 0.0 },
-                |v| (v % 2) as f64,
-            ))
+            black_box(hip.centrality(|d| if d <= 2.0 { 1.0 } else { 0.0 }, |v| (v % 2) as f64))
         })
     });
     group.bench_function("size_estimator", |b| {

@@ -17,9 +17,7 @@
 use adsketch_bench::table::f;
 use adsketch_bench::{arg_u64, checkpoints, Table};
 use adsketch_core::sim::StreamSim;
-use adsketch_util::stats::{
-    cv_basic, cv_hip, mre_basic_approx, mre_hip_approx, ErrorStats,
-};
+use adsketch_util::stats::{cv_basic, cv_hip, mre_basic_approx, mre_hip_approx, ErrorStats};
 
 struct Panel {
     k: usize,
@@ -30,9 +28,21 @@ struct Panel {
 fn main() {
     let scale = arg_u64("runs-scale", 100).max(1);
     let panels = [
-        Panel { k: 5, runs: 1000, n_max: 10_000 },
-        Panel { k: 10, runs: 500, n_max: 10_000 },
-        Panel { k: 50, runs: 250, n_max: 50_000 },
+        Panel {
+            k: 5,
+            runs: 1000,
+            n_max: 10_000,
+        },
+        Panel {
+            k: 10,
+            runs: 500,
+            n_max: 10_000,
+        },
+        Panel {
+            k: 50,
+            runs: 250,
+            n_max: 50_000,
+        },
     ];
     for p in panels {
         let runs = (p.runs * scale / 100).max(2);
@@ -78,9 +88,7 @@ fn run_panel(k: usize, runs: u64, n_max: u64) {
         ("NRMSE", ErrorStats::nrmse as fn(&ErrorStats) -> f64),
         ("MRE", ErrorStats::mre as fn(&ErrorStats) -> f64),
     ] {
-        let mut t = Table::new(vec![
-            "size", "kmins", "kpart", "botk", "botkHIP", "perm",
-        ]);
+        let mut t = Table::new(vec!["size", "kmins", "kpart", "botk", "botkHIP", "perm"]);
         for (ci, &m) in marks.iter().enumerate() {
             // Thin out rows: keep 1,2,5 per decade plus the endpoint.
             let lead = m / 10u64.pow((m as f64).log10().floor() as u32);

@@ -28,8 +28,7 @@ fn main() {
 
 fn run_panel(k: usize, runs: u64, n_max: u64) {
     let marks = checkpoints(n_max);
-    let mut raw_err: Vec<ErrorStats> =
-        marks.iter().map(|&m| ErrorStats::new(m as f64)).collect();
+    let mut raw_err: Vec<ErrorStats> = marks.iter().map(|&m| ErrorStats::new(m as f64)).collect();
     let mut hll_err = raw_err.clone();
     let mut hip_err = raw_err.clone();
     let t0 = std::time::Instant::now();
@@ -52,7 +51,10 @@ fn run_panel(k: usize, runs: u64, n_max: u64) {
         "\n=== Figure 3 panel: k={k}, {runs} runs, max n = {n_max}  ({:.1?}) ===",
         t0.elapsed()
     );
-    println!("HIP base-2 CV analysis: {analysis:.4}  (HLL theory ≈ {:.4})", 1.04 / (k as f64).sqrt());
+    println!(
+        "HIP base-2 CV analysis: {analysis:.4}  (HLL theory ≈ {:.4})",
+        1.04 / (k as f64).sqrt()
+    );
     for (metric, get) in [
         ("NRMSE", ErrorStats::nrmse as fn(&ErrorStats) -> f64),
         ("MRE", ErrorStats::mre as fn(&ErrorStats) -> f64),

@@ -18,7 +18,13 @@ use adsketch_util::RankHasher;
 fn main() {
     let runs = arg_u64("runs", 400);
     let mut t = Table::new(vec![
-        "n", "k", "botk meas", "botk thy", "kpart meas", "kpart thy", "kmins meas",
+        "n",
+        "k",
+        "botk meas",
+        "botk thy",
+        "kpart meas",
+        "kpart thy",
+        "kmins meas",
         "kmins thy",
     ]);
     for &n in &[1_000usize, 10_000] {
@@ -45,6 +51,9 @@ fn main() {
             ]);
         }
     }
-    println!("=== ADS sizes: measured vs Lemma 2.2 ({runs} runs) ===\n{}", t.render());
+    println!(
+        "=== ADS sizes: measured vs Lemma 2.2 ({runs} runs) ===\n{}",
+        t.render()
+    );
     println!("note: k·H_(n/k) for k-partition assumes exactly n/k per bucket; the\nmultinomial bucket sizes push the measured value slightly above it.");
 }

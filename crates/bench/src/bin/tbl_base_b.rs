@@ -28,7 +28,13 @@ fn main() {
     }
 
     let mut t = Table::new(vec![
-        "base", "bits/reg*", "NRMSE", "analysis", "var infl", "(1+b)/2", "bias",
+        "base",
+        "bits/reg*",
+        "NRMSE",
+        "analysis",
+        "var infl",
+        "(1+b)/2",
+        "bias",
     ]);
     for &(label, b) in &[
         ("2", 2.0f64),

@@ -19,8 +19,14 @@ fn main() {
     let k = arg_u64("k", 16) as usize;
 
     for (name, g) in [
-        ("Barabási–Albert m=4 (unweighted)", generators::barabasi_albert(n, 4, 7)),
-        ("G(n,p), mean degree 8 (unweighted)", generators::gnp(n, 8.0 / n as f64, 9)),
+        (
+            "Barabási–Albert m=4 (unweighted)",
+            generators::barabasi_albert(n, 4, 7),
+        ),
+        (
+            "G(n,p), mean degree 8 (unweighted)",
+            generators::gnp(n, 8.0 / n as f64, 9),
+        ),
         (
             "random weighted digraph, deg 6",
             generators::random_weighted_digraph(n, 6, 0.5, 2.5, 11),
@@ -37,7 +43,13 @@ fn run_case(name: &str, g: &Graph, k: usize) {
     let bound = k as f64 * m as f64 * (n as f64).ln();
     println!("\n=== {name}: n={n}, arcs={m}, k={k}; km·ln n = {bound:.2e} ===");
     let mut t = Table::new(vec![
-        "algorithm", "time", "relaxations", "rel/bound", "insertions", "removals", "rounds",
+        "algorithm",
+        "time",
+        "relaxations",
+        "rel/bound",
+        "insertions",
+        "removals",
+        "rounds",
         "identical",
     ]);
 
@@ -54,12 +66,18 @@ fn run_case(name: &str, g: &Graph, k: usize) {
 
     let t0 = std::time::Instant::now();
     let (lu, lu_stats) = local_updates::build_with_stats(g, k, &ranks).unwrap();
-    push_row(&mut t, "LocalUpdates", t0.elapsed(), &lu_stats, bound, lu == pd);
+    push_row(
+        &mut t,
+        "LocalUpdates",
+        t0.elapsed(),
+        &lu_stats,
+        bound,
+        lu == pd,
+    );
 
     for eps in [0.1, 0.25] {
         let t0 = std::time::Instant::now();
-        let (ap, ap_stats) =
-            local_updates::build_approx_with_stats(g, k, &ranks, eps).unwrap();
+        let (ap, ap_stats) = local_updates::build_approx_with_stats(g, k, &ranks, eps).unwrap();
         push_row(
             &mut t,
             &format!("LocalUpdates ε={eps}"),
@@ -93,7 +111,11 @@ fn push_row(
         s.insertions.to_string(),
         s.removals.to_string(),
         s.rounds.to_string(),
-        if identical { "yes".into() } else { "≈ (ε)".to_string() },
+        if identical {
+            "yes".into()
+        } else {
+            "≈ (ε)".to_string()
+        },
     ]);
 }
 

@@ -50,8 +50,16 @@ fn main() {
         ("HIP bottom-k (full ranks)", &err_bot, cv_hip(k)),
         ("HIP k-mins (full ranks)", &err_km, cv_hip(k)),
         ("HIP k-partition (full ranks)", &err_kp, cv_hip(k)),
-        ("HIP on HLL sketch (base 2)", &err_hip_hll, (3.0 / (4.0 * (k as f64 - 1.0))).sqrt()),
-        ("HyperLogLog (corrected)", &err_hll, 1.04 / (k as f64).sqrt()),
+        (
+            "HIP on HLL sketch (base 2)",
+            &err_hip_hll,
+            (3.0 / (4.0 * (k as f64 - 1.0))).sqrt(),
+        ),
+        (
+            "HyperLogLog (corrected)",
+            &err_hll,
+            1.04 / (k as f64).sqrt(),
+        ),
     ] {
         t.row(vec![
             name.to_string(),

@@ -24,7 +24,12 @@ fn main() {
     let n = arg_u64("n", 100_000);
 
     let mut t = Table::new(vec![
-        "base", "NRMSE", "sqrt((b-1)/2)", "bias", "mean exponent", "exact bits",
+        "base",
+        "NRMSE",
+        "sqrt((b-1)/2)",
+        "bias",
+        "mean exponent",
+        "exact bits",
     ]);
     for j in 0..=6u32 {
         let b = 1.0 + 1.0 / (1u64 << j) as f64;

@@ -16,7 +16,10 @@ fn main() {
     let n = arg_u64("n", 2000);
     let k = 10usize;
     let fracs = [0.05, 0.1, 0.2, 0.4, 0.6, 0.8, 0.95, 1.0];
-    let marks: Vec<u64> = fracs.iter().map(|fr| ((fr * n as f64) as u64).max(1)).collect();
+    let marks: Vec<u64> = fracs
+        .iter()
+        .map(|fr| ((fr * n as f64) as u64).max(1))
+        .collect();
 
     let mut hip: Vec<ErrorStats> = marks.iter().map(|&m| ErrorStats::new(m as f64)).collect();
     let mut perm = hip.clone();
@@ -33,7 +36,11 @@ fn main() {
         }
     }
     let mut t = Table::new(vec![
-        "s/n", "HIP NRMSE", "perm NRMSE", "perm/HIP", "perm bias",
+        "s/n",
+        "HIP NRMSE",
+        "perm NRMSE",
+        "perm/HIP",
+        "perm bias",
     ]);
     for (i, fr) in fracs.iter().enumerate() {
         t.row(vec![

@@ -24,7 +24,12 @@ fn main() {
     let order: Vec<(NodeId, f64)> = (0..n).map(|i| (i as NodeId, i as f64)).collect();
 
     let mut t = Table::new(vec![
-        "g = 1 on closest", "truth", "HIP NRMSE", "naive NRMSE", "var ratio", "n/k",
+        "g = 1 on closest",
+        "truth",
+        "HIP NRMSE",
+        "naive NRMSE",
+        "var ratio",
+        "n/k",
     ]);
     for &frac in &[1.0f64, 0.2, 0.05, 0.01] {
         let cutoff = (frac * n as f64).max(1.0);

@@ -17,11 +17,14 @@ fn main() {
     let runs = arg_u64("runs", 3000);
     for &k in &[8usize, 16] {
         let mut t = Table::new(vec![
-            "n", "size NRMSE", "size bias", "basic NRMSE", "HIP NRMSE",
+            "n",
+            "size NRMSE",
+            "size bias",
+            "basic NRMSE",
+            "HIP NRMSE",
         ]);
         for &n in &[100usize, 1_000, 10_000] {
-            let order: Vec<(NodeId, f64)> =
-                (0..n).map(|i| (i as NodeId, i as f64)).collect();
+            let order: Vec<(NodeId, f64)> = (0..n).map(|i| (i as NodeId, i as f64)).collect();
             let mut se = ErrorStats::new(n as f64);
             let mut be = ErrorStats::new(n as f64);
             let mut he = ErrorStats::new(n as f64);

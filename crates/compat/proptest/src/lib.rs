@@ -1,0 +1,82 @@
+//! Offline stand-in for the [proptest](https://docs.rs/proptest)
+//! property-testing framework.
+//!
+//! The adsketch build environment has no crates.io access, so this crate
+//! implements the slice of proptest's API the workspace tests use: the
+//! [`Strategy`](strategy::Strategy) trait with `prop_map`/`prop_flat_map`,
+//! range and tuple strategies, [`Just`](strategy::Just),
+//! `prop::collection::{vec, hash_set}`, and the
+//! [`proptest!`]/`prop_assert*` macros. Test cases are generated from a
+//! deterministic per-test RNG (derived from the test name and the case
+//! index, overridable in count via `PROPTEST_CASES`); there is **no
+//! shrinking** — a failure reports the assertion from the raw sampled
+//! case. Swap in the real crate when networked (test sources need no
+//! changes).
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// Glob-import surface mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+
+    /// Mirror of the `prop` module the real prelude exposes
+    /// (`prop::collection::vec` et al.).
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Runs one property-test function: samples `cases` inputs and executes the
+/// body on each. Used by the [`proptest!`] expansion; not public API of the
+/// real crate.
+pub fn run_cases(test_name: &str, mut body: impl FnMut(&mut test_runner::TestRng)) {
+    let cases: u64 = std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(48);
+    for case in 0..cases {
+        let mut rng = test_runner::TestRng::for_case(test_name, case);
+        body(&mut rng);
+    }
+}
+
+/// Defines property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` that samples every strategy per case and runs the
+/// body. Mirrors `proptest::proptest!` for the subset of its grammar the
+/// workspace uses.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$attr:meta])* fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                $crate::run_cases(stringify!($name), |rng| {
+                    $(let $pat = $crate::strategy::Strategy::sample(&($strat), rng);)+
+                    $body
+                });
+            }
+        )*
+    };
+}
+
+/// Asserts a property holds; panics with the failing expression (the real
+/// crate records a failure and shrinks — the shim just asserts).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts two values are equal; see [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts two values differ; see [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}

@@ -36,9 +36,7 @@ where
     // The sampled nodes with their distances (k lowest-ranked entries).
     let sampled: Vec<(NodeId, f64)> = {
         let mut entries: Vec<&crate::entry::AdsEntry> = ads.entries().iter().collect();
-        entries.sort_unstable_by(|a, b| {
-            a.rank.total_cmp(&b.rank).then(a.node.cmp(&b.node))
-        });
+        entries.sort_unstable_by(|a, b| a.rank.total_cmp(&b.rank).then(a.node.cmp(&b.node)));
         entries
             .iter()
             .take(ads.k())

@@ -91,7 +91,7 @@ impl BottomKAds {
     /// than k are closer) and its adjusted weight is `1/τ_vj`.
     ///
     /// Ranks must lie in `[0, 1]` (uniform); weighted sketches use
-    /// [`crate::weighted::WeightedHip`] instead.
+    /// [`crate::weighted::weighted_hip`] instead.
     pub fn hip_weights(&self) -> HipWeights {
         let mut ks = KSmallest::new(self.k);
         let items = self

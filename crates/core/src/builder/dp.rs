@@ -94,8 +94,8 @@ pub fn build_with_stats(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use adsketch_graph::generators;
     use crate::uniform_ranks;
+    use adsketch_graph::generators;
 
     #[test]
     fn rejects_weighted_graphs() {

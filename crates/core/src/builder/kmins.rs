@@ -91,6 +91,10 @@ mod tests {
             let sets = build(&g, 8, &hasher).unwrap();
             err.push(sets[0].hip_weights().reachable_estimate());
         }
-        assert!(err.relative_bias().abs() < 0.15, "bias {}", err.relative_bias());
+        assert!(
+            err.relative_bias().abs() < 0.15,
+            "bias {}",
+            err.relative_bias()
+        );
     }
 }

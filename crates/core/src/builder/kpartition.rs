@@ -13,11 +13,7 @@ use crate::error::CoreError;
 use crate::kpartition::{KPartRecord, KPartitionAds};
 
 /// Builds the forward k-partition ADS of every node.
-pub fn build(
-    g: &Graph,
-    k: usize,
-    hasher: &RankHasher,
-) -> Result<Vec<KPartitionAds>, CoreError> {
+pub fn build(g: &Graph, k: usize, hasher: &RankHasher) -> Result<Vec<KPartitionAds>, CoreError> {
     build_with_stats(g, k, hasher).map(|(s, _)| s)
 }
 
@@ -55,9 +51,7 @@ pub fn build_with_stats(
     let sets = records
         .into_iter()
         .map(|mut rs| {
-            rs.sort_unstable_by(|a, b| {
-                a.dist.total_cmp(&b.dist).then(a.node.cmp(&b.node))
-            });
+            rs.sort_unstable_by(|a, b| a.dist.total_cmp(&b.dist).then(a.node.cmp(&b.node)));
             KPartitionAds::from_records(k, rs)
         })
         .collect();

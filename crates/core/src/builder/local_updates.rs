@@ -108,8 +108,8 @@ pub fn build_approx_with_stats(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use adsketch_graph::generators;
     use crate::uniform_ranks;
+    use adsketch_graph::generators;
 
     #[test]
     fn matches_pruned_dijkstra_on_weighted_digraphs() {
@@ -135,12 +135,8 @@ mod tests {
 
     #[test]
     fn handles_weighted_undirected() {
-        let edges = generators::assign_uniform_weights(
-            &generators::gnp_edges(40, 0.1, 3),
-            0.5,
-            2.0,
-            4,
-        );
+        let edges =
+            generators::assign_uniform_weights(&generators::gnp_edges(40, 0.1, 3), 0.5, 2.0, 4);
         let g = Graph::undirected_weighted(40, &edges).unwrap();
         let ranks = uniform_ranks(40, 5);
         let lu = build(&g, 4, &ranks).unwrap();
@@ -166,8 +162,7 @@ mod tests {
         let ranks = uniform_ranks(80, 13);
         let (exact, exact_stats) = build_with_stats(&g, 4, &ranks).unwrap();
         let eps = 0.25;
-        let (approx, approx_stats) =
-            build_approx_with_stats(&g, 4, &ranks, eps).unwrap();
+        let (approx, approx_stats) = build_approx_with_stats(&g, 4, &ranks, eps).unwrap();
         assert!(
             approx_stats.insertions <= exact_stats.insertions,
             "ε-rule must not insert more ({} vs {})",
@@ -188,8 +183,7 @@ mod tests {
                     .entries()
                     .iter()
                     .filter(|b| {
-                        b.dist <= e.dist * (1.0 + eps)
-                            && (b.rank, b.node) < (e.rank, e.node)
+                        b.dist <= e.dist * (1.0 + eps) && (b.rank, b.node) < (e.rank, e.node)
                     })
                     .count();
                 assert!(

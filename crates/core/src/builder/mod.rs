@@ -44,10 +44,7 @@ pub struct BuildStats {
     pub rounds: u64,
 }
 
-pub(crate) fn validate_ranks(
-    ranks: &[f64],
-    n: usize,
-) -> Result<(), crate::error::CoreError> {
+pub(crate) fn validate_ranks(ranks: &[f64], n: usize) -> Result<(), crate::error::CoreError> {
     if ranks.len() != n {
         return Err(crate::error::CoreError::RankCountMismatch {
             ranks: ranks.len(),

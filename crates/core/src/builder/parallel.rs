@@ -81,8 +81,7 @@ pub fn build_kmins(
             scope.spawn(move || {
                 for (j, out) in slot.iter_mut().enumerate() {
                     let h = (start + j) as u32;
-                    let ranks: Vec<f64> =
-                        (0..n as u64).map(|v| hasher.perm_rank(v, h)).collect();
+                    let ranks: Vec<f64> = (0..n as u64).map(|v| hasher.perm_rank(v, h)).collect();
                     *out = Some(run_core(g, 1, &ranks, None, false).map(|(partials, _)| {
                         partials
                             .into_iter()
@@ -153,26 +152,24 @@ pub fn build_kpartition(
                         *out = Some(Ok(vec![Vec::new(); n]));
                         continue;
                     }
-                    *out = Some(
-                        run_core(g, 1, ranks_ref, Some(&buckets_ref[b]), false).map(
-                            |(partials, _)| {
-                                partials
-                                    .into_iter()
-                                    .map(|p| {
-                                        p.entries
-                                            .into_iter()
-                                            .map(|e| KPartRecord {
-                                                node: e.node,
-                                                dist: e.dist,
-                                                rank: e.rank,
-                                                bucket: b as u32,
-                                            })
-                                            .collect()
-                                    })
-                                    .collect()
-                            },
-                        ),
-                    );
+                    *out = Some(run_core(g, 1, ranks_ref, Some(&buckets_ref[b]), false).map(
+                        |(partials, _)| {
+                            partials
+                                .into_iter()
+                                .map(|p| {
+                                    p.entries
+                                        .into_iter()
+                                        .map(|e| KPartRecord {
+                                            node: e.node,
+                                            dist: e.dist,
+                                            rank: e.rank,
+                                            bucket: b as u32,
+                                        })
+                                        .collect()
+                                })
+                                .collect()
+                        },
+                    ));
                 }
             });
         }

@@ -20,8 +20,7 @@ impl PartialAds {
     /// Binary-search position of the canonical key `(dist, node)`.
     #[inline]
     fn position(&self, dist: f64, node: NodeId) -> Result<usize, usize> {
-        self.entries
-            .binary_search_by(|e| e.cmp_key(dist, node))
+        self.entries.binary_search_by(|e| e.cmp_key(dist, node))
     }
 
     /// Index of `node`'s entry, if present (linear scan: ADSs are
@@ -138,7 +137,8 @@ impl PartialAds {
         }
         // Admission test.
         let horizon = if epsilon > 0.0 {
-            self.entries.partition_point(|e| e.dist <= dist * (1.0 + epsilon))
+            self.entries
+                .partition_point(|e| e.dist <= dist * (1.0 + epsilon))
         } else {
             match self.position(dist, node) {
                 Ok(_) => unreachable!("node entry was removed above"),

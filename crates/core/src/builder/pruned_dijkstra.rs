@@ -100,8 +100,8 @@ fn finish(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use adsketch_graph::generators;
     use crate::uniform_ranks;
+    use adsketch_graph::generators;
 
     #[test]
     fn matches_brute_force_on_unweighted_digraph() {
@@ -141,8 +141,7 @@ mod tests {
     #[test]
     fn disconnected_components_stay_separate() {
         // Two disjoint triangles.
-        let g = Graph::undirected(6, &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)])
-            .unwrap();
+        let g = Graph::undirected(6, &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)]).unwrap();
         let ranks = uniform_ranks(6, 4);
         let set = build(&g, 8, &ranks).unwrap();
         for v in 0..3u32 {
@@ -258,6 +257,9 @@ mod tests {
             .iter()
             .filter(|e| e.dist == 1.0)
             .count();
-        assert!(canon_level1 > k, "canonical keeps {canon_level1} > k under ties");
+        assert!(
+            canon_level1 > k,
+            "canonical keeps {canon_level1} > k under ties"
+        );
     }
 }

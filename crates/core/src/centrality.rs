@@ -93,8 +93,8 @@ where
 mod tests {
     use super::*;
     use crate::ads_set::AdsSet;
-    use adsketch_graph::generators;
     use adsketch_graph::exact;
+    use adsketch_graph::generators;
     use adsketch_util::stats::RunningStat;
 
     #[test]

@@ -35,7 +35,10 @@ impl fmt::Display for CoreError {
                 write!(f, "the DP builder requires an unweighted graph; use LocalUpdates or PrunedDijkstra for weighted graphs")
             }
             CoreError::RankCountMismatch { ranks, nodes } => {
-                write!(f, "rank array has {ranks} entries but the graph has {nodes} nodes")
+                write!(
+                    f,
+                    "rank array has {ranks} entries but the graph has {nodes} nodes"
+                )
             }
             CoreError::InvalidRank { rank } => {
                 write!(f, "rank {rank} must be finite and non-negative")
@@ -55,10 +58,16 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        assert!(CoreError::RequiresUnweighted.to_string().contains("unweighted"));
+        assert!(CoreError::RequiresUnweighted
+            .to_string()
+            .contains("unweighted"));
         let e = CoreError::RankCountMismatch { ranks: 3, nodes: 5 };
         assert!(e.to_string().contains('3') && e.to_string().contains('5'));
-        assert!(CoreError::InvalidRank { rank: f64::NAN }.to_string().contains("finite"));
-        assert!(CoreError::InvalidEpsilon { epsilon: -1.0 }.to_string().contains("-1"));
+        assert!(CoreError::InvalidRank { rank: f64::NAN }
+            .to_string()
+            .contains("finite"));
+        assert!(CoreError::InvalidEpsilon { epsilon: -1.0 }
+            .to_string()
+            .contains("-1"));
     }
 }

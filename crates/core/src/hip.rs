@@ -139,7 +139,9 @@ impl HipWeights {
         }
         let need = q * total;
         let idx = self.prefix.partition_point(|&c| c < need);
-        self.items.get(idx.min(self.items.len() - 1)).map(|it| it.dist)
+        self.items
+            .get(idx.min(self.items.len() - 1))
+            .map(|it| it.dist)
     }
 
     /// Compresses to a distance → adjusted-weight list, dropping node
@@ -163,10 +165,26 @@ mod tests {
 
     fn sample() -> HipWeights {
         HipWeights::from_sorted_items(vec![
-            HipItem { node: 0, dist: 0.0, weight: 1.0 },
-            HipItem { node: 2, dist: 1.0, weight: 1.0 },
-            HipItem { node: 5, dist: 1.0, weight: 2.0 },
-            HipItem { node: 1, dist: 3.0, weight: 4.0 },
+            HipItem {
+                node: 0,
+                dist: 0.0,
+                weight: 1.0,
+            },
+            HipItem {
+                node: 2,
+                dist: 1.0,
+                weight: 1.0,
+            },
+            HipItem {
+                node: 5,
+                dist: 1.0,
+                weight: 2.0,
+            },
+            HipItem {
+                node: 1,
+                dist: 3.0,
+                weight: 4.0,
+            },
         ])
     }
 

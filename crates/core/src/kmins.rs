@@ -33,9 +33,9 @@ impl KMinsAds {
     /// Wraps records sorted canonically by `(dist, node, perm)`.
     pub fn from_records(k: usize, records: Vec<KMinsRecord>) -> Self {
         assert!(k >= 1);
-        debug_assert!(records.windows(2).all(|w| {
-            (w[0].dist, w[0].node, w[0].perm) <= (w[1].dist, w[1].node, w[1].perm)
-        }));
+        debug_assert!(records
+            .windows(2)
+            .all(|w| { (w[0].dist, w[0].node, w[0].perm) <= (w[1].dist, w[1].node, w[1].perm) }));
         Self { k, records }
     }
 

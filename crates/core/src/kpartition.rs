@@ -196,11 +196,7 @@ mod tests {
         // Recompute the last item's τ directly.
         let last = *hip.items().last().unwrap();
         let mut minima = [1.0f64; 16];
-        for r in ads
-            .records()
-            .iter()
-            .take(ads.len() - 1)
-        {
+        for r in ads.records().iter().take(ads.len() - 1) {
             let m = &mut minima[r.bucket as usize];
             if r.rank < *m {
                 *m = r.rank;

@@ -36,7 +36,7 @@
 //! | [`entry`], [`bottomk`], [`kmins`], [`kpartition`] | the three ADS flavors (Section 2) |
 //! | [`ads_set`] | per-graph collections of sketches |
 //! | [`builder`] | PrunedDijkstra, DP and LocalUpdates construction (Section 3), incl. (1+ε)-approximate ADS |
-//! | [`reference`] | brute-force order-based builders used for validation |
+//! | [`reference`](mod@reference) | brute-force order-based builders used for validation |
 //! | [`hip`] | adjusted weights and HIP query evaluation (Section 5) |
 //! | [`basic`] | basic (MinHash-extraction) estimators on ADSs (Section 4) |
 //! | [`permutation`] | the permutation cardinality estimator (Section 5.4) |
@@ -61,6 +61,8 @@
 //! let exact = adsketch_graph::exact::neighborhood_function(&g, 0).cardinality_at(2.0) as f64;
 //! assert!((est - exact).abs() / exact < 0.8);
 //! ```
+
+#![deny(missing_docs)]
 
 pub mod ads_set;
 pub mod basic;

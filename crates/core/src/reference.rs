@@ -22,11 +22,8 @@ use crate::kpartition::{KPartRecord, KPartitionAds};
 
 fn assert_canonical_order(order: &[(NodeId, f64)]) {
     debug_assert!(
-        order
-            .windows(2)
-            .all(|w| (w[0].1, w[0].0) < (w[1].1, w[1].0)
-                || (w[0].1.total_cmp(&w[1].1).then(w[0].0.cmp(&w[1].0))
-                    == std::cmp::Ordering::Less)),
+        order.windows(2).all(|w| (w[0].1, w[0].0) < (w[1].1, w[1].0)
+            || (w[0].1.total_cmp(&w[1].1).then(w[0].0.cmp(&w[1].0)) == std::cmp::Ordering::Less)),
         "order must be sorted by (dist, node)"
     );
 }

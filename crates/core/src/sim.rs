@@ -50,7 +50,10 @@ impl StreamSim {
         assert!(k >= 2, "the basic estimators need k ≥ 2");
         let perm = perm_domain.map(|n| {
             let mut rng = SplitMix64::new(seed ^ 0x9E37_79B9_7F4A_7C15);
-            (rng.permutation(n as usize), PermutationCardinality::new(n, k))
+            (
+                rng.permutation(n as usize),
+                PermutationCardinality::new(n, k),
+            )
         });
         Self {
             k,

@@ -35,11 +35,7 @@ pub fn neighborhood_intersection(u: &BottomKAds, v: &BottomKAds, d: f64) -> f64 
 /// their d-neighborhoods at each distance in `ds`. Nodes in similar
 /// positions of the network have profiles near 1 at all scales; the
 /// profile's rise distance is a scale-aware distance proxy.
-pub fn closeness_profile(
-    u: &BottomKAds,
-    v: &BottomKAds,
-    ds: &[f64],
-) -> Vec<(f64, f64)> {
+pub fn closeness_profile(u: &BottomKAds, v: &BottomKAds, ds: &[f64]) -> Vec<(f64, f64)> {
     ds.iter()
         .map(|&d| (d, neighborhood_jaccard(u, v, d)))
         .collect()
@@ -96,7 +92,11 @@ mod tests {
         for seed in 0..200 {
             let ads = AdsSet::build(&g, 16, seed + 500);
             us.push(neighborhood_union(ads.sketch(100), ads.sketch(104), 10.0));
-            is.push(neighborhood_intersection(ads.sketch(100), ads.sketch(104), 10.0));
+            is.push(neighborhood_intersection(
+                ads.sketch(100),
+                ads.sketch(104),
+                10.0,
+            ));
         }
         // N_10(100) = [90,110], N_10(104) = [94,114]: union 25, inter 17.
         assert!((us.mean() - 25.0).abs() < 2.0, "union {}", us.mean());
@@ -108,11 +108,8 @@ mod tests {
         // On a path, the similarity of two nearby nodes grows with scale.
         let g = Graph::undirected(300, &generators::path_edges(300)).unwrap();
         let ads = AdsSet::build(&g, 32, 9);
-        let profile = closeness_profile(
-            ads.sketch(150),
-            ads.sketch(153),
-            &[2.0, 10.0, 50.0, 140.0],
-        );
+        let profile =
+            closeness_profile(ads.sketch(150), ads.sketch(153), &[2.0, 10.0, 50.0, 140.0]);
         assert!(profile.first().unwrap().1 < profile.last().unwrap().1);
     }
 }

@@ -70,10 +70,7 @@ mod tests {
         // E_{k+1} = (k+1)²/k − 1 (derived explicitly in the paper).
         for k in [2usize, 5, 10] {
             let expect = ((k + 1) * (k + 1)) as f64 / k as f64 - 1.0;
-            assert!(
-                (size_estimator(k + 1, k) - expect).abs() < 1e-9,
-                "k = {k}"
-            );
+            assert!((size_estimator(k + 1, k) - expect).abs() < 1e-9, "k = {k}");
         }
     }
 

@@ -181,9 +181,7 @@ mod tests {
         // Stream with 20 levels of 25 tied nodes each.
         let n = 500usize;
         let k = 6;
-        let order: Vec<(NodeId, f64)> = (0..n)
-            .map(|i| (i as NodeId, (i / 25) as f64))
-            .collect();
+        let order: Vec<(NodeId, f64)> = (0..n).map(|i| (i as NodeId, (i / 25) as f64)).collect();
         let mut err = ErrorStats::new(n as f64);
         for seed in 0..4000u64 {
             let h = RankHasher::new(seed);
@@ -233,8 +231,7 @@ mod tests {
         use adsketch_graph::generators;
         let g = generators::gnp(80, 0.06, 3);
         let ranks = crate::uniform_ranks(80, 4);
-        let built =
-            crate::builder::pruned_dijkstra::build_tieless_entries(&g, 3, &ranks).unwrap();
+        let built = crate::builder::pruned_dijkstra::build_tieless_entries(&g, 3, &ranks).unwrap();
         for v in 0..80u32 {
             let order = adsketch_graph::dijkstra::dijkstra_order_canonical(&g, v);
             let reference = TielessAds::from_order(3, &order, &ranks);

@@ -27,7 +27,10 @@ pub fn exponential_ranks(betas: &[f64], seed: u64) -> Vec<f64> {
         .iter()
         .enumerate()
         .map(|(v, &b)| {
-            assert!(b > 0.0, "node weight must be positive, got {b} for node {v}");
+            assert!(
+                b > 0.0,
+                "node weight must be positive, got {b} for node {v}"
+            );
             h.exp_rank(v as u64, b)
         })
         .collect()

@@ -39,10 +39,7 @@ impl Graph {
 
     /// Builds a directed, weighted graph from arcs `(u, v, w)`; weights must
     /// be finite and non-negative.
-    pub fn directed_weighted(
-        n: usize,
-        arcs: &[(NodeId, NodeId, f64)],
-    ) -> Result<Self, GraphError> {
+    pub fn directed_weighted(n: usize, arcs: &[(NodeId, NodeId, f64)]) -> Result<Self, GraphError> {
         Self::build(n, arcs.iter().copied(), true)
     }
 
@@ -70,10 +67,16 @@ impl Graph {
         let mut triples: Vec<(NodeId, NodeId, f64)> = Vec::with_capacity(arcs.size_hint().0);
         for (u, v, w) in arcs {
             if u as usize >= n {
-                return Err(GraphError::InvalidNode { node: u as u64, num_nodes: n });
+                return Err(GraphError::InvalidNode {
+                    node: u as u64,
+                    num_nodes: n,
+                });
             }
             if v as usize >= n {
-                return Err(GraphError::InvalidNode { node: v as u64, num_nodes: n });
+                return Err(GraphError::InvalidNode {
+                    node: v as u64,
+                    num_nodes: n,
+                });
             }
             if weighted && !(w.is_finite() && w >= 0.0) {
                 return Err(GraphError::InvalidWeight { weight: w });
@@ -91,7 +94,11 @@ impl Graph {
         }
         let targets: Vec<NodeId> = triples.iter().map(|t| t.1).collect();
         let weights = weighted.then(|| triples.iter().map(|t| t.2).collect());
-        Ok(Self { offsets, targets, weights })
+        Ok(Self {
+            offsets,
+            targets,
+            weights,
+        })
     }
 
     /// Number of nodes.
@@ -170,7 +177,11 @@ impl Graph {
         }
         // Targets within each source may be unsorted after bucketing;
         // restore canonical order (stable w.r.t. weights).
-        let mut g = Self { offsets, targets, weights };
+        let mut g = Self {
+            offsets,
+            targets,
+            weights,
+        };
         g.sort_adjacency();
         g
     }
@@ -206,9 +217,7 @@ impl Graph {
     }
 }
 
-fn symmetrize(
-    edges: impl Iterator<Item = (NodeId, NodeId, f64)>,
-) -> Vec<(NodeId, NodeId, f64)> {
+fn symmetrize(edges: impl Iterator<Item = (NodeId, NodeId, f64)>) -> Vec<(NodeId, NodeId, f64)> {
     let mut arcs = Vec::with_capacity(edges.size_hint().0 * 2);
     for (u, v, w) in edges {
         arcs.push((u, v, w));

@@ -121,7 +121,13 @@ mod tests {
         // 0→1 (1), 0→2 (4), 1→2 (2), 1→3 (6), 2→3 (3)
         Graph::directed_weighted(
             4,
-            &[(0, 1, 1.0), (0, 2, 4.0), (1, 2, 2.0), (1, 3, 6.0), (2, 3, 3.0)],
+            &[
+                (0, 1, 1.0),
+                (0, 2, 4.0),
+                (1, 2, 2.0),
+                (1, 3, 6.0),
+                (2, 3, 3.0),
+            ],
         )
         .unwrap()
     }
@@ -249,7 +255,12 @@ mod tests {
         }
         for v in 0..n {
             if bf[v].is_finite() {
-                assert!((d[v] - bf[v]).abs() < 1e-9, "node {v}: {} vs {}", d[v], bf[v]);
+                assert!(
+                    (d[v] - bf[v]).abs() < 1e-9,
+                    "node {v}: {} vs {}",
+                    d[v],
+                    bf[v]
+                );
             } else {
                 assert!(d[v].is_infinite());
             }

@@ -32,7 +32,10 @@ impl fmt::Display for GraphError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             GraphError::InvalidNode { node, num_nodes } => {
-                write!(f, "node id {node} out of range for graph with {num_nodes} nodes")
+                write!(
+                    f,
+                    "node id {node} out of range for graph with {num_nodes} nodes"
+                )
             }
             GraphError::InvalidWeight { weight } => {
                 write!(f, "edge weight {weight} must be finite and non-negative")
@@ -66,10 +69,16 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        let e = GraphError::InvalidNode { node: 9, num_nodes: 5 };
+        let e = GraphError::InvalidNode {
+            node: 9,
+            num_nodes: 5,
+        };
         assert!(e.to_string().contains("9"));
         assert!(e.to_string().contains("5"));
-        let e = GraphError::Parse { line: 3, message: "bad".into() };
+        let e = GraphError::Parse {
+            line: 3,
+            message: "bad".into(),
+        };
         assert!(e.to_string().contains("line 3"));
         let e = GraphError::InvalidWeight { weight: -1.0 };
         assert!(e.to_string().contains("-1"));

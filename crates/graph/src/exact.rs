@@ -22,10 +22,7 @@ pub struct NeighborhoodFunction {
 impl NeighborhoodFunction {
     /// `|N_d(v)|` via binary search over the step function.
     pub fn cardinality_at(&self, d: f64) -> u64 {
-        match self
-            .distances
-            .binary_search_by(|x| x.total_cmp(&d))
-        {
+        match self.distances.binary_search_by(|x| x.total_cmp(&d)) {
             Ok(i) => self.counts[i],
             Err(0) => 0,
             Err(i) => self.counts[i - 1],
@@ -260,8 +257,7 @@ mod tests {
 
     #[test]
     fn weighted_distances_respected() {
-        let g =
-            Graph::directed_weighted(3, &[(0, 1, 2.5), (1, 2, 0.5)]).unwrap();
+        let g = Graph::directed_weighted(3, &[(0, 1, 2.5), (1, 2, 0.5)]).unwrap();
         let nf = neighborhood_function(&g, 0);
         assert_eq!(nf.distances, vec![0.0, 2.5, 3.0]);
         assert_eq!(sum_of_distances(&g, 0), 5.5);

@@ -60,7 +60,10 @@ fn pair_from_index(idx: u64, n: usize) -> (NodeId, NodeId) {
 /// uniformly (Floyd's sampling over pair indices).
 pub fn gnm_edges(n: usize, m: usize, seed: u64) -> Vec<(NodeId, NodeId)> {
     let total = n as u64 * (n as u64).saturating_sub(1) / 2;
-    assert!(m as u64 <= total, "m = {m} exceeds the {total} possible edges");
+    assert!(
+        m as u64 <= total,
+        "m = {m} exceeds the {total} possible edges"
+    );
     let mut rng = Xoshiro256pp::new(seed);
     let mut chosen = std::collections::HashSet::with_capacity(m * 2);
     let mut edges = Vec::with_capacity(m);
@@ -68,7 +71,12 @@ pub fn gnm_edges(n: usize, m: usize, seed: u64) -> Vec<(NodeId, NodeId)> {
     // use j itself.
     for j in (total - m as u64)..total {
         let t = rng.range_u64(j + 1);
-        let pick = if chosen.insert(t) { t } else { chosen.insert(j); j };
+        let pick = if chosen.insert(t) {
+            t
+        } else {
+            chosen.insert(j);
+            j
+        };
         edges.push(pair_from_index(pick, n));
     }
     edges
@@ -146,7 +154,9 @@ pub fn watts_strogatz_edges(n: usize, k: usize, beta: f64, seed: u64) -> Vec<(No
 
 /// Path `0 − 1 − … − (n−1)`.
 pub fn path_edges(n: usize) -> Vec<(NodeId, NodeId)> {
-    (0..n.saturating_sub(1)).map(|i| (i as NodeId, i as NodeId + 1)).collect()
+    (0..n.saturating_sub(1))
+        .map(|i| (i as NodeId, i as NodeId + 1))
+        .collect()
 }
 
 /// Cycle on n nodes.
@@ -242,13 +252,7 @@ pub fn gnp_directed(n: usize, p: f64, seed: u64) -> Graph {
 /// and quantized `U[lo, hi)` weights (see [`assign_uniform_weights`] for
 /// why weights are quantized) — the workhorse for builder-equivalence
 /// tests.
-pub fn random_weighted_digraph(
-    n: usize,
-    deg: usize,
-    lo: f64,
-    hi: f64,
-    seed: u64,
-) -> Graph {
+pub fn random_weighted_digraph(n: usize, deg: usize, lo: f64, hi: f64, seed: u64) -> Graph {
     let mut rng = Xoshiro256pp::new(seed);
     let step = (hi - lo) / WEIGHT_STEPS as f64;
     let mut arcs = Vec::with_capacity(n * deg);

@@ -27,8 +27,7 @@ impl EdgeList {
         if self.weighted {
             Graph::directed_weighted(self.num_nodes, &self.arcs)
         } else {
-            let arcs: Vec<(NodeId, NodeId)> =
-                self.arcs.iter().map(|&(u, v, _)| (u, v)).collect();
+            let arcs: Vec<(NodeId, NodeId)> = self.arcs.iter().map(|&(u, v, _)| (u, v)).collect();
             Graph::directed(self.num_nodes, &arcs)
         }
     }
@@ -38,8 +37,7 @@ impl EdgeList {
         if self.weighted {
             Graph::undirected_weighted(self.num_nodes, &self.arcs)
         } else {
-            let edges: Vec<(NodeId, NodeId)> =
-                self.arcs.iter().map(|&(u, v, _)| (u, v)).collect();
+            let edges: Vec<(NodeId, NodeId)> = self.arcs.iter().map(|&(u, v, _)| (u, v)).collect();
             Graph::undirected(self.num_nodes, &edges)
         }
     }
@@ -172,7 +170,10 @@ mod tests {
         let g = Graph::directed_weighted(3, &[(0, 1, 1.5), (2, 0, 2.0)]).unwrap();
         let mut buf = Vec::new();
         write_edge_list(&g, &mut buf).unwrap();
-        let back = read_edge_list(buf.as_slice()).unwrap().into_directed().unwrap();
+        let back = read_edge_list(buf.as_slice())
+            .unwrap()
+            .into_directed()
+            .unwrap();
         assert_eq!(back, g);
     }
 
@@ -183,7 +184,10 @@ mod tests {
         write_edge_list(&g, &mut buf).unwrap();
         // The written file contains both arc directions; reading it back as
         // directed reproduces the same CSR.
-        let back = read_edge_list(buf.as_slice()).unwrap().into_directed().unwrap();
+        let back = read_edge_list(buf.as_slice())
+            .unwrap()
+            .into_directed()
+            .unwrap();
         assert_eq!(back, g);
     }
 }

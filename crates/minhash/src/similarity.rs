@@ -99,8 +99,16 @@ mod tests {
             us.push(union_cardinality(&a, &b));
             is.push(intersection_cardinality(&a, &b));
         }
-        assert!((us.mean() - 800.0).abs() / 800.0 < 0.05, "union {}", us.mean());
-        assert!((is.mean() - 400.0).abs() / 400.0 < 0.10, "inter {}", is.mean());
+        assert!(
+            (us.mean() - 800.0).abs() / 800.0 < 0.05,
+            "union {}",
+            us.mean()
+        );
+        assert!(
+            (is.mean() - 400.0).abs() / 400.0 < 0.10,
+            "inter {}",
+            is.mean()
+        );
     }
 
     #[test]

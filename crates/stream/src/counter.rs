@@ -186,8 +186,7 @@ impl<A: Accumulator> HipKPartitionCounter<A> {
 
 impl<A: Accumulator> DistinctCounter for HipKPartitionCounter<A> {
     fn insert(&mut self, element: u64) {
-        let tau =
-            self.sketch.mins().iter().sum::<f64>() / self.sketch.k() as f64;
+        let tau = self.sketch.mins().iter().sum::<f64>() / self.sketch.k() as f64;
         if self.sketch.insert(&self.hasher, element) {
             self.acc.add(1.0 / tau);
         }

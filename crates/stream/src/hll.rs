@@ -243,7 +243,10 @@ mod tests {
             hll.insert(&h, e);
             if e % 10_000 == 9_999 {
                 let raw = hll.raw_estimate();
-                assert!(raw >= last_raw, "raw estimate must grow: {raw} < {last_raw}");
+                assert!(
+                    raw >= last_raw,
+                    "raw estimate must grow: {raw} < {last_raw}"
+                );
                 last_raw = raw;
             }
         }
@@ -258,6 +261,9 @@ mod tests {
         let raw = hll.raw_estimate();
         assert!(raw > 4_294_967_296.0 / 30.0);
         let corrected = hll.estimate();
-        assert!(corrected > raw, "correction inflates (collision-adjusted) estimates: {corrected} vs {raw}");
+        assert!(
+            corrected > raw,
+            "correction inflates (collision-adjusted) estimates: {corrected} vs {raw}"
+        );
     }
 }

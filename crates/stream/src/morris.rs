@@ -143,7 +143,10 @@ mod tests {
         c.add(1_000_000.0);
         let est = c.estimate();
         // One add of Y lands within a factor b of Y deterministically.
-        assert!((1_000_000.0 / 2.0..=2_000_001.0).contains(&est), "est = {est}");
+        assert!(
+            (1_000_000.0 / 2.0..=2_000_001.0).contains(&est),
+            "est = {est}"
+        );
     }
 
     #[test]

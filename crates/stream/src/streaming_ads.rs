@@ -269,10 +269,7 @@ mod tests {
         assert_eq!(ads.entries()[0].element, 3);
         assert_eq!(ads.entries()[0].time, 20.0);
         // No duplicate of element 3 deeper in the sketch.
-        assert_eq!(
-            ads.entries().iter().filter(|e| e.element == 3).count(),
-            1
-        );
+        assert_eq!(ads.entries().iter().filter(|e| e.element == 3).count(), 1);
     }
 
     #[test]
@@ -317,7 +314,7 @@ mod tests {
         ads.observe(1, 0.0);
         ads.observe(2, 1.0);
         ads.observe(1, 2.0); // element 1 refreshed
-        // k ≥ distinct count ⇒ exact: α(t) = t sums the latest times.
+                             // k ≥ distinct count ⇒ exact: α(t) = t sums the latest times.
         let got = ads.decayed_count(|t| t);
         assert_eq!(got, 2.0 + 1.0);
     }

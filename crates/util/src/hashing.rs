@@ -54,7 +54,12 @@ impl RankHasher {
     /// Raw 64-bit rank of `element` in the primary permutation.
     #[inline]
     pub fn rank_bits(&self, element: u64) -> u64 {
-        mix64(element.wrapping_add(0x632B_E59B_D9B4_E019).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ self.seed)
+        mix64(
+            element
+                .wrapping_add(0x632B_E59B_D9B4_E019)
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                ^ self.seed,
+        )
     }
 
     /// Rank `r(element) ~ U[0,1)` in the primary permutation.
@@ -68,7 +73,13 @@ impl RankHasher {
     #[inline]
     pub fn perm_rank_bits(&self, element: u64, index: u32) -> u64 {
         let salt = mix64((index as u64).wrapping_add(0xA076_1D64_78BD_642F));
-        mix64(element.wrapping_add(0x632B_E59B_D9B4_E019).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ self.seed ^ salt)
+        mix64(
+            element
+                .wrapping_add(0x632B_E59B_D9B4_E019)
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                ^ self.seed
+                ^ salt,
+        )
     }
 
     /// Rank in the `index`-th independent permutation, as `U[0,1)`.
@@ -185,7 +196,10 @@ mod tests {
             let dev = (counts[b] as f64 - n as f64 / k as f64).abs() / (n as f64 / k as f64);
             assert!(dev < 0.05, "bucket {b} count {}", counts[b]);
             let mean_rank = rank_sums[b] / counts[b] as f64;
-            assert!((mean_rank - 0.5).abs() < 0.02, "bucket {b} mean rank {mean_rank}");
+            assert!(
+                (mean_rank - 0.5).abs() < 0.02,
+                "bucket {b} mean rank {mean_rank}"
+            );
         }
     }
 

@@ -20,6 +20,8 @@
 //! * [`harmonic`] — harmonic numbers and the expected-ADS-size formulas of
 //!   Lemma 2.2.
 
+#![deny(missing_docs)]
+
 pub mod harmonic;
 pub mod hashing;
 pub mod ranks;

@@ -327,7 +327,10 @@ mod tests {
         let n = 100_000;
         let mean: f64 = (0..n).map(|_| r.geometric(p) as f64).sum::<f64>() / n as f64;
         let expect = (1.0 - p) / p;
-        assert!((mean - expect).abs() < 0.1, "mean = {mean}, expect = {expect}");
+        assert!(
+            (mean - expect).abs() < 0.1,
+            "mean = {mean}, expect = {expect}"
+        );
     }
 
     #[test]

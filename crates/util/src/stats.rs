@@ -113,8 +113,7 @@ impl RunningStat {
         let n = self.n + other.n;
         let delta = other.mean - self.mean;
         let mean = self.mean + delta * other.n as f64 / n as f64;
-        let m2 =
-            self.m2 + other.m2 + delta * delta * self.n as f64 * other.n as f64 / n as f64;
+        let m2 = self.m2 + other.m2 + delta * delta * self.n as f64 * other.n as f64 / n as f64;
         *self = Self { n, mean, m2 };
     }
 }
@@ -410,7 +409,10 @@ mod tests {
             assert!(exact < approx, "k={k}: exact {exact} ≥ approx {approx}");
             let rel = (approx - exact) / approx;
             let tol = 0.8 / (k as f64).sqrt();
-            assert!(rel < tol, "k={k}: exact {exact}, approx {approx}, rel {rel}");
+            assert!(
+                rel < tol,
+                "k={k}: exact {exact}, approx {approx}, rel {rel}"
+            );
         }
     }
 

@@ -31,9 +31,7 @@ fn main() {
     let dd_exact = exact::distance_distribution(&g);
     let exact_time = t1.elapsed();
 
-    println!(
-        "\nestimated via ADS in {est_time:.2?}; exact all-pairs in {exact_time:.2?}"
-    );
+    println!("\nestimated via ADS in {est_time:.2?}; exact all-pairs in {exact_time:.2?}");
 
     let total_est = dd_est.last().map_or(0.0, |&(_, c)| c);
     let total_exact = dd_exact.connected_pairs() as f64;
@@ -43,7 +41,10 @@ fn main() {
     );
 
     println!("\ncumulative pairs within distance d:");
-    println!("{:>5} {:>14} {:>14} {:>8}", "d", "estimate", "exact", "err%");
+    println!(
+        "{:>5} {:>14} {:>14} {:>8}",
+        "d", "estimate", "exact", "err%"
+    );
     for &(d, est) in &dd_est {
         let exact = lookup(&dd_exact, d);
         if (d as u64).is_multiple_of(2) || d <= 6.0 {

@@ -55,7 +55,10 @@ fn main() {
         }
     }
     let n = truth.len() as f64;
-    println!("\nprocessed {occurrences} occurrences in {:.2?}", t0.elapsed());
+    println!(
+        "\nprocessed {occurrences} occurrences in {:.2?}",
+        t0.elapsed()
+    );
     for (name, est) in [
         ("HyperLogLog (bias-corrected)", hip_hll.sketch().estimate()),
         ("HIP on the HLL sketch       ", hip_hll.estimate()),

@@ -75,9 +75,7 @@ fn main() {
 
     // Facility scoring: rank candidate depots by estimated 30-minute
     // coverage; verify the top pick against exact coverage.
-    let candidates: Vec<NodeId> = (0..20)
-        .map(|_| rng.range_usize(n) as NodeId)
-        .collect();
+    let candidates: Vec<NodeId> = (0..20).map(|_| rng.range_usize(n) as NodeId).collect();
     let mut scored: Vec<(NodeId, f64)> = candidates
         .iter()
         .map(|&v| (v, ads.hip(v).cardinality_at(30.0)))

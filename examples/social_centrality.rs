@@ -57,12 +57,7 @@ fn main() {
     let beta = |v: NodeId| if premium[v as usize] { 1.0 } else { 0.0 };
     let top = scored[0].0;
     let est = centrality::decay_filtered(&ads.hip(top), DecayKernel::Harmonic, beta);
-    let exact = exact::centrality_exact(
-        &g,
-        top,
-        |d| if d > 0.0 { 1.0 / d } else { 0.0 },
-        beta,
-    );
+    let exact = exact::centrality_exact(&g, top, |d| if d > 0.0 { 1.0 / d } else { 0.0 }, beta);
     println!(
         "\npremium-only harmonic centrality of the top node {top}: est {est:.1}, exact {exact:.1}"
     );
@@ -71,11 +66,8 @@ fn main() {
     // contenders — still zero extra graph traversals.
     println!("\npremium-weighted exponential influence (α = 2^-d):");
     for &(v, _) in scored.iter().take(3) {
-        let inf = centrality::decay_filtered(
-            &ads.hip(v),
-            DecayKernel::Exponential { base: 2.0 },
-            beta,
-        );
+        let inf =
+            centrality::decay_filtered(&ads.hip(v), DecayKernel::Exponential { base: 2.0 }, beta);
         println!("  node {v:>6}: {inf:.2}");
     }
 }

@@ -45,8 +45,14 @@ fn main() {
     );
 
     // Sliding-window queries: distinct users active in the last W ticks.
-    println!("\nsliding windows over the recency ADS (sketch holds {} entries):", recent.entries().len());
-    println!("{:>10} {:>12} {:>10} {:>8}", "window", "estimate", "truth", "err%");
+    println!(
+        "\nsliding windows over the recency ADS (sketch holds {} entries):",
+        recent.entries().len()
+    );
+    println!(
+        "{:>10} {:>12} {:>10} {:>8}",
+        "window", "estimate", "truth", "err%"
+    );
     for w in [1_000u64, 5_000, 20_000, 50_000] {
         let t_min = (horizon - w) as f64;
         let est = recent.distinct_since(t_min);

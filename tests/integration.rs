@@ -84,8 +84,18 @@ fn estimator_hierarchy_on_a_graph() {
         let z = e.relative_bias() / e.bias_std_error();
         assert!(z.abs() < 4.5, "{name} bias z = {z}");
     }
-    assert!(hip.nrmse() < bas.nrmse(), "HIP {} vs basic {}", hip.nrmse(), bas.nrmse());
-    assert!(bas.nrmse() < siz.nrmse(), "basic {} vs size {}", bas.nrmse(), siz.nrmse());
+    assert!(
+        hip.nrmse() < bas.nrmse(),
+        "HIP {} vs basic {}",
+        hip.nrmse(),
+        bas.nrmse()
+    );
+    assert!(
+        bas.nrmse() < siz.nrmse(),
+        "basic {} vs size {}",
+        bas.nrmse(),
+        siz.nrmse()
+    );
     // And both match their theory curves loosely.
     assert!((hip.nrmse() - cv_hip(k)).abs() / cv_hip(k) < 0.35);
     assert!((bas.nrmse() - cv_basic(k)).abs() / cv_basic(k) < 0.35);

@@ -1,0 +1,54 @@
+//! Workspace-wiring smoke test: one type from each of the five library
+//! crates, reached exclusively through the `adsketch` facade re-exports.
+//! Guards the crate graph itself — if a re-export or inter-crate
+//! dependency breaks, this fails before any algorithmic test runs.
+
+use adsketch::core::AdsSet;
+use adsketch::graph::{generators, Graph};
+use adsketch::minhash::BottomKSketch;
+use adsketch::stream::HyperLogLog;
+use adsketch::util::RankHasher;
+
+#[test]
+fn facade_reaches_every_crate() {
+    // util: coordinated rank hashing underlies everything downstream.
+    let hasher = RankHasher::new(7);
+    let r = hasher.rank(42);
+    assert!((0.0..1.0).contains(&r));
+
+    // graph: build a small scale-free digraph via the generators.
+    let g = generators::barabasi_albert(200, 3, 11);
+    assert_eq!(g.num_nodes(), 200);
+
+    // core: an ADS per node, then a HIP cardinality query on node 0.
+    let ads = AdsSet::build(&g, 8, 7);
+    let hip = ads.hip(0);
+    let within2 = hip.cardinality_at(2.0);
+    assert!(within2 >= 1.0, "node 0 reaches at least itself: {within2}");
+
+    // minhash: a bottom-k sketch over an explicit element set.
+    let mut sketch = BottomKSketch::new(8);
+    for e in 0..1_000u64 {
+        sketch.insert(&hasher, e);
+    }
+
+    // stream: a HyperLogLog over the same stream, sanity-checked loosely.
+    let mut hll = HyperLogLog::new(64);
+    for e in 0..1_000u64 {
+        hll.insert(&hasher, e);
+    }
+    let est = hll.estimate();
+    assert!(
+        (500.0..2_000.0).contains(&est),
+        "HLL estimate of 1000 distinct elements way off: {est}"
+    );
+
+    // And the explicit-arc Graph constructor round-trips through the facade.
+    let path = Graph::directed(3, &[(0, 1), (1, 2)]).unwrap();
+    let path_ads = AdsSet::build(&path, 4, 1);
+    let reach = path_ads.hip(0).reachable_estimate();
+    assert!(
+        (reach - 3.0).abs() < 1e-9,
+        "n ≤ k makes HIP exact; got {reach}"
+    );
+}
