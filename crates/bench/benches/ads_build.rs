@@ -39,5 +39,41 @@ fn bench_builders(c: &mut Criterion) {
     group.finish();
 }
 
+/// Unweighted-vs-weighted × thread-count matrix for the wave-parallel
+/// PrunedDijkstra, with the retained PR-1 heap baseline as the yardstick
+/// (full-size numbers live in `BENCH_build.json` via `tbl_parallel`).
+fn bench_parallel_matrix(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ads_build_parallel");
+    group.sample_size(10);
+    let n = 2_000usize;
+    let k = 16;
+    let cases = [
+        ("unweighted", generators::barabasi_albert(n, 4, 7)),
+        (
+            "weighted",
+            generators::random_weighted_digraph(n, 4, 0.5, 2.5, 9),
+        ),
+    ];
+    let ranks = uniform_ranks(n, 3);
+    for (regime, g) in &cases {
+        group.bench_with_input(BenchmarkId::new("baseline_heap_seq", regime), g, |b, g| {
+            b.iter(|| pruned_dijkstra::build_baseline_with_stats(g, k, &ranks).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("pruned_seq", regime), g, |b, g| {
+            b.iter(|| pruned_dijkstra::build(g, k, &ranks).unwrap())
+        });
+        // threads = 0 ⇒ all cores.
+        for threads in [1usize, 2, 4, 0] {
+            let id = BenchmarkId::new(format!("parallel_{regime}"), format!("t{threads}"));
+            group.bench_with_input(id, g, |b, g| {
+                b.iter(|| pruned_dijkstra::build_parallel(g, k, &ranks, threads).unwrap())
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(parallel_matrix, bench_parallel_matrix);
+
 criterion_group!(benches, bench_builders);
-criterion_main!(benches);
+criterion_main!(benches, parallel_matrix);

@@ -1,0 +1,228 @@
+//! PARALLEL experiment: what the wave-parallel PrunedDijkstra and its
+//! unweighted BFS fast path buy over the original sequential heap-based
+//! builder (paper, Appendix B.4 motivates pipelining the rank-ordered
+//! searches; this measures the batched-wave realization).
+//!
+//! Every configuration is asserted bitwise identical to the sequential
+//! builder before its row is reported. With `--json PATH` the measurements
+//! are also written as a machine-readable snapshot (see
+//! `tools/bench_snapshot.sh`, which maintains `BENCH_build.json`).
+//!
+//! ```text
+//! cargo run --release -p adsketch-bench --bin tbl_parallel \
+//!     [--n 100000] [--k 16] [--json BENCH_build.json] [--smoke]
+//! ```
+//!
+//! `--smoke` shrinks the graphs to CI size (compile + one iteration per
+//! configuration, no timing gates).
+
+use std::time::Instant;
+
+use adsketch_bench::table::f;
+use adsketch_bench::{arg_flag, arg_str, arg_u64, Table};
+use adsketch_core::builder::pruned_dijkstra;
+use adsketch_core::{uniform_ranks, AdsSet, CoreError};
+use adsketch_graph::{generators, Graph};
+
+/// One measured build configuration.
+struct Record {
+    family: &'static str,
+    weighted: bool,
+    host_threads: usize,
+    n: usize,
+    m: usize,
+    k: usize,
+    algorithm: String,
+    threads: usize,
+    ns_per_op: u128,
+    relaxations: u64,
+    speedup_vs_baseline: f64,
+}
+
+fn main() {
+    let smoke = arg_flag("smoke");
+    let n = if smoke {
+        2_000
+    } else {
+        arg_u64("n", 100_000) as usize
+    };
+    let k = arg_u64("k", 16) as usize;
+    let json = arg_str("json", "");
+
+    let mut records = Vec::new();
+    // The headline family: unweighted scale-free, the regime the paper
+    // targets (social/web graphs) and the acceptance gate for the BFS
+    // fast path.
+    run_case(
+        "barabasi_albert_m4",
+        &generators::barabasi_albert(n, 4, 7),
+        k,
+        &mut records,
+    );
+    // Weighted control: same machinery, heap path, smaller n (the brute
+    // baseline is O(n) allocations per source).
+    let nw = (n / 5).max(500);
+    run_case(
+        "random_weighted_digraph_deg4",
+        &generators::random_weighted_digraph(nw, 4, 0.5, 2.5, 11),
+        k,
+        &mut records,
+    );
+
+    if !json.is_empty() {
+        std::fs::write(&json, render_json(&records)).expect("write json snapshot");
+        eprintln!("snapshot written to {json}");
+    }
+}
+
+fn run_case(family: &'static str, g: &Graph, k: usize, records: &mut Vec<Record>) {
+    let n = g.num_nodes();
+    let m = g.num_arcs();
+    let ranks = uniform_ranks(n, 13);
+    println!(
+        "\n=== {family}: n={n}, arcs={m}, k={k}, unit_weight={} ===",
+        g.is_unit_weight()
+    );
+    let mut t = Table::new(vec![
+        "algorithm",
+        "threads",
+        "time",
+        "speedup",
+        "relaxations",
+        "identical",
+    ]);
+
+    // PR-1 baseline: sequential binary-heap Dijkstra, per-source allocs.
+    let t0 = Instant::now();
+    let (base_set, base_stats) = pruned_dijkstra::build_baseline_with_stats(g, k, &ranks).unwrap();
+    let base_ns = t0.elapsed().as_nanos();
+    push(
+        records,
+        &mut t,
+        family,
+        g,
+        k,
+        "baseline_heap_seq",
+        1,
+        base_ns,
+        base_stats.relaxations,
+        base_ns,
+        true,
+    );
+
+    // Sequential with arena + BFS fast path (when unit-weight).
+    let timed: Vec<(String, usize, Box<Builder>)> = vec![
+        (
+            "pruned_seq".into(),
+            1,
+            Box::new(|g, k, ranks, _| pruned_dijkstra::build_with_stats(g, k, ranks)),
+        ),
+        ("parallel".into(), 1, Box::new(par)),
+        ("parallel".into(), 2, Box::new(par)),
+        ("parallel".into(), 4, Box::new(par)),
+        ("parallel".into(), 0, Box::new(par)),
+    ];
+    for (name, threads, build) in timed {
+        let t0 = Instant::now();
+        let (set, stats) = build(g, k, &ranks, threads).unwrap();
+        let ns = t0.elapsed().as_nanos();
+        let identical = set == base_set;
+        assert!(identical, "{family}/{name}/{threads}: output diverged");
+        push(
+            records,
+            &mut t,
+            family,
+            g,
+            k,
+            &name,
+            threads,
+            ns,
+            stats.relaxations,
+            base_ns,
+            identical,
+        );
+    }
+    println!("{}", t.render());
+}
+
+type Builder = dyn Fn(
+    &Graph,
+    usize,
+    &[f64],
+    usize,
+) -> Result<(AdsSet, adsketch_core::builder::BuildStats), CoreError>;
+
+fn par(
+    g: &Graph,
+    k: usize,
+    ranks: &[f64],
+    threads: usize,
+) -> Result<(AdsSet, adsketch_core::builder::BuildStats), CoreError> {
+    pruned_dijkstra::build_parallel_with_stats(g, k, ranks, threads)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn push(
+    records: &mut Vec<Record>,
+    t: &mut Table,
+    family: &'static str,
+    g: &Graph,
+    k: usize,
+    algorithm: &str,
+    threads: usize,
+    ns: u128,
+    relaxations: u64,
+    base_ns: u128,
+    identical: bool,
+) {
+    let speedup = base_ns as f64 / ns as f64;
+    t.row(vec![
+        algorithm.to_string(),
+        threads.to_string(),
+        format!("{:.2?}", std::time::Duration::from_nanos(ns as u64)),
+        format!("{}x", f(speedup)),
+        relaxations.to_string(),
+        if identical { "yes" } else { "NO" }.to_string(),
+    ]);
+    records.push(Record {
+        family,
+        weighted: g.is_weighted(),
+        host_threads: std::thread::available_parallelism().map_or(1, |p| p.get()),
+        n: g.num_nodes(),
+        m: g.num_arcs(),
+        k,
+        algorithm: algorithm.to_string(),
+        threads,
+        ns_per_op: ns,
+        relaxations,
+        speedup_vs_baseline: speedup,
+    });
+}
+
+fn render_json(records: &[Record]) -> String {
+    let mut out = String::from("[\n");
+    for (i, r) in records.iter().enumerate() {
+        out.push_str(&format!(
+            concat!(
+                "  {{\"family\": \"{}\", \"weighted\": {}, \"host_threads\": {}, ",
+                "\"n\": {}, \"m\": {}, ",
+                "\"k\": {}, \"algorithm\": \"{}\", \"threads\": {}, ",
+                "\"ns_per_op\": {}, \"relaxations\": {}, \"speedup_vs_baseline\": {:.4}}}{}\n"
+            ),
+            r.family,
+            r.weighted,
+            r.host_threads,
+            r.n,
+            r.m,
+            r.k,
+            r.algorithm,
+            r.threads,
+            r.ns_per_op,
+            r.relaxations,
+            r.speedup_vs_baseline,
+            if i + 1 == records.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("]\n");
+    out
+}

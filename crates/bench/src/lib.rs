@@ -23,6 +23,28 @@ pub fn arg_u64(name: &str, default: u64) -> u64 {
     default
 }
 
+/// Parses `--name value` as a string from the process arguments, with a
+/// default.
+pub fn arg_str(name: &str, default: &str) -> String {
+    let flag = format!("--{name}");
+    let args: Vec<String> = std::env::args().collect();
+    for i in 0..args.len() {
+        if args[i] == flag {
+            if let Some(v) = args.get(i + 1) {
+                return v.clone();
+            }
+            eprintln!("warning: missing value for {flag}; using {default}");
+        }
+    }
+    default.to_string()
+}
+
+/// True iff the bare flag `--name` is present in the process arguments.
+pub fn arg_flag(name: &str) -> bool {
+    let flag = format!("--{name}");
+    std::env::args().any(|a| a == flag)
+}
+
 /// Geometric checkpoint grid `{1..9} × 10^j` up to and including `max` —
 /// the sampling grid for all error-vs-cardinality experiments (log-x
 /// plots in the paper).

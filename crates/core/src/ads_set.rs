@@ -31,6 +31,16 @@ impl AdsSet {
             .expect("uniform ranks are always valid")
     }
 
+    /// Like [`AdsSet::build`], fanning the PrunedDijkstra searches out over
+    /// `threads` threads (`0` ⇒ all cores). The result is bitwise identical
+    /// to [`AdsSet::build`] with the same `seed` for every thread count —
+    /// see [`crate::builder::pruned_dijkstra::build_parallel`].
+    pub fn build_parallel(g: &Graph, k: usize, seed: u64, threads: usize) -> Self {
+        let ranks = uniform_ranks(g.num_nodes(), seed);
+        crate::builder::pruned_dijkstra::build_parallel(g, k, &ranks, threads)
+            .expect("uniform ranks are always valid")
+    }
+
     /// Wraps pre-built sketches (one per node).
     pub fn from_sketches(k: usize, sketches: Vec<BottomKAds>) -> Self {
         assert!(sketches.iter().all(|s| s.k() == k), "mixed k in ADS set");

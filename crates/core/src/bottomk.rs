@@ -17,6 +17,18 @@ use crate::hip::{HipItem, HipWeights};
 pub struct BottomKAds {
     k: usize,
     entries: Vec<AdsEntry>,
+    /// Entry indices sorted by node id: turns [`BottomKAds::get`] into a
+    /// binary search. An ADS holds ~`k ln n` entries (hundreds for
+    /// realistic k), enough that query-side linear scans showed up in the
+    /// similarity/centrality profiles; 4 bytes per entry buys O(log)
+    /// lookups. Derived from `entries`, so `PartialEq` stays consistent.
+    by_node: Vec<u32>,
+}
+
+fn node_index(entries: &[AdsEntry]) -> Vec<u32> {
+    let mut idx: Vec<u32> = (0..entries.len() as u32).collect();
+    idx.sort_unstable_by_key(|&i| entries[i as usize].node);
+    idx
 }
 
 impl BottomKAds {
@@ -25,7 +37,12 @@ impl BottomKAds {
     /// [`BottomKAds::validate`] to check explicitly.
     pub fn from_entries(k: usize, entries: Vec<AdsEntry>) -> Self {
         assert!(k >= 1);
-        let ads = Self { k, entries };
+        let by_node = node_index(&entries);
+        let ads = Self {
+            k,
+            entries,
+            by_node,
+        };
         debug_assert_eq!(ads.validate(), Ok(()));
         ads
     }
@@ -36,6 +53,7 @@ impl BottomKAds {
         Self {
             k,
             entries: Vec::new(),
+            by_node: Vec::new(),
         }
     }
 
@@ -63,9 +81,13 @@ impl BottomKAds {
         &self.entries
     }
 
-    /// The entry for `node`, if sampled.
+    /// The entry for `node`, if sampled. O(log len) via the node index.
+    #[inline]
     pub fn get(&self, node: NodeId) -> Option<&AdsEntry> {
-        self.entries.iter().find(|e| e.node == node)
+        self.by_node
+            .binary_search_by_key(&node, |&i| self.entries[i as usize].node)
+            .ok()
+            .map(|pos| &self.entries[self.by_node[pos] as usize])
     }
 
     /// Number of entries with distance ≤ `d` — the input of the size-only
@@ -153,6 +175,17 @@ impl BottomKAds {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Bypasses the `from_entries` debug validation for invariant-violation
+    /// tests (the node index itself is invariant-agnostic).
+    fn raw(k: usize, entries: Vec<AdsEntry>) -> BottomKAds {
+        let by_node = node_index(&entries);
+        BottomKAds {
+            k,
+            entries,
+            by_node,
+        }
+    }
 
     /// ADS built by hand for k = 1 over the paper's Example 2.1 scenario:
     /// nodes sorted by distance from `a` with ranks chosen so the inclusion
@@ -258,10 +291,10 @@ mod tests {
 
     #[test]
     fn validate_rejects_out_of_order() {
-        let ads = BottomKAds {
-            k: 1,
-            entries: vec![AdsEntry::new(0, 1.0, 0.1), AdsEntry::new(1, 0.5, 0.05)],
-        };
+        let ads = raw(
+            1,
+            vec![AdsEntry::new(0, 1.0, 0.1), AdsEntry::new(1, 0.5, 0.05)],
+        );
         assert!(ads.validate().unwrap_err().contains("canonical order"));
     }
 
@@ -269,25 +302,42 @@ mod tests {
     fn validate_rejects_inclusion_violation() {
         // Second entry's rank (0.8) is not below the min of closer ranks
         // (0.5) for k = 1.
-        let ads = BottomKAds {
-            k: 1,
-            entries: vec![AdsEntry::new(0, 0.0, 0.5), AdsEntry::new(1, 1.0, 0.8)],
-        };
+        let ads = raw(
+            1,
+            vec![AdsEntry::new(0, 0.0, 0.5), AdsEntry::new(1, 1.0, 0.8)],
+        );
         assert!(ads.validate().unwrap_err().contains("inclusion"));
     }
 
     #[test]
     fn validate_rejects_bad_values() {
-        let ads = BottomKAds {
-            k: 1,
-            entries: vec![AdsEntry::new(0, f64::NAN, 0.5)],
-        };
+        let ads = raw(1, vec![AdsEntry::new(0, f64::NAN, 0.5)]);
         assert!(ads.validate().is_err());
-        let ads = BottomKAds {
-            k: 1,
-            entries: vec![AdsEntry::new(0, 0.0, f64::INFINITY)],
-        };
+        let ads = raw(1, vec![AdsEntry::new(0, 0.0, f64::INFINITY)]);
         assert!(ads.validate().is_err());
+    }
+
+    #[test]
+    fn get_resolves_every_node_and_rejects_strangers() {
+        // The node index must agree with a linear scan on a non-trivially
+        // ordered sketch (canonical order ≠ node-id order).
+        let ads = BottomKAds::from_entries(
+            2,
+            vec![
+                AdsEntry::new(9, 0.0, 0.5),
+                AdsEntry::new(1, 1.0, 0.4),
+                AdsEntry::new(7, 2.0, 0.2),
+                AdsEntry::new(3, 3.0, 0.1),
+            ],
+        );
+        for e in ads.entries() {
+            let found = ads.get(e.node).expect("sampled node must resolve");
+            assert_eq!(found.node, e.node);
+            assert_eq!(found.dist, e.dist);
+        }
+        for missing in [0u32, 2, 4, 8, 100] {
+            assert!(ads.get(missing).is_none(), "node {missing}");
+        }
     }
 
     #[test]

@@ -1,0 +1,326 @@
+//! Flat arena for the per-node sketch state of rank-monotone builders.
+//!
+//! `Vec<PartialAds>` costs one heap allocation per node and, worse, a
+//! sorted *insert into the whole sketch* per accepted entry — an ADS
+//! grows to `k·ln n` entries, so late inserts memmove kilobytes. The
+//! arena exploits the structure of rank-monotone admission instead:
+//!
+//! * a candidate is admitted iff fewer than k existing entries precede it
+//!   canonically, i.e. iff it beats the k-th canonically-smallest entry —
+//!   only the **k-prefix** of the sketch ever decides admission;
+//! * admitted entries land at canonical position < k (for the tieless
+//!   rule too: < k entries at distance ≤ d implies < k entries canonically
+//!   before the candidate);
+//! * entries pushed out of the k-prefix are *never* consulted again
+//!   (the prefix max only decreases), they just belong to the final ADS.
+//!
+//! So the arena keeps one flat `n × min(k, n)` prefix buffer (sorted per
+//! node, O(1) reject, ≤ k-entry memmove per insert, zero reallocation)
+//! plus a global append-only overflow log of displaced entries, grouped
+//! and merged only when construction finishes. The layout also makes the
+//! read-only admission probe ([`PartialAdsArena::would_insert`]) O(1),
+//! which is what the wave scheduler hammers from worker threads.
+//!
+//! Only the rank-monotone insert regimes live here (canonical and
+//! tieless — everything the PrunedDijkstra-family builders need); the
+//! general retraction regimes remain on [`crate::builder::PartialAds`].
+
+use std::cmp::Ordering;
+
+use adsketch_graph::NodeId;
+
+use crate::ads_set::AdsSet;
+use crate::bottomk::BottomKAds;
+use crate::entry::AdsEntry;
+
+const PLACEHOLDER: AdsEntry = AdsEntry {
+    node: 0,
+    dist: 0.0,
+    rank: 0.0,
+};
+
+/// Sketches-under-construction for every node, arena-backed.
+#[derive(Debug, Clone)]
+pub(crate) struct PartialAdsArena {
+    k: usize,
+    /// Prefix row width: `min(k, n)` (a sketch never holds more distinct
+    /// sources than nodes, so wider rows would be dead weight for k ≥ n).
+    width: usize,
+    /// `n × width` row-major buffer; row `v` holds `len[v]` entries in
+    /// canonical `(dist, node)` order — the k canonically-smallest entries
+    /// of `v`'s sketch so far.
+    prefix: Vec<AdsEntry>,
+    /// Per-node prefix lengths.
+    len: Vec<u32>,
+    /// Entries displaced from some prefix, in arrival order (parallel
+    /// owner ids in `overflow_owner`). Unordered; grouped at finish.
+    overflow: Vec<AdsEntry>,
+    overflow_owner: Vec<NodeId>,
+}
+
+impl PartialAdsArena {
+    /// An arena for `n` nodes with sketch parameter `k`, all sketches
+    /// empty.
+    pub fn new(n: usize, k: usize) -> Self {
+        let width = k.min(n);
+        Self {
+            k,
+            width,
+            prefix: vec![PLACEHOLDER; n * width],
+            len: vec![0; n],
+            overflow: Vec::new(),
+            overflow_owner: Vec::new(),
+        }
+    }
+
+    /// `v`'s current k-prefix, canonically sorted.
+    #[inline]
+    fn row(&self, v: NodeId) -> &[AdsEntry] {
+        let off = v as usize * self.width;
+        &self.prefix[off..off + self.len[v as usize] as usize]
+    }
+
+    /// Read-only rank-monotone admission probe: would
+    /// [`Self::insert_rank_monotone`] accept `(node, dist)` into `v`'s
+    /// sketch right now? O(1): one compare against the prefix maximum.
+    /// Safe to call concurrently on a shared `&self` — this is the
+    /// frozen-state prune test of the wave scheduler.
+    ///
+    /// (For a duplicate `(dist, node)` key this reports `true` where the
+    /// insert would be a no-op; distinct sources can never produce one.)
+    #[inline]
+    pub fn would_insert(&self, v: NodeId, node: NodeId, dist: f64) -> bool {
+        let l = self.len[v as usize] as usize;
+        if l < self.k {
+            return true;
+        }
+        // Prefix full (l == k ≤ width): admit iff strictly below the k-th
+        // smallest key.
+        self.prefix[v as usize * self.width + l - 1].cmp_key(dist, node) == Ordering::Greater
+    }
+
+    /// PrunedDijkstra insert (see `PartialAds::insert_rank_monotone`):
+    /// sources arrive in increasing rank, so the inclusion test reduces to
+    /// "fewer than k entries are closer". Returns `true` if inserted.
+    pub fn insert_rank_monotone(&mut self, v: NodeId, node: NodeId, dist: f64, rank: f64) -> bool {
+        if !self.would_insert(v, node, dist) {
+            return false;
+        }
+        let pos = match self.row(v).binary_search_by(|e| e.cmp_key(dist, node)) {
+            Ok(_) => return false, // duplicate key (cannot happen across distinct sources)
+            Err(p) => p,
+        };
+        debug_assert!(
+            self.row(v).iter().all(|e| (e.rank, e.node) < (rank, node)),
+            "sources must be processed in increasing rank"
+        );
+        self.insert_at(v, pos, AdsEntry::new(node, dist, rank));
+        true
+    }
+
+    /// Tieless (Appendix A) rank-monotone insert: blocked by entries at
+    /// distance ≤ `dist`, so at most k nodes per distinct distance
+    /// survive. (Entries in overflow always sit at distances beyond the
+    /// prefix horizon, so the prefix alone decides here too.)
+    pub fn insert_rank_monotone_tieless(
+        &mut self,
+        v: NodeId,
+        node: NodeId,
+        dist: f64,
+        rank: f64,
+    ) -> bool {
+        let within = self.row(v).partition_point(|e| e.dist <= dist);
+        if within >= self.k {
+            return false;
+        }
+        let pos = match self.row(v).binary_search_by(|e| e.cmp_key(dist, node)) {
+            Ok(_) => return false,
+            Err(p) => p,
+        };
+        debug_assert!(pos < self.k, "tieless admits only into the k-prefix");
+        self.insert_at(v, pos, AdsEntry::new(node, dist, rank));
+        true
+    }
+
+    /// Inserts into `v`'s prefix row at `pos`, spilling the displaced
+    /// prefix maximum (if the row is full) into the overflow log.
+    fn insert_at(&mut self, v: NodeId, pos: usize, e: AdsEntry) {
+        let off = v as usize * self.width;
+        let l = self.len[v as usize] as usize;
+        // A full row below k (width = n < k) cannot receive another entry:
+        // that would require more distinct sources than the graph has
+        // nodes. The admission tests guarantee pos < l whenever l == width.
+        debug_assert!(
+            pos < l || l < self.width,
+            "more distinct sources than nodes"
+        );
+        if l == self.width {
+            self.overflow.push(self.prefix[off + l - 1]);
+            self.overflow_owner.push(v);
+            self.prefix
+                .copy_within(off + pos..off + l - 1, off + pos + 1);
+        } else {
+            self.prefix.copy_within(off + pos..off + l, off + pos + 1);
+            self.len[v as usize] += 1;
+        }
+        self.prefix[off + pos] = e;
+    }
+
+    /// Number of nodes covered.
+    #[cfg(test)]
+    pub fn num_nodes(&self) -> usize {
+        self.len.len()
+    }
+
+    /// `v`'s full sketch so far, canonically sorted (test diagnostics —
+    /// production reads happen via the bulk finishers below).
+    #[cfg(test)]
+    pub fn sorted_entries_of(&self, v: NodeId) -> Vec<AdsEntry> {
+        let mut out: Vec<AdsEntry> = self.row(v).to_vec();
+        out.extend(
+            self.overflow_owner
+                .iter()
+                .zip(&self.overflow)
+                .filter(|(&o, _)| o == v)
+                .map(|(_, e)| *e),
+        );
+        out.sort_unstable_by(AdsEntry::cmp_canonical);
+        out
+    }
+
+    /// Regroups prefix rows and overflow into one canonically sorted entry
+    /// vector per node.
+    pub fn into_per_node(self) -> Vec<Vec<AdsEntry>> {
+        let mut out: Vec<Vec<AdsEntry>> = (0..self.len.len())
+            .map(|v| self.row(v as NodeId).to_vec())
+            .collect();
+        for (v, e) in self.overflow_owner.iter().zip(&self.overflow) {
+            out[*v as usize].push(*e);
+        }
+        for es in &mut out {
+            es.sort_unstable_by(AdsEntry::cmp_canonical);
+        }
+        out
+    }
+
+    /// Finishes construction into a validated sketch set.
+    pub fn into_ads_set(self) -> AdsSet {
+        let k = self.k;
+        let sketches = self
+            .into_per_node()
+            .into_iter()
+            .map(|es| BottomKAds::from_entries(k, es))
+            .collect();
+        AdsSet::from_sketches(k, sketches)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::PartialAds;
+    use adsketch_util::rng::{Rng64, SplitMix64};
+
+    #[test]
+    fn matches_partial_ads_under_random_workload() {
+        // The arena must be behavior-identical to the Vec<PartialAds> it
+        // replaces: drive both with the same rank-monotone insert stream
+        // (k small enough that prefix spills are frequent).
+        for seed in 0..5u64 {
+            let mut rng = SplitMix64::new(seed);
+            let n = 12usize;
+            let k = 3usize;
+            let mut arena = PartialAdsArena::new(n, k);
+            let mut partials: Vec<PartialAds> = vec![PartialAds::default(); n];
+            // Sources in increasing rank (rank-monotone contract).
+            for (src, milli) in (0..60u32).zip(1..) {
+                let rank = milli as f64 / 100.0;
+                for v in 0..n as NodeId {
+                    if rng.bernoulli(0.6) {
+                        let dist = rng.range_usize(6) as f64;
+                        let a = arena.would_insert(v, src + 100, dist);
+                        let b = arena.insert_rank_monotone(v, src + 100, dist, rank);
+                        assert_eq!(a, b, "would_insert must predict insert");
+                        let c = partials[v as usize].insert_rank_monotone(k, src + 100, dist, rank);
+                        assert_eq!(b, c, "seed {seed}, src {src}, node {v}");
+                    }
+                }
+            }
+            for v in 0..n as NodeId {
+                assert_eq!(
+                    arena.sorted_entries_of(v),
+                    partials[v as usize].entries,
+                    "node {v}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tieless_matches_partial_ads() {
+        // Sources are node ids of the same 10-node graph (the arena sizes
+        // its prefix rows as min(k, n)).
+        let mut arena = PartialAdsArena::new(10, 2);
+        let mut p = PartialAds::default();
+        let cases = [
+            (1u32, 2.0, 0.1),
+            (0, 2.0, 0.2),
+            (5, 1.0, 0.3),
+            (9, 2.0, 0.4),
+        ];
+        for (node, dist, rank) in cases {
+            let a = arena.insert_rank_monotone_tieless(0, node, dist, rank);
+            let b = p.insert_rank_monotone_tieless(2, node, dist, rank);
+            assert_eq!(a, b);
+        }
+        assert_eq!(arena.sorted_entries_of(0), p.entries);
+    }
+
+    #[test]
+    fn prefix_spill_keeps_all_inserted_entries() {
+        // Ever-closer arrivals repeatedly displace the prefix maximum;
+        // nothing inserted may be lost and the final order is canonical.
+        let n = 3usize;
+        let k = 2usize;
+        let mut arena = PartialAdsArena::new(n, k);
+        let mut expect: Vec<Vec<AdsEntry>> = vec![Vec::new(); n];
+        for step in 0..20u32 {
+            for v in 0..n as NodeId {
+                let node = 100 + step * 3 + v;
+                let dist = (40 - step as i64) as f64 + 0.1 * v as f64;
+                let rank = 0.01 * (step * 3 + v) as f64;
+                // Decreasing distances: every insert is admitted and
+                // spills once the prefix is full.
+                assert!(arena.insert_rank_monotone(v, node, dist, rank));
+                expect[v as usize].push(AdsEntry::new(node, dist, rank));
+            }
+        }
+        let per_node = arena.into_per_node();
+        for v in 0..n {
+            let mut e = expect[v].clone();
+            e.sort_unstable_by(AdsEntry::cmp_canonical);
+            assert_eq!(per_node[v], e, "node {v}");
+        }
+    }
+
+    #[test]
+    fn k_larger_than_n_never_rejects_distinct_sources() {
+        // width = min(k, n): the narrow prefix must still admit up to n
+        // distinct sources per node when k ≥ n.
+        let n = 4usize;
+        let mut arena = PartialAdsArena::new(n, 64);
+        for src in 0..n as u32 {
+            assert!(arena.insert_rank_monotone(0, src, (n as u32 - src) as f64, 0.1 * src as f64));
+        }
+        assert_eq!(arena.sorted_entries_of(0).len(), n);
+    }
+
+    #[test]
+    fn empty_arena() {
+        let arena = PartialAdsArena::new(3, 2);
+        assert_eq!(arena.num_nodes(), 3);
+        assert!(arena.sorted_entries_of(1).is_empty());
+        let set = arena.into_ads_set();
+        assert_eq!(set.num_nodes(), 3);
+    }
+}

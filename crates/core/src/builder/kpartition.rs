@@ -36,11 +36,11 @@ pub fn build_with_stats(
         if sources.is_empty() {
             continue;
         }
-        let (partials, s) = run_core(g, 1, &ranks, Some(sources), false)?;
+        let (arena, s) = run_core(g, 1, &ranks, Some(sources), false)?;
         stats.relaxations += s.relaxations;
         stats.insertions += s.insertions;
-        for (v, p) in partials.into_iter().enumerate() {
-            records[v].extend(p.entries.into_iter().map(|e| KPartRecord {
+        for (v, entries) in arena.into_per_node().into_iter().enumerate() {
+            records[v].extend(entries.into_iter().map(|e| KPartRecord {
                 node: e.node,
                 dist: e.dist,
                 rank: e.rank,

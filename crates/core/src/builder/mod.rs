@@ -19,6 +19,7 @@
 //! Builders for the other two flavors ([`kmins`]/[`kpartition`]) reduce to
 //! bottom-1 runs of PrunedDijkstra per permutation/bucket.
 
+mod arena;
 pub mod dp;
 pub mod kmins;
 pub mod kpartition;
@@ -26,8 +27,52 @@ pub mod local_updates;
 pub mod parallel;
 mod partial;
 pub mod pruned_dijkstra;
+mod waves;
 
+pub(crate) use arena::PartialAdsArena;
 pub(crate) use partial::PartialAds;
+
+/// Resolves a requested thread count: `0` means "all available cores".
+pub(crate) fn thread_count(requested: usize) -> usize {
+    if requested > 0 {
+        requested
+    } else {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    }
+}
+
+/// The one chunking loop behind every parallel builder: splits `slots` into
+/// ≤ `threads` contiguous chunks and runs `f(scratch, global_index, slot)`
+/// for each slot under [`std::thread::scope`], with one `init()`-built
+/// scratch per thread (reused across that thread's slots — this is what
+/// lets per-permutation rank buffers and per-source search state be
+/// allocated once per thread instead of once per slot).
+pub(crate) fn shard_slots<T, S, I, F>(slots: &mut [T], threads: usize, init: I, f: F)
+where
+    T: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize, &mut T) + Sync,
+{
+    let total = slots.len();
+    if total == 0 {
+        return;
+    }
+    let t = thread_count(threads).min(total);
+    let chunk = total.div_ceil(t);
+    std::thread::scope(|scope| {
+        for (ci, part) in slots.chunks_mut(chunk).enumerate() {
+            let (init, f) = (&init, &f);
+            scope.spawn(move || {
+                let mut scratch = init();
+                for (j, slot) in part.iter_mut().enumerate() {
+                    f(&mut scratch, ci * chunk + j, slot);
+                }
+            });
+        }
+    });
+}
 
 /// Work counters reported by the builders (the paper's cost model counts
 /// edge relaxations; Appendix B.2 discusses their per-operation cost).
@@ -40,7 +85,8 @@ pub struct BuildStats {
     /// Entries removed again (LocalUpdates only — its extra overhead).
     pub removals: u64,
     /// Synchronized rounds (DP: graph diameter; LocalUpdates: bounded by
-    /// the shortest-path hop diameter).
+    /// the shortest-path hop diameter; parallel PrunedDijkstra: number of
+    /// source waves).
     pub rounds: u64,
 }
 

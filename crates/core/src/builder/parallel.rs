@@ -1,9 +1,11 @@
 //! Parallel ADS construction with `std::thread::scope`.
 //!
-//! Three construction strategies parallelize naturally (paper, Appendix
-//! B.4 discusses deeper pipelining of PrunedDijkstra itself; these simpler
-//! decompositions already give near-linear speedups and keep outputs
-//! *bitwise identical* to the sequential builders):
+//! The flagship wave-parallel PrunedDijkstra lives in
+//! [`crate::builder::pruned_dijkstra::build_parallel`]; this module holds
+//! the three simpler decompositions, all rebased on the same shared
+//! infrastructure (the `shard_slots` chunking helper and the per-thread
+//! `SearchScratch` reuse) and all *bitwise identical* to
+//! their sequential counterparts:
 //!
 //! * per-node: each node's ADS depends only on its own canonical order, so
 //!   the brute-force builder shards nodes across threads
@@ -13,25 +15,37 @@
 //! * per-bucket: a k-partition ADS set is k independent bucket-restricted
 //!   bottom-1 builds ([`build_kpartition`]).
 
-use adsketch_graph::dijkstra::dijkstra_order_canonical;
-use adsketch_graph::{Graph, NodeId};
+use adsketch_graph::{Graph, NodeId, Visit};
 use adsketch_util::RankHasher;
 
 use crate::ads_set::AdsSet;
 use crate::bottomk::BottomKAds;
 use crate::builder::pruned_dijkstra::run_core;
+use crate::builder::shard_slots;
+use crate::builder::waves::SearchScratch;
+use crate::entry::AdsEntry;
 use crate::error::CoreError;
 use crate::kmins::{KMinsAds, KMinsRecord};
 use crate::kpartition::{KPartRecord, KPartitionAds};
 use crate::reference::bottomk_from_order;
 
-fn thread_count(requested: usize) -> usize {
-    if requested > 0 {
-        requested
-    } else {
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
+/// Collects the canonical `(dist, id)`-ordered reachable set of `src` into
+/// `out`, reusing the thread's search scratch. The BFS fast path already
+/// visits in canonical order; Dijkstra needs the tie-order restored.
+fn canonical_order_into(
+    g: &Graph,
+    src: NodeId,
+    scratch: &mut SearchScratch,
+    out: &mut Vec<(NodeId, f64)>,
+) {
+    out.clear();
+    let needs_sort = matches!(scratch, SearchScratch::Dijkstra(_));
+    scratch.visit(g, src, |v, d| {
+        out.push((v, d));
+        Visit::Continue
+    });
+    if needs_sort {
+        out.sort_unstable_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
     }
 }
 
@@ -39,24 +53,16 @@ fn thread_count(requested: usize) -> usize {
 /// Output equals [`crate::reference::build_bottomk`] exactly.
 pub fn build_bottomk_per_node(g: &Graph, k: usize, ranks: &[f64], threads: usize) -> AdsSet {
     assert_eq!(ranks.len(), g.num_nodes());
-    let n = g.num_nodes();
-    let t = thread_count(threads).min(n.max(1));
-    let mut sketches: Vec<Option<BottomKAds>> = vec![None; n];
-    if n > 0 {
-        let chunk = n.div_ceil(t);
-        std::thread::scope(|scope| {
-            for (i, slot) in sketches.chunks_mut(chunk).enumerate() {
-                let start = i * chunk;
-                scope.spawn(move || {
-                    for (j, out) in slot.iter_mut().enumerate() {
-                        let v = (start + j) as NodeId;
-                        let order = dijkstra_order_canonical(g, v);
-                        *out = Some(bottomk_from_order(k, &order, ranks));
-                    }
-                });
-            }
-        });
-    }
+    let mut sketches: Vec<Option<BottomKAds>> = vec![None; g.num_nodes()];
+    shard_slots(
+        &mut sketches,
+        threads,
+        || (SearchScratch::for_graph(g), Vec::new()),
+        |(scratch, order), v, out| {
+            canonical_order_into(g, v as NodeId, scratch, order);
+            *out = Some(bottomk_from_order(k, order, ranks));
+        },
+    );
     AdsSet::from_sketches(
         k,
         sketches.into_iter().map(|s| s.expect("filled")).collect(),
@@ -73,40 +79,33 @@ pub fn build_kmins(
 ) -> Result<Vec<KMinsAds>, CoreError> {
     assert!(k >= 1);
     let n = g.num_nodes();
-    let t = thread_count(threads).min(k);
-    let mut per_perm: Vec<Option<Result<Vec<Vec<KMinsRecord>>, CoreError>>> = vec![None; k];
-    std::thread::scope(|scope| {
-        for (chunk_idx, slot) in per_perm.chunks_mut(k.div_ceil(t)).enumerate() {
-            let start = chunk_idx * k.div_ceil(t);
-            scope.spawn(move || {
-                for (j, out) in slot.iter_mut().enumerate() {
-                    let h = (start + j) as u32;
-                    let ranks: Vec<f64> = (0..n as u64).map(|v| hasher.perm_rank(v, h)).collect();
-                    *out = Some(run_core(g, 1, &ranks, None, false).map(|(partials, _)| {
-                        partials
-                            .into_iter()
-                            .map(|p| {
-                                p.entries
-                                    .into_iter()
-                                    .map(|e| KMinsRecord {
-                                        node: e.node,
-                                        dist: e.dist,
-                                        rank: e.rank,
-                                        perm: h,
-                                    })
-                                    .collect()
-                            })
-                            .collect()
-                    }));
-                }
-            });
-        }
-    });
+    let mut per_perm: Vec<Option<Result<Vec<Vec<AdsEntry>>, CoreError>>> = vec![None; k];
+    shard_slots(
+        &mut per_perm,
+        threads,
+        // One rank buffer per thread, refilled per permutation — not one
+        // fresh Vec<f64> of length n per permutation.
+        || vec![0.0f64; n],
+        |ranks_buf, j, out| {
+            let h = j as u32;
+            for (v, r) in ranks_buf.iter_mut().enumerate() {
+                *r = hasher.perm_rank(v as u64, h);
+            }
+            *out = Some(
+                run_core(g, 1, ranks_buf, None, false).map(|(arena, _)| arena.into_per_node()),
+            );
+        },
+    );
     let mut records: Vec<Vec<KMinsRecord>> = vec![Vec::new(); n];
-    for slot in per_perm {
+    for (h, slot) in per_perm.into_iter().enumerate() {
         let per_node = slot.expect("filled")?;
-        for (v, rs) in per_node.into_iter().enumerate() {
-            records[v].extend(rs);
+        for (v, entries) in per_node.into_iter().enumerate() {
+            records[v].extend(entries.into_iter().map(|e| KMinsRecord {
+                node: e.node,
+                dist: e.dist,
+                rank: e.rank,
+                perm: h as u32,
+            }));
         }
     }
     Ok(records
@@ -138,47 +137,34 @@ pub fn build_kpartition(
     for v in 0..n as NodeId {
         buckets[hasher.bucket(v as u64, k)].push(v);
     }
-    let t = thread_count(threads).min(k);
     let ranks_ref = &ranks;
     let buckets_ref = &buckets;
-    let mut per_bucket: Vec<Option<Result<Vec<Vec<KPartRecord>>, CoreError>>> = vec![None; k];
-    std::thread::scope(|scope| {
-        for (chunk_idx, slot) in per_bucket.chunks_mut(k.div_ceil(t)).enumerate() {
-            let start = chunk_idx * k.div_ceil(t);
-            scope.spawn(move || {
-                for (j, out) in slot.iter_mut().enumerate() {
-                    let b = start + j;
-                    if buckets_ref[b].is_empty() {
-                        *out = Some(Ok(vec![Vec::new(); n]));
-                        continue;
-                    }
-                    *out = Some(run_core(g, 1, ranks_ref, Some(&buckets_ref[b]), false).map(
-                        |(partials, _)| {
-                            partials
-                                .into_iter()
-                                .map(|p| {
-                                    p.entries
-                                        .into_iter()
-                                        .map(|e| KPartRecord {
-                                            node: e.node,
-                                            dist: e.dist,
-                                            rank: e.rank,
-                                            bucket: b as u32,
-                                        })
-                                        .collect()
-                                })
-                                .collect()
-                        },
-                    ));
-                }
-            });
-        }
-    });
+    let mut per_bucket: Vec<Option<Result<Vec<Vec<AdsEntry>>, CoreError>>> = vec![None; k];
+    shard_slots(
+        &mut per_bucket,
+        threads,
+        || (),
+        |(), b, out| {
+            if buckets_ref[b].is_empty() {
+                *out = Some(Ok(vec![Vec::new(); n]));
+                return;
+            }
+            *out = Some(
+                run_core(g, 1, ranks_ref, Some(&buckets_ref[b]), false)
+                    .map(|(arena, _)| arena.into_per_node()),
+            );
+        },
+    );
     let mut records: Vec<Vec<KPartRecord>> = vec![Vec::new(); n];
-    for slot in per_bucket {
+    for (b, slot) in per_bucket.into_iter().enumerate() {
         let per_node = slot.expect("filled")?;
-        for (v, rs) in per_node.into_iter().enumerate() {
-            records[v].extend(rs);
+        for (v, entries) in per_node.into_iter().enumerate() {
+            records[v].extend(entries.into_iter().map(|e| KPartRecord {
+                node: e.node,
+                dist: e.dist,
+                rank: e.rank,
+                bucket: b as u32,
+            }));
         }
     }
     Ok(records
@@ -205,6 +191,17 @@ mod tests {
             let seq = crate::reference::build_bottomk(&g, 3, &ranks);
             assert_eq!(par, seq, "threads = {threads}");
         }
+    }
+
+    #[test]
+    fn per_node_matches_sequential_weighted() {
+        // Exercises the Dijkstra branch of the shared scratch (ties must be
+        // re-sorted into canonical order before sketch extraction).
+        let g = generators::random_weighted_digraph(60, 4, 0.5, 2.5, 31);
+        let ranks = uniform_ranks(60, 32);
+        let par = build_bottomk_per_node(&g, 3, &ranks, 3);
+        let seq = crate::reference::build_bottomk(&g, 3, &ranks);
+        assert_eq!(par, seq);
     }
 
     #[test]

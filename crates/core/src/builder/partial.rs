@@ -66,6 +66,11 @@ impl PartialAds {
     /// Tieless (Appendix A) variant of the rank-monotone insert: the
     /// candidate is blocked by entries at distance *≤ d* (not `< d` with id
     /// tie-breaks), so at most k nodes per distinct distance survive.
+    ///
+    /// Production tieless builds moved to the arena
+    /// ([`crate::builder::PartialAdsArena`]); this stays as the reference
+    /// the arena is parity-tested against.
+    #[cfg(test)]
     pub fn insert_rank_monotone_tieless(
         &mut self,
         k: usize,

@@ -1,18 +1,34 @@
 //! PrunedDijkstra ADS construction (paper, Algorithm 1).
 //!
-//! Nodes are processed in increasing rank order; each runs a Dijkstra on
+//! Nodes are processed in increasing rank order; each runs a search on
 //! the transpose graph, inserting itself into the sketches of the nodes it
 //! scans and pruning wherever the sketch already holds k closer (and
 //! necessarily lower-ranked) entries. Pruning is exact: an entry that fails
 //! at `v` fails at every node behind `v` on a shortest path, so the
 //! search volume shrinks as ranks grow, giving `O(km log n)` expected
 //! relaxations in total.
+//!
+//! Two hot-path optimizations over the textbook formulation, neither of
+//! which changes the output:
+//!
+//! * **BFS fast path** — on unit-weight graphs
+//!   ([`adsketch_graph::Graph::is_unit_weight`]) the per-source search is a
+//!   pruned level-synchronous BFS instead of binary-heap Dijkstra; the
+//!   visit sequence is identical, the heap cost is gone.
+//! * **Arena-backed sketch state** — the n partial sketches live in one
+//!   contiguous buffer with per-node spans instead of n separate `Vec`s.
+//!
+//! [`build_parallel`] additionally fans the searches out over threads in
+//! rank-ordered waves (see the `waves` module); its output is
+//! bitwise identical to [`build`]. [`build_baseline_with_stats`] preserves
+//! the original sequential heap-based implementation for benchmarking.
 
-use adsketch_graph::dijkstra::{dijkstra_visit, Visit};
-use adsketch_graph::{Graph, NodeId};
+use adsketch_graph::dijkstra::dijkstra_visit;
+use adsketch_graph::{Graph, NodeId, Visit};
 
 use crate::ads_set::AdsSet;
-use crate::builder::{validate_ranks, BuildStats, PartialAds};
+use crate::builder::waves::{rank_order, run_core_parallel, SearchScratch};
+use crate::builder::{validate_ranks, BuildStats, PartialAds, PartialAdsArena};
 use crate::error::CoreError;
 
 /// Builds the forward bottom-k ADS set of `g` for the given node ranks.
@@ -26,8 +42,38 @@ pub fn build_with_stats(
     k: usize,
     ranks: &[f64],
 ) -> Result<(AdsSet, BuildStats), CoreError> {
-    let partials = run_core(g, k, ranks, None, false)?;
-    finish(k, partials)
+    let (arena, stats) = run_core(g, k, ranks, None, false)?;
+    Ok((arena.into_ads_set(), stats))
+}
+
+/// Wave-parallel PrunedDijkstra over `threads` threads (`0` ⇒ all cores).
+///
+/// Output is **bitwise identical** to [`build`] for every graph, rank
+/// assignment and thread count: sources are searched concurrently in
+/// rank-ordered waves against frozen sketch state, then merged by a
+/// deterministic rank-order replay that re-applies the exact sequential
+/// admission test (see the `builder::waves` module for the argument).
+pub fn build_parallel(
+    g: &Graph,
+    k: usize,
+    ranks: &[f64],
+    threads: usize,
+) -> Result<AdsSet, CoreError> {
+    build_parallel_with_stats(g, k, ranks, threads).map(|(set, _)| set)
+}
+
+/// Like [`build_parallel`], also returning work counters. `stats.rounds`
+/// is the number of waves; relaxations include the waves' bounded
+/// over-exploration and therefore vary with `threads` (the sketch set
+/// does not).
+pub fn build_parallel_with_stats(
+    g: &Graph,
+    k: usize,
+    ranks: &[f64],
+    threads: usize,
+) -> Result<(AdsSet, BuildStats), CoreError> {
+    let (arena, stats) = run_core_parallel(g, k, ranks, threads)?;
+    Ok((arena.into_ads_set(), stats))
 }
 
 /// Tieless (Appendix A) variant: at most k entries per distinct distance,
@@ -38,45 +84,68 @@ pub fn build_tieless_entries(
     k: usize,
     ranks: &[f64],
 ) -> Result<Vec<Vec<crate::entry::AdsEntry>>, CoreError> {
-    let (partials, _) = run_core(g, k, ranks, None, true)?;
-    Ok(partials.into_iter().map(|p| p.entries).collect())
+    let (arena, _) = run_core(g, k, ranks, None, true)?;
+    Ok(arena.into_per_node())
 }
 
-/// Core loop, also used by the k-mins and k-partition builders
-/// (`sources = Some(..)` restricts which nodes act as sources; all nodes
-/// still *receive* entries).
-pub(crate) fn run_core(
+/// The original (pre-wave, pre-arena) sequential implementation, retained
+/// verbatim as the benchmarking baseline: binary-heap Dijkstra with
+/// freshly allocated per-source search state and one heap-allocated `Vec`
+/// per node sketch. Output is identical to [`build`]; use it only to
+/// measure what the fast paths buy (`tbl_parallel`, `BENCH_build.json`).
+pub fn build_baseline_with_stats(
     g: &Graph,
     k: usize,
     ranks: &[f64],
-    sources: Option<&[NodeId]>,
-    tieless: bool,
-) -> Result<(Vec<PartialAds>, BuildStats), CoreError> {
+) -> Result<(AdsSet, BuildStats), CoreError> {
     let n = g.num_nodes();
     validate_ranks(ranks, n)?;
     let gt = g.transpose();
-    let mut order: Vec<NodeId> = match sources {
-        Some(s) => s.to_vec(),
-        None => (0..n as NodeId).collect(),
-    };
-    // Increasing rank, ties by id (ranks are hash-derived, collisions are
-    // ~2^-53 but the order must still be total).
-    order.sort_unstable_by(|&a, &b| {
-        ranks[a as usize]
-            .total_cmp(&ranks[b as usize])
-            .then(a.cmp(&b))
-    });
+    let order = rank_order(ranks, None, n);
     let mut partials: Vec<PartialAds> = vec![PartialAds::default(); n];
     let mut stats = BuildStats::default();
     for &u in &order {
         let r_u = ranks[u as usize];
         dijkstra_visit(&gt, u, |v, d| {
             stats.relaxations += 1;
-            let p = &mut partials[v as usize];
-            let inserted = if tieless {
-                p.insert_rank_monotone_tieless(k, u, d, r_u)
+            if partials[v as usize].insert_rank_monotone(k, u, d, r_u) {
+                stats.insertions += 1;
+                Visit::Continue
             } else {
-                p.insert_rank_monotone(k, u, d, r_u)
+                Visit::Prune
+            }
+        });
+    }
+    let sketches = partials.into_iter().map(|p| p.into_ads(k)).collect();
+    Ok((AdsSet::from_sketches(k, sketches), stats))
+}
+
+/// Core loop, also used by the k-mins and k-partition builders
+/// (`sources = Some(..)` restricts which nodes act as sources; all nodes
+/// still *receive* entries). Dispatches to the pruned BFS on unit-weight
+/// transposes and reuses one search scratch across all sources.
+pub(crate) fn run_core(
+    g: &Graph,
+    k: usize,
+    ranks: &[f64],
+    sources: Option<&[NodeId]>,
+    tieless: bool,
+) -> Result<(PartialAdsArena, BuildStats), CoreError> {
+    let n = g.num_nodes();
+    validate_ranks(ranks, n)?;
+    let gt = g.transpose();
+    let order = rank_order(ranks, sources, n);
+    let mut arena = PartialAdsArena::new(n, k);
+    let mut stats = BuildStats::default();
+    let mut scratch = SearchScratch::for_graph(&gt);
+    for &u in &order {
+        let r_u = ranks[u as usize];
+        scratch.visit(&gt, u, |v, d| {
+            stats.relaxations += 1;
+            let inserted = if tieless {
+                arena.insert_rank_monotone_tieless(v, u, d, r_u)
+            } else {
+                arena.insert_rank_monotone(v, u, d, r_u)
             };
             if inserted {
                 stats.insertions += 1;
@@ -86,15 +155,7 @@ pub(crate) fn run_core(
             }
         });
     }
-    Ok((partials, stats))
-}
-
-fn finish(
-    k: usize,
-    (partials, stats): (Vec<PartialAds>, BuildStats),
-) -> Result<(AdsSet, BuildStats), CoreError> {
-    let sketches = partials.into_iter().map(|p| p.into_ads(k)).collect();
-    Ok((AdsSet::from_sketches(k, sketches), stats))
+    Ok((arena, stats))
 }
 
 #[cfg(test)]
@@ -235,6 +296,10 @@ mod tests {
             build(&g, 2, &bad),
             Err(CoreError::InvalidRank { .. })
         ));
+        assert!(matches!(
+            build_parallel(&g, 2, &bad, 2),
+            Err(CoreError::InvalidRank { .. })
+        ));
     }
 
     #[test]
@@ -261,5 +326,26 @@ mod tests {
             canon_level1 > k,
             "canonical keeps {canon_level1} > k under ties"
         );
+    }
+
+    #[test]
+    fn baseline_matches_fast_paths() {
+        // The retained PR-1 baseline, the arena+BFS sequential build and
+        // the wave-parallel build agree bitwise on both weight regimes.
+        let ug = generators::gnp(80, 0.06, 21);
+        let wg = generators::random_weighted_digraph(70, 4, 0.5, 3.0, 22);
+        for g in [&ug, &wg] {
+            let ranks = uniform_ranks(g.num_nodes(), 23);
+            let (base, base_stats) = build_baseline_with_stats(g, 4, &ranks).unwrap();
+            let (fast, fast_stats) = build_with_stats(g, 4, &ranks).unwrap();
+            assert_eq!(base, fast);
+            // Same searches, same prunes: identical work counters for the
+            // sequential pair (the BFS fast path replays the exact
+            // Dijkstra visit sequence).
+            assert_eq!(base_stats, fast_stats);
+            for threads in [1, 2, 4, 0] {
+                assert_eq!(build_parallel(g, 4, &ranks, threads).unwrap(), fast);
+            }
+        }
     }
 }

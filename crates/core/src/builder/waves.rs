@@ -1,0 +1,174 @@
+//! Wave-parallel PrunedDijkstra (paper, Appendix B.4 suggests pipelining
+//! the rank-ordered searches; this is the batched — "wave" — variant).
+//!
+//! Sources are processed in increasing rank order, in waves of
+//! geometrically growing size. Within a wave every source runs its pruned
+//! search concurrently against the *frozen* sketch state left by earlier
+//! waves, recording insert candidates `(node, dist)` instead of mutating
+//! shared state. A sequential rank-order merge then replays each
+//! candidate through the real admission test and re-prunes.
+//!
+//! # Why the output is bitwise identical to the sequential builder
+//!
+//! The frozen state is a subset of the state each source would have seen
+//! sequentially, so a wave search prunes *no more* than the sequential
+//! search: it reaches a superset of the sequentially-visited nodes.
+//! Pruning only ever happens at nodes whose final sketch rejects the
+//! source, so for every node that sequentially *accepts* the source the
+//! frozen search finds the true shortest distance; for every node that
+//! rejects it, the frozen distance can only be ≥ the true one, and the
+//! admission test is monotone in distance — the replay rejects it too.
+//! By induction over sources in rank order, the merge performs exactly
+//! the sequential insert sequence. Over-exploration is bounded by keeping
+//! each wave no larger than half the number of already-merged sources (so
+//! the frozen state is at most 1.5× stale), which is also why wave sizes
+//! grow geometrically. The exception is the floor `max(WAVE_MIN, t)` that
+//! keeps early waves from starving the thread pool: the first wave runs
+//! against an empty arena and therefore prunes nothing — the same is true
+//! of the sequential builder's first ~k sources, but the floor is why the
+//! bound above does not hold verbatim for waves smaller than the floor.
+
+use adsketch_graph::bfs::{bfs_visit_scratch, BfsScratch};
+use adsketch_graph::dijkstra::{dijkstra_visit_scratch, DijkstraScratch};
+use adsketch_graph::{Graph, NodeId, Visit};
+
+use crate::builder::{shard_slots, thread_count, BuildStats, PartialAdsArena};
+use crate::error::CoreError;
+
+/// Smallest wave; keeps the first waves from being pure sync overhead.
+const WAVE_MIN: usize = 16;
+
+/// Reusable per-thread search state: BFS frontier queues on unit-weight
+/// graphs, a binary heap otherwise.
+pub(crate) enum SearchScratch {
+    /// Level-synchronous BFS state (unit-weight fast path).
+    Bfs(BfsScratch),
+    /// Binary-heap Dijkstra state.
+    Dijkstra(DijkstraScratch),
+}
+
+impl SearchScratch {
+    /// Scratch matching `g`'s weight structure.
+    pub fn for_graph(g: &Graph) -> Self {
+        if g.is_unit_weight() {
+            Self::Bfs(BfsScratch::new())
+        } else {
+            Self::Dijkstra(DijkstraScratch::new())
+        }
+    }
+
+    /// Runs the matching pruned search from `src`, feeding `(node, dist)`
+    /// to the visitor. BFS hop counts are widened to `f64` — identical to
+    /// the unit-weight sums Dijkstra would produce.
+    pub fn visit<F: FnMut(NodeId, f64) -> Visit>(
+        &mut self,
+        g: &Graph,
+        src: NodeId,
+        mut visitor: F,
+    ) {
+        match self {
+            Self::Bfs(s) => bfs_visit_scratch(g, src, s, |v, d| visitor(v, d as f64)),
+            Self::Dijkstra(s) => dijkstra_visit_scratch(g, src, s, visitor),
+        }
+    }
+}
+
+/// Per-source result of a wave's concurrent search phase.
+#[derive(Default)]
+struct WaveSlot {
+    /// `(node, dist)` pairs that passed the frozen admission test, in
+    /// visit order.
+    candidates: Vec<(NodeId, f64)>,
+    /// Nodes visited by this search (work counter).
+    relaxations: u64,
+}
+
+/// Sources in increasing `(rank, id)` order — the total order every
+/// rank-monotone builder processes sources in.
+pub(crate) fn rank_order(ranks: &[f64], sources: Option<&[NodeId]>, n: usize) -> Vec<NodeId> {
+    let mut order: Vec<NodeId> = match sources {
+        Some(s) => s.to_vec(),
+        None => (0..n as NodeId).collect(),
+    };
+    // Ranks are hash-derived (collisions ~2^-53) but the order must still
+    // be total.
+    order.sort_unstable_by(|&a, &b| {
+        ranks[a as usize]
+            .total_cmp(&ranks[b as usize])
+            .then(a.cmp(&b))
+    });
+    order
+}
+
+/// Wave-parallel core loop: builds the same `(arena, stats)` as the
+/// sequential `run_core`, with searches fanned out over `threads`
+/// (`0` ⇒ all cores). `stats.rounds` counts waves; relaxation counts
+/// include the over-exploration of the frozen searches and therefore
+/// depend on the wave layout (and thus the thread count) — the returned
+/// arena does not.
+pub(crate) fn run_core_parallel(
+    g: &Graph,
+    k: usize,
+    ranks: &[f64],
+    threads: usize,
+) -> Result<(PartialAdsArena, BuildStats), CoreError> {
+    let n = g.num_nodes();
+    let t = thread_count(threads).min(n.max(1));
+    if t == 1 {
+        // One worker: the wave machinery would only buy over-exploration
+        // and candidate buffering. Degenerate to the sequential core —
+        // identical output by construction.
+        return super::pruned_dijkstra::run_core(g, k, ranks, None, false);
+    }
+    crate::builder::validate_ranks(ranks, n)?;
+    let gt = g.transpose();
+    let order = rank_order(ranks, None, n);
+    let mut arena = PartialAdsArena::new(n, k);
+    let mut stats = BuildStats::default();
+    let mut merged = 0usize;
+    while merged < order.len() {
+        // Growth factor 1.5: each wave is at most half the merged prefix,
+        // so the frozen state is at most 1.5× stale — measurably less
+        // over-exploration than doubling, for O(log n) extra waves. The
+        // floor keeps each thread busy without inflating the unpruned
+        // first waves (see module docs).
+        let wave_len = (order.len() - merged).min((merged / 2).max(WAVE_MIN.max(t)));
+        let wave = &order[merged..merged + wave_len];
+        let mut slots: Vec<WaveSlot> = Vec::new();
+        slots.resize_with(wave_len, WaveSlot::default);
+        // Search phase: concurrent, read-only against the frozen arena.
+        {
+            let (arena, gt) = (&arena, &gt);
+            shard_slots(
+                &mut slots,
+                t,
+                || SearchScratch::for_graph(gt),
+                |scratch, i, slot| {
+                    scratch.visit(gt, wave[i], |v, d| {
+                        slot.relaxations += 1;
+                        if arena.would_insert(v, wave[i], d) {
+                            slot.candidates.push((v, d));
+                            Visit::Continue
+                        } else {
+                            Visit::Prune
+                        }
+                    });
+                },
+            );
+        }
+        // Merge phase: sequential rank-order replay with re-pruning.
+        for (i, slot) in slots.into_iter().enumerate() {
+            let u = wave[i];
+            let r_u = ranks[u as usize];
+            stats.relaxations += slot.relaxations;
+            for (v, d) in slot.candidates {
+                if arena.insert_rank_monotone(v, u, d, r_u) {
+                    stats.insertions += 1;
+                }
+            }
+        }
+        stats.rounds += 1;
+        merged += wave_len;
+    }
+    Ok((arena, stats))
+}

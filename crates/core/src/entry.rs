@@ -32,7 +32,12 @@ impl AdsEntry {
     }
 
     /// Canonical comparison by `(dist, node)`.
-    #[inline]
+    ///
+    /// `inline(always)`: this comparator (and [`AdsEntry::cmp_key`]) sits
+    /// in the binary-search inner loop of every builder admission test;
+    /// it must collapse to branchless compares even inside closures the
+    /// inliner would otherwise rank as cold.
+    #[inline(always)]
     pub fn cmp_canonical(&self, other: &Self) -> Ordering {
         self.dist
             .total_cmp(&other.dist)
@@ -40,7 +45,7 @@ impl AdsEntry {
     }
 
     /// Canonical comparison against a bare `(dist, node)` key.
-    #[inline]
+    #[inline(always)]
     pub fn cmp_key(&self, dist: f64, node: NodeId) -> Ordering {
         self.dist.total_cmp(&dist).then(self.node.cmp(&node))
     }

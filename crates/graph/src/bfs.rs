@@ -1,8 +1,14 @@
 //! Breadth-first search for unweighted (hop-count) distances.
+//!
+//! [`bfs_visit`] is the unweighted twin of
+//! [`crate::dijkstra::dijkstra_visit`]: a level-synchronous search whose
+//! visitor can prune, producing on unit-weight graphs the exact same visit
+//! sequence as the binary-heap Dijkstra — without paying for the heap.
 
 use std::collections::VecDeque;
 
 use crate::csr::{Graph, NodeId};
+use crate::dijkstra::Visit;
 
 /// Sentinel for "unreachable" in [`bfs_distances`].
 pub const UNREACHABLE: u32 = u32::MAX;
@@ -41,6 +47,94 @@ pub fn bfs_order_canonical(g: &Graph, src: NodeId) -> Vec<(NodeId, u32)> {
         .collect();
     order.sort_unstable_by_key(|&(v, d)| (d, v));
     order
+}
+
+/// Reusable search state for [`bfs_visit_scratch`]; see
+/// [`crate::dijkstra::DijkstraScratch`] for why amortizing the per-source
+/// `O(n)` initialization matters.
+#[derive(Debug, Clone, Default)]
+pub struct BfsScratch {
+    seen: Vec<u32>,
+    epoch: u32,
+    frontier: Vec<NodeId>,
+    next: Vec<NodeId>,
+}
+
+impl BfsScratch {
+    /// An empty scratch; buffers are sized lazily on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn prepare(&mut self, n: usize) {
+        if self.seen.len() < n {
+            self.seen.resize(n, 0);
+        }
+        self.frontier.clear();
+        self.next.clear();
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            self.seen.fill(0);
+            self.epoch = 1;
+        }
+    }
+}
+
+/// Pruned level-synchronous BFS from `src`: invokes `visitor(node, depth)`
+/// exactly once per reached node, levels in increasing depth and each level
+/// in ascending node id.
+///
+/// The [`Visit`] verdicts mirror [`crate::dijkstra::dijkstra_visit`]:
+/// [`Visit::Prune`] skips relaxing the node's out-arcs (nodes reachable
+/// only through pruned nodes are discovered later via longer surviving
+/// paths, or never), [`Visit::Stop`] aborts the search. On a unit-weight
+/// graph the visit sequence is *identical* to `dijkstra_visit` with the
+/// same verdicts (that search settles each hop level in ascending id too),
+/// so sketch builders can swap one for the other without changing output.
+///
+/// Edge weights, if present, are ignored — callers should dispatch on
+/// [`Graph::is_unit_weight`].
+pub fn bfs_visit<F>(g: &Graph, src: NodeId, visitor: F)
+where
+    F: FnMut(NodeId, u32) -> Visit,
+{
+    bfs_visit_scratch(g, src, &mut BfsScratch::new(), visitor)
+}
+
+/// [`bfs_visit`] with caller-provided scratch state, for tight loops
+/// running many single-source searches over the same graph.
+pub fn bfs_visit_scratch<F>(g: &Graph, src: NodeId, scratch: &mut BfsScratch, mut visitor: F)
+where
+    F: FnMut(NodeId, u32) -> Visit,
+{
+    debug_assert!((src as usize) < g.num_nodes());
+    scratch.prepare(g.num_nodes());
+    let e = scratch.epoch;
+    scratch.seen[src as usize] = e;
+    scratch.frontier.push(src);
+    let mut depth = 0u32;
+    while !scratch.frontier.is_empty() {
+        // Canonical within-level order: ascending id, matching how the
+        // Dijkstra heap pops distance ties.
+        scratch.frontier.sort_unstable();
+        for i in 0..scratch.frontier.len() {
+            let v = scratch.frontier[i];
+            match visitor(v, depth) {
+                Visit::Stop => return,
+                Visit::Prune => continue,
+                Visit::Continue => {}
+            }
+            for &u in g.neighbors(v) {
+                if scratch.seen[u as usize] != e {
+                    scratch.seen[u as usize] = e;
+                    scratch.next.push(u);
+                }
+            }
+        }
+        std::mem::swap(&mut scratch.frontier, &mut scratch.next);
+        scratch.next.clear();
+        depth += 1;
+    }
 }
 
 /// Number of nodes reachable from `src` (including `src`).
@@ -97,5 +191,110 @@ mod tests {
     fn cycle_distances() {
         let g = Graph::directed(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]).unwrap();
         assert_eq!(bfs_distances(&g, 1), vec![3, 0, 1, 2]);
+    }
+
+    #[test]
+    fn visit_prune_cuts_subtree_but_not_siblings() {
+        // Path 0→1→2 plus branch 0→3: pruning at 1 keeps 2 unvisited but
+        // still reaches 3 (mirrors the dijkstra_visit prune tests).
+        let g = Graph::directed(4, &[(0, 1), (1, 2), (0, 3)]).unwrap();
+        let mut visited = Vec::new();
+        bfs_visit(&g, 0, |v, d| {
+            visited.push((v, d));
+            if v == 1 {
+                Visit::Prune
+            } else {
+                Visit::Continue
+            }
+        });
+        assert_eq!(visited, vec![(0, 0), (1, 1), (3, 1)]);
+    }
+
+    #[test]
+    fn visit_stop_aborts() {
+        let g = path5();
+        let mut count = 0;
+        bfs_visit(&g, 0, |_, _| {
+            count += 1;
+            Visit::Stop
+        });
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn visit_reaches_pruned_shadow_via_longer_path() {
+        // 0→1→3 and 0→2→…→3 where 1 is pruned: 3 must still be visited,
+        // at the depth of the surviving (longer) path — exactly what the
+        // pruned Dijkstra does.
+        let g = Graph::directed(5, &[(0, 1), (1, 3), (0, 2), (2, 4), (4, 3)]).unwrap();
+        let mut visited = Vec::new();
+        bfs_visit(&g, 0, |v, d| {
+            visited.push((v, d));
+            if v == 1 {
+                Visit::Prune
+            } else {
+                Visit::Continue
+            }
+        });
+        assert_eq!(visited, vec![(0, 0), (1, 1), (2, 1), (4, 2), (3, 3)]);
+    }
+
+    #[test]
+    fn visit_sequence_matches_pruned_dijkstra() {
+        // On unit-weight graphs the two searches must produce identical
+        // (node, distance) visit sequences under identical prune verdicts —
+        // the guarantee the sketch builders' BFS fast path relies on.
+        use crate::dijkstra::dijkstra_visit;
+        use crate::generators;
+        for seed in 0..6u64 {
+            let g = generators::gnp_directed(80, 0.05, seed);
+            for src in [0u32, 7, 41] {
+                // Prune every third visited node — arbitrary but identical
+                // for both searches since verdicts depend on (v, count).
+                let mut d_seq = Vec::new();
+                let mut i = 0usize;
+                dijkstra_visit(&g, src, |v, d| {
+                    d_seq.push((v, d));
+                    i += 1;
+                    if i.is_multiple_of(3) {
+                        Visit::Prune
+                    } else {
+                        Visit::Continue
+                    }
+                });
+                let mut b_seq = Vec::new();
+                let mut j = 0usize;
+                bfs_visit(&g, src, |v, d| {
+                    b_seq.push((v, d as f64));
+                    j += 1;
+                    if j.is_multiple_of(3) {
+                        Visit::Prune
+                    } else {
+                        Visit::Continue
+                    }
+                });
+                assert_eq!(d_seq, b_seq, "seed {seed}, src {src}");
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_is_clean_across_sources() {
+        let g = path5();
+        let mut scratch = BfsScratch::new();
+        bfs_visit_scratch(&g, 0, &mut scratch, |_, _| Visit::Stop);
+        for src in 0..5u32 {
+            let mut fresh = Vec::new();
+            bfs_visit(&g, src, |v, d| {
+                fresh.push((v, d));
+                Visit::Continue
+            });
+            let mut reused = Vec::new();
+            bfs_visit_scratch(&g, src, &mut scratch, |v, d| {
+                reused.push((v, d));
+                Visit::Continue
+            });
+            assert_eq!(fresh, reused, "src {src}");
+        }
     }
 }

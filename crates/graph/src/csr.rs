@@ -29,6 +29,10 @@ pub struct Graph {
     offsets: Vec<usize>,
     targets: Vec<NodeId>,
     weights: Option<Vec<f64>>,
+    /// Cached at construction: true iff every arc costs exactly 1 (always
+    /// true for unweighted graphs). Lets shortest-path consumers dispatch
+    /// to BFS without rescanning the weights array.
+    unit_weight: bool,
 }
 
 impl Graph {
@@ -93,11 +97,13 @@ impl Graph {
             offsets[i + 1] += offsets[i];
         }
         let targets: Vec<NodeId> = triples.iter().map(|t| t.1).collect();
+        let unit_weight = !weighted || triples.iter().all(|t| t.2 == 1.0);
         let weights = weighted.then(|| triples.iter().map(|t| t.2).collect());
         Ok(Self {
             offsets,
             targets,
             weights,
+            unit_weight,
         })
     }
 
@@ -117,6 +123,16 @@ impl Graph {
     #[inline]
     pub fn is_weighted(&self) -> bool {
         self.weights.is_some()
+    }
+
+    /// True iff every arc costs exactly 1 — either no weights are stored or
+    /// all stored weights equal `1.0`. On such graphs hop counts are
+    /// shortest-path distances, so a level-synchronous BFS
+    /// ([`crate::bfs::bfs_visit`]) replaces binary-heap Dijkstra. O(1):
+    /// the flag is computed once at construction.
+    #[inline]
+    pub fn is_unit_weight(&self) -> bool {
+        self.unit_weight
     }
 
     /// Out-degree of `v`.
@@ -181,6 +197,8 @@ impl Graph {
             offsets,
             targets,
             weights,
+            // Transposing preserves the multiset of weights.
+            unit_weight: self.unit_weight,
         };
         g.sort_adjacency();
         g
@@ -335,6 +353,31 @@ mod tests {
         let g = Graph::directed_weighted(3, &arcs).unwrap();
         let got: Vec<_> = g.all_arcs().collect();
         assert_eq!(got, arcs);
+    }
+
+    #[test]
+    fn unit_weight_detection() {
+        // Unweighted graphs are unit-weight by definition.
+        assert!(Graph::directed(2, &[(0, 1)]).unwrap().is_unit_weight());
+        // Weighted graphs with all-1 weights qualify too.
+        let ones = Graph::directed_weighted(3, &[(0, 1, 1.0), (1, 2, 1.0)]).unwrap();
+        assert!(ones.is_unit_weight());
+        assert!(ones.is_weighted());
+        // Any other weight (including 0) disqualifies.
+        let zero = Graph::directed_weighted(3, &[(0, 1, 1.0), (1, 2, 0.0)]).unwrap();
+        assert!(!zero.is_unit_weight());
+        let frac = Graph::directed_weighted(2, &[(0, 1, 0.5)]).unwrap();
+        assert!(!frac.is_unit_weight());
+        // Arc-less graphs are trivially unit-weight.
+        assert!(Graph::directed_weighted(2, &[]).unwrap().is_unit_weight());
+    }
+
+    #[test]
+    fn unit_weight_survives_transpose() {
+        let g = Graph::directed_weighted(3, &[(0, 1, 1.0), (1, 2, 1.0)]).unwrap();
+        assert!(g.transpose().is_unit_weight());
+        let w = Graph::directed_weighted(3, &[(0, 1, 2.0)]).unwrap();
+        assert!(!w.transpose().is_unit_weight());
     }
 
     #[test]

@@ -39,28 +39,80 @@ impl Ord for OrdF64 {
     }
 }
 
+/// Reusable search state for [`dijkstra_visit_scratch`].
+///
+/// Algorithms that run one search per node (PrunedDijkstra, brute-force
+/// sketch builders) would otherwise pay an `O(n)` allocation + memset per
+/// source; the scratch amortizes that to a single allocation with
+/// epoch-stamped visited/settled marks, so starting a new search is `O(1)`.
+#[derive(Debug, Clone, Default)]
+pub struct DijkstraScratch {
+    dist: Vec<f64>,
+    seen: Vec<u32>,
+    done: Vec<u32>,
+    epoch: u32,
+    heap: BinaryHeap<Reverse<(OrdF64, NodeId)>>,
+}
+
+impl DijkstraScratch {
+    /// An empty scratch; buffers are sized lazily on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn prepare(&mut self, n: usize) {
+        if self.seen.len() < n {
+            self.dist.resize(n, 0.0);
+            self.seen.resize(n, 0);
+            self.done.resize(n, 0);
+        }
+        self.heap.clear();
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            // Stamp wraparound (once per 2^32 searches): reset and restart.
+            self.seen.fill(0);
+            self.done.fill(0);
+            self.epoch = 1;
+        }
+    }
+}
+
 /// Runs Dijkstra from `src`, invoking `visitor(node, dist)` exactly once per
 /// settled (reachable) node in non-decreasing distance order; ties are
 /// popped in ascending node id when simultaneously queued.
 ///
 /// Edge weights must be non-negative (guaranteed by [`Graph`] construction).
 /// Unweighted graphs use weight 1 per arc.
-pub fn dijkstra_visit<F>(g: &Graph, src: NodeId, mut visitor: F)
+pub fn dijkstra_visit<F>(g: &Graph, src: NodeId, visitor: F)
 where
+    F: FnMut(NodeId, f64) -> Visit,
+{
+    dijkstra_visit_scratch(g, src, &mut DijkstraScratch::new(), visitor)
+}
+
+/// [`dijkstra_visit`] with caller-provided scratch state, for tight loops
+/// running many single-source searches over the same graph. Semantics are
+/// identical; only the allocation behavior differs.
+pub fn dijkstra_visit_scratch<F>(
+    g: &Graph,
+    src: NodeId,
+    scratch: &mut DijkstraScratch,
+    mut visitor: F,
+) where
     F: FnMut(NodeId, f64) -> Visit,
 {
     let n = g.num_nodes();
     debug_assert!((src as usize) < n);
-    let mut dist = vec![f64::INFINITY; n];
-    let mut settled = vec![false; n];
-    let mut heap: BinaryHeap<Reverse<(OrdF64, NodeId)>> = BinaryHeap::new();
-    dist[src as usize] = 0.0;
-    heap.push(Reverse((OrdF64(0.0), src)));
-    while let Some(Reverse((OrdF64(d), v))) = heap.pop() {
-        if settled[v as usize] {
+    scratch.prepare(n);
+    let e = scratch.epoch;
+    scratch.dist[src as usize] = 0.0;
+    scratch.seen[src as usize] = e;
+    scratch.heap.push(Reverse((OrdF64(0.0), src)));
+    while let Some(Reverse((OrdF64(d), v))) = scratch.heap.pop() {
+        if scratch.done[v as usize] == e {
             continue;
         }
-        settled[v as usize] = true;
+        scratch.done[v as usize] = e;
         match visitor(v, d) {
             Visit::Stop => return,
             Visit::Prune => continue,
@@ -68,9 +120,10 @@ where
         }
         for (u, w) in g.arcs(v) {
             let nd = d + w;
-            if nd < dist[u as usize] {
-                dist[u as usize] = nd;
-                heap.push(Reverse((OrdF64(nd), u)));
+            if scratch.seen[u as usize] != e || nd < scratch.dist[u as usize] {
+                scratch.seen[u as usize] = e;
+                scratch.dist[u as usize] = nd;
+                scratch.heap.push(Reverse((OrdF64(nd), u)));
             }
         }
     }
@@ -221,6 +274,28 @@ mod tests {
         let g = Graph::directed_weighted(3, &[(0, 2, 1.0), (0, 1, 1.0)]).unwrap();
         let order = dijkstra_order_canonical(&g, 0);
         assert_eq!(order, vec![(0, 0.0), (1, 1.0), (2, 1.0)]);
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_runs() {
+        // The same scratch across many sources (and a Stop mid-search that
+        // leaves the heap dirty) must not leak state between searches.
+        let g = weighted_diamond();
+        let mut scratch = DijkstraScratch::new();
+        dijkstra_visit_scratch(&g, 0, &mut scratch, |_, _| Visit::Stop);
+        for src in 0..4u32 {
+            let mut fresh = Vec::new();
+            dijkstra_visit(&g, src, |v, d| {
+                fresh.push((v, d));
+                Visit::Continue
+            });
+            let mut reused = Vec::new();
+            dijkstra_visit_scratch(&g, src, &mut scratch, |v, d| {
+                reused.push((v, d));
+                Visit::Continue
+            });
+            assert_eq!(fresh, reused, "src {src}");
+        }
     }
 
     #[test]

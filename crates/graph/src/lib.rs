@@ -10,7 +10,9 @@
 //!   operation.
 //! * [`bfs`] / [`dijkstra`] — single-source shortest paths with a visitor
 //!   interface supporting *pruning* (the operation PrunedDijkstra is built
-//!   on).
+//!   on). Both come in scratch-reusing variants for many-source loops, and
+//!   [`bfs::bfs_visit`] replays the exact pruned-Dijkstra visit sequence on
+//!   unit-weight graphs ([`Graph::is_unit_weight`]) without a heap.
 //! * [`generators`] — Erdős–Rényi G(n,p)/G(n,m), Barabási–Albert,
 //!   Watts–Strogatz, and structured graphs (path, cycle, star, complete,
 //!   2-D grid), plus random edge-weight assignment.

@@ -1,0 +1,140 @@
+//! Equivalence suite for the wave-parallel PrunedDijkstra and the
+//! unweighted BFS fast path: every configuration must be *bitwise
+//! identical* (`assert_eq!` on the whole `AdsSet`) to the sequential and
+//! reference builders, across thread counts {1, 2, 4, 0 = all cores} and
+//! across graph regimes (directed, weighted, zero-weight ties,
+//! disconnected). Graph seeds mirror the unit tests in
+//! `crates/core/src/builder/pruned_dijkstra.rs`.
+
+use adsketch::core::builder::pruned_dijkstra;
+use adsketch::core::{reference, uniform_ranks, AdsSet};
+use adsketch::graph::{generators, Graph};
+use adsketch::util::rng::{Rng64, SplitMix64};
+
+const THREADS: [usize; 4] = [1, 2, 4, 0];
+
+/// Asserts sequential == reference and parallel == sequential for every
+/// thread count.
+fn assert_all_equivalent(g: &Graph, k: usize, ranks: &[f64], label: &str) {
+    let seq = pruned_dijkstra::build(g, k, ranks).unwrap();
+    let brute = reference::build_bottomk(g, k, ranks);
+    assert_eq!(seq, brute, "{label}: sequential vs reference");
+    for threads in THREADS {
+        let par = pruned_dijkstra::build_parallel(g, k, ranks, threads).unwrap();
+        assert_eq!(par, seq, "{label}: parallel ({threads} threads)");
+    }
+}
+
+#[test]
+fn directed_unweighted_graphs() {
+    // BFS fast path (unit weights) + wave merge, directed reachability.
+    for seed in 0..5u64 {
+        let g = generators::gnp_directed(60, 0.08, seed);
+        let ranks = uniform_ranks(60, seed + 100);
+        assert_all_equivalent(&g, 3, &ranks, &format!("gnp_directed seed {seed}"));
+    }
+}
+
+#[test]
+fn weighted_digraphs() {
+    // Heap path end to end (weights disqualify the BFS dispatch).
+    for seed in 0..5u64 {
+        let g = generators::random_weighted_digraph(50, 4, 0.5, 3.0, seed);
+        assert!(!g.is_unit_weight());
+        let ranks = uniform_ranks(50, seed + 200);
+        assert_all_equivalent(&g, 4, &ranks, &format!("weighted seed {seed}"));
+    }
+}
+
+#[test]
+fn undirected_distance_ties() {
+    // Unweighted undirected graphs are full of equal distances; the
+    // canonical (dist, id) tie order must survive the wave merge.
+    for seed in 0..5u64 {
+        let g = generators::gnp(70, 0.06, seed + 9);
+        let ranks = uniform_ranks(70, seed + 300);
+        assert_all_equivalent(&g, 2, &ranks, &format!("gnp ties seed {seed}"));
+    }
+}
+
+#[test]
+fn zero_weight_tie_digraphs() {
+    // Zero-weight arcs put many nodes at identical distances (including 0
+    // from each other) — the hardest tie-breaking regime, and weighted, so
+    // it must not take the BFS fast path.
+    for seed in 0..4u64 {
+        let mut rng = SplitMix64::new(seed);
+        let n = 40usize;
+        let mut arcs = Vec::new();
+        for u in 0..n as u32 {
+            for _ in 0..3 {
+                let v = rng.range_usize(n) as u32;
+                if v != u {
+                    let w = if rng.bernoulli(0.5) { 0.0 } else { 1.0 };
+                    arcs.push((u, v, w));
+                }
+            }
+        }
+        let g = Graph::directed_weighted(n, &arcs).unwrap();
+        assert!(!g.is_unit_weight());
+        let ranks = uniform_ranks(n, seed + 900);
+        assert_all_equivalent(&g, 3, &ranks, &format!("zero-weight seed {seed}"));
+    }
+}
+
+#[test]
+fn disconnected_components() {
+    // Two disjoint triangles plus isolated nodes; waves must not leak
+    // entries across components at any thread count.
+    let g = Graph::undirected(8, &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)]).unwrap();
+    let ranks = uniform_ranks(8, 4);
+    assert_all_equivalent(&g, 8, &ranks, "disconnected");
+    let set = pruned_dijkstra::build_parallel(&g, 8, &ranks, 4).unwrap();
+    for v in 0..3u32 {
+        assert!(set.sketch(v).entries().iter().all(|e| e.node < 3));
+    }
+    for v in 6..8u32 {
+        assert_eq!(set.sketch(v).len(), 1, "isolated node samples only itself");
+    }
+}
+
+#[test]
+fn unit_weight_but_weighted_representation() {
+    // All-1.0 stored weights must take the BFS fast path and still agree.
+    let edges: Vec<(u32, u32, f64)> = generators::gnp_edges(50, 0.08, 77)
+        .into_iter()
+        .map(|(u, v)| (u, v, 1.0))
+        .collect();
+    let g = Graph::undirected_weighted(50, &edges).unwrap();
+    assert!(g.is_weighted() && g.is_unit_weight());
+    let ranks = uniform_ranks(50, 78);
+    assert_all_equivalent(&g, 3, &ranks, "unit-weight weighted");
+}
+
+#[test]
+fn ads_set_facade_parallel_matches_build() {
+    let g = generators::barabasi_albert(300, 3, 15);
+    let seq = AdsSet::build(&g, 8, 99);
+    for threads in THREADS {
+        assert_eq!(AdsSet::build_parallel(&g, 8, 99, threads), seq);
+    }
+}
+
+#[test]
+fn bfs_fast_path_relaxes_no_more_than_dijkstra() {
+    // BuildStats gate: on unweighted graphs the BFS fast path must do no
+    // more relaxations (visited nodes) than the heap-based baseline — the
+    // visit sequences are in fact identical, so the counters are equal.
+    let g = generators::barabasi_albert(500, 3, 7);
+    let ranks = uniform_ranks(500, 8);
+    let (set_bfs, bfs) = pruned_dijkstra::build_with_stats(&g, 4, &ranks).unwrap();
+    let (set_heap, heap) = pruned_dijkstra::build_baseline_with_stats(&g, 4, &ranks).unwrap();
+    assert_eq!(set_bfs, set_heap);
+    assert!(
+        bfs.relaxations <= heap.relaxations,
+        "BFS fast path did {} relaxations, heap baseline {}",
+        bfs.relaxations,
+        heap.relaxations
+    );
+    assert_eq!(bfs.insertions, heap.insertions);
+}

@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Refreshes BENCH_build.json, the repo's committed ADS-construction
+# performance baseline (one record per builder × thread configuration;
+# every configuration is asserted bitwise identical to the sequential
+# builder before being timed).
+#
+# Quick mode (default): the full-size matrix, one timed iteration per
+# configuration —
+#     tools/bench_snapshot.sh              # n = 100_000, k = 16
+#     N=250000 K=32 tools/bench_snapshot.sh
+#
+# Smoke mode (CI): compile + one tiny iteration, no timing gates —
+#     SMOKE=1 tools/bench_snapshot.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+# Smoke mode writes to a throwaway path so reproducing CI locally can
+# never clobber the committed full-size baseline.
+if [[ "${SMOKE:-0}" == "1" ]]; then
+  ARGS=(--k "${K:-16}" --json target/BENCH_build.smoke.json --smoke)
+else
+  ARGS=(--k "${K:-16}" --json BENCH_build.json --n "${N:-100000}")
+fi
+
+cargo run --release -p adsketch-bench --bin tbl_parallel -- "${ARGS[@]}"
+if [[ "${SMOKE:-0}" == "1" ]]; then
+  echo "smoke snapshot written to target/BENCH_build.smoke.json (baseline untouched)"
+else
+  echo "baseline written to BENCH_build.json"
+fi
