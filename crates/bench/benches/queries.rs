@@ -1,11 +1,13 @@
 //! Criterion: query-time cost of HIP vs basic estimators on a built ADS
-//! set (queries are sketch-local: O(k log n) work, no graph access).
+//! set (queries are sketch-local: O(k log n) work, no graph access), and
+//! batch throughput of the frozen columnar store vs the heap
+//! representation.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
-use adsketch_core::{basic, centrality, AdsSet};
-use adsketch_graph::generators;
+use adsketch_core::{basic, centrality, AdsSet, QueryEngine};
+use adsketch_graph::{generators, NodeId};
 
 fn bench_queries(c: &mut Criterion) {
     let n = 5_000;
@@ -36,6 +38,34 @@ fn bench_queries(c: &mut Criterion) {
         b.iter(|| black_box(adsketch_core::size_est::cardinality_at(sketch, 3.0)))
     });
     group.finish();
+
+    // Batch throughput: the whole-graph closeness sweep, heap per-node
+    // vs the frozen store through the batch engine (the BENCH_query
+    // workload at criterion scale).
+    let frozen = ads.freeze();
+    let mut batch = c.benchmark_group("batch_queries");
+    batch.bench_function("heap_per_node_hip_harmonic_all", |b| {
+        b.iter(|| {
+            let out: Vec<f64> = (0..n as NodeId)
+                .map(|v| centrality::harmonic(&ads.hip(v)))
+                .collect();
+            black_box(out)
+        })
+    });
+    batch.bench_function("heap_engine_harmonic_all", |b| {
+        b.iter(|| black_box(QueryEngine::with_threads(&ads, 1).harmonic_all()))
+    });
+    batch.bench_function("frozen_engine_harmonic_all", |b| {
+        b.iter(|| black_box(QueryEngine::with_threads(&frozen, 1).harmonic_all()))
+    });
+    batch.bench_function("frozen_engine_harmonic_all_allcores", |b| {
+        b.iter(|| black_box(QueryEngine::new(&frozen).harmonic_all()))
+    });
+    let queries: Vec<(NodeId, f64)> = (0..n as NodeId).map(|v| (v, 3.0)).collect();
+    batch.bench_function("frozen_engine_cardinality_batch", |b| {
+        b.iter(|| black_box(QueryEngine::with_threads(&frozen, 1).cardinality_batch(&queries)))
+    });
+    batch.finish();
 }
 
 criterion_group!(benches, bench_queries);

@@ -1,6 +1,9 @@
 //! ADS-SIZE experiment (Lemma 2.2): measured expected sketch sizes vs the
 //! closed forms `k + k(H_n − H_k)` (bottom-k), `k·H_{n/k}` (k-partition),
-//! and `k·H_n` (k-mins).
+//! and `k·H_n` (k-mins) — plus the storage cost of those entries in the
+//! heap build representation vs the frozen columnar store (resident and
+//! bytes on disk), extending the paper's ADS-size table with a
+//! persistence column.
 //!
 //! ```text
 //! cargo run --release -p adsketch-bench --bin tbl_ads_size [--runs 400]
@@ -8,8 +11,8 @@
 
 use adsketch_bench::table::f;
 use adsketch_bench::{arg_u64, Table};
-use adsketch_core::reference;
-use adsketch_graph::NodeId;
+use adsketch_core::{reference, AdsSet};
+use adsketch_graph::{generators, NodeId};
 use adsketch_util::harmonic::{
     expected_bottomk_ads_size, expected_kmins_ads_size, expected_kpartition_ads_size,
 };
@@ -56,4 +59,42 @@ fn main() {
         t.render()
     );
     println!("note: k·H_(n/k) for k-partition assumes exactly n/k per bucket; the\nmultinomial bucket sizes push the measured value slightly above it.");
+
+    // Storage cost of a full bottom-k ADS set (one PrunedDijkstra build
+    // per cell on a Barabási–Albert graph): heap build representation vs
+    // the frozen columnar store, resident and serialized.
+    let mut st = Table::new(vec![
+        "n",
+        "k",
+        "entries/node",
+        "heap B/node",
+        "frozen B/node",
+        "disk B/node",
+        "disk/heap",
+    ]);
+    for &n in &[1_000usize, 10_000] {
+        let g = generators::barabasi_albert(n, 4, 7);
+        for &k in &[4usize, 16, 64] {
+            let ads = AdsSet::build_parallel(&g, k, 42, 0);
+            let frozen = ads.freeze();
+            let heap = ads.approx_heap_bytes() as f64;
+            let resident = frozen.resident_bytes() as f64;
+            let disk = frozen.serialized_len() as f64;
+            let nf = n as f64;
+            st.row(vec![
+                n.to_string(),
+                k.to_string(),
+                f(ads.mean_entries()),
+                f(heap / nf),
+                f(resident / nf),
+                f(disk / nf),
+                format!("{:.2}", disk / heap),
+            ]);
+        }
+    }
+    println!(
+        "\n=== Store size: heap build form vs frozen store (BA m=4, one build per cell) ===\n{}",
+        st.render()
+    );
+    println!("heap counts sketch vectors by capacity; disk is the exact v1 serialized\nlength (header + CSR offsets + node/dist/rank/weight columns, 28 B/entry).");
 }

@@ -1,0 +1,267 @@
+//! QUERY experiment: batch HIP query throughput, frozen columnar store
+//! vs per-node heap queries (the read-path counterpart of `tbl_parallel`).
+//!
+//! Workload: closeness (harmonic) centrality over **all** nodes of a
+//! Barabási–Albert graph, plus a full-node neighborhood-cardinality
+//! batch. The heap baseline is one [`AdsSet::hip`] call per node (the
+//! pre-freeze API: per-call `HipWeights` allocation + threshold-scan
+//! recompute); the frozen rows serve the same queries from a
+//! [`FrozenAdsSet`] through [`QueryEngine`]. Every configuration is
+//! asserted **bitwise identical** to the heap baseline before it is
+//! timed. With `--json PATH` the measurements are written as a
+//! machine-readable snapshot (see `tools/bench_snapshot.sh`, which
+//! maintains `BENCH_query.json`).
+//!
+//! ```text
+//! cargo run --release -p adsketch-bench --bin tbl_query \
+//!     [--n 100000] [--k 16] [--json BENCH_query.json] [--smoke]
+//! ```
+//!
+//! `--smoke` shrinks the graph to CI size (compile + one run per
+//! configuration, no timing gates).
+
+use std::time::Instant;
+
+use adsketch_bench::table::f;
+use adsketch_bench::{arg_flag, arg_str, arg_u64, Table};
+use adsketch_core::{centrality, AdsSet, FrozenAdsSet, QueryEngine};
+use adsketch_graph::{generators, NodeId};
+
+/// One measured query configuration.
+struct Record {
+    workload: &'static str,
+    host_threads: usize,
+    n: usize,
+    m: usize,
+    k: usize,
+    backend: String,
+    threads: usize,
+    ns_per_batch: u128,
+    speedup_vs_heap: f64,
+}
+
+fn main() {
+    let smoke = arg_flag("smoke");
+    let n = if smoke {
+        2_000
+    } else {
+        arg_u64("n", 100_000) as usize
+    };
+    let k = arg_u64("k", 16) as usize;
+    let json = arg_str("json", "");
+
+    let g = generators::barabasi_albert(n, 4, 7);
+    println!(
+        "=== barabasi_albert_m4: n={n}, arcs={}, k={k} ===",
+        g.num_arcs()
+    );
+    let t0 = Instant::now();
+    let ads = AdsSet::build_parallel(&g, k, 13, 0);
+    println!("build: {:.2?}", t0.elapsed());
+    let t0 = Instant::now();
+    let frozen = ads.freeze();
+    println!(
+        "freeze: {:.2?} ({} entries, heap ≈ {} B, frozen {} B resident, {} B on disk)",
+        t0.elapsed(),
+        frozen.num_entries(),
+        ads.approx_heap_bytes(),
+        frozen.resident_bytes(),
+        frozen.serialized_len()
+    );
+
+    let mut records = Vec::new();
+    run_harmonic(&g, &ads, &frozen, k, &mut records);
+    run_cardinality(&g, &ads, &frozen, k, &mut records);
+
+    if !json.is_empty() {
+        std::fs::write(&json, render_json(&records)).expect("write json snapshot");
+        eprintln!("snapshot written to {json}");
+    }
+}
+
+/// Closeness-centrality batch: harmonic centrality of every node.
+fn run_harmonic(
+    g: &adsketch_graph::Graph,
+    ads: &AdsSet,
+    frozen: &FrozenAdsSet,
+    k: usize,
+    records: &mut Vec<Record>,
+) {
+    let n = ads.num_nodes();
+    let mut t = Table::new(vec!["backend", "threads", "time", "speedup", "identical"]);
+
+    // Heap baseline: one AdsSet::hip call per node.
+    let t0 = Instant::now();
+    let baseline: Vec<f64> = (0..n as NodeId)
+        .map(|v| centrality::harmonic(&ads.hip(v)))
+        .collect();
+    let base_ns = t0.elapsed().as_nanos();
+    push(
+        records,
+        &mut t,
+        "harmonic_all",
+        g,
+        k,
+        "heap_per_node_hip",
+        1,
+        base_ns,
+        base_ns,
+        true,
+    );
+
+    type Backend<'a> = (&'static str, Box<dyn Fn() -> Vec<f64> + 'a>);
+    let configs: Vec<Backend> = vec![
+        (
+            "heap_engine",
+            Box::new(|| QueryEngine::with_threads(ads, 1).harmonic_all()),
+        ),
+        (
+            "frozen_engine",
+            Box::new(|| QueryEngine::with_threads(frozen, 1).harmonic_all()),
+        ),
+        (
+            "frozen_engine_allcores",
+            Box::new(|| QueryEngine::new(frozen).harmonic_all()),
+        ),
+    ];
+    for (name, run) in configs {
+        let threads = if name.ends_with("allcores") { 0 } else { 1 };
+        let t0 = Instant::now();
+        let got = run();
+        let ns = t0.elapsed().as_nanos();
+        let identical = got == baseline;
+        assert!(identical, "harmonic_all/{name}: output diverged");
+        push(
+            records,
+            &mut t,
+            "harmonic_all",
+            g,
+            k,
+            name,
+            threads,
+            ns,
+            base_ns,
+            identical,
+        );
+    }
+    println!(
+        "\n--- harmonic centrality over all {n} nodes ---\n{}",
+        t.render()
+    );
+}
+
+/// Neighborhood-cardinality batch: |N_3(v)| for every node.
+fn run_cardinality(
+    g: &adsketch_graph::Graph,
+    ads: &AdsSet,
+    frozen: &FrozenAdsSet,
+    k: usize,
+    records: &mut Vec<Record>,
+) {
+    let n = ads.num_nodes();
+    let queries: Vec<(NodeId, f64)> = (0..n as NodeId).map(|v| (v, 3.0)).collect();
+    let mut t = Table::new(vec!["backend", "threads", "time", "speedup", "identical"]);
+
+    let t0 = Instant::now();
+    let baseline: Vec<f64> = queries
+        .iter()
+        .map(|&(v, d)| ads.hip(v).cardinality_at(d))
+        .collect();
+    let base_ns = t0.elapsed().as_nanos();
+    push(
+        records,
+        &mut t,
+        "cardinality_at_3",
+        g,
+        k,
+        "heap_per_node_hip",
+        1,
+        base_ns,
+        base_ns,
+        true,
+    );
+
+    for threads in [1usize, 0] {
+        let engine = QueryEngine::with_threads(frozen, threads);
+        let t0 = Instant::now();
+        let got = engine.cardinality_batch(&queries);
+        let ns = t0.elapsed().as_nanos();
+        let identical = got == baseline;
+        assert!(identical, "cardinality/frozen/{threads}: output diverged");
+        push(
+            records,
+            &mut t,
+            "cardinality_at_3",
+            g,
+            k,
+            "frozen_engine",
+            threads,
+            ns,
+            base_ns,
+            identical,
+        );
+    }
+    println!(
+        "\n--- neighborhood cardinality |N_3(v)| over all {n} nodes ---\n{}",
+        t.render()
+    );
+}
+
+#[allow(clippy::too_many_arguments)]
+fn push(
+    records: &mut Vec<Record>,
+    t: &mut Table,
+    workload: &'static str,
+    g: &adsketch_graph::Graph,
+    k: usize,
+    backend: &str,
+    threads: usize,
+    ns: u128,
+    base_ns: u128,
+    identical: bool,
+) {
+    let speedup = base_ns as f64 / ns as f64;
+    t.row(vec![
+        backend.to_string(),
+        threads.to_string(),
+        format!("{:.2?}", std::time::Duration::from_nanos(ns as u64)),
+        format!("{}x", f(speedup)),
+        if identical { "yes" } else { "NO" }.to_string(),
+    ]);
+    records.push(Record {
+        workload,
+        host_threads: std::thread::available_parallelism().map_or(1, |p| p.get()),
+        n: g.num_nodes(),
+        m: g.num_arcs(),
+        k,
+        backend: backend.to_string(),
+        threads,
+        ns_per_batch: ns,
+        speedup_vs_heap: speedup,
+    });
+}
+
+fn render_json(records: &[Record]) -> String {
+    let mut out = String::from("[\n");
+    for (i, r) in records.iter().enumerate() {
+        out.push_str(&format!(
+            concat!(
+                "  {{\"workload\": \"{}\", \"host_threads\": {}, \"n\": {}, \"m\": {}, ",
+                "\"k\": {}, \"backend\": \"{}\", \"threads\": {}, ",
+                "\"ns_per_batch\": {}, \"speedup_vs_heap\": {:.4}}}{}\n"
+            ),
+            r.workload,
+            r.host_threads,
+            r.n,
+            r.m,
+            r.k,
+            r.backend,
+            r.threads,
+            r.ns_per_batch,
+            r.speedup_vs_heap,
+            if i + 1 == records.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("]\n");
+    out
+}

@@ -3,9 +3,12 @@
 use adsketch_graph::{Graph, NodeId};
 
 use crate::bottomk::BottomKAds;
+use crate::entry::AdsEntry;
 use crate::error::CoreError;
-use crate::hip::HipWeights;
+use crate::frozen::FrozenAdsSet;
+use crate::hip::{HipItem, HipWeights};
 use crate::uniform_ranks;
+use crate::view::AdsView;
 
 /// Forward bottom-k ADSs for every node of a graph.
 ///
@@ -72,8 +75,39 @@ impl AdsSet {
     }
 
     /// HIP adjusted weights for node `v` (see [`crate::hip`]).
+    ///
+    /// **Recomputes** the Lemma 5.1 threshold scan and allocates a fresh
+    /// [`HipWeights`] on every call — fine for ad-hoc queries, wasteful in
+    /// a serving loop. For repeated or batched querying, [`AdsSet::freeze`]
+    /// the set once: the frozen store carries every entry's adjusted
+    /// weight precomputed, and [`crate::engine::QueryEngine`] batches over
+    /// it without any per-query allocation.
     pub fn hip(&self, v: NodeId) -> HipWeights {
         self.sketches[v as usize].hip_weights()
+    }
+
+    /// Freezes this set into the immutable columnar query form
+    /// ([`FrozenAdsSet`]): CSR-flattened entries plus precomputed HIP
+    /// adjusted weights, ready for single-buffer checksummed
+    /// serialization ([`FrozenAdsSet::to_bytes`]) and batch serving
+    /// ([`crate::engine::QueryEngine`]). All estimator answers from the
+    /// frozen store are bitwise identical to this set's.
+    pub fn freeze(&self) -> FrozenAdsSet {
+        FrozenAdsSet::from_ads_set(self)
+    }
+
+    /// Approximate resident heap size of this set in bytes (sketch
+    /// headers, entry vectors, and node-index vectors, by capacity).
+    /// Compare with [`FrozenAdsSet::resident_bytes`] and
+    /// [`FrozenAdsSet::serialized_len`] for the columnar/on-disk costs.
+    pub fn approx_heap_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.sketches.capacity() * std::mem::size_of::<BottomKAds>()
+            + self
+                .sketches
+                .iter()
+                .map(|s| s.heap_bytes_excluding_self())
+                .sum::<usize>()
     }
 
     /// Total number of stored entries across all nodes.
@@ -95,26 +129,11 @@ impl AdsSet {
     /// node's HIP neighborhood function, excluding each node itself —
     /// the ANF/HyperANF quantity, estimated sketch-side. Returns
     /// `(distance, estimated #ordered pairs within distance)` pairs.
+    ///
+    /// Routed through the [`AdsView`] streaming path, so no per-node
+    /// `HipWeights` is allocated.
     pub fn distance_distribution_estimate(&self) -> Vec<(f64, f64)> {
-        let mut events: Vec<(f64, f64)> = Vec::new();
-        for s in &self.sketches {
-            for it in s.hip_weights().items() {
-                if it.dist > 0.0 {
-                    events.push((it.dist, it.weight));
-                }
-            }
-        }
-        events.sort_unstable_by(|a, b| a.0.total_cmp(&b.0));
-        let mut out: Vec<(f64, f64)> = Vec::new();
-        let mut acc = 0.0;
-        for (d, w) in events {
-            acc += w;
-            match out.last_mut() {
-                Some(last) if last.0 == d => last.1 = acc,
-                _ => out.push((d, acc)),
-            }
-        }
-        out
+        crate::view::distance_distribution_estimate(self)
     }
 
     /// Validates every sketch's structural invariants.
@@ -123,6 +142,45 @@ impl AdsSet {
             s.validate().map_err(|e| format!("node {v}: {e}"))?;
         }
         Ok(())
+    }
+}
+
+impl AdsView for AdsSet {
+    #[inline]
+    fn k(&self) -> usize {
+        self.k
+    }
+
+    #[inline]
+    fn num_nodes(&self) -> usize {
+        self.sketches.len()
+    }
+
+    #[inline]
+    fn entry_count(&self, v: NodeId) -> usize {
+        self.sketches[v as usize].len()
+    }
+
+    fn for_each_entry(&self, v: NodeId, mut f: impl FnMut(AdsEntry)) {
+        for e in self.sketches[v as usize].entries() {
+            f(*e);
+        }
+    }
+
+    fn for_each_hip(&self, v: NodeId, f: impl FnMut(HipItem)) {
+        self.sketches[v as usize].hip_scan(f);
+    }
+
+    fn size_at(&self, v: NodeId, d: f64) -> usize {
+        self.sketches[v as usize].size_at(d)
+    }
+
+    fn minhash_at(&self, v: NodeId, d: f64) -> adsketch_minhash::BottomKSketch {
+        self.sketches[v as usize].minhash_at(d)
+    }
+
+    fn hip_weights_of(&self, v: NodeId) -> HipWeights {
+        self.sketches[v as usize].hip_weights()
     }
 }
 

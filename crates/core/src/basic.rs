@@ -1,9 +1,15 @@
 //! Basic (pre-HIP) estimators applied to an ADS (paper, Section 4), plus
 //! the naive `Q_g` estimator HIP is compared against.
+//!
+//! Each estimator comes in two forms: per-sketch (on a borrowed
+//! [`BottomKAds`]) and `_in` (generic over any [`AdsView`] back end —
+//! heap-backed or frozen — addressed by node id). The two are bitwise
+//! identical.
 
 use adsketch_graph::NodeId;
 
 use crate::bottomk::BottomKAds;
+use crate::view::AdsView;
 
 /// The basic neighborhood-cardinality estimate at distance `d`: extract
 /// the bottom-k MinHash sketch of `N_d(v)` from the ADS and apply the
@@ -16,6 +22,16 @@ pub fn cardinality_at(ads: &BottomKAds, d: f64) -> f64 {
 /// The basic estimate of the number of reachable nodes.
 pub fn reachable(ads: &BottomKAds) -> f64 {
     cardinality_at(ads, f64::INFINITY)
+}
+
+/// [`cardinality_at`] for node `v` of any [`AdsView`] back end.
+pub fn cardinality_at_in<V: AdsView + ?Sized>(view: &V, v: NodeId, d: f64) -> f64 {
+    view.minhash_at(v, d).estimate()
+}
+
+/// [`reachable`] for node `v` of any [`AdsView`] back end.
+pub fn reachable_in<V: AdsView + ?Sized>(view: &V, v: NodeId) -> f64 {
+    cardinality_at_in(view, v, f64::INFINITY)
 }
 
 /// The naive `Q_g` estimator the paper's Section 5.1 compares HIP against:

@@ -114,28 +114,45 @@ impl BottomKAds {
     ///
     /// Ranks must lie in `[0, 1]` (uniform); weighted sketches use
     /// [`crate::weighted::weighted_hip`] instead.
+    ///
+    /// The threshold scan is `O(len · log k)` and runs on **every call**;
+    /// freeze the owning set ([`crate::AdsSet::freeze`]) to precompute the
+    /// weights once for query serving.
     pub fn hip_weights(&self) -> HipWeights {
-        let mut ks = KSmallest::new(self.k);
-        let items = self
-            .entries
-            .iter()
-            .map(|e| {
-                debug_assert!(
-                    (0.0..=1.0).contains(&e.rank),
-                    "uniform HIP requires ranks in [0,1]; got {}",
-                    e.rank
-                );
-                let tau = ks.threshold_rank_or(1.0);
-                let entered = ks.offer(e.rank, e.node as u64);
-                debug_assert!(entered, "every ADS entry is a prefix bottom-k member");
-                HipItem {
-                    node: e.node,
-                    dist: e.dist,
-                    weight: 1.0 / tau,
-                }
-            })
-            .collect();
+        let mut items = Vec::with_capacity(self.entries.len());
+        self.hip_scan(|it| items.push(it));
         HipWeights::from_sorted_items(items)
+    }
+
+    /// Streams the HIP items of this sketch in canonical order without
+    /// materializing a [`HipWeights`] — the allocation-free core of
+    /// [`BottomKAds::hip_weights`], also used by
+    /// [`crate::AdsSet::freeze`] to fill the precomputed weight column.
+    pub fn hip_scan(&self, mut f: impl FnMut(HipItem)) {
+        let mut ks = KSmallest::new(self.k);
+        for e in &self.entries {
+            debug_assert!(
+                (0.0..=1.0).contains(&e.rank),
+                "uniform HIP requires ranks in [0,1]; got {}",
+                e.rank
+            );
+            let tau = ks.threshold_rank_or(1.0);
+            let entered = ks.offer(e.rank, e.node as u64);
+            debug_assert!(entered, "every ADS entry is a prefix bottom-k member");
+            f(HipItem {
+                node: e.node,
+                dist: e.dist,
+                weight: 1.0 / tau,
+            });
+        }
+    }
+
+    /// Heap bytes owned by this sketch's vectors (by capacity), excluding
+    /// `size_of::<Self>` — the caller accounts for the header (it may be
+    /// inline in a parent `Vec`, as in [`crate::AdsSet`]).
+    pub fn heap_bytes_excluding_self(&self) -> usize {
+        self.entries.capacity() * std::mem::size_of::<AdsEntry>()
+            + self.by_node.capacity() * std::mem::size_of::<u32>()
     }
 
     /// Checks the structural invariants: canonical strict ordering, finite

@@ -6,10 +6,16 @@
 //! — estimated unbiasedly from `ADS(v)` with CV ≤ `1/sqrt(2(k−1))`
 //! (uniform β; see [`crate::weighted`] for β-aware sketches with the same
 //! guarantee for non-uniform β).
+//!
+//! Each centrality comes in two forms: on a materialized [`HipWeights`]
+//! and `_in` (generic over any [`AdsView`] back end, allocation-free and
+//! bitwise identical). Batch evaluation over all nodes lives in
+//! [`crate::engine::QueryEngine`].
 
 use adsketch_graph::NodeId;
 
 use crate::hip::HipWeights;
+use crate::view::AdsView;
 
 /// Standard decay kernels from the paper's introduction.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -87,6 +93,36 @@ where
 {
     let mut beta = beta;
     hip.qg(|v, d| kernel.eval(d) * beta(v))
+}
+
+/// [`harmonic`] for node `v` of any [`AdsView`] back end.
+pub fn harmonic_in<V: AdsView + ?Sized>(view: &V, v: NodeId) -> f64 {
+    view.hip_qg(v, |_, d| DecayKernel::Harmonic.eval(d))
+}
+
+/// [`sum_of_distances`] for node `v` of any [`AdsView`] back end.
+pub fn sum_of_distances_in<V: AdsView + ?Sized>(view: &V, v: NodeId) -> f64 {
+    view.hip_qg(v, |_, d| d)
+}
+
+/// [`exponential`] for node `v` of any [`AdsView`] back end.
+pub fn exponential_in<V: AdsView + ?Sized>(view: &V, v: NodeId, base: f64) -> f64 {
+    assert!(base > 1.0, "attenuation base must exceed 1");
+    view.hip_qg(v, |_, d| DecayKernel::Exponential { base }.eval(d))
+}
+
+/// [`decay`] for node `v` of any [`AdsView`] back end.
+pub fn decay_in<V: AdsView + ?Sized>(view: &V, v: NodeId, kernel: DecayKernel) -> f64 {
+    view.hip_qg(v, |_, d| kernel.eval(d))
+}
+
+/// [`decay_filtered`] for node `v` of any [`AdsView`] back end.
+pub fn decay_filtered_in<V, B>(view: &V, v: NodeId, kernel: DecayKernel, mut beta: B) -> f64
+where
+    V: AdsView + ?Sized,
+    B: FnMut(NodeId) -> f64,
+{
+    view.hip_qg(v, |node, d| kernel.eval(d) * beta(node))
 }
 
 #[cfg(test)]

@@ -1,0 +1,199 @@
+//! The batch query engine: sharded, allocation-free HIP query serving.
+//!
+//! Sketch queries are embarrassingly parallel — each node's estimate
+//! reads only that node's entries — so serving them one
+//! [`crate::AdsSet::hip`] call at a time leaves both cores and memory
+//! bandwidth idle while paying a `HipWeights` allocation plus a bottom-k
+//! threshold recomputation per call. [`QueryEngine`] answers *batches*
+//! (closeness centralities over all nodes, neighborhood cardinalities,
+//! pairwise similarities) by sharding the request across threads with the
+//! same chunking helper the parallel builders use, running each shard
+//! through the allocation-free [`AdsView`] accessors.
+//!
+//! The engine is generic over the view, so the same code serves the
+//! heap-backed build output and the frozen columnar store; pointing it at
+//! a [`crate::frozen::FrozenAdsSet`] additionally skips the per-node HIP
+//! recomputation entirely (the adjusted weights are precomputed at freeze
+//! time), which is where the batch-throughput win measured by
+//! `BENCH_query.json` comes from. Results are bitwise identical across
+//! back ends and thread counts.
+
+use adsketch_graph::NodeId;
+
+use crate::builder::shard_slots;
+use crate::centrality::DecayKernel;
+use crate::frozen::FrozenAdsSet;
+use crate::similarity;
+use crate::view::AdsView;
+
+/// A sharded batch query engine over any [`AdsView`].
+///
+/// `QueryEngine::new(&frozen)` serves from a frozen store;
+/// `QueryEngine::new(&ads_set)` runs the same queries against the heap
+/// representation (useful as a correctness and performance baseline).
+#[derive(Debug, Clone, Copy)]
+pub struct QueryEngine<'a, V: AdsView + Sync = FrozenAdsSet> {
+    view: &'a V,
+    threads: usize,
+}
+
+impl<'a, V: AdsView + Sync> QueryEngine<'a, V> {
+    /// Creates an engine using all available cores.
+    pub fn new(view: &'a V) -> Self {
+        Self { view, threads: 0 }
+    }
+
+    /// Creates an engine with an explicit thread count (`0` ⇒ all cores).
+    pub fn with_threads(view: &'a V, threads: usize) -> Self {
+        Self { view, threads }
+    }
+
+    /// The view this engine serves from.
+    #[inline]
+    pub fn view(&self) -> &'a V {
+        self.view
+    }
+
+    /// Runs `f(i)` for `i in 0..len` across the engine's threads and
+    /// collects the results in order.
+    fn batch_map<T, F>(&self, len: usize, f: F) -> Vec<T>
+    where
+        T: Send + Default + Clone,
+        F: Fn(usize) -> T + Sync,
+    {
+        let mut out = vec![T::default(); len];
+        shard_slots(&mut out, self.threads, || (), |(), i, slot| *slot = f(i));
+        out
+    }
+
+    /// HIP estimate of the general statistic `Q_g(v)` for every node,
+    /// indexed by node id.
+    pub fn qg_all<F>(&self, g: F) -> Vec<f64>
+    where
+        F: Fn(NodeId, f64) -> f64 + Sync,
+    {
+        self.batch_map(self.view.num_nodes(), |i| self.view.hip_qg(i as NodeId, &g))
+    }
+
+    /// Distance-decay closeness centrality `C_α(v)` for every node.
+    pub fn decay_all(&self, kernel: DecayKernel) -> Vec<f64> {
+        self.qg_all(|_, d| kernel.eval(d))
+    }
+
+    /// Harmonic centrality estimate for every node.
+    pub fn harmonic_all(&self) -> Vec<f64> {
+        self.decay_all(DecayKernel::Harmonic)
+    }
+
+    /// Sum-of-distances (inverse Bavelas closeness) estimate per node.
+    pub fn sum_of_distances_all(&self) -> Vec<f64> {
+        self.qg_all(|_, d| d)
+    }
+
+    /// HIP reachability estimate for every node.
+    pub fn reachable_all(&self) -> Vec<f64> {
+        self.batch_map(self.view.num_nodes(), |i| {
+            self.view.hip_reachable(i as NodeId)
+        })
+    }
+
+    /// HIP `|N_d(v)|` estimates for a batch of `(node, distance)` queries.
+    pub fn cardinality_batch(&self, queries: &[(NodeId, f64)]) -> Vec<f64> {
+        self.batch_map(queries.len(), |i| {
+            let (v, d) = queries[i];
+            self.view.hip_cardinality_at(v, d)
+        })
+    }
+
+    /// The estimated cumulative neighborhood function of each requested
+    /// node (the per-node ANF curves).
+    pub fn neighborhood_function_batch(&self, nodes: &[NodeId]) -> Vec<Vec<(f64, f64)>> {
+        self.batch_map(nodes.len(), |i| {
+            self.view.neighborhood_function_of(nodes[i])
+        })
+    }
+
+    /// Estimated Jaccard similarity of `N_d(u)` and `N_d(v)` for a batch
+    /// of node pairs at one query distance.
+    pub fn jaccard_batch(&self, pairs: &[(NodeId, NodeId)], d: f64) -> Vec<f64> {
+        self.batch_map(pairs.len(), |i| {
+            let (u, v) = pairs[i];
+            similarity::neighborhood_jaccard_in(self.view, u, v, d)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ads_set::AdsSet;
+    use crate::centrality;
+    use adsketch_graph::generators;
+
+    #[test]
+    fn batch_matches_per_node_across_backends_and_threads() {
+        let g = generators::gnp_directed(150, 0.04, 5);
+        let ads = AdsSet::build(&g, 4, 11);
+        let frozen = ads.freeze();
+        let per_node: Vec<f64> = (0..ads.num_nodes() as NodeId)
+            .map(|v| centrality::harmonic(&ads.hip(v)))
+            .collect();
+        for threads in [1usize, 2, 4, 0] {
+            let from_heap = QueryEngine::with_threads(&ads, threads).harmonic_all();
+            let from_frozen = QueryEngine::with_threads(&frozen, threads).harmonic_all();
+            assert_eq!(from_heap, per_node, "heap, threads = {threads}");
+            assert_eq!(from_frozen, per_node, "frozen, threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn cardinality_batch_matches_hip_weights() {
+        let g = generators::gnp(100, 0.05, 9);
+        let ads = AdsSet::build(&g, 8, 2);
+        let frozen = ads.freeze();
+        let engine = QueryEngine::with_threads(&frozen, 2);
+        let queries: Vec<(NodeId, f64)> = (0..100u32).map(|v| (v, (v % 5) as f64)).collect();
+        let got = engine.cardinality_batch(&queries);
+        for (&(v, d), &est) in queries.iter().zip(&got) {
+            assert_eq!(est, ads.hip(v).cardinality_at(d));
+        }
+    }
+
+    #[test]
+    fn jaccard_batch_matches_sketch_level() {
+        let g = generators::gnp(80, 0.06, 4);
+        let ads = AdsSet::build(&g, 8, 6);
+        let frozen = ads.freeze();
+        let engine = QueryEngine::new(&frozen);
+        let pairs: Vec<(NodeId, NodeId)> = (0..40u32).map(|i| (i, 79 - i)).collect();
+        let got = engine.jaccard_batch(&pairs, 3.0);
+        for (&(u, v), &est) in pairs.iter().zip(&got) {
+            assert_eq!(
+                est,
+                similarity::neighborhood_jaccard(ads.sketch(u), ads.sketch(v), 3.0)
+            );
+        }
+    }
+
+    #[test]
+    fn neighborhood_function_batch_matches() {
+        let g = generators::gnp_directed(60, 0.07, 8);
+        let ads = AdsSet::build(&g, 4, 1);
+        let frozen = ads.freeze();
+        let nodes: Vec<NodeId> = (0..60).collect();
+        let got = QueryEngine::new(&frozen).neighborhood_function_batch(&nodes);
+        for (&v, nf) in nodes.iter().zip(&got) {
+            assert_eq!(*nf, ads.hip(v).neighborhood_function());
+        }
+    }
+
+    #[test]
+    fn empty_batches_and_empty_view() {
+        let ads = AdsSet::from_sketches(2, vec![]);
+        let frozen = ads.freeze();
+        let engine = QueryEngine::new(&frozen);
+        assert!(engine.harmonic_all().is_empty());
+        assert!(engine.cardinality_batch(&[]).is_empty());
+        assert!(engine.jaccard_batch(&[], 1.0).is_empty());
+    }
+}

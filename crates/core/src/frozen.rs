@@ -1,0 +1,670 @@
+//! The frozen, immutable, columnar ADS store and its on-disk format.
+//!
+//! An [`crate::AdsSet`] is the *build output*: one heap-allocated `Vec`
+//! of entries per node, convenient to construct incrementally but paying
+//! a pointer chase per sketch and a full HIP threshold recomputation per
+//! query. [`FrozenAdsSet`] is the *query form* the paper's use cases
+//! (neighborhood cardinalities, closeness centralities, similarities over
+//! massive graphs) actually serve from: build once, [`AdsSet::freeze`]
+//! into struct-of-arrays CSR layout with the HIP adjusted weights
+//! precomputed inline, then answer any number of queries — directly or
+//! batched through [`crate::engine::QueryEngine`] — with zero per-query
+//! allocation. Estimator answers are bitwise identical to the heap-backed
+//! set the store was frozen from (see [`crate::view::AdsView`]).
+//!
+//! # On-disk format (version 1)
+//!
+//! [`FrozenAdsSet::to_bytes`] serializes to one contiguous little-endian
+//! buffer: a 40-byte header followed by the five column arrays, in order
+//! and without padding:
+//!
+//! ```text
+//! offset  size          field
+//! 0       8             magic  = b"ADSKFRZ1"
+//! 8       4             format version (u32, = 1)
+//! 12      4             k (u32)
+//! 16      8             n = number of nodes (u64)
+//! 24      8             E = total number of entries (u64)
+//! 32      8             FNV-1a 64 checksum of every other byte of the
+//!                       buffer (header with this field zeroed + payload)
+//! 40      (n+1)*4       offsets  (u32; offsets[v]..offsets[v+1] is ADS(v))
+//! ...     E*4           nodes    (u32 node ids)
+//! ...     E*8           dists    (f64 bits)
+//! ...     E*8           ranks    (f64 bits)
+//! ...     E*8           weights  (f64 bits, HIP adjusted weights)
+//! ```
+//!
+//! Distances, ranks and weights round-trip through `f64::to_bits`, so
+//! deserialization is lossless. [`FrozenAdsSet::from_bytes`] rejects a
+//! wrong magic, an unknown version, a truncated or oversized buffer, a
+//! checksum mismatch, and structurally corrupt payloads (non-monotone
+//! offsets, out-of-range node ids, entries out of canonical order).
+
+use std::fmt;
+use std::path::Path;
+
+use adsketch_graph::NodeId;
+
+use crate::ads_set::AdsSet;
+use crate::bottomk::BottomKAds;
+use crate::entry::AdsEntry;
+use crate::hip::HipItem;
+use crate::view::AdsView;
+
+/// Magic bytes identifying a serialized frozen ADS store.
+pub const FROZEN_MAGIC: [u8; 8] = *b"ADSKFRZ1";
+/// The on-disk format version this build writes and reads.
+pub const FROZEN_FORMAT_VERSION: u32 = 1;
+
+const HEADER_LEN: usize = 40;
+const CHECKSUM_OFFSET: usize = 32;
+
+/// A frozen, immutable, struct-of-arrays ADS set.
+///
+/// CSR-style layout: node `v`'s entries occupy the index range
+/// `offsets[v]..offsets[v+1]` of the four parallel columns. The
+/// `weights` column holds the HIP adjusted weights (Lemma 5.1),
+/// precomputed once at freeze time — queries never rerun the bottom-k
+/// threshold scan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrozenAdsSet {
+    k: u32,
+    /// `n + 1` prefix offsets into the entry columns.
+    offsets: Vec<u32>,
+    /// Sampled node ids, per node in canonical `(dist, node)` order.
+    nodes: Vec<NodeId>,
+    /// Distances from each sketch's source.
+    dists: Vec<f64>,
+    /// The sampled nodes' random ranks.
+    ranks: Vec<f64>,
+    /// Precomputed HIP adjusted weights `1/τ`.
+    weights: Vec<f64>,
+}
+
+/// Errors surfaced by [`FrozenAdsSet::from_bytes`] / [`FrozenAdsSet::load`].
+#[derive(Debug)]
+pub enum FrozenError {
+    /// The buffer does not start with [`FROZEN_MAGIC`].
+    BadMagic,
+    /// The format version is not one this build understands.
+    UnsupportedVersion(u32),
+    /// The buffer is shorter than its header claims.
+    Truncated {
+        /// Bytes the header-derived layout requires.
+        expected: u64,
+        /// Bytes actually present.
+        actual: u64,
+    },
+    /// The stored checksum does not match the buffer contents.
+    ChecksumMismatch {
+        /// Checksum recorded in the header.
+        stored: u64,
+        /// Checksum recomputed over the buffer.
+        computed: u64,
+    },
+    /// The payload is structurally invalid (details in the message).
+    Corrupt(String),
+    /// An underlying filesystem error (from [`FrozenAdsSet::load`]).
+    Io(std::io::Error),
+}
+
+impl fmt::Display for FrozenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrozenError::BadMagic => write!(f, "not a frozen ADS store (bad magic)"),
+            FrozenError::UnsupportedVersion(v) => {
+                write!(
+                    f,
+                    "unsupported frozen-store format version {v} (this build reads \
+                     {FROZEN_FORMAT_VERSION})"
+                )
+            }
+            FrozenError::Truncated { expected, actual } => {
+                write!(f, "buffer truncated: need {expected} bytes, have {actual}")
+            }
+            FrozenError::ChecksumMismatch { stored, computed } => {
+                write!(
+                    f,
+                    "checksum mismatch: header records {stored:#018x}, buffer hashes to \
+                     {computed:#018x}"
+                )
+            }
+            FrozenError::Corrupt(msg) => write!(f, "corrupt frozen store: {msg}"),
+            FrozenError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FrozenError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FrozenError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for FrozenError {
+    fn from(e: std::io::Error) -> Self {
+        FrozenError::Io(e)
+    }
+}
+
+/// Streaming FNV-1a 64 (the format's checksum: dependency-free, byte-order
+/// independent, and strong enough to catch the bit flips and truncations a
+/// store can pick up at rest — not a cryptographic integrity guarantee).
+struct Fnv1a(u64);
+
+impl Fnv1a {
+    fn new() -> Self {
+        Fnv1a(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+}
+
+/// Checksum of a complete serialized buffer, treating the 8 checksum bytes
+/// themselves as zero.
+fn buffer_checksum(buf: &[u8]) -> u64 {
+    let mut h = Fnv1a::new();
+    h.update(&buf[..CHECKSUM_OFFSET]);
+    h.update(&[0u8; 8]);
+    h.update(&buf[CHECKSUM_OFFSET + 8..]);
+    h.0
+}
+
+fn read_u32(buf: &[u8], at: usize) -> u32 {
+    u32::from_le_bytes(buf[at..at + 4].try_into().expect("bounds checked"))
+}
+
+fn read_u64(buf: &[u8], at: usize) -> u64 {
+    u64::from_le_bytes(buf[at..at + 8].try_into().expect("bounds checked"))
+}
+
+impl FrozenAdsSet {
+    /// Freezes a heap-backed ADS set into columnar form, precomputing the
+    /// HIP adjusted weight of every entry.
+    ///
+    /// Panics if the set holds ≥ 2³² entries (the CSR offsets are `u32`;
+    /// at the paper's `k(1 + ln n − ln k)` expected entries per node that
+    /// bound is only reached beyond ~10⁷ nodes at k = 64 — shard the graph
+    /// before freezing at that scale).
+    pub fn from_ads_set(ads: &AdsSet) -> Self {
+        let total = ads.total_entries();
+        assert!(
+            u32::try_from(total).is_ok(),
+            "frozen store is limited to 2^32 − 1 entries; got {total}"
+        );
+        let n = ads.num_nodes();
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut nodes = Vec::with_capacity(total);
+        let mut dists = Vec::with_capacity(total);
+        let mut ranks = Vec::with_capacity(total);
+        let mut weights = Vec::with_capacity(total);
+        offsets.push(0u32);
+        for sketch in ads.sketches() {
+            for e in sketch.entries() {
+                nodes.push(e.node);
+                dists.push(e.dist);
+                ranks.push(e.rank);
+            }
+            sketch.hip_scan(|it| weights.push(it.weight));
+            offsets.push(nodes.len() as u32);
+        }
+        Self {
+            k: ads.k() as u32,
+            offsets,
+            nodes,
+            dists,
+            ranks,
+            weights,
+        }
+    }
+
+    /// Reconstructs a heap-backed [`AdsSet`] (e.g. to continue mutating a
+    /// loaded store). The round trip `ads.freeze().thaw()` is lossless.
+    pub fn thaw(&self) -> AdsSet {
+        let sketches = (0..self.num_nodes() as NodeId)
+            .map(|v| {
+                let r = self.entry_range(v);
+                let entries: Vec<AdsEntry> = r
+                    .clone()
+                    .map(|i| AdsEntry::new(self.nodes[i], self.dists[i], self.ranks[i]))
+                    .collect();
+                BottomKAds::from_entries(self.k as usize, entries)
+            })
+            .collect();
+        AdsSet::from_sketches(self.k as usize, sketches)
+    }
+
+    /// The sketch parameter k.
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.k as usize
+    }
+
+    /// Number of nodes covered.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Total number of stored entries.
+    #[inline]
+    pub fn num_entries(&self) -> usize {
+        self.nodes.len()
+    }
+
+    #[inline]
+    fn entry_range(&self, v: NodeId) -> std::ops::Range<usize> {
+        self.offsets[v as usize] as usize..self.offsets[v as usize + 1] as usize
+    }
+
+    /// The precomputed HIP adjusted weights of `ADS(v)`, in canonical
+    /// order (zero-copy column slice).
+    #[inline]
+    pub fn hip_weights_slice(&self, v: NodeId) -> &[f64] {
+        &self.weights[self.entry_range(v)]
+    }
+
+    /// The distances of `ADS(v)` in canonical order (zero-copy slice).
+    #[inline]
+    pub fn dists_slice(&self, v: NodeId) -> &[f64] {
+        &self.dists[self.entry_range(v)]
+    }
+
+    /// Resident memory of the store in bytes (struct + columns).
+    pub fn resident_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.offsets.capacity() * std::mem::size_of::<u32>()
+            + self.nodes.capacity() * std::mem::size_of::<NodeId>()
+            + (self.dists.capacity() + self.ranks.capacity() + self.weights.capacity())
+                * std::mem::size_of::<f64>()
+    }
+
+    /// Exact length of [`FrozenAdsSet::to_bytes`]'s output in bytes.
+    pub fn serialized_len(&self) -> usize {
+        HEADER_LEN + self.offsets.len() * 4 + self.nodes.len() * 4 + self.nodes.len() * 3 * 8
+    }
+
+    /// Serializes to the version-1 on-disk format (one contiguous
+    /// little-endian buffer; see the module docs for the layout).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(self.serialized_len());
+        buf.extend_from_slice(&FROZEN_MAGIC);
+        buf.extend_from_slice(&FROZEN_FORMAT_VERSION.to_le_bytes());
+        buf.extend_from_slice(&self.k.to_le_bytes());
+        buf.extend_from_slice(&(self.num_nodes() as u64).to_le_bytes());
+        buf.extend_from_slice(&(self.num_entries() as u64).to_le_bytes());
+        buf.extend_from_slice(&[0u8; 8]); // checksum, patched below
+        for &o in &self.offsets {
+            buf.extend_from_slice(&o.to_le_bytes());
+        }
+        for &nd in &self.nodes {
+            buf.extend_from_slice(&nd.to_le_bytes());
+        }
+        for col in [&self.dists, &self.ranks, &self.weights] {
+            for &x in col.iter() {
+                buf.extend_from_slice(&x.to_bits().to_le_bytes());
+            }
+        }
+        debug_assert_eq!(buf.len(), self.serialized_len());
+        let checksum = buffer_checksum(&buf);
+        buf[CHECKSUM_OFFSET..CHECKSUM_OFFSET + 8].copy_from_slice(&checksum.to_le_bytes());
+        buf
+    }
+
+    /// Deserializes a buffer produced by [`FrozenAdsSet::to_bytes`],
+    /// validating magic, version, length, checksum, and the structural
+    /// payload invariants. Lossless: the result compares equal to the
+    /// store that was serialized.
+    pub fn from_bytes(buf: &[u8]) -> Result<Self, FrozenError> {
+        if buf.len() < HEADER_LEN {
+            return Err(FrozenError::Truncated {
+                expected: HEADER_LEN as u64,
+                actual: buf.len() as u64,
+            });
+        }
+        if buf[..8] != FROZEN_MAGIC {
+            return Err(FrozenError::BadMagic);
+        }
+        let version = read_u32(buf, 8);
+        if version != FROZEN_FORMAT_VERSION {
+            return Err(FrozenError::UnsupportedVersion(version));
+        }
+        let k = read_u32(buf, 12);
+        let n = read_u64(buf, 16);
+        let entries = read_u64(buf, 24);
+        let stored_checksum = read_u64(buf, CHECKSUM_OFFSET);
+        if k == 0 {
+            return Err(FrozenError::Corrupt("k must be ≥ 1".into()));
+        }
+        if n > u32::MAX as u64 || entries > u32::MAX as u64 {
+            return Err(FrozenError::Corrupt(format!(
+                "node/entry counts exceed the u32 CSR limit (n = {n}, entries = {entries})"
+            )));
+        }
+        // All arithmetic in u128: header fields are untrusted.
+        let expected = HEADER_LEN as u128 + (n as u128 + 1) * 4 + entries as u128 * (4 + 3 * 8);
+        if (buf.len() as u128) < expected {
+            return Err(FrozenError::Truncated {
+                expected: expected as u64,
+                actual: buf.len() as u64,
+            });
+        }
+        if buf.len() as u128 != expected {
+            return Err(FrozenError::Corrupt(format!(
+                "{} trailing bytes after the payload",
+                buf.len() as u128 - expected
+            )));
+        }
+        let computed = buffer_checksum(buf);
+        if computed != stored_checksum {
+            return Err(FrozenError::ChecksumMismatch {
+                stored: stored_checksum,
+                computed,
+            });
+        }
+
+        let (n, entries) = (n as usize, entries as usize);
+        let mut at = HEADER_LEN;
+        let mut offsets = Vec::with_capacity(n + 1);
+        for _ in 0..=n {
+            offsets.push(read_u32(buf, at));
+            at += 4;
+        }
+        let mut nodes = Vec::with_capacity(entries);
+        for _ in 0..entries {
+            nodes.push(read_u32(buf, at));
+            at += 4;
+        }
+        let read_f64_col = |at: &mut usize| {
+            let mut col = Vec::with_capacity(entries);
+            for _ in 0..entries {
+                col.push(f64::from_bits(read_u64(buf, *at)));
+                *at += 8;
+            }
+            col
+        };
+        let dists = read_f64_col(&mut at);
+        let ranks = read_f64_col(&mut at);
+        let weights = read_f64_col(&mut at);
+        debug_assert_eq!(at, buf.len());
+
+        let store = Self {
+            k,
+            offsets,
+            nodes,
+            dists,
+            ranks,
+            weights,
+        };
+        store.validate_structure()?;
+        Ok(store)
+    }
+
+    /// Structural invariants the CSR columns must satisfy for every query
+    /// to be well-defined: monotone offsets spanning exactly the entry
+    /// columns, in-range node ids, canonical per-node entry order.
+    fn validate_structure(&self) -> Result<(), FrozenError> {
+        let n = self.num_nodes();
+        if self.offsets[0] != 0 {
+            return Err(FrozenError::Corrupt("offsets[0] must be 0".into()));
+        }
+        if self.offsets.windows(2).any(|w| w[0] > w[1]) {
+            return Err(FrozenError::Corrupt(
+                "offsets must be non-decreasing".into(),
+            ));
+        }
+        if *self.offsets.last().expect("n+1 offsets") as usize != self.nodes.len() {
+            return Err(FrozenError::Corrupt(
+                "last offset must equal the entry count".into(),
+            ));
+        }
+        for v in 0..n as NodeId {
+            let r = self.entry_range(v);
+            if self.nodes[r.clone()].iter().any(|&nd| nd as usize >= n) {
+                return Err(FrozenError::Corrupt(format!(
+                    "node {v}: sampled node id out of range"
+                )));
+            }
+            let ds = &self.dists[r.clone()];
+            let ns = &self.nodes[r];
+            let in_order = ds.windows(2).zip(ns.windows(2)).all(|(d, nd)| {
+                d[0].total_cmp(&d[1]).then(nd[0].cmp(&nd[1])) == std::cmp::Ordering::Less
+            });
+            if !in_order {
+                return Err(FrozenError::Corrupt(format!(
+                    "node {v}: entries out of canonical (dist, node) order"
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Writes [`FrozenAdsSet::to_bytes`] to a file.
+    pub fn save(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        std::fs::write(path, self.to_bytes())
+    }
+
+    /// Reads and deserializes a store written by [`FrozenAdsSet::save`].
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, FrozenError> {
+        Self::from_bytes(&std::fs::read(path)?)
+    }
+
+    /// Estimated distance distribution of the whole graph — same quantity
+    /// as [`AdsSet::distance_distribution_estimate`], bitwise identical,
+    /// served from the precomputed weight column.
+    pub fn distance_distribution_estimate(&self) -> Vec<(f64, f64)> {
+        crate::view::distance_distribution_estimate(self)
+    }
+}
+
+impl AdsView for FrozenAdsSet {
+    #[inline]
+    fn k(&self) -> usize {
+        self.k as usize
+    }
+
+    #[inline]
+    fn num_nodes(&self) -> usize {
+        FrozenAdsSet::num_nodes(self)
+    }
+
+    #[inline]
+    fn entry_count(&self, v: NodeId) -> usize {
+        self.entry_range(v).len()
+    }
+
+    fn for_each_entry(&self, v: NodeId, mut f: impl FnMut(AdsEntry)) {
+        let r = self.entry_range(v);
+        for i in r {
+            f(AdsEntry::new(self.nodes[i], self.dists[i], self.ranks[i]));
+        }
+    }
+
+    fn for_each_hip(&self, v: NodeId, mut f: impl FnMut(HipItem)) {
+        let r = self.entry_range(v);
+        for i in r {
+            f(HipItem {
+                node: self.nodes[i],
+                dist: self.dists[i],
+                weight: self.weights[i],
+            });
+        }
+    }
+
+    fn size_at(&self, v: NodeId, d: f64) -> usize {
+        self.dists_slice(v).partition_point(|&x| x <= d)
+    }
+
+    #[inline]
+    fn total_entries(&self) -> usize {
+        self.num_entries()
+    }
+
+    fn minhash_at(&self, v: NodeId, d: f64) -> adsketch_minhash::BottomKSketch {
+        // Insert only the binary-searched distance-≤ d prefix, like the
+        // heap path — not the trait default's full-sketch filter scan.
+        let start = self.offsets[v as usize] as usize;
+        let cut = start + AdsView::size_at(self, v, d);
+        let mut sketch = adsketch_minhash::BottomKSketch::new(self.k as usize);
+        for i in start..cut {
+            sketch.insert_ranked(self.ranks[i], self.nodes[i] as u64);
+        }
+        sketch
+    }
+
+    fn hip_cardinality_at(&self, v: NodeId, d: f64) -> f64 {
+        let cut = AdsView::size_at(self, v, d);
+        self.hip_weights_slice(v)[..cut].iter().sum()
+    }
+
+    fn hip_reachable(&self, v: NodeId) -> f64 {
+        self.hip_weights_slice(v).iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adsketch_graph::generators;
+
+    fn sample_set() -> AdsSet {
+        let g = generators::gnp_directed(90, 0.05, 7);
+        AdsSet::build(&g, 4, 3)
+    }
+
+    #[test]
+    fn freeze_preserves_counts_and_entries() {
+        let ads = sample_set();
+        let frozen = ads.freeze();
+        assert_eq!(frozen.k(), ads.k());
+        assert_eq!(frozen.num_nodes(), ads.num_nodes());
+        assert_eq!(frozen.num_entries(), ads.total_entries());
+        for v in 0..ads.num_nodes() as NodeId {
+            let mut got = Vec::new();
+            frozen.for_each_entry(v, |e| got.push(e));
+            assert_eq!(got.as_slice(), ads.sketch(v).entries());
+        }
+    }
+
+    #[test]
+    fn frozen_hip_matches_heap_bitwise() {
+        let ads = sample_set();
+        let frozen = ads.freeze();
+        for v in 0..ads.num_nodes() as NodeId {
+            let hip = ads.hip(v);
+            assert_eq!(frozen.hip_weights_of(v), hip);
+            assert_eq!(frozen.hip_reachable(v), hip.reachable_estimate());
+            for d in [0.0, 1.0, 2.0, 5.0, f64::INFINITY] {
+                assert_eq!(frozen.hip_cardinality_at(v, d), hip.cardinality_at(d));
+            }
+        }
+    }
+
+    #[test]
+    fn thaw_roundtrip_is_lossless() {
+        let ads = sample_set();
+        assert_eq!(ads.freeze().thaw(), ads);
+    }
+
+    #[test]
+    fn bytes_roundtrip_is_lossless() {
+        let frozen = sample_set().freeze();
+        let restored = FrozenAdsSet::from_bytes(&frozen.to_bytes()).unwrap();
+        assert_eq!(restored, frozen);
+    }
+
+    #[test]
+    fn serialized_len_is_exact() {
+        let frozen = sample_set().freeze();
+        assert_eq!(frozen.to_bytes().len(), frozen.serialized_len());
+    }
+
+    #[test]
+    fn empty_set_roundtrips() {
+        let ads = AdsSet::from_sketches(2, vec![]);
+        let frozen = ads.freeze();
+        assert_eq!(frozen.num_nodes(), 0);
+        let restored = FrozenAdsSet::from_bytes(&frozen.to_bytes()).unwrap();
+        assert_eq!(restored, frozen);
+        assert_eq!(restored.thaw(), ads);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let mut buf = sample_set().freeze().to_bytes();
+        buf[0] ^= 0xff;
+        assert!(matches!(
+            FrozenAdsSet::from_bytes(&buf),
+            Err(FrozenError::BadMagic)
+        ));
+    }
+
+    #[test]
+    fn rejects_unknown_version() {
+        let mut buf = sample_set().freeze().to_bytes();
+        buf[8] = 99;
+        assert!(matches!(
+            FrozenAdsSet::from_bytes(&buf),
+            Err(FrozenError::UnsupportedVersion(99))
+        ));
+    }
+
+    #[test]
+    fn rejects_truncation_at_every_prefix_length() {
+        let buf = sample_set().freeze().to_bytes();
+        for cut in [0, 7, HEADER_LEN - 1, HEADER_LEN + 3, buf.len() - 1] {
+            assert!(
+                FrozenAdsSet::from_bytes(&buf[..cut]).is_err(),
+                "prefix of {cut} bytes must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        let mut buf = sample_set().freeze().to_bytes();
+        buf.push(0);
+        assert!(matches!(
+            FrozenAdsSet::from_bytes(&buf),
+            Err(FrozenError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_payload_bit_flip_via_checksum() {
+        let mut buf = sample_set().freeze().to_bytes();
+        let mid = HEADER_LEN + (buf.len() - HEADER_LEN) / 2;
+        buf[mid] ^= 0x01;
+        assert!(matches!(
+            FrozenAdsSet::from_bytes(&buf),
+            Err(FrozenError::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_header_field_tamper_via_checksum() {
+        // Flipping k alone (checksummed header field) must not produce a
+        // silently different store.
+        let mut buf = sample_set().freeze().to_bytes();
+        buf[12] ^= 0x01;
+        assert!(FrozenAdsSet::from_bytes(&buf).is_err());
+    }
+
+    #[test]
+    fn error_messages_render() {
+        let e = FrozenError::Truncated {
+            expected: 100,
+            actual: 7,
+        };
+        assert!(e.to_string().contains("100"));
+        assert!(FrozenError::BadMagic.to_string().contains("magic"));
+    }
+}

@@ -35,6 +35,9 @@
 //! |---|---|
 //! | [`entry`], [`bottomk`], [`kmins`], [`kpartition`] | the three ADS flavors (Section 2) |
 //! | [`ads_set`] | per-graph collections of sketches |
+//! | [`view`] | the [`AdsView`] read-side trait every estimator runs against |
+//! | [`frozen`] | the immutable columnar query store with versioned (de)serialization |
+//! | [`engine`] | the sharded batch query engine over any view |
 //! | [`builder`] | PrunedDijkstra, DP and LocalUpdates construction (Section 3), incl. (1+ε)-approximate ADS |
 //! | [`reference`](mod@reference) | brute-force order-based builders used for validation |
 //! | [`hip`] | adjusted weights and HIP query evaluation (Section 5) |
@@ -69,8 +72,10 @@ pub mod basic;
 pub mod bottomk;
 pub mod builder;
 pub mod centrality;
+pub mod engine;
 pub mod entry;
 pub mod error;
+pub mod frozen;
 pub mod hip;
 pub mod kmins;
 pub mod kpartition;
@@ -80,13 +85,17 @@ pub mod sim;
 pub mod similarity;
 pub mod size_est;
 pub mod tieless;
+pub mod view;
 pub mod weighted;
 
 pub use ads_set::AdsSet;
 pub use bottomk::BottomKAds;
+pub use engine::QueryEngine;
 pub use entry::AdsEntry;
 pub use error::CoreError;
+pub use frozen::{FrozenAdsSet, FrozenError};
 pub use hip::{HipItem, HipWeights};
+pub use view::AdsView;
 
 /// Deterministic uniform ranks `r(v) ~ U[0,1)` for nodes `0..n`.
 ///

@@ -8,9 +8,16 @@
 //! union and intersection cardinalities of the two neighborhoods follow —
 //! for any query distance `d`, with no graph access.
 
+//! Each estimator comes in two forms: per-sketch-pair and `_in` (generic
+//! over any [`AdsView`] back end, addressed by node ids) — bitwise
+//! identical; batch evaluation lives in
+//! [`crate::engine::QueryEngine::jaccard_batch`].
+
+use adsketch_graph::NodeId;
 use adsketch_minhash::similarity as mh;
 
 use crate::bottomk::BottomKAds;
+use crate::view::AdsView;
 
 /// Estimated Jaccard similarity of `N_d(u)` and `N_d(v)` from the two
 /// nodes' ADSs.
@@ -29,6 +36,28 @@ pub fn neighborhood_union(u: &BottomKAds, v: &BottomKAds, d: f64) -> f64 {
 pub fn neighborhood_intersection(u: &BottomKAds, v: &BottomKAds, d: f64) -> f64 {
     assert_eq!(u.k(), v.k(), "sketches must share k");
     mh::intersection_cardinality(&u.minhash_at(d), &v.minhash_at(d))
+}
+
+/// [`neighborhood_jaccard`] for nodes `u`, `v` of any [`AdsView`] back
+/// end.
+pub fn neighborhood_jaccard_in<V: AdsView + ?Sized>(view: &V, u: NodeId, v: NodeId, d: f64) -> f64 {
+    mh::jaccard(&view.minhash_at(u, d), &view.minhash_at(v, d))
+}
+
+/// [`neighborhood_union`] for nodes `u`, `v` of any [`AdsView`] back end.
+pub fn neighborhood_union_in<V: AdsView + ?Sized>(view: &V, u: NodeId, v: NodeId, d: f64) -> f64 {
+    mh::union_cardinality(&view.minhash_at(u, d), &view.minhash_at(v, d))
+}
+
+/// [`neighborhood_intersection`] for nodes `u`, `v` of any [`AdsView`]
+/// back end.
+pub fn neighborhood_intersection_in<V: AdsView + ?Sized>(
+    view: &V,
+    u: NodeId,
+    v: NodeId,
+    d: f64,
+) -> f64 {
+    mh::intersection_cardinality(&view.minhash_at(u, d), &view.minhash_at(v, d))
 }
 
 /// The *closeness similarity* profile of two nodes: Jaccard similarity of

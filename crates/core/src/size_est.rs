@@ -13,6 +13,8 @@
 //! when only update *counts* are observable — e.g. watching a black-box
 //! approximate counter being modified.
 
+use adsketch_graph::NodeId;
+
 use crate::bottomk::BottomKAds;
 
 /// The Lemma 8.1 estimator `E_s` for a bottom-k ADS prefix of size `s`.
@@ -28,6 +30,12 @@ pub fn size_estimator(s: usize, k: usize) -> f64 {
 /// Applies the size estimator to the prefix of `ads` within distance `d`.
 pub fn cardinality_at(ads: &BottomKAds, d: f64) -> f64 {
     size_estimator(ads.size_at(d), ads.k())
+}
+
+/// [`cardinality_at`] for node `v` of any [`crate::view::AdsView`] back
+/// end (heap-backed or frozen).
+pub fn cardinality_at_in<V: crate::view::AdsView + ?Sized>(view: &V, v: NodeId, d: f64) -> f64 {
+    size_estimator(view.size_at(v, d), view.k())
 }
 
 /// For k = 1 the estimator is simply `2^s − 1`… no: the paper notes it "is

@@ -9,9 +9,14 @@
 use adsketch::core::AdsSet;
 use adsketch::graph::{exact, generators};
 
+/// CI runs every example with `ADSKETCH_EXAMPLE_TINY=1` (see ci.yml).
+fn tiny() -> bool {
+    std::env::var_os("ADSKETCH_EXAMPLE_TINY").is_some()
+}
+
 fn main() {
     // A small-world graph: ring lattice + rewiring (Watts–Strogatz).
-    let n = 3_000;
+    let n = if tiny() { 400 } else { 3_000 };
     let edges = generators::watts_strogatz_edges(n, 4, 0.05, 11);
     let g = adsketch::graph::Graph::undirected(n, &edges).expect("valid edges");
     println!(

@@ -11,11 +11,19 @@ use adsketch::stream::{HipHll, MorrisCounter};
 use adsketch::util::rng::{Rng64, Xoshiro256pp};
 use adsketch::util::RankHasher;
 
+/// CI runs every example with `ADSKETCH_EXAMPLE_TINY=1` (see ci.yml).
+fn tiny() -> bool {
+    std::env::var_os("ADSKETCH_EXAMPLE_TINY").is_some()
+}
+
 fn main() {
     // A skewed stream: 5 million occurrences of 1 million possible items,
     // zipf-ish repetition (low ids recur constantly).
-    let occurrences = 5_000_000u64;
-    let domain = 1_000_000u64;
+    let (occurrences, domain) = if tiny() {
+        (100_000u64, 20_000u64)
+    } else {
+        (5_000_000u64, 1_000_000u64)
+    };
     let mut rng = Xoshiro256pp::new(17);
     let hasher = RankHasher::new(5);
 
@@ -42,7 +50,7 @@ fn main() {
         hip_hll.insert(&hasher, e);
         hip_botk.insert(e);
         hip_morris.insert(e);
-        if i % 1_000_000 == 0 {
+        if i.is_multiple_of(occurrences / 5) {
             println!(
                 "{:>12} {:>12} {:>10.0} {:>10.0} {:>12.0} {:>12.0}",
                 i,

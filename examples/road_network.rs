@@ -12,15 +12,24 @@ use adsketch::core::{uniform_ranks, AdsSet};
 use adsketch::graph::{exact, generators, Graph, NodeId};
 use adsketch::util::rng::{Rng64, SplitMix64};
 
+/// CI runs every example with `ADSKETCH_EXAMPLE_TINY=1` (see ci.yml).
+fn tiny() -> bool {
+    std::env::var_os("ADSKETCH_EXAMPLE_TINY").is_some()
+}
+
 fn main() {
     // 60×60 grid of intersections; edge weight = travel minutes
     // (quantized uniform 1..4), plus a few hundred random shortcuts
     // ("highways") with faster effective speed.
-    let (rows, cols) = (60usize, 60usize);
+    let (rows, cols) = if tiny() {
+        (14usize, 14usize)
+    } else {
+        (60usize, 60usize)
+    };
     let n = rows * cols;
     let mut edges = generators::grid_edges(rows, cols);
     let mut rng = SplitMix64::new(404);
-    for _ in 0..400 {
+    for _ in 0..if tiny() { 40 } else { 400 } {
         let a = rng.range_usize(n) as NodeId;
         let b = rng.range_usize(n) as NodeId;
         if a != b {

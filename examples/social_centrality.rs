@@ -12,9 +12,14 @@ use adsketch::core::AdsSet;
 use adsketch::graph::{exact, generators, NodeId};
 use adsketch::util::rng::{Rng64, SplitMix64};
 
+/// CI runs every example with `ADSKETCH_EXAMPLE_TINY=1` (see ci.yml).
+fn tiny() -> bool {
+    std::env::var_os("ADSKETCH_EXAMPLE_TINY").is_some()
+}
+
 fn main() {
     // 20 000-member social graph with heavy-tailed degrees.
-    let n = 20_000;
+    let n = if tiny() { 500 } else { 20_000 };
     let g = generators::barabasi_albert(n, 5, 2024);
     println!(
         "social graph: {} members, {} friendships",

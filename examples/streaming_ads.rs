@@ -9,9 +9,14 @@
 use adsketch::stream::streaming_ads::{FirstOccurrenceAds, RecencyAds};
 use adsketch::util::rng::{Rng64, Xoshiro256pp};
 
+/// CI runs every example with `ADSKETCH_EXAMPLE_TINY=1` (see ci.yml).
+fn tiny() -> bool {
+    std::env::var_os("ADSKETCH_EXAMPLE_TINY").is_some()
+}
+
 fn main() {
     let k = 32;
-    let horizon = 100_000u64;
+    let horizon = if tiny() { 5_000u64 } else { 100_000u64 };
     let mut rng = Xoshiro256pp::new(4);
 
     // Event stream: at each tick one user acts; the active-user pool
@@ -53,7 +58,12 @@ fn main() {
         "{:>10} {:>12} {:>10} {:>8}",
         "window", "estimate", "truth", "err%"
     );
-    for w in [1_000u64, 5_000, 20_000, 50_000] {
+    let windows: [u64; 4] = if tiny() {
+        [100, 500, 1_000, 2_500]
+    } else {
+        [1_000, 5_000, 20_000, 50_000]
+    };
+    for w in windows {
         let t_min = (horizon - w) as f64;
         let est = recent.distinct_since(t_min);
         let truth = {

@@ -1,8 +1,12 @@
 #!/usr/bin/env bash
-# Refreshes BENCH_build.json, the repo's committed ADS-construction
-# performance baseline (one record per builder × thread configuration;
-# every configuration is asserted bitwise identical to the sequential
-# builder before being timed).
+# Refreshes the repo's committed performance baselines:
+#   BENCH_build.json — ADS construction (one record per builder × thread
+#   configuration; every configuration is asserted bitwise identical to
+#   the sequential builder before being timed), and
+#   BENCH_query.json — batch HIP query serving (closeness centrality and
+#   neighborhood cardinality over all nodes, frozen columnar store vs
+#   per-node heap queries; every backend asserted bitwise identical to
+#   the heap baseline before being timed).
 #
 # Quick mode (default): the full-size matrix, one timed iteration per
 # configuration —
@@ -14,17 +18,20 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-# Smoke mode writes to a throwaway path so reproducing CI locally can
-# never clobber the committed full-size baseline.
+# Smoke mode writes to throwaway paths so reproducing CI locally can
+# never clobber the committed full-size baselines.
 if [[ "${SMOKE:-0}" == "1" ]]; then
-  ARGS=(--k "${K:-16}" --json target/BENCH_build.smoke.json --smoke)
+  BUILD_ARGS=(--k "${K:-16}" --json target/BENCH_build.smoke.json --smoke)
+  QUERY_ARGS=(--k "${K:-16}" --json target/BENCH_query.smoke.json --smoke)
 else
-  ARGS=(--k "${K:-16}" --json BENCH_build.json --n "${N:-100000}")
+  BUILD_ARGS=(--k "${K:-16}" --json BENCH_build.json --n "${N:-100000}")
+  QUERY_ARGS=(--k "${K:-16}" --json BENCH_query.json --n "${N:-100000}")
 fi
 
-cargo run --release -p adsketch-bench --bin tbl_parallel -- "${ARGS[@]}"
+cargo run --release -p adsketch-bench --bin tbl_parallel -- "${BUILD_ARGS[@]}"
+cargo run --release -p adsketch-bench --bin tbl_query -- "${QUERY_ARGS[@]}"
 if [[ "${SMOKE:-0}" == "1" ]]; then
-  echo "smoke snapshot written to target/BENCH_build.smoke.json (baseline untouched)"
+  echo "smoke snapshots written to target/BENCH_{build,query}.smoke.json (baselines untouched)"
 else
-  echo "baseline written to BENCH_build.json"
+  echo "baselines written to BENCH_build.json and BENCH_query.json"
 fi
