@@ -1,7 +1,11 @@
-//! PARALLEL experiment: what the wave-parallel PrunedDijkstra and its
-//! unweighted BFS fast path buy over the original sequential heap-based
-//! builder (paper, Appendix B.4 motivates pipelining the rank-ordered
-//! searches; this measures the batched-wave realization).
+//! PARALLEL experiment: what the wave-parallel PrunedDijkstra, its
+//! unweighted BFS fast path and the relax-time frontier pruning buy over
+//! the original sequential heap-based builder (paper, Appendix B.4
+//! motivates pipelining the rank-ordered searches; this measures the
+//! batched-wave realization). The `pruned_seq` row is the
+//! pop-time-pruning-only PR-2 fast path and `pruned_relax_seq` the same
+//! core with the push-time threshold filter, so the committed snapshot
+//! records the before/after of relax-time pruning on both graph families.
 //!
 //! Every configuration is asserted bitwise identical to the sequential
 //! builder before its row is reported. With `--json PATH` the measurements
@@ -36,6 +40,8 @@ struct Record {
     threads: usize,
     ns_per_op: u128,
     relaxations: u64,
+    heap_pushes: u64,
+    pruned_at_relax: u64,
     speedup_vs_baseline: f64,
 }
 
@@ -89,10 +95,13 @@ fn run_case(family: &'static str, g: &Graph, k: usize, records: &mut Vec<Record>
         "time",
         "speedup",
         "relaxations",
+        "pushes",
+        "pruned@relax",
         "identical",
     ]);
 
-    // PR-1 baseline: sequential binary-heap Dijkstra, per-source allocs.
+    // PR-1 baseline: sequential binary-heap Dijkstra, per-source allocs
+    // (its frontier is not instrumented: pushes report 0).
     let t0 = Instant::now();
     let (base_set, base_stats) = pruned_dijkstra::build_baseline_with_stats(g, k, &ranks).unwrap();
     let base_ns = t0.elapsed().as_nanos();
@@ -105,15 +114,23 @@ fn run_case(family: &'static str, g: &Graph, k: usize, records: &mut Vec<Record>
         "baseline_heap_seq",
         1,
         base_ns,
-        base_stats.relaxations,
+        &base_stats,
         base_ns,
         true,
     );
 
-    // Sequential with arena + BFS fast path (when unit-weight).
+    // The perf trajectory: PR-2's pop-time-pruning-only sequential fast
+    // path (arena + BFS when unit-weight), the PR-4 relax-time-pruned
+    // sequential core, and the wave-parallel builds (relax-pruned against
+    // frozen thresholds).
     let timed: Vec<(String, usize, Box<Builder>)> = vec![
         (
             "pruned_seq".into(),
+            1,
+            Box::new(|g, k, ranks, _| pruned_dijkstra::build_pop_prune_with_stats(g, k, ranks)),
+        ),
+        (
+            "pruned_relax_seq".into(),
             1,
             Box::new(|g, k, ranks, _| pruned_dijkstra::build_with_stats(g, k, ranks)),
         ),
@@ -128,18 +145,15 @@ fn run_case(family: &'static str, g: &Graph, k: usize, records: &mut Vec<Record>
         let ns = t0.elapsed().as_nanos();
         let identical = set == base_set;
         assert!(identical, "{family}/{name}/{threads}: output diverged");
-        push(
-            records,
-            &mut t,
-            family,
-            g,
-            k,
-            &name,
-            threads,
-            ns,
+        assert!(
+            stats.relaxations <= base_stats.relaxations || name == "parallel",
+            "{family}/{name}: sequential relax pruning may never settle more \
+             nodes than the baseline ({} vs {})",
             stats.relaxations,
-            base_ns,
-            identical,
+            base_stats.relaxations
+        );
+        push(
+            records, &mut t, family, g, k, &name, threads, ns, &stats, base_ns, identical,
         );
     }
     println!("{}", t.render());
@@ -171,7 +185,7 @@ fn push(
     algorithm: &str,
     threads: usize,
     ns: u128,
-    relaxations: u64,
+    stats: &adsketch_core::builder::BuildStats,
     base_ns: u128,
     identical: bool,
 ) {
@@ -181,7 +195,9 @@ fn push(
         threads.to_string(),
         format!("{:.2?}", std::time::Duration::from_nanos(ns as u64)),
         format!("{}x", f(speedup)),
-        relaxations.to_string(),
+        stats.relaxations.to_string(),
+        stats.heap_pushes.to_string(),
+        stats.pruned_at_relax.to_string(),
         if identical { "yes" } else { "NO" }.to_string(),
     ]);
     records.push(Record {
@@ -194,7 +210,9 @@ fn push(
         algorithm: algorithm.to_string(),
         threads,
         ns_per_op: ns,
-        relaxations,
+        relaxations: stats.relaxations,
+        heap_pushes: stats.heap_pushes,
+        pruned_at_relax: stats.pruned_at_relax,
         speedup_vs_baseline: speedup,
     });
 }
@@ -207,7 +225,9 @@ fn render_json(records: &[Record]) -> String {
                 "  {{\"family\": \"{}\", \"weighted\": {}, \"host_threads\": {}, ",
                 "\"n\": {}, \"m\": {}, ",
                 "\"k\": {}, \"algorithm\": \"{}\", \"threads\": {}, ",
-                "\"ns_per_op\": {}, \"relaxations\": {}, \"speedup_vs_baseline\": {:.4}}}{}\n"
+                "\"ns_per_op\": {}, \"relaxations\": {}, ",
+                "\"heap_pushes\": {}, \"pruned_at_relax\": {}, ",
+                "\"speedup_vs_baseline\": {:.4}}}{}\n"
             ),
             r.family,
             r.weighted,
@@ -219,6 +239,8 @@ fn render_json(records: &[Record]) -> String {
             r.threads,
             r.ns_per_op,
             r.relaxations,
+            r.heap_pushes,
+            r.pruned_at_relax,
             r.speedup_vs_baseline,
             if i + 1 == records.len() { "" } else { "," }
         ));

@@ -21,11 +21,24 @@
 //! read-only admission probe ([`PartialAdsArena::would_insert`]) O(1),
 //! which is what the wave scheduler hammers from worker threads.
 //!
+//! # The admission-threshold array
+//!
+//! The arena additionally maintains a flat `n`-sized threshold array:
+//! `kth_dist[v]` is the distance of the k-th canonically-smallest entry in
+//! `v`'s partial sketch, `+∞` while the sketch holds fewer than k entries.
+//! It is refreshed on every insert (`debug_assert!`-checked against the
+//! prefix row each time) and backs the hot admission probes with a single
+//! 8-byte load — the prefix row is only touched to break exact distance
+//! ties by node id. **Threshold monotonicity** is the invariant everything
+//! rests on: inserts only ever tighten `kth_dist[v]`, so a candidate that
+//! fails the probe against a *stale* threshold can never pass against a
+//! current one. That is what makes the probe safe to use as a relax-time
+//! frontier filter (push-time pruning in the builders) and safe to read
+//! concurrently from frozen state in the wave scheduler.
+//!
 //! Only the rank-monotone insert regimes live here (canonical and
 //! tieless — everything the PrunedDijkstra-family builders need); the
 //! general retraction regimes remain on [`crate::builder::PartialAds`].
-
-use std::cmp::Ordering;
 
 use adsketch_graph::NodeId;
 
@@ -56,6 +69,10 @@ pub(crate) struct PartialAdsArena {
     /// owner ids in `overflow_owner`). Unordered; grouped at finish.
     overflow: Vec<AdsEntry>,
     overflow_owner: Vec<NodeId>,
+    /// Admission thresholds: `kth_dist[v]` = distance of the k-th
+    /// canonically-smallest entry of `v`'s sketch, `+∞` while under-full.
+    /// Monotone non-increasing over the build (see module docs).
+    kth_dist: Vec<f64>,
 }
 
 impl PartialAdsArena {
@@ -70,6 +87,7 @@ impl PartialAdsArena {
             len: vec![0; n],
             overflow: Vec::new(),
             overflow_owner: Vec::new(),
+            kth_dist: vec![f64::INFINITY; n],
         }
     }
 
@@ -82,21 +100,40 @@ impl PartialAdsArena {
 
     /// Read-only rank-monotone admission probe: would
     /// [`Self::insert_rank_monotone`] accept `(node, dist)` into `v`'s
-    /// sketch right now? O(1): one compare against the prefix maximum.
-    /// Safe to call concurrently on a shared `&self` — this is the
-    /// frozen-state prune test of the wave scheduler.
+    /// sketch right now? O(1): one compare against the flat threshold
+    /// array; the prefix row is read only to break an exact distance tie
+    /// by node id. Safe to call concurrently on a shared `&self` — this is
+    /// both the frozen-state prune test of the wave scheduler *and* the
+    /// relax-time frontier filter of the sequential builder (threshold
+    /// monotonicity makes a stale reject permanent; see module docs).
     ///
     /// (For a duplicate `(dist, node)` key this reports `true` where the
     /// insert would be a no-op; distinct sources can never produce one.)
     #[inline]
     pub fn would_insert(&self, v: NodeId, node: NodeId, dist: f64) -> bool {
-        let l = self.len[v as usize] as usize;
-        if l < self.k {
+        let t = self.kth_dist[v as usize];
+        if dist < t {
             return true;
         }
-        // Prefix full (l == k ≤ width): admit iff strictly below the k-th
-        // smallest key.
-        self.prefix[v as usize * self.width + l - 1].cmp_key(dist, node) == Ordering::Greater
+        if dist > t {
+            return false;
+        }
+        // dist == t: the threshold is finite, so the prefix holds exactly
+        // k entries; the id tie-break against the k-th smallest key
+        // decides. (Search distances are finite, so dist == t == +∞ cannot
+        // happen.)
+        self.prefix[v as usize * self.width + self.k - 1].node > node
+    }
+
+    /// Relax-time admission probe for the *tieless* (Appendix A) regime:
+    /// a candidate at distance `dist` is admissible iff fewer than k
+    /// entries sit at distance ≤ `dist`, i.e. iff `dist` lies strictly
+    /// below the k-th smallest distance. Exact (no tie slack: the tieless
+    /// rule has no id tie-break), O(1), and stale-safe like
+    /// [`Self::would_insert`].
+    #[inline]
+    pub fn tieless_admits(&self, v: NodeId, dist: f64) -> bool {
+        dist < self.kth_dist[v as usize]
     }
 
     /// PrunedDijkstra insert (see `PartialAds::insert_rank_monotone`):
@@ -129,10 +166,13 @@ impl PartialAdsArena {
         dist: f64,
         rank: f64,
     ) -> bool {
-        let within = self.row(v).partition_point(|e| e.dist <= dist);
-        if within >= self.k {
+        if !self.tieless_admits(v, dist) {
             return false;
         }
+        debug_assert!(
+            self.row(v).partition_point(|e| e.dist <= dist) < self.k,
+            "threshold probe must agree with the positional tieless test"
+        );
         let pos = match self.row(v).binary_search_by(|e| e.cmp_key(dist, node)) {
             Ok(_) => return false,
             Err(p) => p,
@@ -164,6 +204,35 @@ impl PartialAdsArena {
             self.len[v as usize] += 1;
         }
         self.prefix[off + pos] = e;
+        // Threshold maintenance: once the prefix reaches k entries, the
+        // k-th smallest distance is the row maximum. It only ever
+        // decreases from here (inserts land before it and push it left),
+        // which is the monotonicity the relax-time filter relies on.
+        if self.len[v as usize] as usize == self.k {
+            self.kth_dist[v as usize] = self.prefix[off + self.k - 1].dist;
+        }
+        debug_assert!(
+            self.threshold_consistent(v),
+            "kth_dist[{v}] diverged from the prefix row"
+        );
+    }
+
+    /// Consistency of `kth_dist[v]` with the prefix row — the invariant
+    /// `debug_assert!`-checked on every insert.
+    fn threshold_consistent(&self, v: NodeId) -> bool {
+        let l = self.len[v as usize] as usize;
+        let expect = if l == self.k {
+            self.prefix[v as usize * self.width + self.k - 1].dist
+        } else {
+            f64::INFINITY
+        };
+        self.kth_dist[v as usize].to_bits() == expect.to_bits()
+    }
+
+    /// Current admission threshold of `v` (test diagnostics).
+    #[cfg(test)]
+    pub fn threshold(&self, v: NodeId) -> f64 {
+        self.kth_dist[v as usize]
     }
 
     /// Number of nodes covered.
@@ -313,6 +382,53 @@ mod tests {
             assert!(arena.insert_rank_monotone(0, src, (n as u32 - src) as f64, 0.1 * src as f64));
         }
         assert_eq!(arena.sorted_entries_of(0).len(), n);
+    }
+
+    #[test]
+    fn threshold_tracks_kth_distance_and_only_tightens() {
+        let k = 3;
+        let mut arena = PartialAdsArena::new(8, k);
+        assert!(arena.threshold(0).is_infinite(), "under-full ⇒ +∞");
+        // Fill node 0's prefix: threshold snaps to the k-th distance.
+        assert!(arena.insert_rank_monotone(0, 10, 5.0, 0.1));
+        assert!(arena.insert_rank_monotone(0, 11, 3.0, 0.2));
+        assert!(arena.threshold(0).is_infinite(), "still under-full");
+        assert!(arena.insert_rank_monotone(0, 12, 7.0, 0.3));
+        assert_eq!(arena.threshold(0), 7.0);
+        // A closer insert displaces the maximum: threshold tightens.
+        assert!(arena.insert_rank_monotone(0, 13, 1.0, 0.4));
+        assert_eq!(arena.threshold(0), 5.0);
+        // Rejected candidates leave it untouched.
+        assert!(!arena.insert_rank_monotone(0, 14, 9.0, 0.5));
+        assert_eq!(arena.threshold(0), 5.0);
+        // Exact-tie admission is decided by node id against the k-th
+        // entry (node 10 at distance 5): id 9 < 10 admits, id 15 > 10
+        // does not.
+        assert!(arena.would_insert(0, 9, 5.0));
+        assert!(!arena.would_insert(0, 15, 5.0));
+    }
+
+    #[test]
+    fn tieless_probe_predicts_tieless_insert() {
+        // Drive random tieless workloads and check the O(1) probe always
+        // agrees with the insert outcome.
+        for seed in 0..4u64 {
+            let mut rng = SplitMix64::new(seed + 50);
+            let n = 10usize;
+            let k = 3usize;
+            let mut arena = PartialAdsArena::new(n, k);
+            for (src, milli) in (0..50u32).zip(1..) {
+                let rank = milli as f64 / 100.0;
+                for v in 0..n as NodeId {
+                    if rng.bernoulli(0.5) {
+                        let dist = rng.range_usize(4) as f64;
+                        let probe = arena.tieless_admits(v, dist);
+                        let inserted = arena.insert_rank_monotone_tieless(v, src + 100, dist, rank);
+                        assert_eq!(probe, inserted, "seed {seed}, src {src}, node {v}");
+                    }
+                }
+            }
+        }
     }
 
     #[test]

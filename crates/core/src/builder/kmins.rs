@@ -28,9 +28,11 @@ pub fn build_with_stats(
     let mut stats = BuildStats::default();
     for h in 0..k as u32 {
         let ranks: Vec<f64> = (0..n as u64).map(|v| hasher.perm_rank(v, h)).collect();
-        let (arena, s) = run_core(g, 1, &ranks, None, false)?;
+        let (arena, s) = run_core(g, 1, &ranks, None, false, true)?;
         stats.relaxations += s.relaxations;
         stats.insertions += s.insertions;
+        stats.heap_pushes += s.heap_pushes;
+        stats.pruned_at_relax += s.pruned_at_relax;
         for (v, entries) in arena.into_per_node().into_iter().enumerate() {
             records[v].extend(entries.into_iter().map(|e| KMinsRecord {
                 node: e.node,

@@ -36,9 +36,11 @@ pub fn build_with_stats(
         if sources.is_empty() {
             continue;
         }
-        let (arena, s) = run_core(g, 1, &ranks, Some(sources), false)?;
+        let (arena, s) = run_core(g, 1, &ranks, Some(sources), false, true)?;
         stats.relaxations += s.relaxations;
         stats.insertions += s.insertions;
+        stats.heap_pushes += s.heap_pushes;
+        stats.pruned_at_relax += s.pruned_at_relax;
         for (v, entries) in arena.into_per_node().into_iter().enumerate() {
             records[v].extend(entries.into_iter().map(|e| KPartRecord {
                 node: e.node,

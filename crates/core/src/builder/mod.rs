@@ -18,6 +18,23 @@
 //!
 //! Builders for the other two flavors ([`kmins`]/[`kpartition`]) reduce to
 //! bottom-1 runs of PrunedDijkstra per permutation/bucket.
+//!
+//! # The threshold-monotonicity invariant
+//!
+//! The PrunedDijkstra-family builders prune in two places: the canonical
+//! *pop-time* test (a settled node whose sketch rejects the source stops
+//! the search branch — Algorithm 1), and a *relax-time* filter that keeps
+//! doomed candidates out of the frontier before they pay a push. The
+//! relax-time filter is sound because the per-node admission thresholds
+//! maintained by the arena (`kth_dist[v]`, the k-th canonically-smallest
+//! distance in `v`'s partial sketch, `+∞` while under-full) **only ever
+//! tighten**: inserts move the k-th smallest key down, never up. A
+//! candidate that is not admissible against a stale threshold therefore
+//! can never become admissible later, so suppressing its push removes
+//! only visits that would have ended in a prune — output is bitwise
+//! identical, settled-node counts (`BuildStats::relaxations`) only
+//! shrink. The same staleness argument lets the wave scheduler consult
+//! the frozen threshold array concurrently from worker threads.
 
 mod arena;
 pub mod dp;
@@ -78,9 +95,15 @@ where
 /// edge relaxations; Appendix B.2 discusses their per-operation cost).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct BuildStats {
-    /// Edge relaxations / messages processed.
+    /// Edge relaxations / messages processed. For the search-based
+    /// builders this counts *settled* (visited) nodes, so relax-time
+    /// frontier pruning legitimately lowers it: candidates suppressed
+    /// before entering the frontier are never settled. It can only ever
+    /// shrink relative to the pop-time-pruning-only builds — never grow.
     pub relaxations: u64,
     /// Entries inserted into sketches (including ones later displaced).
+    /// Invariant under the pruning strategy: relax-time filtering removes
+    /// only candidates the pop-time test would have rejected.
     pub insertions: u64,
     /// Entries removed again (LocalUpdates only — its extra overhead).
     pub removals: u64,
@@ -88,6 +111,17 @@ pub struct BuildStats {
     /// the shortest-path hop diameter; parallel PrunedDijkstra: number of
     /// source waves).
     pub rounds: u64,
+    /// Frontier insertions: binary-heap pushes on weighted graphs, BFS
+    /// next-level enqueues on the unit-weight fast path, plus one seed
+    /// per search source. `0` for builders that don't instrument the
+    /// frontier (the retained PR-1 heap baseline, DP, LocalUpdates).
+    pub heap_pushes: u64,
+    /// Candidates rejected by the relax-time admission filter before ever
+    /// entering the frontier (see the threshold-monotonicity invariant in
+    /// the [module docs](self)). `0` when the filter is disabled
+    /// ([`pruned_dijkstra::build_pop_prune_with_stats`] and the
+    /// non-search builders).
+    pub pruned_at_relax: u64,
 }
 
 pub(crate) fn validate_ranks(ranks: &[f64], n: usize) -> Result<(), crate::error::CoreError> {

@@ -8,7 +8,7 @@
 //! search volume shrinks as ranks grow, giving `O(km log n)` expected
 //! relaxations in total.
 //!
-//! Two hot-path optimizations over the textbook formulation, neither of
+//! Three hot-path optimizations over the textbook formulation, none of
 //! which changes the output:
 //!
 //! * **BFS fast path** — on unit-weight graphs
@@ -17,14 +17,27 @@
 //!   visit sequence is identical, the heap cost is gone.
 //! * **Arena-backed sketch state** — the n partial sketches live in one
 //!   contiguous buffer with per-node spans instead of n separate `Vec`s.
+//! * **Relax-time frontier pruning** — the textbook algorithm discovers
+//!   that a sketch rejects the source at *pop* time, after the candidate
+//!   already paid a full frontier push + pop. The builder instead consults
+//!   the arena's flat admission-threshold array *before* pushing a
+//!   neighbor; thresholds only ever tighten, so a candidate rejected
+//!   against a stale threshold can never pass later (the
+//!   threshold-monotonicity invariant, see the
+//!   [`builder` module docs](crate::builder)), and the canonical pop-time
+//!   test is kept for everything that does enter the frontier.
 //!
 //! [`build_parallel`] additionally fans the searches out over threads in
 //! rank-ordered waves (see the `waves` module); its output is
-//! bitwise identical to [`build`]. [`build_baseline_with_stats`] preserves
-//! the original sequential heap-based implementation for benchmarking.
+//! bitwise identical to [`build`]. Two yardsticks are retained for
+//! benchmarking only: [`build_baseline_with_stats`] (the original
+//! sequential heap-based implementation, per-source allocations and all)
+//! and [`build_pop_prune_with_stats`] (arena + BFS fast path, but
+//! pop-time pruning only — what this module shipped before the relax-time
+//! filter).
 
 use adsketch_graph::dijkstra::dijkstra_visit;
-use adsketch_graph::{Graph, NodeId, Visit};
+use adsketch_graph::{FrontierVisitor, Graph, NodeId, Visit};
 
 use crate::ads_set::AdsSet;
 use crate::builder::waves::{rank_order, run_core_parallel, SearchScratch};
@@ -42,7 +55,7 @@ pub fn build_with_stats(
     k: usize,
     ranks: &[f64],
 ) -> Result<(AdsSet, BuildStats), CoreError> {
-    let (arena, stats) = run_core(g, k, ranks, None, false)?;
+    let (arena, stats) = run_core(g, k, ranks, None, false, true)?;
     Ok((arena.into_ads_set(), stats))
 }
 
@@ -84,8 +97,26 @@ pub fn build_tieless_entries(
     k: usize,
     ranks: &[f64],
 ) -> Result<Vec<Vec<crate::entry::AdsEntry>>, CoreError> {
-    let (arena, _) = run_core(g, k, ranks, None, true)?;
+    let (arena, _) = run_core(g, k, ranks, None, true, true)?;
     Ok(arena.into_per_node())
+}
+
+/// The PR-2 sequential fast path, retained as the pop-time-pruning
+/// yardstick: arena sketch state and the BFS fast path, but **no**
+/// relax-time frontier filter — every discovered candidate enters the
+/// frontier and doomed ones are only pruned when popped. Output is
+/// identical to [`build`]; `stats.relaxations` counts all the settled
+/// nodes the relax-time filter of [`build_with_stats`] never lets into
+/// the frontier, so benchmarking the two against each other measures
+/// exactly what push-time pruning buys (`tbl_parallel` reports this as
+/// `pruned_seq` vs `pruned_relax_seq`).
+pub fn build_pop_prune_with_stats(
+    g: &Graph,
+    k: usize,
+    ranks: &[f64],
+) -> Result<(AdsSet, BuildStats), CoreError> {
+    let (arena, stats) = run_core(g, k, ranks, None, false, false)?;
+    Ok((arena.into_ads_set(), stats))
 }
 
 /// The original (pre-wave, pre-arena) sequential implementation, retained
@@ -120,16 +151,74 @@ pub fn build_baseline_with_stats(
     Ok((AdsSet::from_sketches(k, sketches), stats))
 }
 
+/// Sequential search driver: one source's mutable view of the arena and
+/// counters, implementing both hooks of the relax-time-filtered searches.
+///
+/// `admit` is the push-time frontier filter (exact, not just
+/// conservative: the probes compare the full canonical key, so on the
+/// sequential path — where a node's threshold cannot change between its
+/// discovery and its pop within one search — every admitted candidate is
+/// also accepted at pop time). `visit` keeps the canonical pop-time
+/// admission-and-insert of Algorithm 1.
+struct SeqDriver<'a> {
+    arena: &'a mut PartialAdsArena,
+    stats: &'a mut BuildStats,
+    src: NodeId,
+    rank: f64,
+    tieless: bool,
+    relax: bool,
+}
+
+impl FrontierVisitor for SeqDriver<'_> {
+    #[inline]
+    fn admit(&mut self, v: NodeId, d: f64) -> bool {
+        if self.relax {
+            let ok = if self.tieless {
+                self.arena.tieless_admits(v, d)
+            } else {
+                self.arena.would_insert(v, self.src, d)
+            };
+            if !ok {
+                self.stats.pruned_at_relax += 1;
+                return false;
+            }
+        }
+        self.stats.heap_pushes += 1;
+        true
+    }
+
+    #[inline]
+    fn visit(&mut self, v: NodeId, d: f64) -> Visit {
+        self.stats.relaxations += 1;
+        let inserted = if self.tieless {
+            self.arena
+                .insert_rank_monotone_tieless(v, self.src, d, self.rank)
+        } else {
+            self.arena.insert_rank_monotone(v, self.src, d, self.rank)
+        };
+        if inserted {
+            self.stats.insertions += 1;
+            Visit::Continue
+        } else {
+            Visit::Prune
+        }
+    }
+}
+
 /// Core loop, also used by the k-mins and k-partition builders
 /// (`sources = Some(..)` restricts which nodes act as sources; all nodes
 /// still *receive* entries). Dispatches to the pruned BFS on unit-weight
-/// transposes and reuses one search scratch across all sources.
+/// transposes and reuses one search scratch across all sources. `relax`
+/// enables the relax-time frontier filter (sound by threshold
+/// monotonicity; `false` preserves the pop-time-only PR-2 behavior for
+/// the yardstick).
 pub(crate) fn run_core(
     g: &Graph,
     k: usize,
     ranks: &[f64],
     sources: Option<&[NodeId]>,
     tieless: bool,
+    relax: bool,
 ) -> Result<(PartialAdsArena, BuildStats), CoreError> {
     let n = g.num_nodes();
     validate_ranks(ranks, n)?;
@@ -139,21 +228,18 @@ pub(crate) fn run_core(
     let mut stats = BuildStats::default();
     let mut scratch = SearchScratch::for_graph(&gt);
     for &u in &order {
-        let r_u = ranks[u as usize];
-        scratch.visit(&gt, u, |v, d| {
-            stats.relaxations += 1;
-            let inserted = if tieless {
-                arena.insert_rank_monotone_tieless(v, u, d, r_u)
-            } else {
-                arena.insert_rank_monotone(v, u, d, r_u)
-            };
-            if inserted {
-                stats.insertions += 1;
-                Visit::Continue
-            } else {
-                Visit::Prune
-            }
-        });
+        // The source seeds the frontier unfiltered (its self-entry is
+        // judged by the pop-time test like everything else).
+        stats.heap_pushes += 1;
+        let mut driver = SeqDriver {
+            arena: &mut arena,
+            stats: &mut stats,
+            src: u,
+            rank: ranks[u as usize],
+            tieless,
+            relax,
+        };
+        scratch.run(&gt, u, &mut driver);
     }
     Ok((arena, stats))
 }
@@ -330,21 +416,95 @@ mod tests {
 
     #[test]
     fn baseline_matches_fast_paths() {
-        // The retained PR-1 baseline, the arena+BFS sequential build and
-        // the wave-parallel build agree bitwise on both weight regimes.
+        // The retained PR-1 baseline, the pop-prune yardstick, the
+        // relax-pruned sequential build and the wave-parallel build agree
+        // bitwise on both weight regimes.
         let ug = generators::gnp(80, 0.06, 21);
         let wg = generators::random_weighted_digraph(70, 4, 0.5, 3.0, 22);
         for g in [&ug, &wg] {
             let ranks = uniform_ranks(g.num_nodes(), 23);
             let (base, base_stats) = build_baseline_with_stats(g, 4, &ranks).unwrap();
+            let (pop, pop_stats) = build_pop_prune_with_stats(g, 4, &ranks).unwrap();
             let (fast, fast_stats) = build_with_stats(g, 4, &ranks).unwrap();
+            assert_eq!(base, pop);
             assert_eq!(base, fast);
-            // Same searches, same prunes: identical work counters for the
-            // sequential pair (the BFS fast path replays the exact
-            // Dijkstra visit sequence).
-            assert_eq!(base_stats, fast_stats);
+            // Pop-time pruning settles exactly what the baseline settles
+            // (the BFS fast path replays the exact Dijkstra visit
+            // sequence); the relax-time filter settles no more — and
+            // inserts exactly the same entries.
+            assert_eq!(pop_stats.relaxations, base_stats.relaxations);
+            assert_eq!(pop_stats.insertions, base_stats.insertions);
+            assert!(fast_stats.relaxations <= base_stats.relaxations);
+            assert_eq!(fast_stats.insertions, base_stats.insertions);
+            // Suppressed candidates + surviving pushes account for every
+            // frontier decision the pop-prune run pushed through.
+            assert!(fast_stats.heap_pushes <= pop_stats.heap_pushes);
+            assert_eq!(pop_stats.pruned_at_relax, 0);
+            assert!(fast_stats.pruned_at_relax > 0, "filter must fire");
             for threads in [1, 2, 4, 0] {
                 assert_eq!(build_parallel(g, 4, &ranks, threads).unwrap(), fast);
+            }
+        }
+    }
+
+    #[test]
+    fn relax_filter_is_exact_on_the_sequential_path() {
+        // Within one source's search a node's threshold cannot change
+        // between discovery and pop, so every candidate the relax filter
+        // admits is also inserted at pop time: settled == inserted, except
+        // for source seeds (which skip the filter and can be rejected at
+        // their own pop under zero-weight ties).
+        let ug = generators::barabasi_albert(400, 3, 31);
+        let wg = generators::random_weighted_digraph(300, 4, 0.5, 3.0, 32);
+        for g in [&ug, &wg] {
+            let ranks = uniform_ranks(g.num_nodes(), 33);
+            let (_, stats) = build_with_stats(g, 4, &ranks).unwrap();
+            assert!(
+                stats.relaxations - stats.insertions <= g.num_nodes() as u64,
+                "settled {} vs inserted {} diverge beyond the source seeds",
+                stats.relaxations,
+                stats.insertions
+            );
+        }
+    }
+
+    #[test]
+    fn tieless_relax_filter_matches_pop_pruning() {
+        // The tieless (Appendix A) entry path through the relax-pruned
+        // search core must be bitwise identical to the pop-prune-only
+        // core across the same regimes the canonical suite covers:
+        // unweighted directed, weighted, zero-weight ties, disconnected.
+        use adsketch_util::rng::{Rng64, SplitMix64};
+        let mut graphs = vec![
+            generators::gnp_directed(60, 0.08, 41),
+            generators::random_weighted_digraph(50, 4, 0.5, 3.0, 42),
+            Graph::undirected(8, &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)]).unwrap(),
+        ];
+        let mut rng = SplitMix64::new(43);
+        let n = 40usize;
+        let mut arcs = Vec::new();
+        for u in 0..n as u32 {
+            for _ in 0..3 {
+                let v = rng.range_usize(n) as u32;
+                if v != u {
+                    let w = if rng.bernoulli(0.5) { 0.0 } else { 1.0 };
+                    arcs.push((u, v, w));
+                }
+            }
+        }
+        graphs.push(Graph::directed_weighted(n, &arcs).unwrap());
+        for (i, g) in graphs.iter().enumerate() {
+            let ranks = uniform_ranks(g.num_nodes(), 44 + i as u64);
+            for k in [1usize, 3, 8] {
+                let (relax_arena, relax_stats) = run_core(g, k, &ranks, None, true, true).unwrap();
+                let (pop_arena, pop_stats) = run_core(g, k, &ranks, None, true, false).unwrap();
+                assert_eq!(
+                    relax_arena.into_per_node(),
+                    pop_arena.into_per_node(),
+                    "graph {i}, k {k}"
+                );
+                assert_eq!(relax_stats.insertions, pop_stats.insertions);
+                assert!(relax_stats.relaxations <= pop_stats.relaxations);
             }
         }
     }

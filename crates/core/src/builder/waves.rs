@@ -27,10 +27,27 @@
 //! against an empty arena and therefore prunes nothing — the same is true
 //! of the sequential builder's first ~k sources, but the floor is why the
 //! bound above does not hold verbatim for waves smaller than the floor.
+//!
+//! The same argument covers the **relax-time frontier filter** the wave
+//! searches now share with the sequential core: workers consult the
+//! frozen arena's admission-threshold array before pushing a candidate.
+//! Frozen thresholds are ≥ the thresholds the sequential run would have
+//! had at the same point (fewer inserts have happened), so the frozen
+//! filter admits a superset of what the sequential filter admits — every
+//! sequentially-inserted entry is still found at its true distance, and
+//! everything extra is re-pruned by the sequential replay. Because the
+//! arena is completely frozen during a wave's search phase, the filter is
+//! *exact* there: a candidate that passes it is recorded, so the wave's
+//! per-search settled count collapses to its candidate count. That is the
+//! push-time answer to the waves' over-exploration: branches another wave
+//! member (or any earlier wave) already saturated are rejected before
+//! they cost a push instead of after a pop.
 
-use adsketch_graph::bfs::{bfs_visit_scratch, BfsScratch};
-use adsketch_graph::dijkstra::{dijkstra_visit_scratch, DijkstraScratch};
-use adsketch_graph::{Graph, NodeId, Visit};
+use adsketch_graph::bfs::{bfs_visit_filtered_scratch, bfs_visit_scratch, BfsScratch};
+use adsketch_graph::dijkstra::{
+    dijkstra_visit_filtered_scratch, dijkstra_visit_scratch, DijkstraScratch,
+};
+use adsketch_graph::{FrontierVisitor, Graph, NodeId, Visit};
 
 use crate::builder::{shard_slots, thread_count, BuildStats, PartialAdsArena};
 use crate::error::CoreError;
@@ -71,6 +88,16 @@ impl SearchScratch {
             Self::Dijkstra(s) => dijkstra_visit_scratch(g, src, s, visitor),
         }
     }
+
+    /// Like [`Self::visit`] but through the full [`FrontierVisitor`]
+    /// protocol, so the driver's relax-time `admit` hook filters the
+    /// frontier of whichever search runs.
+    pub fn run<V: FrontierVisitor>(&mut self, g: &Graph, src: NodeId, vis: &mut V) {
+        match self {
+            Self::Bfs(s) => bfs_visit_filtered_scratch(g, src, s, vis),
+            Self::Dijkstra(s) => dijkstra_visit_filtered_scratch(g, src, s, vis),
+        }
+    }
 }
 
 /// Per-source result of a wave's concurrent search phase.
@@ -81,6 +108,53 @@ struct WaveSlot {
     candidates: Vec<(NodeId, f64)>,
     /// Nodes visited by this search (work counter).
     relaxations: u64,
+    /// Frontier insertions (incl. the source seed).
+    heap_pushes: u64,
+    /// Candidates the frozen-threshold relax filter kept out.
+    pruned_at_relax: u64,
+}
+
+/// Wave worker driver: a read-only view of the frozen arena plus this
+/// source's private slot. `admit` filters the frontier against the frozen
+/// admission thresholds (safe and exact: nothing mutates the arena during
+/// the search phase); `visit` re-checks the same frozen probe and records
+/// the candidate for the sequential replay.
+struct WaveDriver<'a> {
+    arena: &'a PartialAdsArena,
+    src: NodeId,
+    slot: &'a mut WaveSlot,
+}
+
+impl FrontierVisitor for WaveDriver<'_> {
+    #[inline]
+    fn admit(&mut self, v: NodeId, d: f64) -> bool {
+        if self.arena.would_insert(v, self.src, d) {
+            self.slot.heap_pushes += 1;
+            true
+        } else {
+            self.slot.pruned_at_relax += 1;
+            false
+        }
+    }
+
+    #[inline]
+    fn visit(&mut self, v: NodeId, d: f64) -> Visit {
+        self.slot.relaxations += 1;
+        // Every non-seed settle was admitted by `admit` against the same
+        // frozen state at the same final distance, so only the unfiltered
+        // source seed needs the probe here.
+        if v != self.src {
+            debug_assert!(self.arena.would_insert(v, self.src, d));
+            self.slot.candidates.push((v, d));
+            return Visit::Continue;
+        }
+        if self.arena.would_insert(v, self.src, d) {
+            self.slot.candidates.push((v, d));
+            Visit::Continue
+        } else {
+            Visit::Prune
+        }
+    }
 }
 
 /// Sources in increasing `(rank, id)` order — the total order every
@@ -118,7 +192,7 @@ pub(crate) fn run_core_parallel(
         // One worker: the wave machinery would only buy over-exploration
         // and candidate buffering. Degenerate to the sequential core —
         // identical output by construction.
-        return super::pruned_dijkstra::run_core(g, k, ranks, None, false);
+        return super::pruned_dijkstra::run_core(g, k, ranks, None, false, true);
     }
     crate::builder::validate_ranks(ranks, n)?;
     let gt = g.transpose();
@@ -136,7 +210,9 @@ pub(crate) fn run_core_parallel(
         let wave = &order[merged..merged + wave_len];
         let mut slots: Vec<WaveSlot> = Vec::new();
         slots.resize_with(wave_len, WaveSlot::default);
-        // Search phase: concurrent, read-only against the frozen arena.
+        // Search phase: concurrent, read-only against the frozen arena —
+        // both the relax-time frontier filter and the candidate test read
+        // the same frozen admission thresholds.
         {
             let (arena, gt) = (&arena, &gt);
             shard_slots(
@@ -144,15 +220,13 @@ pub(crate) fn run_core_parallel(
                 t,
                 || SearchScratch::for_graph(gt),
                 |scratch, i, slot| {
-                    scratch.visit(gt, wave[i], |v, d| {
-                        slot.relaxations += 1;
-                        if arena.would_insert(v, wave[i], d) {
-                            slot.candidates.push((v, d));
-                            Visit::Continue
-                        } else {
-                            Visit::Prune
-                        }
-                    });
+                    slot.heap_pushes += 1; // the source seed
+                    let mut driver = WaveDriver {
+                        arena,
+                        src: wave[i],
+                        slot,
+                    };
+                    scratch.run(gt, wave[i], &mut driver);
                 },
             );
         }
@@ -161,6 +235,8 @@ pub(crate) fn run_core_parallel(
             let u = wave[i];
             let r_u = ranks[u as usize];
             stats.relaxations += slot.relaxations;
+            stats.heap_pushes += slot.heap_pushes;
+            stats.pruned_at_relax += slot.pruned_at_relax;
             for (v, d) in slot.candidates {
                 if arena.insert_rank_monotone(v, u, d, r_u) {
                     stats.insertions += 1;

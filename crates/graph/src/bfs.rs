@@ -8,7 +8,7 @@
 use std::collections::VecDeque;
 
 use crate::csr::{Graph, NodeId};
-use crate::dijkstra::Visit;
+use crate::dijkstra::{AdmitAll, FrontierVisitor, Visit};
 
 /// Sentinel for "unreachable" in [`bfs_distances`].
 pub const UNREACHABLE: u32 = u32::MAX;
@@ -107,6 +107,30 @@ pub fn bfs_visit_scratch<F>(g: &Graph, src: NodeId, scratch: &mut BfsScratch, mu
 where
     F: FnMut(NodeId, u32) -> Visit,
 {
+    // Depths are exact small integers, so the f64 round-trip through the
+    // unified FrontierVisitor interface is lossless.
+    bfs_visit_filtered_scratch(
+        g,
+        src,
+        scratch,
+        &mut AdmitAll(|v, d: f64| visitor(v, d as u32)),
+    )
+}
+
+/// The relax-time-filtered pruned BFS: like [`bfs_visit_scratch`] but every
+/// newly discovered node is first offered to [`FrontierVisitor::admit`]
+/// (with its depth widened to `f64`, matching the unit-weight distances
+/// Dijkstra would produce), and only admitted nodes enter the next-level
+/// frontier. The monotone-filter contract on the trait keeps the output
+/// identical: BFS discovers each node at its minimal depth, and any later
+/// rediscovery would be at the same or greater depth, so a rejected node
+/// can be marked seen and never reconsidered.
+pub fn bfs_visit_filtered_scratch<V: FrontierVisitor>(
+    g: &Graph,
+    src: NodeId,
+    scratch: &mut BfsScratch,
+    vis: &mut V,
+) {
     debug_assert!((src as usize) < g.num_nodes());
     scratch.prepare(g.num_nodes());
     let e = scratch.epoch;
@@ -117,9 +141,10 @@ where
         // Canonical within-level order: ascending id, matching how the
         // Dijkstra heap pops distance ties.
         scratch.frontier.sort_unstable();
+        let next_depth = (depth + 1) as f64;
         for i in 0..scratch.frontier.len() {
             let v = scratch.frontier[i];
-            match visitor(v, depth) {
+            match vis.visit(v, depth as f64) {
                 Visit::Stop => return,
                 Visit::Prune => continue,
                 Visit::Continue => {}
@@ -127,7 +152,9 @@ where
             for &u in g.neighbors(v) {
                 if scratch.seen[u as usize] != e {
                     scratch.seen[u as usize] = e;
-                    scratch.next.push(u);
+                    if vis.admit(u, next_depth) {
+                        scratch.next.push(u);
+                    }
                 }
             }
         }
@@ -274,6 +301,56 @@ mod tests {
                     }
                 });
                 assert_eq!(d_seq, b_seq, "seed {seed}, src {src}");
+            }
+        }
+    }
+
+    #[test]
+    fn filtered_visit_matches_filtered_dijkstra() {
+        // With identical monotone threshold filters, the filtered BFS and
+        // the filtered Dijkstra must produce identical admit/visit traces
+        // on unit-weight graphs — the guarantee the relax-pruned builder's
+        // fast path relies on.
+        use crate::dijkstra::{dijkstra_visit_filtered_scratch, DijkstraScratch, FrontierVisitor};
+        use crate::generators;
+        use adsketch_util::rng::{Rng64, SplitMix64};
+
+        struct Trace<'a> {
+            cap: &'a [f64],
+            log: Vec<(char, NodeId, f64)>,
+        }
+        impl FrontierVisitor for Trace<'_> {
+            fn admit(&mut self, v: NodeId, d: f64) -> bool {
+                let ok = d <= self.cap[v as usize];
+                self.log.push((if ok { 'a' } else { 'r' }, v, d));
+                ok
+            }
+            fn visit(&mut self, v: NodeId, d: f64) -> Visit {
+                self.log.push(('v', v, d));
+                if d <= self.cap[v as usize] {
+                    Visit::Continue
+                } else {
+                    Visit::Prune
+                }
+            }
+        }
+
+        for seed in 0..5u64 {
+            let g = generators::gnp_directed(70, 0.06, seed);
+            let mut rng = SplitMix64::new(seed + 40);
+            let cap: Vec<f64> = (0..70).map(|_| (rng.range_usize(4)) as f64).collect();
+            for src in [0u32, 13, 55] {
+                let mut bt = Trace {
+                    cap: &cap,
+                    log: Vec::new(),
+                };
+                bfs_visit_filtered_scratch(&g, src, &mut BfsScratch::new(), &mut bt);
+                let mut dt = Trace {
+                    cap: &cap,
+                    log: Vec::new(),
+                };
+                dijkstra_visit_filtered_scratch(&g, src, &mut DijkstraScratch::new(), &mut dt);
+                assert_eq!(bt.log, dt.log, "seed {seed}, src {src}");
             }
         }
     }

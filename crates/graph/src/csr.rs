@@ -87,8 +87,12 @@ impl Graph {
             }
             triples.push((u, v, w));
         }
-        // Canonical adjacency order: sort by (src, dst).
-        triples.sort_unstable_by_key(|a| (a.0, a.1));
+        // Canonical adjacency order: sort by (src, dst, weight). The weight
+        // participates so parallel arcs with different weights land in a
+        // deterministic order regardless of input order (weights are
+        // validated finite and non-negative above, so the bit pattern is
+        // order-preserving); `transpose` sorts the same way.
+        triples.sort_unstable_by_key(|a| (a.0, a.1, a.2.to_bits()));
         let mut offsets = vec![0usize; n + 1];
         for &(u, _, _) in &triples {
             offsets[u as usize + 1] += 1;
@@ -387,5 +391,23 @@ mod tests {
         let g = Graph::directed(2, &[(0, 1), (0, 1)]).unwrap();
         assert_eq!(g.num_arcs(), 2);
         assert_eq!(g.neighbors(0), &[1, 1]);
+    }
+
+    #[test]
+    fn parallel_weighted_arcs_sort_deterministically() {
+        // Regression: parallel arcs with differing weights must come out in
+        // the same (ascending-weight) order no matter the input order —
+        // `Graph` equality, iteration order and the transpose all depend on
+        // it.
+        let fwd = Graph::directed_weighted(3, &[(0, 1, 2.0), (0, 1, 0.5), (0, 1, 1.0)]).unwrap();
+        let rev = Graph::directed_weighted(3, &[(0, 1, 1.0), (0, 1, 2.0), (0, 1, 0.5)]).unwrap();
+        assert_eq!(fwd, rev);
+        let ws: Vec<f64> = fwd.arcs(0).map(|(_, w)| w).collect();
+        assert_eq!(ws, vec![0.5, 1.0, 2.0]);
+        // The transpose sorts adjacency the same way, so it is
+        // input-order-independent too (and still the identity under double
+        // transpose).
+        assert_eq!(fwd.transpose(), rev.transpose());
+        assert_eq!(fwd.transpose().transpose(), fwd);
     }
 }

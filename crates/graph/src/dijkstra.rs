@@ -5,11 +5,15 @@
 //! whose sketch was not improved. [`dijkstra_visit`] exposes exactly that
 //! control point: the visitor is called once per settled node and decides
 //! whether the search continues through it.
-
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+//!
+//! [`dijkstra_visit_filtered_scratch`] additionally exposes the *relax-time*
+//! control point via [`FrontierVisitor::admit`]: a candidate can be kept out
+//! of the frontier before ever paying a heap push. The frontier itself is a
+//! flat 4-ary heap over monotone-packed keys ([`crate::heap::FlatHeap`]),
+//! popping in the canonical `(distance, node id)` order.
 
 use crate::csr::{Graph, NodeId};
+use crate::heap::FlatHeap;
 
 /// Visitor verdict for a settled node.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -23,19 +27,48 @@ pub enum Visit {
     Stop,
 }
 
-/// Totally ordered f64 wrapper for heap keys.
-#[derive(Debug, Clone, Copy, PartialEq)]
-struct OrdF64(f64);
-
-impl Eq for OrdF64 {}
-impl PartialOrd for OrdF64 {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
+/// Combined relax-time filter and settle-time visitor for the pruned
+/// searches ([`dijkstra_visit_filtered_scratch`],
+/// [`crate::bfs::bfs_visit_filtered_scratch`]).
+///
+/// `admit` is consulted *before* a tentative candidate enters the frontier
+/// (a heap push here, a next-level enqueue in the BFS); returning `false`
+/// suppresses the push entirely. `visit` is the classic settle hook, called
+/// once per node that reached the frontier and was popped.
+///
+/// # Output-equivalence contract
+///
+/// A filtered search produces the same settle sequence as the unfiltered
+/// one *minus* nodes that would only ever have been visited to return
+/// [`Visit::Prune`], provided the filter is **monotone-safe**: if
+/// `admit(v, d)` returns `false`, then `visit(v, d')` would return
+/// [`Visit::Prune`] for every `d' ≥ d` — and the filter keeps rejecting
+/// `(v, d'' ≥ d)` for the rest of the search. Threshold-style filters
+/// whose thresholds only tighten over time satisfy this by construction.
+/// (On distance improvement the search re-consults `admit` with the
+/// smaller tentative distance, so rejecting a longer path never hides a
+/// shorter one.)
+pub trait FrontierVisitor {
+    /// Relax-time admission test for a tentative frontier candidate.
+    fn admit(&mut self, node: NodeId, dist: f64) -> bool;
+    /// Settle-time visit; the verdict steers the search exactly as in
+    /// [`dijkstra_visit`].
+    fn visit(&mut self, node: NodeId, dist: f64) -> Visit;
 }
-impl Ord for OrdF64 {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.0.total_cmp(&other.0)
+
+/// Adapter turning a plain settle closure into a [`FrontierVisitor`] that
+/// admits every candidate (the unfiltered searches are expressed through
+/// it, so there is exactly one search loop to maintain).
+pub(crate) struct AdmitAll<F>(pub F);
+
+impl<F: FnMut(NodeId, f64) -> Visit> FrontierVisitor for AdmitAll<F> {
+    #[inline(always)]
+    fn admit(&mut self, _node: NodeId, _dist: f64) -> bool {
+        true
+    }
+    #[inline(always)]
+    fn visit(&mut self, node: NodeId, dist: f64) -> Visit {
+        (self.0)(node, dist)
     }
 }
 
@@ -51,7 +84,7 @@ pub struct DijkstraScratch {
     seen: Vec<u32>,
     done: Vec<u32>,
     epoch: u32,
-    heap: BinaryHeap<Reverse<(OrdF64, NodeId)>>,
+    heap: FlatHeap,
 }
 
 impl DijkstraScratch {
@@ -93,27 +126,41 @@ where
 /// [`dijkstra_visit`] with caller-provided scratch state, for tight loops
 /// running many single-source searches over the same graph. Semantics are
 /// identical; only the allocation behavior differs.
-pub fn dijkstra_visit_scratch<F>(
+pub fn dijkstra_visit_scratch<F>(g: &Graph, src: NodeId, scratch: &mut DijkstraScratch, visitor: F)
+where
+    F: FnMut(NodeId, f64) -> Visit,
+{
+    dijkstra_visit_filtered_scratch(g, src, scratch, &mut AdmitAll(visitor))
+}
+
+/// The relax-time-filtered pruned Dijkstra: like [`dijkstra_visit_scratch`]
+/// but every tentative frontier candidate is first offered to
+/// [`FrontierVisitor::admit`], and only admitted candidates pay a heap
+/// push. See the trait docs for the monotone-filter contract that keeps the
+/// output identical to the unfiltered search.
+///
+/// When a node's tentative distance improves, `admit` is consulted again
+/// with the shorter distance (an earlier rejection never hides a shorter
+/// path found later).
+pub fn dijkstra_visit_filtered_scratch<V: FrontierVisitor>(
     g: &Graph,
     src: NodeId,
     scratch: &mut DijkstraScratch,
-    mut visitor: F,
-) where
-    F: FnMut(NodeId, f64) -> Visit,
-{
+    vis: &mut V,
+) {
     let n = g.num_nodes();
     debug_assert!((src as usize) < n);
     scratch.prepare(n);
     let e = scratch.epoch;
     scratch.dist[src as usize] = 0.0;
     scratch.seen[src as usize] = e;
-    scratch.heap.push(Reverse((OrdF64(0.0), src)));
-    while let Some(Reverse((OrdF64(d), v))) = scratch.heap.pop() {
+    scratch.heap.push(0.0, src);
+    while let Some((d, v)) = scratch.heap.pop() {
         if scratch.done[v as usize] == e {
             continue;
         }
         scratch.done[v as usize] = e;
-        match visitor(v, d) {
+        match vis.visit(v, d) {
             Visit::Stop => return,
             Visit::Prune => continue,
             Visit::Continue => {}
@@ -121,9 +168,15 @@ pub fn dijkstra_visit_scratch<F>(
         for (u, w) in g.arcs(v) {
             let nd = d + w;
             if scratch.seen[u as usize] != e || nd < scratch.dist[u as usize] {
+                // Record the improved tentative distance even when the
+                // candidate is rejected below: the rejection only tightens
+                // with distance, so an equal-or-longer rediscovery can be
+                // cut by the cheap `dist` compare alone.
                 scratch.seen[u as usize] = e;
                 scratch.dist[u as usize] = nd;
-                scratch.heap.push(Reverse((OrdF64(nd), u)));
+                if vis.admit(u, nd) {
+                    scratch.heap.push(nd, u);
+                }
             }
         }
     }
@@ -295,6 +348,119 @@ mod tests {
                 Visit::Continue
             });
             assert_eq!(fresh, reused, "src {src}");
+        }
+    }
+
+    /// Threshold filter used by the frontier tests: admits only candidates
+    /// at distance ≤ the per-node cap, logging every decision.
+    struct CapFilter<'a> {
+        cap: &'a [f64],
+        admitted: Vec<(NodeId, f64)>,
+        rejected: Vec<(NodeId, f64)>,
+        visited: Vec<(NodeId, f64)>,
+    }
+
+    impl FrontierVisitor for CapFilter<'_> {
+        fn admit(&mut self, node: NodeId, dist: f64) -> bool {
+            if dist <= self.cap[node as usize] {
+                self.admitted.push((node, dist));
+                true
+            } else {
+                self.rejected.push((node, dist));
+                false
+            }
+        }
+        fn visit(&mut self, node: NodeId, dist: f64) -> Visit {
+            self.visited.push((node, dist));
+            // Monotone-safe counterpart of the filter: pruning exactly where
+            // the filter would have rejected.
+            if dist <= self.cap[node as usize] {
+                Visit::Continue
+            } else {
+                Visit::Prune
+            }
+        }
+    }
+
+    #[test]
+    fn filter_keeps_candidates_out_of_the_frontier() {
+        // Path 0→1→2→3 with unit weights; cap cuts at distance 1: node 2
+        // (distance 2) must never be pushed nor visited.
+        let g = Graph::directed_weighted(4, &[(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0)]).unwrap();
+        let cap = vec![f64::INFINITY, 1.0, 1.0, 1.0];
+        let mut f = CapFilter {
+            cap: &cap,
+            admitted: Vec::new(),
+            rejected: Vec::new(),
+            visited: Vec::new(),
+        };
+        dijkstra_visit_filtered_scratch(&g, 0, &mut DijkstraScratch::new(), &mut f);
+        assert_eq!(f.visited, vec![(0, 0.0), (1, 1.0)]);
+        assert_eq!(f.admitted, vec![(1, 1.0)]);
+        assert_eq!(f.rejected, vec![(2, 2.0)]);
+    }
+
+    #[test]
+    fn filter_is_reconsulted_on_distance_improvement() {
+        // 0→1 (5) is rejected by node 1's cap of 2, but the longer route
+        // 0→2→1 improves the tentative distance to 2 and must be admitted.
+        let g = Graph::directed_weighted(3, &[(0, 1, 5.0), (0, 2, 1.0), (2, 1, 1.0)]).unwrap();
+        let cap = vec![f64::INFINITY, 2.0, f64::INFINITY];
+        let mut f = CapFilter {
+            cap: &cap,
+            admitted: Vec::new(),
+            rejected: Vec::new(),
+            visited: Vec::new(),
+        };
+        dijkstra_visit_filtered_scratch(&g, 0, &mut DijkstraScratch::new(), &mut f);
+        assert_eq!(f.rejected, vec![(1, 5.0)]);
+        assert_eq!(f.admitted, vec![(2, 1.0), (1, 2.0)]);
+        assert_eq!(f.visited, vec![(0, 0.0), (2, 1.0), (1, 2.0)]);
+    }
+
+    #[test]
+    fn filtered_settles_match_unfiltered_accepts() {
+        // Against a monotone threshold filter, the filtered search must
+        // settle exactly the nodes the unfiltered search settles with a
+        // non-Prune verdict, in the same order with the same distances.
+        use adsketch_util::rng::{Rng64, SplitMix64};
+        for seed in 0..6u64 {
+            let mut rng = SplitMix64::new(seed * 77 + 1);
+            let n = 50usize;
+            let mut arcs = Vec::new();
+            for u in 0..n as NodeId {
+                for _ in 0..3 {
+                    let v = rng.range_usize(n) as NodeId;
+                    arcs.push((u, v, rng.unit_f64() * 4.0));
+                }
+            }
+            let g = Graph::directed_weighted(n, &arcs).unwrap();
+            let cap: Vec<f64> = (0..n).map(|_| rng.unit_f64() * 6.0).collect();
+            let mut unfiltered = Vec::new();
+            dijkstra_visit(&g, 0, |v, d| {
+                if d <= cap[v as usize] {
+                    unfiltered.push((v, d));
+                    Visit::Continue
+                } else {
+                    Visit::Prune
+                }
+            });
+            let mut f = CapFilter {
+                cap: &cap,
+                admitted: Vec::new(),
+                rejected: Vec::new(),
+                visited: Vec::new(),
+            };
+            dijkstra_visit_filtered_scratch(&g, 0, &mut DijkstraScratch::new(), &mut f);
+            // The source settles unconditionally in the filtered run; all
+            // other settles must be exactly the unfiltered accepts.
+            let accepted: Vec<(NodeId, f64)> = f
+                .visited
+                .iter()
+                .copied()
+                .filter(|&(v, d)| d <= cap[v as usize])
+                .collect();
+            assert_eq!(accepted, unfiltered, "seed {seed}");
         }
     }
 

@@ -12,7 +12,11 @@
 //!   interface supporting *pruning* (the operation PrunedDijkstra is built
 //!   on). Both come in scratch-reusing variants for many-source loops, and
 //!   [`bfs::bfs_visit`] replays the exact pruned-Dijkstra visit sequence on
-//!   unit-weight graphs ([`Graph::is_unit_weight`]) without a heap.
+//!   unit-weight graphs ([`Graph::is_unit_weight`]) without a heap. The
+//!   [`FrontierVisitor`] variants add a *relax-time* admission hook that
+//!   keeps doomed candidates out of the frontier entirely.
+//! * [`heap`] — the flat 4-ary min-heap over monotone-packed
+//!   `(distance, node)` keys backing the Dijkstra frontier.
 //! * [`generators`] — Erdős–Rényi G(n,p)/G(n,m), Barabási–Albert,
 //!   Watts–Strogatz, and structured graphs (path, cycle, star, complete,
 //!   2-D grid), plus random edge-weight assignment.
@@ -28,8 +32,9 @@ pub mod dijkstra;
 pub mod error;
 pub mod exact;
 pub mod generators;
+pub mod heap;
 pub mod io;
 
 pub use csr::{Graph, NodeId};
-pub use dijkstra::Visit;
+pub use dijkstra::{FrontierVisitor, Visit};
 pub use error::GraphError;

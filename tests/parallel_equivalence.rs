@@ -1,10 +1,12 @@
-//! Equivalence suite for the wave-parallel PrunedDijkstra and the
-//! unweighted BFS fast path: every configuration must be *bitwise
-//! identical* (`assert_eq!` on the whole `AdsSet`) to the sequential and
-//! reference builders, across thread counts {1, 2, 4, 0 = all cores} and
-//! across graph regimes (directed, weighted, zero-weight ties,
-//! disconnected). Graph seeds mirror the unit tests in
-//! `crates/core/src/builder/pruned_dijkstra.rs`.
+//! Equivalence suite for the wave-parallel PrunedDijkstra, the unweighted
+//! BFS fast path and the relax-time frontier pruning: every configuration
+//! must be *bitwise identical* (`assert_eq!` on the whole `AdsSet`) to the
+//! sequential and reference builders, across thread counts
+//! {1, 2, 4, 0 = all cores} and across graph regimes (directed, weighted,
+//! zero-weight ties, disconnected). On every graph family the relax-time
+//! filter must also never *increase* settled-node counts relative to the
+//! heap baseline — pruning earlier can only remove work. Graph seeds
+//! mirror the unit tests in `crates/core/src/builder/pruned_dijkstra.rs`.
 
 use adsketch::core::builder::pruned_dijkstra;
 use adsketch::core::{reference, uniform_ranks, AdsSet};
@@ -13,12 +15,38 @@ use adsketch::util::rng::{Rng64, SplitMix64};
 
 const THREADS: [usize; 4] = [1, 2, 4, 0];
 
-/// Asserts sequential == reference and parallel == sequential for every
-/// thread count.
+/// Asserts sequential == reference, parallel == sequential for every
+/// thread count, pop-prune == sequential, and the relax-time pruning
+/// work gates (settled counts never grow, insertions are invariant).
 fn assert_all_equivalent(g: &Graph, k: usize, ranks: &[f64], label: &str) {
-    let seq = pruned_dijkstra::build(g, k, ranks).unwrap();
+    let (seq, relax_stats) = pruned_dijkstra::build_with_stats(g, k, ranks).unwrap();
     let brute = reference::build_bottomk(g, k, ranks);
     assert_eq!(seq, brute, "{label}: sequential vs reference");
+    let (base, base_stats) = pruned_dijkstra::build_baseline_with_stats(g, k, ranks).unwrap();
+    assert_eq!(base, seq, "{label}: heap baseline vs sequential");
+    let (pop, pop_stats) = pruned_dijkstra::build_pop_prune_with_stats(g, k, ranks).unwrap();
+    assert_eq!(pop, seq, "{label}: pop-prune yardstick vs sequential");
+    // Relax-time pruning may only remove settled nodes, never add any —
+    // and removes only visits that would have ended in a prune, so the
+    // insert sequence is untouched.
+    assert!(
+        relax_stats.relaxations <= base_stats.relaxations,
+        "{label}: relax pruning increased relaxations ({} vs baseline {})",
+        relax_stats.relaxations,
+        base_stats.relaxations
+    );
+    assert_eq!(
+        relax_stats.insertions, base_stats.insertions,
+        "{label}: insertions must be invariant under the pruning strategy"
+    );
+    assert_eq!(
+        pop_stats.relaxations, base_stats.relaxations,
+        "{label}: pop-time-only pruning settles exactly the baseline set"
+    );
+    assert!(
+        relax_stats.heap_pushes <= pop_stats.heap_pushes,
+        "{label}: the frontier filter may only shrink push counts"
+    );
     for threads in THREADS {
         let par = pruned_dijkstra::build_parallel(g, k, ranks, threads).unwrap();
         assert_eq!(par, seq, "{label}: parallel ({threads} threads)");
@@ -123,18 +151,29 @@ fn ads_set_facade_parallel_matches_build() {
 #[test]
 fn bfs_fast_path_relaxes_no_more_than_dijkstra() {
     // BuildStats gate: on unweighted graphs the BFS fast path must do no
-    // more relaxations (visited nodes) than the heap-based baseline — the
-    // visit sequences are in fact identical, so the counters are equal.
+    // more relaxations (visited nodes) than the heap-based baseline. The
+    // pop-prune yardstick replays the exact baseline visit sequence
+    // (equal counters); the default relax-pruned build settles strictly
+    // fewer nodes on any graph where the filter fires.
     let g = generators::barabasi_albert(500, 3, 7);
     let ranks = uniform_ranks(500, 8);
     let (set_bfs, bfs) = pruned_dijkstra::build_with_stats(&g, 4, &ranks).unwrap();
+    let (set_pop, pop) = pruned_dijkstra::build_pop_prune_with_stats(&g, 4, &ranks).unwrap();
     let (set_heap, heap) = pruned_dijkstra::build_baseline_with_stats(&g, 4, &ranks).unwrap();
     assert_eq!(set_bfs, set_heap);
+    assert_eq!(set_pop, set_heap);
+    assert_eq!(pop.relaxations, heap.relaxations);
     assert!(
-        bfs.relaxations <= heap.relaxations,
-        "BFS fast path did {} relaxations, heap baseline {}",
+        bfs.relaxations < heap.relaxations,
+        "relax filter never fired: {} vs {}",
         bfs.relaxations,
         heap.relaxations
     );
+    // Expansion only ever happens from inserted nodes, which are identical
+    // across pruning modes — so each search discovers the same node set,
+    // and every discovery is either enqueued or relax-pruned:
+    assert_eq!(bfs.heap_pushes + bfs.pruned_at_relax, heap.relaxations);
+    // …and the level-synchronous BFS settles everything it enqueues.
+    assert_eq!(bfs.relaxations, bfs.heap_pushes);
     assert_eq!(bfs.insertions, heap.insertions);
 }

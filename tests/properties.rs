@@ -19,6 +19,19 @@ fn small_digraph() -> impl Strategy<Value = (usize, Vec<(NodeId, NodeId)>)> {
     })
 }
 
+/// Strategy: a small *weighted* directed graph whose weight palette
+/// (index-encoded) deliberately mixes zero weights (distance-0 ties),
+/// unit weights, and two generic values; low arc counts leave nodes
+/// disconnected, self-loops and parallel arcs are allowed.
+fn small_weighted_digraph() -> impl Strategy<Value = (usize, Vec<(NodeId, NodeId, usize)>)> {
+    (2usize..20).prop_flat_map(|n| {
+        let arcs = prop::collection::vec((0..n as NodeId, 0..n as NodeId, 0usize..4), 0..60);
+        (Just(n), arcs)
+    })
+}
+
+const WEIGHT_PALETTE: [f64; 4] = [0.0, 1.0, 0.5, 2.5];
+
 proptest! {
     /// Every ADS built from any canonical order over any rank assignment
     /// satisfies its structural invariants, and its HIP weights are ≥ 1
@@ -71,6 +84,52 @@ proptest! {
         let fast = pruned_dijkstra::build(&g, k, &ranks).unwrap();
         let slow = reference::build_bottomk(&g, k, &ranks);
         prop_assert_eq!(fast, slow);
+    }
+
+    /// The relax-time-pruned search core is bitwise identical to the
+    /// retained heap baseline — sequential, pop-prune yardstick and
+    /// wave-parallel at threads {1, 2, 4, 0} — on weighted digraphs
+    /// mixing zero-weight ties, unit weights, parallel arcs, self-loops
+    /// and disconnected nodes. The tieless (Appendix A) entry path must
+    /// be insensitive to the same filter (its per-node caps are asserted
+    /// directly, its relax-vs-pop equality is unit-tested in-crate).
+    #[test]
+    fn relax_pruned_core_equals_baseline(
+        (n, warcs) in small_weighted_digraph(),
+        seed in 0u64..1_000,
+        k in 1usize..5,
+    ) {
+        let arcs: Vec<(NodeId, NodeId, f64)> = warcs
+            .iter()
+            .map(|&(u, v, w)| (u, v, WEIGHT_PALETTE[w]))
+            .collect();
+        let g = Graph::directed_weighted(n, &arcs).unwrap();
+        let ranks = uniform_ranks(n, seed);
+        let (base, base_stats) =
+            pruned_dijkstra::build_baseline_with_stats(&g, k, &ranks).unwrap();
+        let (pop, pop_stats) = pruned_dijkstra::build_pop_prune_with_stats(&g, k, &ranks).unwrap();
+        let (relax, relax_stats) = pruned_dijkstra::build_with_stats(&g, k, &ranks).unwrap();
+        prop_assert_eq!(&pop, &base);
+        prop_assert_eq!(&relax, &base);
+        prop_assert_eq!(pop_stats.relaxations, base_stats.relaxations);
+        prop_assert!(relax_stats.relaxations <= base_stats.relaxations);
+        prop_assert_eq!(relax_stats.insertions, base_stats.insertions);
+        for threads in [1usize, 2, 4, 0] {
+            let par = pruned_dijkstra::build_parallel(&g, k, &ranks, threads).unwrap();
+            prop_assert_eq!(&par, &base, "threads {}", threads);
+        }
+        // Tieless entry path: at most k entries per distinct distance,
+        // and never more total entries than the canonical sketch admits.
+        let tieless = pruned_dijkstra::build_tieless_entries(&g, k, &ranks).unwrap();
+        for (v, entries) in tieless.iter().enumerate() {
+            let mut i = 0;
+            while i < entries.len() {
+                let d = entries[i].dist;
+                let same = entries.iter().filter(|e| e.dist == d).count();
+                prop_assert!(same <= k, "node {}: {} entries at distance {}", v, same, d);
+                i += same;
+            }
+        }
     }
 
     /// LocalUpdates reaches the same fixpoint on arbitrary digraphs.
