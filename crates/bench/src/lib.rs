@@ -8,42 +8,11 @@ pub mod table;
 
 pub use table::Table;
 
-/// Parses `--name value` from the process arguments, with a default.
-pub fn arg_u64(name: &str, default: u64) -> u64 {
-    let flag = format!("--{name}");
-    let args: Vec<String> = std::env::args().collect();
-    for i in 0..args.len() {
-        if args[i] == flag {
-            if let Some(v) = args.get(i + 1).and_then(|s| s.parse().ok()) {
-                return v;
-            }
-            eprintln!("warning: could not parse value for {flag}; using {default}");
-        }
-    }
-    default
-}
-
-/// Parses `--name value` as a string from the process arguments, with a
-/// default.
-pub fn arg_str(name: &str, default: &str) -> String {
-    let flag = format!("--{name}");
-    let args: Vec<String> = std::env::args().collect();
-    for i in 0..args.len() {
-        if args[i] == flag {
-            if let Some(v) = args.get(i + 1) {
-                return v.clone();
-            }
-            eprintln!("warning: missing value for {flag}; using {default}");
-        }
-    }
-    default.to_string()
-}
-
-/// True iff the bare flag `--name` is present in the process arguments.
-pub fn arg_flag(name: &str) -> bool {
-    let flag = format!("--{name}");
-    std::env::args().any(|a| a == flag)
-}
+// The `--name value` argument parser lives in `adsketch_util::args` so
+// binaries outside this crate (e.g. `adsketch-serve`'s `loadgen`) share
+// it; re-exported here because every `fig*`/`tbl_*` bin imports it from
+// the bench crate.
+pub use adsketch_util::args::{arg_flag, arg_str, arg_u64};
 
 /// Geometric checkpoint grid `{1..9} × 10^j` up to and including `max` —
 /// the sampling grid for all error-vs-cardinality experiments (log-x

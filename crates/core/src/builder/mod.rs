@@ -50,7 +50,7 @@ pub(crate) use arena::PartialAdsArena;
 pub(crate) use partial::PartialAds;
 
 /// Resolves a requested thread count: `0` means "all available cores".
-pub(crate) fn thread_count(requested: usize) -> usize {
+pub fn thread_count(requested: usize) -> usize {
     if requested > 0 {
         requested
     } else {
@@ -60,13 +60,16 @@ pub(crate) fn thread_count(requested: usize) -> usize {
     }
 }
 
-/// The one chunking loop behind every parallel builder: splits `slots` into
-/// ≤ `threads` contiguous chunks and runs `f(scratch, global_index, slot)`
-/// for each slot under [`std::thread::scope`], with one `init()`-built
-/// scratch per thread (reused across that thread's slots — this is what
-/// lets per-permutation rank buffers and per-source search state be
-/// allocated once per thread instead of once per slot).
-pub(crate) fn shard_slots<T, S, I, F>(slots: &mut [T], threads: usize, init: I, f: F)
+/// The one chunking loop behind every parallel builder (and the
+/// `adsketch-serve` worker pool): splits `slots` into ≤ `threads`
+/// contiguous chunks and runs `f(scratch, global_index, slot)` for each
+/// slot under [`std::thread::scope`], with one `init()`-built scratch per
+/// thread (reused across that thread's slots — this is what lets
+/// per-permutation rank buffers and per-source search state be allocated
+/// once per thread instead of once per slot). A resolved thread count of
+/// one runs inline on the calling thread, so single-threaded batch work
+/// (e.g. one query request on a server worker) pays no spawn.
+pub fn shard_slots<T, S, I, F>(slots: &mut [T], threads: usize, init: I, f: F)
 where
     T: Send,
     I: Fn() -> S + Sync,
@@ -77,6 +80,13 @@ where
         return;
     }
     let t = thread_count(threads).min(total);
+    if t == 1 {
+        let mut scratch = init();
+        for (i, slot) in slots.iter_mut().enumerate() {
+            f(&mut scratch, i, slot);
+        }
+        return;
+    }
     let chunk = total.div_ceil(t);
     std::thread::scope(|scope| {
         for (ci, part) in slots.chunks_mut(chunk).enumerate() {

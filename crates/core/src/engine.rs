@@ -85,6 +85,23 @@ impl<'a, V: AdsView + Sync> QueryEngine<'a, V> {
         self.decay_all(DecayKernel::Harmonic)
     }
 
+    /// Distance-decay centrality for an explicit batch of nodes — the
+    /// same floating-point sequence as [`QueryEngine::decay_all`]
+    /// restricted to `nodes`, so `decay_batch(kernel, &[v])[0]` is
+    /// bitwise equal to `decay_all(kernel)[v]`. This is the form the
+    /// `adsketch-serve` wire protocol serves.
+    pub fn decay_batch(&self, kernel: DecayKernel, nodes: &[NodeId]) -> Vec<f64> {
+        self.batch_map(nodes.len(), |i| {
+            self.view.hip_qg(nodes[i], |_, d| kernel.eval(d))
+        })
+    }
+
+    /// Harmonic centrality for an explicit batch of nodes (see
+    /// [`QueryEngine::decay_batch`]).
+    pub fn harmonic_batch(&self, nodes: &[NodeId]) -> Vec<f64> {
+        self.decay_batch(DecayKernel::Harmonic, nodes)
+    }
+
     /// Sum-of-distances (inverse Bavelas closeness) estimate per node.
     pub fn sum_of_distances_all(&self) -> Vec<f64> {
         self.qg_all(|_, d| d)
@@ -143,6 +160,24 @@ mod tests {
             let from_frozen = QueryEngine::with_threads(&frozen, threads).harmonic_all();
             assert_eq!(from_heap, per_node, "heap, threads = {threads}");
             assert_eq!(from_frozen, per_node, "frozen, threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn node_batches_match_all_node_sweeps_bitwise() {
+        let g = generators::gnp_directed(90, 0.05, 13);
+        let ads = AdsSet::build(&g, 4, 3);
+        let frozen = ads.freeze();
+        let engine = QueryEngine::with_threads(&frozen, 2);
+        let all = engine.harmonic_all();
+        let decay_all = engine.decay_all(centrality::DecayKernel::Exponential { base: 2.0 });
+        let nodes: Vec<NodeId> = (0..90u32).rev().collect();
+        let batch = engine.harmonic_batch(&nodes);
+        let decay_batch =
+            engine.decay_batch(centrality::DecayKernel::Exponential { base: 2.0 }, &nodes);
+        for (i, &v) in nodes.iter().enumerate() {
+            assert_eq!(batch[i], all[v as usize]);
+            assert_eq!(decay_batch[i], decay_all[v as usize]);
         }
     }
 

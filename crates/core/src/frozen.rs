@@ -39,8 +39,45 @@
 //! wrong magic, an unknown version, a truncated or oversized buffer, a
 //! checksum mismatch, and structurally corrupt payloads (non-monotone
 //! offsets, out-of-range node ids, entries out of canonical order).
+//! [`FrozenAdsSet::write_to`] / [`FrozenAdsSet::from_reader`] stream the
+//! same format through any `Write`/`Read` without materializing the whole
+//! buffer; `to_bytes`/`from_bytes` are thin wrappers over them.
+//!
+//! # Sharded stores (manifest format version 1)
+//!
+//! [`freeze_sharded`] partitions the node range `0..n` into `S` contiguous
+//! sub-ranges (balanced by entry count) and writes one *full-width*
+//! version-1 store per shard — each shard file covers all `n` rows but
+//! only its own range is populated, so every shard is independently
+//! loadable by [`FrozenAdsSet::load`] and valid against the v1 structural
+//! checks. Next to the shards it writes a checksummed manifest
+//! ([`SHARD_MANIFEST_FILE`], magic `ADSKSHD1`):
+//!
+//! ```text
+//! offset  size          field
+//! 0       8             magic  = b"ADSKSHD1"
+//! 8       4             format version (u32, = 1)
+//! 12      4             k (u32)
+//! 16      8             n = number of nodes (u64)
+//! 24      8             E = total number of entries (u64)
+//! 32      8             FNV-1a 64 checksum (as in the store header)
+//! 40      4             S = shard count (u32)
+//! 44      S*32          per-shard records: start (u64), end (u64),
+//!                       entries (u64), FNV-1a 64 digest of the complete
+//!                       shard file (u64)
+//! ```
+//!
+//! Shard `i` covers nodes `start..end` and lives in
+//! [`shard_file_name`]`(i)` next to the manifest.
+//! [`ShardManifest::from_bytes`] rejects bad magic/version, truncation,
+//! trailing bytes, checksum mismatches, and structurally invalid shard
+//! tables (overlapping ranges, gaps, ranges not covering exactly `0..n`,
+//! entry counts that don't sum to `E`). The serving-side loader
+//! (`adsketch-serve`'s `ShardedStore`) additionally verifies every shard
+//! file against its recorded digest.
 
 use std::fmt;
+use std::io::{Read, Write};
 use std::path::Path;
 
 use adsketch_graph::NodeId;
@@ -153,29 +190,74 @@ impl From<std::io::Error> for FrozenError {
 /// Streaming FNV-1a 64 (the format's checksum: dependency-free, byte-order
 /// independent, and strong enough to catch the bit flips and truncations a
 /// store can pick up at rest — not a cryptographic integrity guarantee).
-struct Fnv1a(u64);
+///
+/// Public so that tooling and tests can (re)compute the digests recorded
+/// in store headers and shard manifests.
+#[derive(Debug, Clone)]
+pub struct Fnv1a64(u64);
 
-impl Fnv1a {
-    fn new() -> Self {
-        Fnv1a(0xcbf2_9ce4_8422_2325)
+impl Default for Fnv1a64 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Fnv1a64 {
+    /// Fresh hasher at the FNV-1a 64 offset basis.
+    pub fn new() -> Self {
+        Fnv1a64(0xcbf2_9ce4_8422_2325)
     }
 
-    fn update(&mut self, bytes: &[u8]) {
+    /// Absorbs `bytes` into the running digest.
+    pub fn update(&mut self, bytes: &[u8]) {
         for &b in bytes {
             self.0 ^= b as u64;
             self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
         }
+    }
+
+    /// The digest of everything absorbed so far.
+    pub fn digest(&self) -> u64 {
+        self.0
     }
 }
 
 /// Checksum of a complete serialized buffer, treating the 8 checksum bytes
 /// themselves as zero.
 fn buffer_checksum(buf: &[u8]) -> u64 {
-    let mut h = Fnv1a::new();
+    let mut h = Fnv1a64::new();
     h.update(&buf[..CHECKSUM_OFFSET]);
     h.update(&[0u8; 8]);
     h.update(&buf[CHECKSUM_OFFSET + 8..]);
-    h.0
+    h.digest()
+}
+
+/// A `Write` adapter that FNV-hashes every byte it forwards (used to
+/// record whole-file shard digests while streaming a store to disk).
+struct HashingWriter<W: Write> {
+    inner: W,
+    hash: Fnv1a64,
+}
+
+impl<W: Write> HashingWriter<W> {
+    fn new(inner: W) -> Self {
+        Self {
+            inner,
+            hash: Fnv1a64::new(),
+        }
+    }
+}
+
+impl<W: Write> Write for HashingWriter<W> {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        let n = self.inner.write(buf)?;
+        self.hash.update(&buf[..n]);
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.inner.flush()
+    }
 }
 
 fn read_u32(buf: &[u8], at: usize) -> u32 {
@@ -184,6 +266,90 @@ fn read_u32(buf: &[u8], at: usize) -> u32 {
 
 fn read_u64(buf: &[u8], at: usize) -> u64 {
     u64::from_le_bytes(buf[at..at + 8].try_into().expect("bounds checked"))
+}
+
+/// Fills `buf` from the reader, mapping end-of-input to
+/// [`FrozenError::Truncated`] (with `already` bytes known consumed so far).
+fn read_exact_or_truncated<R: Read>(
+    r: &mut R,
+    buf: &mut [u8],
+    expected: u64,
+    already: u64,
+) -> Result<(), FrozenError> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return Err(FrozenError::Truncated {
+                    expected,
+                    actual: already + filled as u64,
+                })
+            }
+            Ok(m) => filled += m,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(FrozenError::Io(e)),
+        }
+    }
+    Ok(())
+}
+
+/// Capacity hint cap for column vectors: element counts come from an
+/// untrusted header, so never pre-reserve more than this many elements —
+/// a short input hits [`FrozenError::Truncated`] before growth hurts.
+const COL_CAPACITY_HINT: usize = 1 << 20;
+
+/// Streams one store's column arrays off a reader in fixed-size chunks,
+/// hashing every byte for the header checksum.
+struct ColumnReader<'a, R: Read> {
+    r: &'a mut R,
+    hash: &'a mut Fnv1a64,
+    /// Total serialized length the header promised (for error reporting).
+    expected: u64,
+    consumed: &'a mut u64,
+}
+
+impl<R: Read> ColumnReader<'_, R> {
+    fn read_chunks(
+        &mut self,
+        total_bytes: usize,
+        mut on_chunk: impl FnMut(&[u8]),
+    ) -> Result<(), FrozenError> {
+        // 8192 is a multiple of both element sizes (4 and 8), so every
+        // chunk holds whole elements.
+        let mut buf = [0u8; 8192];
+        let mut remaining = total_bytes;
+        while remaining > 0 {
+            let take = remaining.min(buf.len());
+            read_exact_or_truncated(self.r, &mut buf[..take], self.expected, *self.consumed)?;
+            *self.consumed += take as u64;
+            self.hash.update(&buf[..take]);
+            on_chunk(&buf[..take]);
+            remaining -= take;
+        }
+        Ok(())
+    }
+
+    fn read_u32_col(&mut self, count: usize) -> Result<Vec<u32>, FrozenError> {
+        let mut col = Vec::with_capacity(count.min(COL_CAPACITY_HINT));
+        self.read_chunks(count * 4, |chunk| {
+            for w in chunk.chunks_exact(4) {
+                col.push(u32::from_le_bytes(w.try_into().expect("4-byte chunks")));
+            }
+        })?;
+        Ok(col)
+    }
+
+    fn read_f64_col(&mut self, count: usize) -> Result<Vec<f64>, FrozenError> {
+        let mut col = Vec::with_capacity(count.min(COL_CAPACITY_HINT));
+        self.read_chunks(count * 8, |chunk| {
+            for w in chunk.chunks_exact(8) {
+                col.push(f64::from_bits(u64::from_le_bytes(
+                    w.try_into().expect("8-byte chunks"),
+                )));
+            }
+        })?;
+        Ok(col)
+    }
 }
 
 impl FrozenAdsSet {
@@ -214,6 +380,48 @@ impl FrozenAdsSet {
                 ranks.push(e.rank);
             }
             sketch.hip_scan(|it| weights.push(it.weight));
+            offsets.push(nodes.len() as u32);
+        }
+        Self {
+            k: ads.k() as u32,
+            offsets,
+            nodes,
+            dists,
+            ranks,
+            weights,
+        }
+    }
+
+    /// Freezes only rows `lo..hi` of `ads` into a *full-width* store: the
+    /// result covers all `n` rows (so it is a valid version-1 store with
+    /// the usual in-range node-id invariant), but rows outside `lo..hi`
+    /// are empty. This is the per-shard form [`freeze_sharded`] writes.
+    fn from_ads_set_range(ads: &AdsSet, lo: usize, hi: usize) -> Self {
+        debug_assert!(lo <= hi && hi <= ads.num_nodes());
+        let total: usize = ads.sketches()[lo..hi]
+            .iter()
+            .map(|s| s.entries().len())
+            .sum();
+        assert!(
+            u32::try_from(total).is_ok(),
+            "frozen store is limited to 2^32 − 1 entries; got {total}"
+        );
+        let n = ads.num_nodes();
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut nodes = Vec::with_capacity(total);
+        let mut dists = Vec::with_capacity(total);
+        let mut ranks = Vec::with_capacity(total);
+        let mut weights = Vec::with_capacity(total);
+        offsets.push(0u32);
+        for (v, sketch) in ads.sketches().iter().enumerate() {
+            if v >= lo && v < hi {
+                for e in sketch.entries() {
+                    nodes.push(e.node);
+                    dists.push(e.dist);
+                    ranks.push(e.rank);
+                }
+                sketch.hip_scan(|it| weights.push(it.weight));
+            }
             offsets.push(nodes.len() as u32);
         }
         Self {
@@ -260,6 +468,17 @@ impl FrozenAdsSet {
         self.nodes.len()
     }
 
+    /// Number of entries stored before node `v`'s range (the CSR prefix
+    /// offset). `v` may equal [`FrozenAdsSet::num_nodes`], giving the
+    /// total entry count. Offsets are validated monotone on load, so
+    /// "rows `lo..hi` hold every entry" collapses to
+    /// `entry_offset(lo) == 0 && entry_offset(hi) == num_entries()` —
+    /// the O(1) check sharded-store loaders use.
+    #[inline]
+    pub fn entry_offset(&self, v: usize) -> usize {
+        self.offsets[v] as usize
+    }
+
     #[inline]
     fn entry_range(&self, v: NodeId) -> std::ops::Range<usize> {
         self.offsets[v as usize] as usize..self.offsets[v as usize + 1] as usize
@@ -292,55 +511,106 @@ impl FrozenAdsSet {
         HEADER_LEN + self.offsets.len() * 4 + self.nodes.len() * 4 + self.nodes.len() * 3 * 8
     }
 
+    /// The 40-byte version-1 header with the checksum field zeroed.
+    fn header_with_zero_checksum(&self) -> [u8; HEADER_LEN] {
+        let mut h = [0u8; HEADER_LEN];
+        h[0..8].copy_from_slice(&FROZEN_MAGIC);
+        h[8..12].copy_from_slice(&FROZEN_FORMAT_VERSION.to_le_bytes());
+        h[12..16].copy_from_slice(&self.k.to_le_bytes());
+        h[16..24].copy_from_slice(&(self.num_nodes() as u64).to_le_bytes());
+        h[24..32].copy_from_slice(&(self.num_entries() as u64).to_le_bytes());
+        h
+    }
+
+    /// Streams every payload byte (the five column arrays, in on-disk
+    /// order) into `sink`.
+    fn for_each_payload_chunk(
+        &self,
+        mut sink: impl FnMut(&[u8]) -> std::io::Result<()>,
+    ) -> std::io::Result<()> {
+        let mut chunk = [0u8; 8192];
+        let mut fill = 0usize;
+        macro_rules! push {
+            ($bytes:expr) => {{
+                let b = $bytes;
+                if fill + b.len() > chunk.len() {
+                    sink(&chunk[..fill])?;
+                    fill = 0;
+                }
+                chunk[fill..fill + b.len()].copy_from_slice(&b);
+                fill += b.len();
+            }};
+        }
+        for &o in &self.offsets {
+            push!(o.to_le_bytes());
+        }
+        for &nd in &self.nodes {
+            push!(nd.to_le_bytes());
+        }
+        for col in [&self.dists, &self.ranks, &self.weights] {
+            for &x in col.iter() {
+                push!(x.to_bits().to_le_bytes());
+            }
+        }
+        if fill > 0 {
+            sink(&chunk[..fill])?;
+        }
+        Ok(())
+    }
+
+    /// Streams the version-1 on-disk format into `w` without materializing
+    /// the serialized buffer (two passes over the columns: one to compute
+    /// the header checksum, one to write). [`FrozenAdsSet::to_bytes`] is a
+    /// thin wrapper over this.
+    pub fn write_to<W: Write>(&self, w: &mut W) -> std::io::Result<()> {
+        let mut header = self.header_with_zero_checksum();
+        // Pass 1: the checksum, over header-with-zeroed-field + payload.
+        let mut hash = Fnv1a64::new();
+        hash.update(&header);
+        self.for_each_payload_chunk(|chunk| {
+            hash.update(chunk);
+            Ok(())
+        })
+        .expect("in-memory pass cannot fail");
+        header[CHECKSUM_OFFSET..CHECKSUM_OFFSET + 8].copy_from_slice(&hash.digest().to_le_bytes());
+        // Pass 2: write.
+        w.write_all(&header)?;
+        self.for_each_payload_chunk(|chunk| w.write_all(chunk))
+    }
+
     /// Serializes to the version-1 on-disk format (one contiguous
     /// little-endian buffer; see the module docs for the layout).
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut buf = Vec::with_capacity(self.serialized_len());
-        buf.extend_from_slice(&FROZEN_MAGIC);
-        buf.extend_from_slice(&FROZEN_FORMAT_VERSION.to_le_bytes());
-        buf.extend_from_slice(&self.k.to_le_bytes());
-        buf.extend_from_slice(&(self.num_nodes() as u64).to_le_bytes());
-        buf.extend_from_slice(&(self.num_entries() as u64).to_le_bytes());
-        buf.extend_from_slice(&[0u8; 8]); // checksum, patched below
-        for &o in &self.offsets {
-            buf.extend_from_slice(&o.to_le_bytes());
-        }
-        for &nd in &self.nodes {
-            buf.extend_from_slice(&nd.to_le_bytes());
-        }
-        for col in [&self.dists, &self.ranks, &self.weights] {
-            for &x in col.iter() {
-                buf.extend_from_slice(&x.to_bits().to_le_bytes());
-            }
-        }
+        self.write_to(&mut buf)
+            .expect("Vec<u8> writes are infallible");
         debug_assert_eq!(buf.len(), self.serialized_len());
-        let checksum = buffer_checksum(&buf);
-        buf[CHECKSUM_OFFSET..CHECKSUM_OFFSET + 8].copy_from_slice(&checksum.to_le_bytes());
         buf
     }
 
-    /// Deserializes a buffer produced by [`FrozenAdsSet::to_bytes`],
-    /// validating magic, version, length, checksum, and the structural
-    /// payload invariants. Lossless: the result compares equal to the
-    /// store that was serialized.
-    pub fn from_bytes(buf: &[u8]) -> Result<Self, FrozenError> {
-        if buf.len() < HEADER_LEN {
-            return Err(FrozenError::Truncated {
-                expected: HEADER_LEN as u64,
-                actual: buf.len() as u64,
-            });
-        }
-        if buf[..8] != FROZEN_MAGIC {
+    /// Deserializes the version-1 format from any `Read`, streaming the
+    /// columns in fixed-size chunks — shard and store loading never
+    /// materializes an intermediate whole-file `Vec<u8>`.
+    ///
+    /// Consumes exactly one serialized store from the reader and leaves
+    /// anything after it unread (callers that require end-of-input, like
+    /// [`FrozenAdsSet::from_bytes`] and [`FrozenAdsSet::load`], check for
+    /// trailing bytes themselves). All header/checksum/structural
+    /// validations of `from_bytes` apply.
+    pub fn from_reader<R: Read>(r: &mut R) -> Result<Self, FrozenError> {
+        let mut header = [0u8; HEADER_LEN];
+        read_exact_or_truncated(r, &mut header, HEADER_LEN as u64, 0)?;
+        if header[..8] != FROZEN_MAGIC {
             return Err(FrozenError::BadMagic);
         }
-        let version = read_u32(buf, 8);
+        let version = read_u32(&header, 8);
         if version != FROZEN_FORMAT_VERSION {
             return Err(FrozenError::UnsupportedVersion(version));
         }
-        let k = read_u32(buf, 12);
-        let n = read_u64(buf, 16);
-        let entries = read_u64(buf, 24);
-        let stored_checksum = read_u64(buf, CHECKSUM_OFFSET);
+        let k = read_u32(&header, 12);
+        let n = read_u64(&header, 16);
+        let entries = read_u64(&header, 24);
+        let stored_checksum = read_u64(&header, CHECKSUM_OFFSET);
         if k == 0 {
             return Err(FrozenError::Corrupt("k must be ≥ 1".into()));
         }
@@ -351,51 +621,37 @@ impl FrozenAdsSet {
         }
         // All arithmetic in u128: header fields are untrusted.
         let expected = HEADER_LEN as u128 + (n as u128 + 1) * 4 + entries as u128 * (4 + 3 * 8);
-        if (buf.len() as u128) < expected {
-            return Err(FrozenError::Truncated {
-                expected: expected as u64,
-                actual: buf.len() as u64,
-            });
-        }
-        if buf.len() as u128 != expected {
-            return Err(FrozenError::Corrupt(format!(
-                "{} trailing bytes after the payload",
-                buf.len() as u128 - expected
-            )));
-        }
-        let computed = buffer_checksum(buf);
+
+        // Hash the header with the checksum field zeroed, then every
+        // payload byte as it streams past.
+        let mut hash = Fnv1a64::new();
+        hash.update(&header[..CHECKSUM_OFFSET]);
+        hash.update(&[0u8; 8]);
+        hash.update(&header[CHECKSUM_OFFSET + 8..]);
+
+        let (n, entries) = (n as usize, entries as usize);
+        let mut consumed = HEADER_LEN as u64;
+        let mut col_reader = ColumnReader {
+            r,
+            hash: &mut hash,
+            expected: expected as u64,
+            consumed: &mut consumed,
+        };
+        // Capacity hints are capped: the counts come from an untrusted
+        // header, and a short input hits EOF before over-allocation hurts.
+        let offsets = col_reader.read_u32_col(n + 1)?;
+        let nodes = col_reader.read_u32_col(entries)?;
+        let dists = col_reader.read_f64_col(entries)?;
+        let ranks = col_reader.read_f64_col(entries)?;
+        let weights = col_reader.read_f64_col(entries)?;
+
+        let computed = hash.digest();
         if computed != stored_checksum {
             return Err(FrozenError::ChecksumMismatch {
                 stored: stored_checksum,
                 computed,
             });
         }
-
-        let (n, entries) = (n as usize, entries as usize);
-        let mut at = HEADER_LEN;
-        let mut offsets = Vec::with_capacity(n + 1);
-        for _ in 0..=n {
-            offsets.push(read_u32(buf, at));
-            at += 4;
-        }
-        let mut nodes = Vec::with_capacity(entries);
-        for _ in 0..entries {
-            nodes.push(read_u32(buf, at));
-            at += 4;
-        }
-        let read_f64_col = |at: &mut usize| {
-            let mut col = Vec::with_capacity(entries);
-            for _ in 0..entries {
-                col.push(f64::from_bits(read_u64(buf, *at)));
-                *at += 8;
-            }
-            col
-        };
-        let dists = read_f64_col(&mut at);
-        let ranks = read_f64_col(&mut at);
-        let weights = read_f64_col(&mut at);
-        debug_assert_eq!(at, buf.len());
-
         let store = Self {
             k,
             offsets,
@@ -405,6 +661,24 @@ impl FrozenAdsSet {
             weights,
         };
         store.validate_structure()?;
+        Ok(store)
+    }
+
+    /// Deserializes a buffer produced by [`FrozenAdsSet::to_bytes`],
+    /// validating magic, version, length, checksum, and the structural
+    /// payload invariants (thin wrapper over
+    /// [`FrozenAdsSet::from_reader`] that additionally rejects trailing
+    /// bytes). Lossless: the result compares equal to the store that was
+    /// serialized.
+    pub fn from_bytes(buf: &[u8]) -> Result<Self, FrozenError> {
+        let mut r = buf;
+        let store = Self::from_reader(&mut r)?;
+        if !r.is_empty() {
+            return Err(FrozenError::Corrupt(format!(
+                "{} trailing bytes after the payload",
+                r.len()
+            )));
+        }
         Ok(store)
     }
 
@@ -447,14 +721,28 @@ impl FrozenAdsSet {
         Ok(())
     }
 
-    /// Writes [`FrozenAdsSet::to_bytes`] to a file.
+    /// Streams the store to a file (buffered [`FrozenAdsSet::write_to`] —
+    /// no intermediate whole-file buffer).
     pub fn save(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
-        std::fs::write(path, self.to_bytes())
+        let file = std::fs::File::create(path)?;
+        let mut w = std::io::BufWriter::new(file);
+        self.write_to(&mut w)?;
+        w.flush()
     }
 
-    /// Reads and deserializes a store written by [`FrozenAdsSet::save`].
+    /// Streams in and deserializes a store written by
+    /// [`FrozenAdsSet::save`], rejecting files with trailing bytes after
+    /// the payload.
     pub fn load(path: impl AsRef<Path>) -> Result<Self, FrozenError> {
-        Self::from_bytes(&std::fs::read(path)?)
+        let file = std::fs::File::open(path)?;
+        let mut r = std::io::BufReader::new(file);
+        let store = Self::from_reader(&mut r)?;
+        if !reader_at_eof(&mut r)? {
+            return Err(FrozenError::Corrupt(
+                "trailing bytes after the payload".into(),
+            ));
+        }
+        Ok(store)
     }
 
     /// Estimated distance distribution of the whole graph — same quantity
@@ -528,6 +816,299 @@ impl AdsView for FrozenAdsSet {
     fn hip_reachable(&self, v: NodeId) -> f64 {
         self.hip_weights_slice(v).iter().sum()
     }
+}
+
+/// True iff the reader has no bytes left (probes with a 1-byte read).
+pub fn reader_at_eof<R: Read>(r: &mut R) -> std::io::Result<bool> {
+    let mut probe = [0u8; 1];
+    loop {
+        match r.read(&mut probe) {
+            Ok(0) => return Ok(true),
+            Ok(_) => return Ok(false),
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Magic bytes identifying a serialized shard manifest.
+pub const SHARD_MAGIC: [u8; 8] = *b"ADSKSHD1";
+/// The shard-manifest format version this build writes and reads.
+pub const SHARD_FORMAT_VERSION: u32 = 1;
+/// The manifest's file name inside a sharded-store directory.
+pub const SHARD_MANIFEST_FILE: &str = "manifest.adsm";
+
+const MANIFEST_HEADER_LEN: usize = 44;
+const SHARD_RECORD_LEN: usize = 32;
+
+/// The file name of shard `i` inside a sharded-store directory.
+pub fn shard_file_name(i: usize) -> String {
+    format!("shard-{i:05}.ads")
+}
+
+/// One shard's row in the manifest's node-range table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardRecord {
+    /// First node id the shard covers (inclusive).
+    pub start: u64,
+    /// One past the last node id the shard covers (exclusive).
+    pub end: u64,
+    /// Number of ADS entries stored in the shard.
+    pub entries: u64,
+    /// FNV-1a 64 digest of the complete shard file.
+    pub digest: u64,
+}
+
+/// The checksummed manifest of a sharded frozen store: global parameters
+/// plus the contiguous node-range table (see the module docs for the
+/// on-disk layout). Written by [`freeze_sharded`]; consumed by the
+/// `adsketch-serve` loader.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardManifest {
+    k: u32,
+    n: u64,
+    entries: u64,
+    records: Vec<ShardRecord>,
+}
+
+impl ShardManifest {
+    /// The sketch parameter k all shards were frozen with.
+    pub fn k(&self) -> usize {
+        self.k as usize
+    }
+
+    /// Number of nodes the sharded store covers.
+    pub fn num_nodes(&self) -> usize {
+        self.n as usize
+    }
+
+    /// Total number of entries across all shards.
+    pub fn total_entries(&self) -> u64 {
+        self.entries
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.records.len()
+    }
+
+    /// The node-range table, in shard order.
+    pub fn records(&self) -> &[ShardRecord] {
+        &self.records
+    }
+
+    /// Serializes the manifest (header + records, checksum patched in).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut buf =
+            Vec::with_capacity(MANIFEST_HEADER_LEN + self.records.len() * SHARD_RECORD_LEN);
+        buf.extend_from_slice(&SHARD_MAGIC);
+        buf.extend_from_slice(&SHARD_FORMAT_VERSION.to_le_bytes());
+        buf.extend_from_slice(&self.k.to_le_bytes());
+        buf.extend_from_slice(&self.n.to_le_bytes());
+        buf.extend_from_slice(&self.entries.to_le_bytes());
+        buf.extend_from_slice(&[0u8; 8]); // checksum, patched below
+        buf.extend_from_slice(&(self.records.len() as u32).to_le_bytes());
+        for r in &self.records {
+            buf.extend_from_slice(&r.start.to_le_bytes());
+            buf.extend_from_slice(&r.end.to_le_bytes());
+            buf.extend_from_slice(&r.entries.to_le_bytes());
+            buf.extend_from_slice(&r.digest.to_le_bytes());
+        }
+        let checksum = buffer_checksum(&buf);
+        buf[CHECKSUM_OFFSET..CHECKSUM_OFFSET + 8].copy_from_slice(&checksum.to_le_bytes());
+        buf
+    }
+
+    /// Deserializes and validates a manifest: magic, version, length,
+    /// checksum, and the structural invariants of the shard table
+    /// (contiguous non-overlapping coverage of exactly `0..n`, entry
+    /// counts summing to the recorded total).
+    pub fn from_bytes(buf: &[u8]) -> Result<Self, FrozenError> {
+        if buf.len() < MANIFEST_HEADER_LEN {
+            return Err(FrozenError::Truncated {
+                expected: MANIFEST_HEADER_LEN as u64,
+                actual: buf.len() as u64,
+            });
+        }
+        if buf[..8] != SHARD_MAGIC {
+            return Err(FrozenError::BadMagic);
+        }
+        let version = read_u32(buf, 8);
+        if version != SHARD_FORMAT_VERSION {
+            return Err(FrozenError::UnsupportedVersion(version));
+        }
+        let k = read_u32(buf, 12);
+        let n = read_u64(buf, 16);
+        let entries = read_u64(buf, 24);
+        let stored_checksum = read_u64(buf, CHECKSUM_OFFSET);
+        let shard_count = read_u32(buf, 40);
+        let expected = MANIFEST_HEADER_LEN as u128 + shard_count as u128 * SHARD_RECORD_LEN as u128;
+        if (buf.len() as u128) < expected {
+            return Err(FrozenError::Truncated {
+                expected: expected as u64,
+                actual: buf.len() as u64,
+            });
+        }
+        if buf.len() as u128 != expected {
+            return Err(FrozenError::Corrupt(format!(
+                "{} trailing bytes after the shard table",
+                buf.len() as u128 - expected
+            )));
+        }
+        let computed = buffer_checksum(buf);
+        if computed != stored_checksum {
+            return Err(FrozenError::ChecksumMismatch {
+                stored: stored_checksum,
+                computed,
+            });
+        }
+        let mut records = Vec::with_capacity(shard_count as usize);
+        let mut at = MANIFEST_HEADER_LEN;
+        for _ in 0..shard_count {
+            records.push(ShardRecord {
+                start: read_u64(buf, at),
+                end: read_u64(buf, at + 8),
+                entries: read_u64(buf, at + 16),
+                digest: read_u64(buf, at + 24),
+            });
+            at += SHARD_RECORD_LEN;
+        }
+        let manifest = Self {
+            k,
+            n,
+            entries,
+            records,
+        };
+        manifest.validate()?;
+        Ok(manifest)
+    }
+
+    /// The structural invariants every loadable manifest satisfies.
+    fn validate(&self) -> Result<(), FrozenError> {
+        if self.k == 0 {
+            return Err(FrozenError::Corrupt("k must be ≥ 1".into()));
+        }
+        if self.n > u32::MAX as u64 {
+            return Err(FrozenError::Corrupt(format!(
+                "node count exceeds the u32 CSR limit (n = {})",
+                self.n
+            )));
+        }
+        if self.records.is_empty() {
+            return Err(FrozenError::Corrupt("manifest lists no shards".into()));
+        }
+        let mut cursor = 0u64;
+        for (i, r) in self.records.iter().enumerate() {
+            if r.start != cursor {
+                return Err(FrozenError::Corrupt(format!(
+                    "shard {i}: range {}..{} does not continue at node {cursor} \
+                     (overlapping or gapped shard table)",
+                    r.start, r.end
+                )));
+            }
+            if r.end < r.start {
+                return Err(FrozenError::Corrupt(format!(
+                    "shard {i}: inverted range {}..{}",
+                    r.start, r.end
+                )));
+            }
+            cursor = r.end;
+        }
+        if cursor != self.n {
+            return Err(FrozenError::Corrupt(format!(
+                "shard table covers 0..{cursor} but the store has {} nodes",
+                self.n
+            )));
+        }
+        let sum: u64 = self.records.iter().map(|r| r.entries).sum();
+        if sum != self.entries {
+            return Err(FrozenError::Corrupt(format!(
+                "shard entry counts sum to {sum}, manifest records {}",
+                self.entries
+            )));
+        }
+        Ok(())
+    }
+
+    /// Writes the manifest to a file.
+    pub fn save(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        std::fs::write(path, self.to_bytes())
+    }
+
+    /// Reads and validates a manifest written by [`ShardManifest::save`].
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, FrozenError> {
+        Self::from_bytes(&std::fs::read(path)?)
+    }
+}
+
+/// Contiguous node-range cut points for `shards` shards, balanced by
+/// entry count (each node weighted by `entries + 1` so empty sketches
+/// still spread). Returns `shards + 1` monotone cut points from `0` to
+/// `n`; trailing shards may be empty when `shards > n`.
+fn shard_cuts(ads: &AdsSet, shards: usize) -> Vec<usize> {
+    let n = ads.num_nodes();
+    let total: u64 = ads
+        .sketches()
+        .iter()
+        .map(|s| s.entries().len() as u64 + 1)
+        .sum();
+    let mut cuts = Vec::with_capacity(shards + 1);
+    cuts.push(0);
+    let mut consumed = 0u64;
+    let mut v = 0usize;
+    for i in 0..shards {
+        let target = total * (i as u64 + 1) / shards as u64;
+        while v < n && consumed < target {
+            consumed += ads.sketch(v as NodeId).entries().len() as u64 + 1;
+            v += 1;
+        }
+        if i + 1 == shards {
+            v = n;
+        }
+        cuts.push(v);
+    }
+    cuts
+}
+
+/// Partitions `ads` into `shards` contiguous node ranges and writes one
+/// full-width version-1 store per shard plus the checksummed
+/// [`ShardManifest`] into `dir` (created if missing). Every shard file is
+/// independently loadable by [`FrozenAdsSet::load`]; serving loaders
+/// route node `v` to the shard whose manifest range contains it, and
+/// answers are bitwise identical to the unsharded store (the per-node
+/// entries are byte-for-byte the same).
+pub fn freeze_sharded(
+    ads: &AdsSet,
+    shards: usize,
+    dir: impl AsRef<Path>,
+) -> Result<ShardManifest, FrozenError> {
+    assert!(shards >= 1, "shard count must be ≥ 1");
+    let dir = dir.as_ref();
+    std::fs::create_dir_all(dir)?;
+    let cuts = shard_cuts(ads, shards);
+    let mut records = Vec::with_capacity(shards);
+    for i in 0..shards {
+        let (lo, hi) = (cuts[i], cuts[i + 1]);
+        let shard = FrozenAdsSet::from_ads_set_range(ads, lo, hi);
+        let file = std::fs::File::create(dir.join(shard_file_name(i)))?;
+        let mut w = HashingWriter::new(std::io::BufWriter::new(file));
+        shard.write_to(&mut w)?;
+        w.flush()?;
+        records.push(ShardRecord {
+            start: lo as u64,
+            end: hi as u64,
+            entries: shard.num_entries() as u64,
+            digest: w.hash.digest(),
+        });
+    }
+    let manifest = ShardManifest {
+        k: ads.k() as u32,
+        n: ads.num_nodes() as u64,
+        entries: ads.total_entries() as u64,
+        records,
+    };
+    manifest.save(dir.join(SHARD_MANIFEST_FILE))?;
+    Ok(manifest)
 }
 
 #[cfg(test)]
@@ -656,6 +1237,145 @@ mod tests {
         let mut buf = sample_set().freeze().to_bytes();
         buf[12] ^= 0x01;
         assert!(FrozenAdsSet::from_bytes(&buf).is_err());
+    }
+
+    #[test]
+    fn streaming_roundtrip_matches_bytes() {
+        let frozen = sample_set().freeze();
+        let mut buf = Vec::new();
+        frozen.write_to(&mut buf).unwrap();
+        assert_eq!(buf, frozen.to_bytes());
+        let mut r = &buf[..];
+        let restored = FrozenAdsSet::from_reader(&mut r).unwrap();
+        assert!(r.is_empty());
+        assert_eq!(restored, frozen);
+    }
+
+    #[test]
+    fn from_reader_leaves_trailing_input() {
+        let frozen = sample_set().freeze();
+        let mut buf = frozen.to_bytes();
+        buf.extend_from_slice(b"NEXT");
+        let mut r = &buf[..];
+        let restored = FrozenAdsSet::from_reader(&mut r).unwrap();
+        assert_eq!(restored, frozen);
+        assert_eq!(r, b"NEXT");
+    }
+
+    #[test]
+    fn freeze_sharded_writes_loadable_shards() {
+        let ads = sample_set();
+        let dir = std::env::temp_dir().join("adsketch_core_freeze_sharded");
+        let _ = std::fs::remove_dir_all(&dir);
+        let manifest = freeze_sharded(&ads, 3, &dir).unwrap();
+        assert_eq!(manifest.num_shards(), 3);
+        assert_eq!(manifest.num_nodes(), ads.num_nodes());
+        assert_eq!(manifest.total_entries(), ads.total_entries() as u64);
+        let full = ads.freeze();
+        for (i, rec) in manifest.records().iter().enumerate() {
+            // Every shard is an independently loadable, full-width v1 store…
+            let shard = FrozenAdsSet::load(dir.join(shard_file_name(i))).unwrap();
+            assert_eq!(shard.k(), ads.k());
+            assert_eq!(shard.num_nodes(), ads.num_nodes());
+            assert_eq!(shard.num_entries() as u64, rec.entries);
+            // …whose in-range rows equal the unsharded store's rows
+            // (entries and precomputed HIP weights alike)…
+            for v in rec.start as NodeId..rec.end as NodeId {
+                let mut got = Vec::new();
+                shard.for_each_entry(v, |e| got.push(e));
+                assert_eq!(got.as_slice(), ads.sketch(v).entries());
+                assert_eq!(shard.hip_weights_slice(v), full.hip_weights_slice(v));
+            }
+            // …and whose out-of-range rows are empty.
+            for v in 0..ads.num_nodes() as NodeId {
+                if (v as u64) < rec.start || (v as u64) >= rec.end {
+                    assert_eq!(shard.entry_count(v), 0, "shard {i}, node {v}");
+                }
+            }
+        }
+        let reloaded = ShardManifest::load(dir.join(SHARD_MANIFEST_FILE)).unwrap();
+        assert_eq!(reloaded, manifest);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn shard_cuts_cover_everything_for_any_shard_count() {
+        let ads = sample_set();
+        for shards in [1, 2, 3, 7, 200] {
+            let cuts = shard_cuts(&ads, shards);
+            assert_eq!(cuts.len(), shards + 1);
+            assert_eq!(cuts[0], 0);
+            assert_eq!(*cuts.last().unwrap(), ads.num_nodes());
+            assert!(cuts.windows(2).all(|w| w[0] <= w[1]));
+        }
+    }
+
+    #[test]
+    fn manifest_roundtrips_and_rejects_overlap() {
+        let rec = |start, end, entries| ShardRecord {
+            start,
+            end,
+            entries,
+            digest: 0x1234,
+        };
+        let good = ShardManifest {
+            k: 4,
+            n: 10,
+            entries: 30,
+            records: vec![rec(0, 6, 20), rec(6, 10, 10)],
+        };
+        let restored = ShardManifest::from_bytes(&good.to_bytes()).unwrap();
+        assert_eq!(restored, good);
+        // Overlap (or a gap) in the range table must be rejected even
+        // with a valid checksum.
+        for records in [
+            vec![rec(0, 7, 20), rec(6, 10, 10)], // overlap
+            vec![rec(0, 5, 20), rec(6, 10, 10)], // gap
+            vec![rec(0, 6, 20), rec(6, 9, 10)],  // short coverage
+            vec![rec(0, 6, 20), rec(6, 10, 11)], // entry sum mismatch
+        ] {
+            let bad = ShardManifest {
+                records,
+                ..good.clone()
+            };
+            assert!(matches!(
+                ShardManifest::from_bytes(&bad.to_bytes()),
+                Err(FrozenError::Corrupt(_))
+            ));
+        }
+    }
+
+    #[test]
+    fn manifest_rejects_bad_magic_truncation_and_bit_flips() {
+        let manifest = ShardManifest {
+            k: 2,
+            n: 5,
+            entries: 9,
+            records: vec![ShardRecord {
+                start: 0,
+                end: 5,
+                entries: 9,
+                digest: 7,
+            }],
+        };
+        let bytes = manifest.to_bytes();
+        let mut bad = bytes.clone();
+        bad[0] ^= 0xff;
+        assert!(matches!(
+            ShardManifest::from_bytes(&bad),
+            Err(FrozenError::BadMagic)
+        ));
+        for cut in [0, 7, MANIFEST_HEADER_LEN - 1, bytes.len() - 1] {
+            assert!(ShardManifest::from_bytes(&bytes[..cut]).is_err());
+        }
+        for at in [12, 20, 40, bytes.len() - 3] {
+            let mut flipped = bytes.clone();
+            flipped[at] ^= 0x04;
+            assert!(
+                ShardManifest::from_bytes(&flipped).is_err(),
+                "bit flip at byte {at} must be rejected"
+            );
+        }
     }
 
     #[test]

@@ -90,10 +90,11 @@ pub mod weighted;
 
 pub use ads_set::AdsSet;
 pub use bottomk::BottomKAds;
+pub use builder::{shard_slots, thread_count};
 pub use engine::QueryEngine;
 pub use entry::AdsEntry;
 pub use error::CoreError;
-pub use frozen::{FrozenAdsSet, FrozenError};
+pub use frozen::{freeze_sharded, FrozenAdsSet, FrozenError, ShardManifest, ShardRecord};
 pub use hip::{HipItem, HipWeights};
 pub use view::AdsView;
 

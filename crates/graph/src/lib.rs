@@ -25,6 +25,8 @@
 //! * [`io`] — plain-text edge-list reading/writing.
 //! * [`components`] — union-find and weakly-connected components.
 
+#![deny(missing_docs)]
+
 pub mod bfs;
 pub mod components;
 pub mod csr;

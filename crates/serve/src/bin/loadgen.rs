@@ -1,0 +1,319 @@
+//! SERVE experiment: end-to-end throughput and latency of the sharded
+//! TCP query tier, with served answers asserted **bitwise identical** to
+//! the local [`QueryEngine`] on the unsharded store before anything is
+//! timed.
+//!
+//! Workload: a Barabási–Albert graph is sketched, frozen into S ∈ {1, 2,
+//! 4} shards, loaded through [`ShardedStore`], and served over loopback
+//! TCP. Concurrent client threads fire batched harmonic-centrality and
+//! neighborhood-cardinality requests, recording per-request latency;
+//! throughput counts node-queries per second. With `--json PATH` the
+//! measurements are written as a machine-readable snapshot (see
+//! `tools/bench_snapshot.sh`, which maintains `BENCH_serve.json`).
+//!
+//! ```text
+//! cargo run --release -p adsketch-serve --bin loadgen -- \
+//!     [--n 100000] [--k 16] [--clients 4] [--workers 4] [--batch 256] \
+//!     [--requests 200] [--json BENCH_serve.json] [--smoke]
+//! ```
+//!
+//! `--smoke` shrinks everything to CI size (tiny graph, a handful of
+//! requests, no timing gates) — the identity assertions still run.
+
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::time::Instant;
+
+use adsketch_core::{freeze_sharded, AdsSet, QueryEngine};
+use adsketch_graph::{generators, NodeId};
+use adsketch_serve::{Client, Server, ShardedStore};
+use adsketch_util::args::{arg_flag, arg_str, arg_u64};
+use adsketch_util::{Rng64, SplitMix64};
+
+/// One measured serving configuration.
+struct Record {
+    workload: &'static str,
+    shards: usize,
+    workers: usize,
+    clients: usize,
+    batch: usize,
+    requests_per_client: usize,
+    n: usize,
+    m: usize,
+    k: usize,
+    node_queries_per_sec: f64,
+    p50_us: f64,
+    p99_us: f64,
+    host_threads: usize,
+}
+
+fn main() {
+    let smoke = arg_flag("smoke");
+    let n = if smoke {
+        2_000
+    } else {
+        arg_u64("n", 100_000) as usize
+    };
+    let k = arg_u64("k", 16) as usize;
+    let clients = arg_u64("clients", if smoke { 2 } else { 4 }) as usize;
+    let workers = arg_u64("workers", if smoke { 2 } else { 4 }) as usize;
+    let batch = arg_u64("batch", 256) as usize;
+    let requests = arg_u64("requests", if smoke { 10 } else { 200 }) as usize;
+    let json = arg_str("json", "");
+
+    let g = generators::barabasi_albert(n, 4, 7);
+    println!(
+        "=== barabasi_albert_m4: n={n}, arcs={}, k={k} ===",
+        g.num_arcs()
+    );
+    let t0 = Instant::now();
+    let ads = AdsSet::build_parallel(&g, k, 13, 0);
+    println!("build: {:.2?}", t0.elapsed());
+    let frozen = ads.freeze();
+    let local = QueryEngine::new(&frozen);
+
+    // Local baselines every served answer must match bitwise.
+    let harmonic_all = local.harmonic_all();
+    let card_all: Vec<(NodeId, f64)> = (0..n as NodeId).map(|v| (v, 3.0)).collect();
+    let card_baseline = local.cardinality_batch(&card_all);
+    let jac_pairs: Vec<(NodeId, NodeId)> = (0..(n as NodeId).min(1_000))
+        .map(|i| (i, (i * 7 + 1) % n as NodeId))
+        .collect();
+    let jac_baseline = local.jaccard_batch(&jac_pairs, 2.0);
+
+    let mut records = Vec::new();
+    for shards in [1usize, 2, 4] {
+        let dir = std::env::temp_dir().join(format!("adsketch_loadgen_s{shards}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        let t0 = Instant::now();
+        freeze_sharded(&ads, shards, &dir).expect("freeze_sharded");
+        let freeze_t = t0.elapsed();
+        let t0 = Instant::now();
+        let store = Arc::new(ShardedStore::load(&dir).expect("load sharded store"));
+        println!(
+            "\n--- shards = {shards}: freeze {freeze_t:.2?}, parallel load {:.2?}, {} B resident ---",
+            t0.elapsed(),
+            store.resident_bytes()
+        );
+
+        let server = Server::bind("127.0.0.1:0", Arc::clone(&store), workers).expect("bind");
+        let addr = server.local_addr().expect("addr");
+        let handle = server.handle();
+        let join = std::thread::spawn(move || server.run());
+
+        // Identity gate: a full served sweep must equal the local engine
+        // bitwise before this configuration is timed.
+        verify_identity(
+            addr,
+            n,
+            &harmonic_all,
+            &card_all,
+            &card_baseline,
+            &jac_pairs,
+            &jac_baseline,
+        );
+
+        run_workload(
+            "harmonic_batch",
+            addr,
+            clients,
+            requests,
+            batch,
+            n,
+            |rng, batch, n| {
+                let nodes: Vec<NodeId> = (0..batch)
+                    .map(|_| (rng.next_u64() % n as u64) as NodeId)
+                    .collect();
+                WorkItem::Harmonic(nodes)
+            },
+            &mut records,
+            RecordCtx {
+                shards,
+                workers,
+                g: &g,
+                k,
+            },
+        );
+        run_workload(
+            "cardinality_batch",
+            addr,
+            clients,
+            requests,
+            batch,
+            n,
+            |rng, batch, n| {
+                let queries: Vec<(NodeId, f64)> = (0..batch)
+                    .map(|_| {
+                        let v = (rng.next_u64() % n as u64) as NodeId;
+                        (v, (rng.next_u64() % 5) as f64)
+                    })
+                    .collect();
+                WorkItem::Cardinality(queries)
+            },
+            &mut records,
+            RecordCtx {
+                shards,
+                workers,
+                g: &g,
+                k,
+            },
+        );
+
+        handle.shutdown();
+        join.join().expect("server thread").expect("server run");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    if !json.is_empty() {
+        std::fs::write(&json, render_json(&records)).expect("write json snapshot");
+        eprintln!("snapshot written to {json}");
+    }
+}
+
+/// Asserts that a full served node sweep equals the committed local
+/// baselines bitwise (harmonic + cardinality + a jaccard sample).
+#[allow(clippy::too_many_arguments)]
+fn verify_identity(
+    addr: SocketAddr,
+    n: usize,
+    harmonic_all: &[f64],
+    card_all: &[(NodeId, f64)],
+    card_baseline: &[f64],
+    jac_pairs: &[(NodeId, NodeId)],
+    jac_baseline: &[f64],
+) {
+    let mut client = Client::connect(addr).expect("verify client");
+    let chunk = 4096;
+    let mut served_h = Vec::with_capacity(n);
+    let mut served_c = Vec::with_capacity(n);
+    let all_nodes: Vec<NodeId> = (0..n as NodeId).collect();
+    for nodes in all_nodes.chunks(chunk) {
+        served_h.extend(client.harmonic(nodes).expect("served harmonic"));
+    }
+    for queries in card_all.chunks(chunk) {
+        served_c.extend(client.cardinality(queries).expect("served cardinality"));
+    }
+    assert_eq!(served_h, harmonic_all, "served harmonic diverged");
+    assert_eq!(served_c, card_baseline, "served cardinality diverged");
+    let served_j = client.jaccard(2.0, jac_pairs).expect("served jaccard");
+    assert_eq!(served_j, jac_baseline, "served jaccard diverged");
+}
+
+enum WorkItem {
+    Harmonic(Vec<NodeId>),
+    Cardinality(Vec<(NodeId, f64)>),
+}
+
+struct RecordCtx<'a> {
+    shards: usize,
+    workers: usize,
+    g: &'a adsketch_graph::Graph,
+    k: usize,
+}
+
+/// Drives `clients` concurrent connections, each issuing `requests`
+/// batches generated by `make`, and records throughput + latency.
+#[allow(clippy::too_many_arguments)]
+fn run_workload(
+    workload: &'static str,
+    addr: SocketAddr,
+    clients: usize,
+    requests: usize,
+    batch: usize,
+    n: usize,
+    make: impl Fn(&mut SplitMix64, usize, usize) -> WorkItem + Sync,
+    records: &mut Vec<Record>,
+    ctx: RecordCtx<'_>,
+) {
+    let mut per_client: Vec<Vec<u64>> = vec![Vec::new(); clients];
+    let wall = Instant::now();
+    std::thread::scope(|s| {
+        for (ci, lat) in per_client.iter_mut().enumerate() {
+            let make = &make;
+            s.spawn(move || {
+                let mut rng = SplitMix64::new(0xC0FFEE ^ (ci as u64) << 32 | workload.len() as u64);
+                let mut client = Client::connect(addr).expect("loadgen client");
+                for _ in 0..requests {
+                    let item = make(&mut rng, batch, n);
+                    let t0 = Instant::now();
+                    match item {
+                        WorkItem::Harmonic(nodes) => {
+                            let got = client.harmonic(&nodes).expect("harmonic request");
+                            assert_eq!(got.len(), nodes.len());
+                        }
+                        WorkItem::Cardinality(queries) => {
+                            let got = client.cardinality(&queries).expect("cardinality request");
+                            assert_eq!(got.len(), queries.len());
+                        }
+                    }
+                    lat.push(t0.elapsed().as_nanos() as u64);
+                }
+            });
+        }
+    });
+    let wall_s = wall.elapsed().as_secs_f64();
+
+    let mut lats: Vec<u64> = per_client.into_iter().flatten().collect();
+    lats.sort_unstable();
+    let total_requests = lats.len();
+    let node_queries = (total_requests * batch) as f64;
+    let pct = |p: f64| -> f64 {
+        if lats.is_empty() {
+            return 0.0;
+        }
+        let idx = ((lats.len() as f64 - 1.0) * p).round() as usize;
+        lats[idx] as f64 / 1_000.0
+    };
+    let (p50_us, p99_us) = (pct(0.50), pct(0.99));
+    let qps = node_queries / wall_s;
+    println!(
+        "{workload}: shards={} clients={clients} batch={batch}: {total_requests} requests in \
+         {wall_s:.2}s  →  {qps:.0} node-queries/s, p50 {p50_us:.0}µs, p99 {p99_us:.0}µs",
+        ctx.shards
+    );
+    records.push(Record {
+        workload,
+        shards: ctx.shards,
+        workers: ctx.workers,
+        clients,
+        batch,
+        requests_per_client: requests,
+        n: ctx.g.num_nodes(),
+        m: ctx.g.num_arcs(),
+        k: ctx.k,
+        node_queries_per_sec: qps,
+        p50_us,
+        p99_us,
+        host_threads: std::thread::available_parallelism().map_or(1, |p| p.get()),
+    });
+}
+
+fn render_json(records: &[Record]) -> String {
+    let mut out = String::from("[\n");
+    for (i, r) in records.iter().enumerate() {
+        out.push_str(&format!(
+            concat!(
+                "  {{\"workload\": \"{}\", \"shards\": {}, \"workers\": {}, \"clients\": {}, ",
+                "\"batch\": {}, \"requests_per_client\": {}, \"n\": {}, \"m\": {}, \"k\": {}, ",
+                "\"node_queries_per_sec\": {:.1}, \"p50_us\": {:.1}, \"p99_us\": {:.1}, ",
+                "\"host_threads\": {}}}{}\n"
+            ),
+            r.workload,
+            r.shards,
+            r.workers,
+            r.clients,
+            r.batch,
+            r.requests_per_client,
+            r.n,
+            r.m,
+            r.k,
+            r.node_queries_per_sec,
+            r.p50_us,
+            r.p99_us,
+            r.host_threads,
+            if i + 1 == records.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("]\n");
+    out
+}

@@ -1,0 +1,189 @@
+//! The blocking query client: batched requests, optional pipelining.
+//!
+//! [`Client::connect`] performs the version handshake; the typed helpers
+//! ([`Client::harmonic`], [`Client::cardinality`], …) each send one
+//! request frame and block on its response. [`Client::pipeline`] sends a
+//! whole slice of requests before reading any response — the server
+//! answers in order, so deep pipelines amortize the round trip without
+//! any client-side bookkeeping.
+//!
+//! Answers arrive as `f64::to_bits` payloads, so everything a helper
+//! returns is bitwise identical to the same batch evaluated locally with
+//! [`adsketch_core::QueryEngine`] on the unsharded store.
+
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use adsketch_core::centrality::DecayKernel;
+use adsketch_graph::NodeId;
+
+use crate::error::ServeError;
+use crate::proto::{read_frame, write_frame, Request, Response, WIRE_MAGIC, WIRE_VERSION};
+
+/// A blocking connection to an `adsketch-serve` server.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+    /// A third handle onto the same socket, used to unwedge a pipeline
+    /// whose reader failed while the writer is still blocked.
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connects and performs the protocol handshake.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, ServeError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let mut writer = BufWriter::new(stream.try_clone()?);
+        let mut reader = BufReader::new(stream.try_clone()?);
+        writer.write_all(&WIRE_MAGIC)?;
+        writer.write_all(&WIRE_VERSION.to_le_bytes())?;
+        writer.flush()?;
+        let mut reply = [0u8; 5];
+        reader.read_exact(&mut reply).map_err(|e| {
+            if e.kind() == std::io::ErrorKind::UnexpectedEof {
+                ServeError::Protocol("server closed during handshake".into())
+            } else {
+                ServeError::Io(e)
+            }
+        })?;
+        let server_version = u32::from_le_bytes(reply[1..5].try_into().expect("4B"));
+        if reply[0] != 1 {
+            return Err(ServeError::Protocol(format!(
+                "server rejected the handshake (it speaks protocol version {server_version}, \
+                 we speak {WIRE_VERSION})"
+            )));
+        }
+        Ok(Self {
+            reader,
+            writer,
+            stream,
+        })
+    }
+
+    /// Sends one request and blocks on its response frame.
+    pub fn request(&mut self, req: &Request) -> Result<Response, ServeError> {
+        write_frame(&mut self.writer, &req.encode())?;
+        self.writer.flush()?;
+        self.read_response()
+    }
+
+    /// Pipelines a whole slice of requests: a scoped writer thread
+    /// streams every frame while the calling thread reads responses, so
+    /// arbitrarily deep pipelines can never deadlock on full socket
+    /// buffers (the reader always drains while the writer fills).
+    /// Responses come back index-aligned with `reqs` — the server
+    /// answers strictly in order.
+    pub fn pipeline(&mut self, reqs: &[Request]) -> Result<Vec<Response>, ServeError> {
+        let Self {
+            reader,
+            writer,
+            stream,
+        } = self;
+        std::thread::scope(|s| {
+            let sender = s.spawn(|| -> Result<(), ServeError> {
+                for req in reqs {
+                    write_frame(writer, &req.encode())?;
+                }
+                writer.flush()?;
+                Ok(())
+            });
+            let mut responses = Vec::with_capacity(reqs.len());
+            let mut read_err = None;
+            for _ in 0..reqs.len() {
+                let next = read_frame(reader).and_then(|body| {
+                    let body = body.ok_or_else(|| {
+                        ServeError::Protocol(
+                            "server closed the connection before responding".into(),
+                        )
+                    })?;
+                    Response::decode(&body)
+                });
+                match next {
+                    Ok(resp) => responses.push(resp),
+                    Err(e) => {
+                        read_err = Some(e);
+                        break;
+                    }
+                }
+            }
+            if read_err.is_some() {
+                // The connection is unusable; unblock the writer thread
+                // if it is wedged on a full send buffer.
+                let _ = stream.shutdown(std::net::Shutdown::Both);
+            }
+            let write_result = sender.join().expect("pipeline writer thread");
+            match read_err {
+                Some(e) => Err(e),
+                None => {
+                    write_result?;
+                    Ok(responses)
+                }
+            }
+        })
+    }
+
+    fn read_response(&mut self) -> Result<Response, ServeError> {
+        let body = read_frame(&mut self.reader)?.ok_or_else(|| {
+            ServeError::Protocol("server closed the connection before responding".into())
+        })?;
+        Response::decode(&body)
+    }
+
+    fn floats(&mut self, req: &Request) -> Result<Vec<f64>, ServeError> {
+        match self.request(req)? {
+            Response::Floats(xs) => Ok(xs),
+            Response::Error { code, message } => Err(ServeError::Remote { code, message }),
+            other => Err(ServeError::Protocol(format!(
+                "expected a Floats response, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Harmonic centrality of each node in `nodes`.
+    pub fn harmonic(&mut self, nodes: &[NodeId]) -> Result<Vec<f64>, ServeError> {
+        self.floats(&Request::Harmonic {
+            nodes: nodes.to_vec(),
+        })
+    }
+
+    /// Distance-decay centrality of each node under `kernel`.
+    pub fn decay(&mut self, kernel: DecayKernel, nodes: &[NodeId]) -> Result<Vec<f64>, ServeError> {
+        self.floats(&Request::Decay {
+            kernel,
+            nodes: nodes.to_vec(),
+        })
+    }
+
+    /// HIP neighborhood-cardinality estimate per `(node, distance)`
+    /// query.
+    pub fn cardinality(&mut self, queries: &[(NodeId, f64)]) -> Result<Vec<f64>, ServeError> {
+        self.floats(&Request::Cardinality {
+            queries: queries.to_vec(),
+        })
+    }
+
+    /// The cumulative neighborhood function of each node.
+    pub fn neighborhood_function(
+        &mut self,
+        nodes: &[NodeId],
+    ) -> Result<Vec<Vec<(f64, f64)>>, ServeError> {
+        match self.request(&Request::NeighborhoodFunction {
+            nodes: nodes.to_vec(),
+        })? {
+            Response::Curves(curves) => Ok(curves),
+            Response::Error { code, message } => Err(ServeError::Remote { code, message }),
+            other => Err(ServeError::Protocol(format!(
+                "expected a Curves response, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Estimated Jaccard similarity of `N_d(u)` and `N_d(v)` per pair.
+    pub fn jaccard(&mut self, d: f64, pairs: &[(NodeId, NodeId)]) -> Result<Vec<f64>, ServeError> {
+        self.floats(&Request::Jaccard {
+            d,
+            pairs: pairs.to_vec(),
+        })
+    }
+}

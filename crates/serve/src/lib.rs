@@ -1,0 +1,72 @@
+//! Sharded sketch serving: a multi-file [`ShardedStore`], a versioned
+//! binary wire protocol, and a std-only concurrent TCP [`Server`] /
+//! [`Client`] pair for HIP query traffic.
+//!
+//! After `adsketch-core`'s PR-3 read path, every sketch answers inside
+//! one process over one monolithic `FrozenAdsSet` file. This crate adds
+//! the network tier on top, in the shape DegreeSketch and gSketch use for
+//! distributed sketch serving — partition the per-node sketch state,
+//! route queries by node id — while preserving the workspace's core
+//! guarantee: **every answer returned over the wire is bitwise identical
+//! to the local [`adsketch_core::QueryEngine`] on the unsharded store**,
+//! for every shard count and thread count.
+//!
+//! | module | contents |
+//! |---|---|
+//! | [`store`] | [`ShardedStore`]: manifest-driven multi-file store, parallel load, digest verification, [`adsketch_core::AdsView`] routing |
+//! | [`proto`] | the length-prefixed wire protocol v1 (handshake, request/response frames, error frames) |
+//! | [`server`] | [`Server`]: `TcpListener` + fixed thread pool (the builders' `shard_slots` helper), per-connection pipelining, graceful shutdown |
+//! | [`client`] | [`Client`]: blocking client with batched and pipelined requests |
+//! | [`error`] | [`ServeError`] |
+//!
+//! Everything runs on `std` threads and `std::net` only — the crate has
+//! zero external dependencies, so it serves in fully offline
+//! environments.
+//!
+//! # Quick example
+//!
+//! ```
+//! use std::sync::Arc;
+//! use adsketch_core::{freeze_sharded, AdsSet, QueryEngine};
+//! use adsketch_graph::generators;
+//! use adsketch_serve::{Client, Server, ShardedStore};
+//!
+//! // Build and freeze into 2 shards.
+//! let g = generators::barabasi_albert(200, 3, 7);
+//! let ads = AdsSet::build(&g, 8, 42);
+//! let dir = std::env::temp_dir().join("adsketch_serve_doc_example");
+//! freeze_sharded(&ads, 2, &dir).unwrap();
+//! let store = Arc::new(ShardedStore::load(&dir).unwrap());
+//!
+//! // Serve on an ephemeral port; query over TCP; shut down.
+//! let server = Server::bind("127.0.0.1:0", Arc::clone(&store), 2).unwrap();
+//! let handle = server.handle();
+//! let addr = server.local_addr().unwrap();
+//! let join = std::thread::spawn(move || server.run());
+//! let mut client = Client::connect(addr).unwrap();
+//! let served = client.harmonic(&[0, 1, 2]).unwrap();
+//!
+//! // Bitwise identical to the local engine on the unsharded store.
+//! let frozen = ads.freeze();
+//! let local = QueryEngine::new(&frozen).harmonic_batch(&[0, 1, 2]);
+//! assert_eq!(served, local);
+//!
+//! drop(client);
+//! handle.shutdown();
+//! join.join().unwrap().unwrap();
+//! std::fs::remove_dir_all(&dir).ok();
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod client;
+pub mod error;
+pub mod proto;
+pub mod server;
+pub mod store;
+
+pub use client::Client;
+pub use error::ServeError;
+pub use proto::{Request, Response};
+pub use server::{Server, ServerHandle};
+pub use store::ShardedStore;

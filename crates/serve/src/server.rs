@@ -1,0 +1,399 @@
+//! The concurrent query server: `TcpListener` + a fixed worker pool.
+//!
+//! [`Server::run`] spawns its fixed thread pool with the same
+//! `shard_slots` helper every parallel builder and the batch engine use:
+//! `workers + 1` slots, one per pool thread — slot 0 runs the accept
+//! loop, slots 1..=workers each run a connection worker draining a shared
+//! queue. Each worker owns one connection at a time and answers its
+//! request frames **in order** (clients may pipeline arbitrarily many
+//! requests before reading), evaluating every batch through the same
+//! [`QueryEngine`] code path local callers use, over the sharded store —
+//! so served answers are bitwise identical to local ones by
+//! construction.
+//!
+//! # Shutdown
+//!
+//! [`ServerHandle::shutdown`] flips a shared flag and nudges the
+//! listener awake. The accept loop stops taking connections; workers
+//! notice the flag at their next frame boundary (connection sockets run
+//! a short read timeout as a poll interval), finish the request in
+//! flight, and exit. [`Server::run`] returns once the pool drains.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use adsketch_core::{shard_slots, thread_count, AdsView, QueryEngine};
+use adsketch_graph::NodeId;
+
+use crate::error::ServeError;
+use crate::proto::{
+    write_frame, Request, Response, ERR_MALFORMED, ERR_NODE_RANGE, ERR_RESPONSE_TOO_LARGE,
+    MAX_FRAME_LEN, WIRE_MAGIC, WIRE_VERSION,
+};
+use crate::store::ShardedStore;
+
+/// How often a blocked worker re-checks the shutdown flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(50);
+
+/// A bound query server over a [`ShardedStore`].
+pub struct Server {
+    listener: TcpListener,
+    store: Arc<ShardedStore>,
+    workers: usize,
+    stop: Arc<AtomicBool>,
+}
+
+/// A cloneable handle that can stop a running [`Server`] from another
+/// thread.
+#[derive(Debug, Clone)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+}
+
+impl ServerHandle {
+    /// The server's bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Requests a graceful shutdown: stop accepting, let workers finish
+    /// the requests in flight, then return from [`Server::run`].
+    /// Idempotent.
+    pub fn shutdown(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Nudge the accept loop awake; any error just means it already
+        // stopped listening.
+        let _ = TcpStream::connect(self.addr);
+    }
+}
+
+impl Server {
+    /// Binds a server to `addr` (use port 0 for an ephemeral port) with a
+    /// fixed pool of `workers` connection threads (`0` ⇒ all cores).
+    /// Call [`Server::run`] to start serving.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        store: Arc<ShardedStore>,
+        workers: usize,
+    ) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        Ok(Self {
+            listener,
+            store,
+            workers: thread_count(workers).max(1),
+            stop: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The address the listener is bound to (the OS-assigned port when
+    /// bound to port 0).
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A handle that can stop this server from another thread. Take it
+    /// before calling [`Server::run`].
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle {
+            addr: self
+                .listener
+                .local_addr()
+                .expect("bound listener has an address"),
+            stop: Arc::clone(&self.stop),
+        }
+    }
+
+    /// Serves until [`ServerHandle::shutdown`]. Blocks the calling
+    /// thread; the fixed pool (acceptor + workers) runs scoped inside.
+    /// Returns the number of connections served.
+    pub fn run(self) -> std::io::Result<u64> {
+        let Server {
+            listener,
+            store,
+            workers,
+            stop,
+        } = self;
+        let (tx, rx) = std::sync::mpsc::channel::<TcpStream>();
+        let rx = Mutex::new(rx);
+        // `workers + 1` pool slots: slot 0 accepts, the rest serve. Each
+        // slot records how many connections its thread handled.
+        let mut served = vec![0u64; workers + 1];
+        shard_slots(
+            &mut served,
+            workers + 1,
+            || (),
+            |(), i, slot| {
+                if i == 0 {
+                    // The acceptor only exits once the stop flag is set (or
+                    // every worker is gone), and workers poll that same flag
+                    // on their receive timeout — so the pool always drains.
+                    accept_loop(&listener, &tx, &stop);
+                } else {
+                    *slot = worker_loop(&rx, &store, &stop);
+                }
+            },
+        );
+        Ok(served.iter().sum())
+    }
+}
+
+/// Accepts connections until the stop flag flips, handing each off to
+/// the worker queue.
+fn accept_loop(listener: &TcpListener, tx: &Sender<TcpStream>, stop: &AtomicBool) {
+    for conn in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        match conn {
+            Ok(stream) => {
+                if tx.send(stream).is_err() {
+                    break;
+                }
+            }
+            // Transient accept errors (peer reset mid-handshake etc.)
+            // must not kill the server.
+            Err(_) => continue,
+        }
+    }
+}
+
+/// Serves connections off the shared queue until the queue closes or the
+/// stop flag flips. Returns the number of connections handled.
+fn worker_loop(rx: &Mutex<Receiver<TcpStream>>, store: &ShardedStore, stop: &AtomicBool) -> u64 {
+    let mut served = 0u64;
+    loop {
+        let conn = {
+            let guard = rx.lock().expect("queue lock");
+            guard.recv_timeout(POLL_INTERVAL)
+        };
+        match conn {
+            Ok(stream) => {
+                served += 1;
+                // A broken connection only ends that connection.
+                let _ = serve_connection(stream, store, stop);
+            }
+            Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {
+                if stop.load(Ordering::SeqCst) {
+                    return served;
+                }
+            }
+            Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => return served,
+        }
+    }
+}
+
+/// Outcome of a poll-aware exact read.
+enum ReadOutcome {
+    /// The buffer was filled.
+    Full,
+    /// Clean EOF before any byte of the buffer.
+    Eof,
+    /// The stop flag flipped while waiting.
+    Stopped,
+}
+
+/// Fills `buf` from a stream whose read timeout doubles as the shutdown
+/// poll interval.
+fn read_full(
+    stream: &mut TcpStream,
+    buf: &mut [u8],
+    stop: &AtomicBool,
+) -> std::io::Result<ReadOutcome> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match stream.read(&mut buf[filled..]) {
+            Ok(0) if filled == 0 => return Ok(ReadOutcome::Eof),
+            Ok(0) => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "connection closed mid message",
+                ))
+            }
+            Ok(m) => filled += m,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if stop.load(Ordering::SeqCst) {
+                    return Ok(ReadOutcome::Stopped);
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(ReadOutcome::Full)
+}
+
+/// Handshake + request/response loop for one connection.
+fn serve_connection(
+    mut stream: TcpStream,
+    store: &ShardedStore,
+    stop: &AtomicBool,
+) -> Result<(), ServeError> {
+    stream.set_read_timeout(Some(POLL_INTERVAL))?;
+    stream.set_nodelay(true)?;
+
+    // Handshake: 8-byte magic + u32 client version.
+    let mut hello = [0u8; 12];
+    match read_full(&mut stream, &mut hello, stop)? {
+        ReadOutcome::Full => {}
+        ReadOutcome::Eof | ReadOutcome::Stopped => return Ok(()),
+    }
+    let version = u32::from_le_bytes(hello[8..12].try_into().expect("4B"));
+    if hello[..8] != WIRE_MAGIC || version != WIRE_VERSION {
+        let mut reject = [0u8; 5];
+        reject[1..5].copy_from_slice(&WIRE_VERSION.to_le_bytes());
+        let _ = stream.write_all(&reject);
+        return Err(ServeError::Protocol(format!(
+            "handshake rejected (magic {:02x?}, version {version})",
+            &hello[..8]
+        )));
+    }
+    let mut accept = [1u8; 5];
+    accept[1..5].copy_from_slice(&WIRE_VERSION.to_le_bytes());
+    stream.write_all(&accept)?;
+
+    // Request frames, answered in order until EOF or shutdown.
+    let mut writer = std::io::BufWriter::new(stream.try_clone()?);
+    loop {
+        let mut len_buf = [0u8; 4];
+        match read_full(&mut stream, &mut len_buf, stop)? {
+            ReadOutcome::Full => {}
+            ReadOutcome::Eof | ReadOutcome::Stopped => return Ok(()),
+        }
+        let len = u32::from_le_bytes(len_buf);
+        if len > MAX_FRAME_LEN {
+            write_frame(
+                &mut writer,
+                &Response::Error {
+                    code: ERR_MALFORMED,
+                    message: format!("frame length {len} exceeds MAX_FRAME_LEN"),
+                }
+                .encode(),
+            )?;
+            writer.flush()?;
+            return Err(ServeError::Protocol("oversized frame".into()));
+        }
+        let mut body = vec![0u8; len as usize];
+        match read_full(&mut stream, &mut body, stop)? {
+            ReadOutcome::Full => {}
+            // Mid-frame EOF/stop: nothing sensible left to answer.
+            ReadOutcome::Eof | ReadOutcome::Stopped => return Ok(()),
+        }
+        let response = match Request::decode(&body) {
+            Ok(req) => answer(store, &req),
+            Err(e) => Response::Error {
+                code: ERR_MALFORMED,
+                message: e.to_string(),
+            },
+        };
+        // A legal request can still have an answer too big for one frame
+        // (e.g. a huge neighborhood-function batch); answer with an error
+        // frame instead of killing the connection.
+        let mut encoded = response.encode();
+        if encoded.len() as u64 > MAX_FRAME_LEN as u64 {
+            encoded = Response::Error {
+                code: ERR_RESPONSE_TOO_LARGE,
+                message: format!(
+                    "response of {} bytes exceeds the {MAX_FRAME_LEN}-byte frame limit; \
+                     split the batch",
+                    encoded.len()
+                ),
+            }
+            .encode();
+        }
+        write_frame(&mut writer, &encoded)?;
+        writer.flush()?;
+    }
+}
+
+/// Largest float batch whose response frame (type byte + count +
+/// `count × 8` answer bits) still fits in [`MAX_FRAME_LEN`] — checked
+/// *before* any estimator work, so an oversized-but-legal request costs
+/// nothing but an error frame.
+const MAX_FLOAT_BATCH: usize = (MAX_FRAME_LEN as usize - 5) / 8;
+
+fn batch_too_large(count: usize) -> Option<Response> {
+    (count > MAX_FLOAT_BATCH).then(|| Response::Error {
+        code: ERR_RESPONSE_TOO_LARGE,
+        message: format!(
+            "batch of {count} answers cannot fit one response frame (max \
+             {MAX_FLOAT_BATCH}); split the batch"
+        ),
+    })
+}
+
+/// Evaluates one request batch over the store. All estimator work runs
+/// through [`QueryEngine`] — the exact code path local callers use — on
+/// this worker's thread (cross-request parallelism comes from the pool).
+/// Response size is bounded *before or during* evaluation: float batches
+/// are rejected up front when too long, and curve batches stop
+/// evaluating the moment their running encoded size would overflow a
+/// frame — a legal request can never force an unbounded allocation.
+fn answer(store: &ShardedStore, req: &Request) -> Response {
+    let n = store.num_nodes() as u64;
+    let check = |nodes: &mut dyn Iterator<Item = NodeId>| -> Option<Response> {
+        let bad = loop {
+            match nodes.next() {
+                Some(v) if v as u64 >= n => break v,
+                Some(_) => {}
+                None => return None,
+            }
+        };
+        Some(Response::Error {
+            code: ERR_NODE_RANGE,
+            message: format!("node {bad} out of range (store covers {n} nodes)"),
+        })
+    };
+    let engine = QueryEngine::with_threads(store, 1);
+    match req {
+        Request::Harmonic { nodes } => check(&mut nodes.iter().copied())
+            .or_else(|| batch_too_large(nodes.len()))
+            .unwrap_or_else(|| Response::Floats(engine.harmonic_batch(nodes))),
+        Request::Decay { kernel, nodes } => check(&mut nodes.iter().copied())
+            .or_else(|| batch_too_large(nodes.len()))
+            .unwrap_or_else(|| Response::Floats(engine.decay_batch(*kernel, nodes))),
+        Request::Cardinality { queries } => check(&mut queries.iter().map(|q| q.0))
+            .or_else(|| batch_too_large(queries.len()))
+            .unwrap_or_else(|| Response::Floats(engine.cardinality_batch(queries))),
+        Request::NeighborhoodFunction { nodes } => check(&mut nodes.iter().copied())
+            .unwrap_or_else(|| neighborhood_function_bounded(store, nodes)),
+        Request::Jaccard { d, pairs } => check(&mut pairs.iter().flat_map(|&(u, v)| [u, v]))
+            .or_else(|| batch_too_large(pairs.len()))
+            .unwrap_or_else(|| Response::Floats(engine.jaccard_batch(pairs, *d))),
+    }
+}
+
+/// Evaluates a neighborhood-function batch with a running encoded-size
+/// bound: per-node curves are computed exactly as
+/// [`QueryEngine::neighborhood_function_batch`] does (same
+/// [`AdsView::neighborhood_function_of`] call, in request order, so the
+/// answers are bitwise identical), but evaluation aborts with an error
+/// frame the moment the response could no longer fit one frame.
+fn neighborhood_function_bounded(store: &ShardedStore, nodes: &[NodeId]) -> Response {
+    // type byte + curve count, then per curve 4 + 16·len bytes.
+    let mut size = 5u64;
+    let mut curves = Vec::with_capacity(nodes.len().min(1 << 16));
+    for &v in nodes {
+        let curve = store.neighborhood_function_of(v);
+        size += 4 + 16 * curve.len() as u64;
+        if size > MAX_FRAME_LEN as u64 {
+            return Response::Error {
+                code: ERR_RESPONSE_TOO_LARGE,
+                message: format!(
+                    "neighborhood-function batch of {} nodes overflows one response \
+                     frame; split the batch",
+                    nodes.len()
+                ),
+            };
+        }
+        curves.push(curve);
+    }
+    Response::Curves(curves)
+}

@@ -1,0 +1,252 @@
+//! The sharded frozen store: manifest-driven multi-file loading and
+//! node-id routing behind the [`AdsView`] trait.
+//!
+//! A sharded store is a directory written by
+//! [`adsketch_core::freeze_sharded`]: `S` full-width `FrozenAdsSet` v1
+//! files (shard `i` populates only the node range its manifest record
+//! declares) plus the checksummed `ADSKSHD1` manifest. [`ShardedStore::load`]
+//! reads the manifest, then streams all shards in **parallel** (one
+//! thread per shard via the builders' `shard_slots` helper), verifying
+//! for each shard:
+//!
+//! * the store-level format checks (magic, version, checksum, structure —
+//!   [`adsketch_core::FrozenAdsSet::from_reader`]),
+//! * the manifest's whole-file FNV-1a digest (so a shard file from a
+//!   different freeze, or one corrupted at rest, is rejected even if it
+//!   is a valid store on its own),
+//! * parameter agreement (`k`, `n`, per-shard entry counts), and
+//! * that rows *outside* the shard's declared range are empty.
+//!
+//! The manifest itself rejects overlapping or gapped node-range tables,
+//! so after a successful load every node id has exactly one owning shard
+//! and [`ShardedStore`] can implement [`AdsView`] by routing each
+//! per-node access to that shard. Because every row is byte-for-byte the
+//! row of the unsharded store, **every estimator and every
+//! [`QueryEngine`] batch answers bitwise identically to the unsharded
+//! `FrozenAdsSet`** — the property the serving tier's end-to-end
+//! guarantee is built on.
+
+use std::io::Read;
+use std::path::{Path, PathBuf};
+
+use adsketch_core::frozen::{reader_at_eof, shard_file_name, Fnv1a64, SHARD_MANIFEST_FILE};
+use adsketch_core::{shard_slots, AdsView, FrozenAdsSet, QueryEngine, ShardManifest};
+use adsketch_graph::NodeId;
+
+use crate::error::ServeError;
+
+/// A `Read` adapter that FNV-hashes every byte it yields (for verifying
+/// manifest-recorded whole-file shard digests while streaming).
+struct HashingReader<R: Read> {
+    inner: R,
+    hash: Fnv1a64,
+}
+
+impl<R: Read> Read for HashingReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let n = self.inner.read(buf)?;
+        self.hash.update(&buf[..n]);
+        Ok(n)
+    }
+}
+
+/// A loaded sharded store: the validated manifest plus one resident
+/// [`FrozenAdsSet`] per shard, with per-node routing by the manifest's
+/// node-range table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardedStore {
+    manifest: ShardManifest,
+    shards: Vec<FrozenAdsSet>,
+    /// `records[i].start` for each shard — the routing table
+    /// ([`ShardedStore::shard_of`] binary-searches it).
+    starts: Vec<u64>,
+}
+
+impl ShardedStore {
+    /// Loads a sharded store from a directory written by
+    /// [`adsketch_core::freeze_sharded`], streaming all shards in
+    /// parallel and verifying every integrity property listed in the
+    /// [module docs](self).
+    pub fn load(dir: impl AsRef<Path>) -> Result<Self, ServeError> {
+        let dir = dir.as_ref();
+        let manifest = ShardManifest::load(dir.join(SHARD_MANIFEST_FILE))?;
+        let mut slots: Vec<Option<Result<FrozenAdsSet, ServeError>>> =
+            (0..manifest.num_shards()).map(|_| None).collect();
+        shard_slots(
+            &mut slots,
+            0,
+            || (),
+            |(), i, slot| *slot = Some(load_shard(dir, &manifest, i)),
+        );
+        let mut shards = Vec::with_capacity(manifest.num_shards());
+        for slot in slots {
+            shards.push(slot.expect("every slot filled")?);
+        }
+        let starts = manifest.records().iter().map(|r| r.start).collect();
+        Ok(Self {
+            manifest,
+            shards,
+            starts,
+        })
+    }
+
+    /// The validated manifest this store was loaded against.
+    pub fn manifest(&self) -> &ShardManifest {
+        &self.manifest
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard owning node `v` (the unique shard whose manifest range
+    /// contains `v`). Callers must pass `v < num_nodes`.
+    #[inline]
+    pub fn shard_of(&self, v: NodeId) -> usize {
+        debug_assert!((v as usize) < self.manifest.num_nodes());
+        // Last shard whose range start is ≤ v. Empty shards share their
+        // start with the following shard and sort before it, so the
+        // search lands on the owning (populated-range) shard.
+        self.starts.partition_point(|&s| s <= v as u64) - 1
+    }
+
+    /// Direct access to shard `i`'s resident store.
+    pub fn shard(&self, i: usize) -> &FrozenAdsSet {
+        &self.shards[i]
+    }
+
+    #[inline]
+    fn owner(&self, v: NodeId) -> &FrozenAdsSet {
+        &self.shards[self.shard_of(v)]
+    }
+
+    /// A batch query engine over this store (`threads = 0` ⇒ all cores).
+    /// Answers are bitwise identical to an engine over the unsharded
+    /// [`FrozenAdsSet`].
+    pub fn engine(&self, threads: usize) -> QueryEngine<'_, ShardedStore> {
+        QueryEngine::with_threads(self, threads)
+    }
+
+    /// Total resident memory of all shards in bytes.
+    pub fn resident_bytes(&self) -> usize {
+        self.shards.iter().map(|s| s.resident_bytes()).sum()
+    }
+}
+
+/// Streams one shard off disk, verifying digest and cross-shard
+/// consistency against the manifest.
+fn load_shard(dir: &Path, manifest: &ShardManifest, i: usize) -> Result<FrozenAdsSet, ServeError> {
+    let rec = manifest.records()[i];
+    let path: PathBuf = dir.join(shard_file_name(i));
+    let file = std::fs::File::open(&path).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::NotFound {
+            ServeError::Store(format!("shard {i} missing: {}", path.display()))
+        } else {
+            ServeError::Io(e)
+        }
+    })?;
+    let mut r = HashingReader {
+        inner: std::io::BufReader::new(file),
+        hash: Fnv1a64::new(),
+    };
+    let shard = FrozenAdsSet::from_reader(&mut r)?;
+    // Drain any trailing bytes into the digest so appended garbage can
+    // never slip past the whole-file comparison below.
+    if !reader_at_eof(&mut r)? {
+        let mut sink = [0u8; 8192];
+        while r.read(&mut sink)? > 0 {}
+    }
+    let digest = r.hash.digest();
+    if digest != rec.digest {
+        return Err(ServeError::Store(format!(
+            "shard {i}: file digest {digest:#018x} does not match the manifest's {:#018x} \
+             (corrupt file, or a shard from a different freeze)",
+            rec.digest
+        )));
+    }
+    if shard.k() != manifest.k() {
+        return Err(ServeError::Store(format!(
+            "shard {i}: k = {} disagrees with the manifest's {}",
+            shard.k(),
+            manifest.k()
+        )));
+    }
+    if shard.num_nodes() != manifest.num_nodes() {
+        return Err(ServeError::Store(format!(
+            "shard {i}: covers {} rows, manifest says {} (shards are full-width)",
+            shard.num_nodes(),
+            manifest.num_nodes()
+        )));
+    }
+    if shard.num_entries() as u64 != rec.entries {
+        return Err(ServeError::Store(format!(
+            "shard {i}: holds {} entries, manifest records {}",
+            shard.num_entries(),
+            rec.entries
+        )));
+    }
+    // Rows outside the declared range must be empty, or routing by the
+    // manifest table would silently drop them. The shard's CSR offsets
+    // are already validated monotone, so this collapses to two prefix
+    // checks: no entries before `start`, all entries before `end`.
+    if shard.entry_offset(rec.start as usize) != 0
+        || shard.entry_offset(rec.end as usize) != shard.num_entries()
+    {
+        return Err(ServeError::Store(format!(
+            "shard {i}: rows are populated outside the declared range {}..{}",
+            rec.start, rec.end
+        )));
+    }
+    Ok(shard)
+}
+
+impl AdsView for ShardedStore {
+    #[inline]
+    fn k(&self) -> usize {
+        self.manifest.k()
+    }
+
+    #[inline]
+    fn num_nodes(&self) -> usize {
+        self.manifest.num_nodes()
+    }
+
+    #[inline]
+    fn entry_count(&self, v: NodeId) -> usize {
+        self.owner(v).entry_count(v)
+    }
+
+    fn for_each_entry(&self, v: NodeId, f: impl FnMut(adsketch_core::AdsEntry)) {
+        self.owner(v).for_each_entry(v, f)
+    }
+
+    fn for_each_hip(&self, v: NodeId, f: impl FnMut(adsketch_core::HipItem)) {
+        self.owner(v).for_each_hip(v, f)
+    }
+
+    #[inline]
+    fn size_at(&self, v: NodeId, d: f64) -> usize {
+        self.owner(v).size_at(v, d)
+    }
+
+    #[inline]
+    fn total_entries(&self) -> usize {
+        self.manifest.total_entries() as usize
+    }
+
+    // `minhash_at` deliberately stays on the trait default: it streams
+    // the same canonical prefix the shard's own override would insert, so
+    // the resulting sketch is identical, without this crate needing a
+    // direct `adsketch-minhash` dependency.
+
+    #[inline]
+    fn hip_cardinality_at(&self, v: NodeId, d: f64) -> f64 {
+        self.owner(v).hip_cardinality_at(v, d)
+    }
+
+    #[inline]
+    fn hip_reachable(&self, v: NodeId) -> f64 {
+        self.owner(v).hip_reachable(v)
+    }
+}

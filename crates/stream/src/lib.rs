@@ -20,6 +20,8 @@
 //! | [`morris`] | Morris approximate counters with weighted adds and merging (Section 7) |
 //! | [`streaming_ads`] | ADS over streams: first-occurrence and recency variants (Section 3.1) |
 
+#![deny(missing_docs)]
+
 pub mod counter;
 pub mod hip_hll;
 pub mod hll;

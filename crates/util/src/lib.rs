@@ -19,9 +19,12 @@
 //!   thresholds incrementally.
 //! * [`harmonic`] — harmonic numbers and the expected-ADS-size formulas of
 //!   Lemma 2.2.
+//! * [`args`] — the tiny `--name value` argument parser shared by the
+//!   experiment and benchmark binaries.
 
 #![deny(missing_docs)]
 
+pub mod args;
 pub mod harmonic;
 pub mod hashing;
 pub mod ranks;

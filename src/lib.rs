@@ -17,6 +17,9 @@
 //!   Section-4 basic estimators.
 //! * [`stream`] (`adsketch-stream`) — streaming ADS, HIP distinct
 //!   counters, HyperLogLog, Morris counters.
+//! * [`serve`] (`adsketch-serve`) — sharded frozen stores and the
+//!   std-only TCP query tier (server, client, load generator), answering
+//!   bitwise identically to the local engine.
 //! * [`util`] (`adsketch-util`) — deterministic RNG, rank hashing,
 //!   statistics.
 //!
@@ -50,5 +53,6 @@
 pub use adsketch_core as core;
 pub use adsketch_graph as graph;
 pub use adsketch_minhash as minhash;
+pub use adsketch_serve as serve;
 pub use adsketch_stream as stream;
 pub use adsketch_util as util;

@@ -1,0 +1,260 @@
+//! The serving tier's end-to-end guarantee: every answer returned over
+//! the wire is **bitwise identical** to the local [`QueryEngine`] on the
+//! unsharded frozen store — across shard counts {1, 2, 4}, server worker
+//! counts, pipelined and sequential clients, and every request type of
+//! the protocol.
+
+use std::net::SocketAddr;
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use adsketch::core::centrality::DecayKernel;
+use adsketch::core::{freeze_sharded, AdsSet, FrozenAdsSet, QueryEngine};
+use adsketch::graph::{generators, Graph, NodeId};
+use adsketch::serve::{Client, Request, Response, ServeError, Server, ShardedStore};
+
+/// Freezes `ads` into `shards` files in a scratch dir, loads the store,
+/// and runs a bound server with `workers` threads. Returns the client
+/// address plus a guard that shuts the server down and wipes the dir.
+fn spawn_server(ads: &AdsSet, shards: usize, workers: usize, tag: &str) -> ServerGuard {
+    let dir = std::env::temp_dir().join(format!("adsketch_test_serve_{tag}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    freeze_sharded(ads, shards, &dir).expect("freeze_sharded");
+    let store = Arc::new(ShardedStore::load(&dir).expect("load sharded store"));
+    let server = Server::bind("127.0.0.1:0", store, workers).expect("bind");
+    let addr = server.local_addr().expect("addr");
+    let handle = server.handle();
+    let join = std::thread::spawn(move || server.run());
+    ServerGuard {
+        addr,
+        handle: Some(handle),
+        join: Some(join),
+        dir,
+    }
+}
+
+struct ServerGuard {
+    addr: SocketAddr,
+    handle: Option<adsketch::serve::ServerHandle>,
+    join: Option<std::thread::JoinHandle<std::io::Result<u64>>>,
+    dir: std::path::PathBuf,
+}
+
+impl Drop for ServerGuard {
+    fn drop(&mut self) {
+        if let Some(h) = self.handle.take() {
+            h.shutdown();
+        }
+        if let Some(j) = self.join.take() {
+            let _ = j.join();
+        }
+        let _ = std::fs::remove_dir_all(&self.dir);
+    }
+}
+
+/// Fires every request type at the server and asserts each response is
+/// bitwise equal to the local engine on the unsharded store.
+fn assert_served_equals_local(client: &mut Client, ads: &AdsSet, frozen: &FrozenAdsSet) {
+    let local = QueryEngine::new(frozen);
+    let n = ads.num_nodes() as NodeId;
+    let nodes: Vec<NodeId> = (0..n).collect();
+    let rev: Vec<NodeId> = (0..n).rev().collect();
+
+    assert_eq!(
+        client.harmonic(&nodes).expect("harmonic"),
+        local.harmonic_batch(&nodes)
+    );
+    // A shuffled batch must come back in request order, not node order.
+    assert_eq!(
+        client.harmonic(&rev).expect("harmonic rev"),
+        local.harmonic_batch(&rev)
+    );
+    for kernel in [
+        DecayKernel::Harmonic,
+        DecayKernel::Constant,
+        DecayKernel::Threshold(2.0),
+        DecayKernel::Exponential { base: 2.0 },
+    ] {
+        assert_eq!(
+            client.decay(kernel, &nodes).expect("decay"),
+            local.decay_batch(kernel, &nodes),
+            "kernel {kernel:?}"
+        );
+    }
+    let queries: Vec<(NodeId, f64)> = nodes
+        .iter()
+        .map(|&v| (v, (v % 5) as f64))
+        .chain([(0, f64::INFINITY), (n - 1, 0.0)])
+        .collect();
+    assert_eq!(
+        client.cardinality(&queries).expect("cardinality"),
+        local.cardinality_batch(&queries)
+    );
+    assert_eq!(
+        client.neighborhood_function(&nodes).expect("nf"),
+        local.neighborhood_function_batch(&nodes)
+    );
+    let pairs: Vec<(NodeId, NodeId)> = nodes.iter().map(|&v| (v, (v + 1) % n)).collect();
+    assert_eq!(
+        client.jaccard(2.0, &pairs).expect("jaccard"),
+        local.jaccard_batch(&pairs, 2.0)
+    );
+}
+
+#[test]
+fn served_answers_bitwise_identical_across_shards_and_workers() {
+    let g = generators::gnp_directed(80, 0.06, 17);
+    let ads = AdsSet::build(&g, 4, 9);
+    let frozen = ads.freeze();
+    for shards in [1usize, 2, 4] {
+        for workers in [1usize, 2, 4] {
+            let guard = spawn_server(&ads, shards, workers, &format!("eq_{shards}_{workers}"));
+            let mut client = Client::connect(guard.addr).expect("connect");
+            assert_served_equals_local(&mut client, &ads, &frozen);
+        }
+    }
+}
+
+#[test]
+fn weighted_and_disconnected_graphs_serve_identically() {
+    let weighted = generators::random_weighted_digraph(60, 3, 0.5, 2.5, 7);
+    let mut arcs = generators::gnp(30, 0.12, 5)
+        .all_arcs()
+        .map(|(u, v, _)| (u, v))
+        .collect::<Vec<_>>();
+    arcs.extend(
+        generators::gnp(30, 0.12, 6)
+            .all_arcs()
+            .map(|(u, v, _)| (u + 30, v + 30)),
+    );
+    let disconnected = Graph::directed(70, &arcs).unwrap(); // nodes 60..70 isolated
+    for (name, g) in [("weighted", &weighted), ("disconnected", &disconnected)] {
+        let ads = AdsSet::build(g, 3, 2);
+        let frozen = ads.freeze();
+        let guard = spawn_server(&ads, 2, 2, &format!("kinds_{name}"));
+        let mut client = Client::connect(guard.addr).expect("connect");
+        assert_served_equals_local(&mut client, &ads, &frozen);
+    }
+}
+
+#[test]
+fn pipelined_and_concurrent_clients_get_ordered_identical_answers() {
+    let g = generators::barabasi_albert(120, 3, 4);
+    let ads = AdsSet::build(&g, 4, 6);
+    let frozen = ads.freeze();
+    let local = QueryEngine::new(&frozen);
+    let guard = spawn_server(&ads, 4, 3, "pipeline");
+
+    // Deep pipeline on one connection: responses must align with request
+    // order.
+    let reqs: Vec<Request> = (0..40u32)
+        .map(|i| Request::Harmonic {
+            nodes: vec![i, (i + 7) % 120, (i * 3) % 120],
+        })
+        .collect();
+    let mut client = Client::connect(guard.addr).expect("connect");
+    let responses = client.pipeline(&reqs).expect("pipeline");
+    for (req, resp) in reqs.iter().zip(&responses) {
+        let Request::Harmonic { nodes } = req else {
+            unreachable!()
+        };
+        assert_eq!(resp, &Response::Floats(local.harmonic_batch(nodes)));
+    }
+
+    // Many concurrent connections served by a smaller worker pool.
+    std::thread::scope(|s| {
+        for c in 0..6u32 {
+            let addr = guard.addr;
+            let local = &local;
+            s.spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                let nodes: Vec<NodeId> = (0..120).filter(|v| v % (c + 2) == 0).collect();
+                for _ in 0..10 {
+                    assert_eq!(
+                        client.harmonic(&nodes).expect("harmonic"),
+                        local.harmonic_batch(&nodes)
+                    );
+                }
+            });
+        }
+    });
+}
+
+#[test]
+fn out_of_range_nodes_get_error_frames_and_keep_the_connection() {
+    let g = generators::gnp(30, 0.1, 3);
+    let ads = AdsSet::build(&g, 2, 1);
+    let frozen = ads.freeze();
+    let guard = spawn_server(&ads, 2, 1, "errors");
+    let mut client = Client::connect(guard.addr).expect("connect");
+    let err = client.harmonic(&[0, 29, 30]).unwrap_err();
+    match err {
+        ServeError::Remote { code, message } => {
+            assert_eq!(code, adsketch::serve::proto::ERR_NODE_RANGE);
+            assert!(message.contains("30"), "{message}");
+        }
+        other => panic!("expected a Remote error, got {other}"),
+    }
+    let err = client.jaccard(1.0, &[(0, 99)]).unwrap_err();
+    assert!(matches!(err, ServeError::Remote { .. }));
+    // The connection survives error frames.
+    assert_eq!(
+        client.harmonic(&[0, 1]).expect("still usable"),
+        QueryEngine::new(&frozen).harmonic_batch(&[0, 1])
+    );
+}
+
+#[test]
+fn graceful_shutdown_returns_and_refuses_new_work() {
+    let g = generators::gnp(20, 0.2, 8);
+    let ads = AdsSet::build(&g, 2, 3);
+    let dir = std::env::temp_dir().join("adsketch_test_serve_shutdown");
+    let _ = std::fs::remove_dir_all(&dir);
+    freeze_sharded(&ads, 2, &dir).expect("freeze_sharded");
+    let store = Arc::new(ShardedStore::load(&dir).expect("load"));
+    let server = Server::bind("127.0.0.1:0", store, 2).expect("bind");
+    let addr = server.local_addr().expect("addr");
+    let handle = server.handle();
+    assert_eq!(handle.addr(), addr);
+    let join = std::thread::spawn(move || server.run());
+
+    let mut client = Client::connect(addr).expect("connect");
+    assert_eq!(client.harmonic(&[0]).expect("pre-shutdown").len(), 1);
+    drop(client);
+
+    handle.shutdown();
+    let served = join.join().expect("join").expect("run");
+    assert!(served >= 1, "at least our connection was served");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+proptest! {
+    /// Random tiny graph, random shard count: a served mixed batch is
+    /// bitwise identical to the local engine.
+    #[test]
+    fn random_graphs_serve_bitwise_identically(
+        n in 2usize..24,
+        seed in 0u64..500,
+        k in 1usize..5,
+        shards in 1usize..5,
+    ) {
+        let g = generators::gnp_directed(n, 0.15, seed);
+        let ads = AdsSet::build(&g, k, seed);
+        let frozen = ads.freeze();
+        let local = QueryEngine::new(&frozen);
+        let guard = spawn_server(&ads, shards, 2, "prop");
+        let mut client = Client::connect(guard.addr).expect("connect");
+        let nodes: Vec<NodeId> = (0..n as NodeId).collect();
+        prop_assert_eq!(
+            client.harmonic(&nodes).expect("harmonic"),
+            local.harmonic_batch(&nodes)
+        );
+        let queries: Vec<(NodeId, f64)> =
+            nodes.iter().map(|&v| (v, (seed % 4) as f64)).collect();
+        prop_assert_eq!(
+            client.cardinality(&queries).expect("cardinality"),
+            local.cardinality_batch(&queries)
+        );
+    }
+}

@@ -1,4 +1,4 @@
-//! Workspace-wiring smoke test: one type from each of the five library
+//! Workspace-wiring smoke test: one type from each of the six library
 //! crates, reached exclusively through the `adsketch` facade re-exports.
 //! Guards the crate graph itself — if a re-export or inter-crate
 //! dependency breaks, this fails before any algorithmic test runs.
@@ -6,6 +6,7 @@
 use adsketch::core::AdsSet;
 use adsketch::graph::{generators, Graph};
 use adsketch::minhash::BottomKSketch;
+use adsketch::serve::proto::Request;
 use adsketch::stream::HyperLogLog;
 use adsketch::util::RankHasher;
 
@@ -42,6 +43,13 @@ fn facade_reaches_every_crate() {
         (500.0..2_000.0).contains(&est),
         "HLL estimate of 1000 distinct elements way off: {est}"
     );
+
+    // serve: the wire codec round-trips through the facade (the full
+    // network lifecycle is covered by tests/serve_equivalence.rs).
+    let req = Request::Harmonic {
+        nodes: vec![0, 1, 2],
+    };
+    assert_eq!(Request::decode(&req.encode()).unwrap(), req);
 
     // And the explicit-arc Graph constructor round-trips through the facade.
     let path = Graph::directed(3, &[(0, 1), (1, 2)]).unwrap();

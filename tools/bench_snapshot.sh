@@ -6,7 +6,10 @@
 #   BENCH_query.json — batch HIP query serving (closeness centrality and
 #   neighborhood cardinality over all nodes, frozen columnar store vs
 #   per-node heap queries; every backend asserted bitwise identical to
-#   the heap baseline before being timed).
+#   the heap baseline before being timed), and
+#   BENCH_serve.json — end-to-end TCP serving (sharded store, concurrent
+#   clients over loopback; every served sweep asserted bitwise identical
+#   to the local engine before being timed).
 #
 # Quick mode (default): the full-size matrix, one timed iteration per
 # configuration —
@@ -23,15 +26,18 @@ cd "$(dirname "$0")/.."
 if [[ "${SMOKE:-0}" == "1" ]]; then
   BUILD_ARGS=(--k "${K:-16}" --json target/BENCH_build.smoke.json --smoke)
   QUERY_ARGS=(--k "${K:-16}" --json target/BENCH_query.smoke.json --smoke)
+  SERVE_ARGS=(--k "${K:-16}" --json target/BENCH_serve.smoke.json --smoke)
 else
   BUILD_ARGS=(--k "${K:-16}" --json BENCH_build.json --n "${N:-100000}")
   QUERY_ARGS=(--k "${K:-16}" --json BENCH_query.json --n "${N:-100000}")
+  SERVE_ARGS=(--k "${K:-16}" --json BENCH_serve.json --n "${N:-100000}")
 fi
 
 cargo run --release -p adsketch-bench --bin tbl_parallel -- "${BUILD_ARGS[@]}"
 cargo run --release -p adsketch-bench --bin tbl_query -- "${QUERY_ARGS[@]}"
+cargo run --release -p adsketch-serve --bin loadgen -- "${SERVE_ARGS[@]}"
 if [[ "${SMOKE:-0}" == "1" ]]; then
-  echo "smoke snapshots written to target/BENCH_{build,query}.smoke.json (baselines untouched)"
+  echo "smoke snapshots written to target/BENCH_{build,query,serve}.smoke.json (baselines untouched)"
 else
-  echo "baselines written to BENCH_build.json and BENCH_query.json"
+  echo "baselines written to BENCH_build.json, BENCH_query.json and BENCH_serve.json"
 fi
