@@ -897,6 +897,21 @@ impl ShardManifest {
         &self.records
     }
 
+    /// The shard owning node `v` — the unique shard whose `start..end`
+    /// range contains it. Callers must pass `v < num_nodes`. This is the
+    /// routing primitive shared by every consumer of the manifest: the
+    /// serving tier's all-shards store, per-shard backend processes, and
+    /// the scatter/gather router all partition by this exact function, so
+    /// a node can never be claimed by two tiers at once.
+    #[inline]
+    pub fn shard_of(&self, v: u64) -> usize {
+        debug_assert!(v < self.n);
+        // Last shard whose range start is ≤ v. Empty shards share their
+        // start with the following shard and sort before it, so the
+        // search lands on the owning (populated-range) shard.
+        self.records.partition_point(|r| r.start <= v) - 1
+    }
+
     /// Serializes the manifest (header + records, checksum patched in).
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut buf =
@@ -1343,6 +1358,30 @@ mod tests {
                 Err(FrozenError::Corrupt(_))
             ));
         }
+    }
+
+    #[test]
+    fn manifest_shard_of_routes_every_node_once() {
+        let rec = |start, end, entries| ShardRecord {
+            start,
+            end,
+            entries,
+            digest: 0,
+        };
+        // Shard 1 is empty (5..5): it shares its start with shard 2 and
+        // must never claim a node.
+        let manifest = ShardManifest {
+            k: 2,
+            n: 10,
+            entries: 12,
+            records: vec![rec(0, 5, 6), rec(5, 5, 0), rec(5, 8, 4), rec(8, 10, 2)],
+        };
+        for v in 0..10u64 {
+            let s = manifest.shard_of(v);
+            let r = manifest.records()[s];
+            assert!(r.start <= v && v < r.end, "node {v} routed to shard {s}");
+        }
+        assert_eq!(manifest.shard_of(5), 2);
     }
 
     #[test]

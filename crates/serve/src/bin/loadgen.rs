@@ -14,8 +14,14 @@
 //! ```text
 //! cargo run --release -p adsketch-serve --bin loadgen -- \
 //!     [--n 100000] [--k 16] [--clients 4] [--workers 4] [--batch 256] \
-//!     [--requests 200] [--json BENCH_serve.json] [--smoke]
+//!     [--requests 200] [--router N] [--json BENCH_serve.json] [--smoke]
 //! ```
+//!
+//! `--router N` switches to the distributed topology: the store is
+//! frozen into `N` shards, `N` in-process backend servers (one
+//! [`BackendStore`] each) come up on ephemeral ports, a [`Router`]
+//! fronts them, and the same identity gate + workloads run against the
+//! router (workload names gain a `router_` prefix in the snapshot).
 //!
 //! `--smoke` shrinks everything to CI size (tiny graph, a handful of
 //! requests, no timing gates) — the identity assertions still run.
@@ -24,9 +30,10 @@ use std::net::SocketAddr;
 use std::sync::Arc;
 use std::time::Instant;
 
-use adsketch_core::{freeze_sharded, AdsSet, QueryEngine};
+use adsketch_core::frozen::SHARD_MANIFEST_FILE;
+use adsketch_core::{freeze_sharded, AdsSet, QueryEngine, ShardManifest};
 use adsketch_graph::{generators, NodeId};
-use adsketch_serve::{Client, Server, ShardedStore};
+use adsketch_serve::{BackendStore, Client, Router, RouterConfig, Server, ShardedStore};
 use adsketch_util::args::{arg_flag, arg_str, arg_u64};
 use adsketch_util::{Rng64, SplitMix64};
 
@@ -59,6 +66,7 @@ fn main() {
     let workers = arg_u64("workers", if smoke { 2 } else { 4 }) as usize;
     let batch = arg_u64("batch", 256) as usize;
     let requests = arg_u64("requests", if smoke { 10 } else { 200 }) as usize;
+    let router_n = arg_u64("router", 0) as usize;
     let json = arg_str("json", "");
 
     let g = generators::barabasi_albert(n, 4, 7);
@@ -82,7 +90,10 @@ fn main() {
     let jac_baseline = local.jaccard_batch(&jac_pairs, 2.0);
 
     let mut records = Vec::new();
-    for shards in [1usize, 2, 4] {
+    // `--router N` replaces the single-process sweep with the
+    // distributed topology.
+    let shard_sweep: &[usize] = if router_n > 0 { &[] } else { &[1, 2, 4] };
+    for &shards in shard_sweep {
         let dir = std::env::temp_dir().join(format!("adsketch_loadgen_s{shards}"));
         let _ = std::fs::remove_dir_all(&dir);
         let t0 = Instant::now();
@@ -161,6 +172,112 @@ fn main() {
 
         handle.shutdown();
         join.join().expect("server thread").expect("server run");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    if router_n > 0 {
+        let dir = std::env::temp_dir().join(format!("adsketch_loadgen_router_s{router_n}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        freeze_sharded(&ads, router_n, &dir).expect("freeze_sharded");
+
+        // One in-process backend server per shard, each holding only its
+        // own shard file, then a stateless router in front.
+        let mut backend_handles = Vec::new();
+        let mut backend_joins = Vec::new();
+        let mut backend_addrs = Vec::new();
+        for i in 0..router_n {
+            let store = BackendStore::load(&dir, i).expect("load backend shard");
+            let server = store
+                .into_server("127.0.0.1:0", workers)
+                .expect("bind backend");
+            backend_addrs.push(server.local_addr().expect("backend addr"));
+            backend_handles.push(server.handle());
+            backend_joins.push(std::thread::spawn(move || server.run()));
+        }
+        let manifest = ShardManifest::load(dir.join(SHARD_MANIFEST_FILE)).expect("manifest");
+        let router = Router::bind(
+            "127.0.0.1:0",
+            manifest,
+            backend_addrs,
+            workers,
+            RouterConfig::default(),
+        )
+        .expect("bind router");
+        let addr = router.local_addr().expect("router addr");
+        let router_handle = router.handle();
+        let router_join = std::thread::spawn(move || router.run());
+        println!("\n--- router over {router_n} backends ---");
+
+        // The same pre-timing identity gate the single-process sweep
+        // runs — including the jaccard sample, whose cross-shard pairs
+        // exercise the router's sketch-prefix merge path.
+        verify_identity(
+            addr,
+            n,
+            &harmonic_all,
+            &card_all,
+            &card_baseline,
+            &jac_pairs,
+            &jac_baseline,
+        );
+
+        run_workload(
+            "router_harmonic_batch",
+            addr,
+            clients,
+            requests,
+            batch,
+            n,
+            |rng, batch, n| {
+                let nodes: Vec<NodeId> = (0..batch)
+                    .map(|_| (rng.next_u64() % n as u64) as NodeId)
+                    .collect();
+                WorkItem::Harmonic(nodes)
+            },
+            &mut records,
+            RecordCtx {
+                shards: router_n,
+                workers,
+                g: &g,
+                k,
+            },
+        );
+        run_workload(
+            "router_cardinality_batch",
+            addr,
+            clients,
+            requests,
+            batch,
+            n,
+            |rng, batch, n| {
+                let queries: Vec<(NodeId, f64)> = (0..batch)
+                    .map(|_| {
+                        let v = (rng.next_u64() % n as u64) as NodeId;
+                        (v, (rng.next_u64() % 5) as f64)
+                    })
+                    .collect();
+                WorkItem::Cardinality(queries)
+            },
+            &mut records,
+            RecordCtx {
+                shards: router_n,
+                workers,
+                g: &g,
+                k,
+            },
+        );
+
+        router_handle.shutdown();
+        router_join
+            .join()
+            .expect("router thread")
+            .expect("router run");
+        for h in &backend_handles {
+            h.shutdown();
+        }
+        for j in backend_joins {
+            j.join().expect("backend thread").expect("backend run");
+        }
         std::fs::remove_dir_all(&dir).ok();
     }
 

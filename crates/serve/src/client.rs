@@ -12,7 +12,8 @@
 //! [`adsketch_core::QueryEngine`] on the unsharded store.
 
 use std::io::{BufReader, BufWriter, Read, Write};
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 use adsketch_core::centrality::DecayKernel;
 use adsketch_graph::NodeId;
@@ -33,6 +34,25 @@ impl Client {
     /// Connects and performs the protocol handshake.
     pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, ServeError> {
         let stream = TcpStream::connect(addr)?;
+        Self::handshake(stream)
+    }
+
+    /// Like [`Client::connect`], but bounds the TCP connect **and the
+    /// handshake reply** — a backend that is down fails fast instead of
+    /// waiting out the OS default (which can be minutes), and a backend
+    /// that accepts the connection but never answers the handshake
+    /// cannot hang the caller either. The handshake deadline is cleared
+    /// before returning; use [`Client::set_read_timeout`] to bound
+    /// subsequent reads.
+    pub fn connect_timeout(addr: &SocketAddr, timeout: Duration) -> Result<Self, ServeError> {
+        let stream = TcpStream::connect_timeout(addr, timeout)?;
+        stream.set_read_timeout(Some(timeout))?;
+        let client = Self::handshake(stream)?;
+        client.set_read_timeout(None)?;
+        Ok(client)
+    }
+
+    fn handshake(stream: TcpStream) -> Result<Self, ServeError> {
         stream.set_nodelay(true)?;
         let mut writer = BufWriter::new(stream.try_clone()?);
         let mut reader = BufReader::new(stream.try_clone()?);
@@ -61,10 +81,31 @@ impl Client {
         })
     }
 
+    /// Bounds every subsequent blocking read on this connection. `None`
+    /// removes the bound. A read that times out surfaces as
+    /// [`ServeError::Io`] with kind `WouldBlock`/`TimedOut`.
+    pub fn set_read_timeout(&self, timeout: Option<Duration>) -> Result<(), ServeError> {
+        self.stream.set_read_timeout(timeout)?;
+        Ok(())
+    }
+
     /// Sends one request and blocks on its response frame.
     pub fn request(&mut self, req: &Request) -> Result<Response, ServeError> {
+        self.send(req)?;
+        self.recv_response()
+    }
+
+    /// Writes and flushes one request frame without reading anything —
+    /// half of the scatter/gather split the router uses to pipeline over
+    /// many backends from one thread.
+    pub(crate) fn send(&mut self, req: &Request) -> Result<(), ServeError> {
         write_frame(&mut self.writer, &req.encode())?;
         self.writer.flush()?;
+        Ok(())
+    }
+
+    /// Blocks on the next response frame (the gather half).
+    pub(crate) fn recv_response(&mut self) -> Result<Response, ServeError> {
         self.read_response()
     }
 
@@ -185,5 +226,24 @@ impl Client {
             d,
             pairs: pairs.to_vec(),
         })
+    }
+
+    /// The `(rank, node)` MinHash insertion sequence of each node's
+    /// distance-≤ `d` sketch prefix (see [`Request::SketchPrefix`]).
+    pub fn sketch_prefixes(
+        &mut self,
+        d: f64,
+        nodes: &[NodeId],
+    ) -> Result<Vec<Vec<(f64, NodeId)>>, ServeError> {
+        match self.request(&Request::SketchPrefix {
+            d,
+            nodes: nodes.to_vec(),
+        })? {
+            Response::Sketches(seqs) => Ok(seqs),
+            Response::Error { code, message } => Err(ServeError::Remote { code, message }),
+            other => Err(ServeError::Protocol(format!(
+                "expected a Sketches response, got {other:?}"
+            ))),
+        }
     }
 }

@@ -29,6 +29,14 @@ pub enum ServeError {
         /// Human-readable description from the server.
         message: String,
     },
+    /// A shard backend could not be reached (or kept failing) within the
+    /// router's deadline and retry budget.
+    Backend {
+        /// The shard index whose backend failed.
+        shard: usize,
+        /// What went wrong on the last attempt.
+        message: String,
+    },
 }
 
 impl fmt::Display for ServeError {
@@ -40,6 +48,9 @@ impl fmt::Display for ServeError {
             ServeError::Protocol(msg) => write!(f, "wire-protocol error: {msg}"),
             ServeError::Remote { code, message } => {
                 write!(f, "server error {code}: {message}")
+            }
+            ServeError::Backend { shard, message } => {
+                write!(f, "backend for shard {shard} failed: {message}")
             }
         }
     }

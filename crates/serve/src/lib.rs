@@ -15,13 +15,25 @@
 //! |---|---|
 //! | [`store`] | [`ShardedStore`]: manifest-driven multi-file store, parallel load, digest verification, [`adsketch_core::AdsView`] routing |
 //! | [`proto`] | the length-prefixed wire protocol v1 (handshake, request/response frames, error frames) |
-//! | [`server`] | [`Server`]: `TcpListener` + fixed thread pool (the builders' `shard_slots` helper), per-connection pipelining, graceful shutdown |
+//! | [`server`] | [`Server`]: `TcpListener` + fixed thread pool (the builders' `shard_slots` helper), per-connection pipelining, graceful shutdown; generic over [`RequestStore`] |
 //! | [`client`] | [`Client`]: blocking client with batched and pipelined requests |
+//! | [`backend`] | [`BackendStore`]: one shard resident in one backend process, serving its manifest node range |
+//! | [`router`] | [`Router`]: stateless scatter/gather over a backend fleet, merging answers bitwise identical to the single-process engine |
 //! | [`error`] | [`ServeError`] |
 //!
 //! Everything runs on `std` threads and `std::net` only — the crate has
 //! zero external dependencies, so it serves in fully offline
 //! environments.
+//!
+//! # Distributed topology
+//!
+//! One process per shard ([`BackendStore`] behind the same [`Server`]),
+//! any number of stateless [`Router`] processes in front: the router
+//! partitions each client batch by the manifest's node-range table,
+//! scatters over pipelined backend connections, and merges in request
+//! order — with bounded deadlines, bounded retries, and typed
+//! [`proto::ERR_BACKEND`] error frames instead of hangs or partial
+//! answers when a backend is down.
 //!
 //! # Quick example
 //!
@@ -59,14 +71,18 @@
 
 #![deny(missing_docs)]
 
+pub mod backend;
 pub mod client;
 pub mod error;
 pub mod proto;
+pub mod router;
 pub mod server;
 pub mod store;
 
+pub use backend::BackendStore;
 pub use client::Client;
 pub use error::ServeError;
 pub use proto::{Request, Response};
-pub use server::{Server, ServerHandle};
+pub use router::{Router, RouterConfig};
+pub use server::{RequestStore, Server, ServerHandle};
 pub use store::ShardedStore;

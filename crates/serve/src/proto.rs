@@ -30,6 +30,7 @@
 //! | `0x03` Cardinality | `u32 count`, then `count × (u32 node, u64 distance bits)` |
 //! | `0x04` NeighborhoodFunction | `u32 count`, then `count × u32` node ids |
 //! | `0x05` Jaccard | `u64 distance bits`, `u32 count`, then `count × (u32 u, u32 v)` |
+//! | `0x06` SketchPrefix | `u64 distance bits`, `u32 count`, then `count × u32` node ids |
 //!
 //! Response types (server → client):
 //!
@@ -37,7 +38,17 @@
 //! |---|---|
 //! | `0x81` Floats | `u32 count`, then `count × u64` — `f64::to_bits` of each answer, so transport is lossless and served answers stay **bitwise identical** to the local engine |
 //! | `0x82` Curves | `u32 count`, then per curve `u32 len` + `len × (u64 dist bits, u64 value bits)` |
+//! | `0x83` Sketches | `u32 count`, then per node `u32 len` + `len × (u64 rank bits, u32 node id)` |
 //! | `0xEE` Error | `u16 code`, `u32 message length`, then the UTF-8 message |
+//!
+//! `SketchPrefix` is the distributed tier's join primitive: it returns,
+//! per queried node `v`, the `(rank, node)` sequence of `ADS(v)`'s
+//! entries within the query distance, in canonical `(dist, node)` order —
+//! exactly the insertion sequence `AdsView::minhash_at` feeds a bottom-k
+//! MinHash sketch. A router answering a *cross-shard* Jaccard pair
+//! fetches each endpoint's prefix from its owning backend, replays the
+//! insertions, and runs the same estimator the local engine runs — so
+//! even answers that need two shards' data stay bitwise identical.
 //!
 //! Kernel tags encode [`DecayKernel`]: `0` Threshold (parameter = `d`),
 //! `1` Exponential (parameter = `base`), `2` Harmonic, `3` Constant
@@ -70,14 +81,24 @@ pub const ERR_NODE_RANGE: u16 = 3;
 /// Error code: the batch's answer would not fit in one frame — split the
 /// request into smaller batches.
 pub const ERR_RESPONSE_TOO_LARGE: u16 = 4;
+/// Error code: the node is inside `0..n` but this backend does not own
+/// its shard range — the request was routed to the wrong backend.
+pub const ERR_SHARD_RANGE: u16 = 5;
+/// Error code: a shard backend required by the request could not be
+/// reached (or kept failing) within the router's deadline and retry
+/// budget. The router never answers with a partial merge — the whole
+/// request gets this error frame instead.
+pub const ERR_BACKEND: u16 = 6;
 
 const TYPE_HARMONIC: u8 = 0x01;
 const TYPE_DECAY: u8 = 0x02;
 const TYPE_CARDINALITY: u8 = 0x03;
 const TYPE_NEIGHBORHOOD: u8 = 0x04;
 const TYPE_JACCARD: u8 = 0x05;
+const TYPE_SKETCH_PREFIX: u8 = 0x06;
 const TYPE_FLOATS: u8 = 0x81;
 const TYPE_CURVES: u8 = 0x82;
+const TYPE_SKETCHES: u8 = 0x83;
 const TYPE_ERROR: u8 = 0xEE;
 
 /// One client request: a batch of queries of a single kind.
@@ -112,6 +133,15 @@ pub enum Request {
         /// Queried node pairs.
         pairs: Vec<(NodeId, NodeId)>,
     },
+    /// The `(rank, node)` MinHash insertion sequence of each node's
+    /// distance-≤ `d` sketch prefix (the cross-shard join primitive; see
+    /// the module docs).
+    SketchPrefix {
+        /// The query distance bounding each prefix.
+        d: f64,
+        /// Queried node ids.
+        nodes: Vec<NodeId>,
+    },
 }
 
 /// One server response (answers frame `i` pairs with request frame `i`).
@@ -121,6 +151,9 @@ pub enum Response {
     Floats(Vec<f64>),
     /// One `(distance, value)` step curve per queried node.
     Curves(Vec<Vec<(f64, f64)>>),
+    /// One `(rank, node)` MinHash insertion sequence per queried node, in
+    /// canonical order (answers a [`Request::SketchPrefix`]).
+    Sketches(Vec<Vec<(f64, NodeId)>>),
     /// The request could not be served; the connection stays usable.
     Error {
         /// Machine-readable code (`ERR_*`).
@@ -255,6 +288,11 @@ impl Request {
                     out.extend_from_slice(&v.to_le_bytes());
                 }
             }
+            Request::SketchPrefix { d, nodes } => {
+                out.push(TYPE_SKETCH_PREFIX);
+                out.extend_from_slice(&d.to_bits().to_le_bytes());
+                push_nodes(&mut out, nodes);
+            }
         }
         out
     }
@@ -297,6 +335,13 @@ impl Request {
                 }
                 Request::Jaccard { d, pairs }
             }
+            TYPE_SKETCH_PREFIX => {
+                let d = c.f64()?;
+                Request::SketchPrefix {
+                    d,
+                    nodes: take_nodes(&mut c)?,
+                }
+            }
             t => {
                 return Err(ServeError::Protocol(format!(
                     "unknown request type {t:#04x}"
@@ -328,6 +373,17 @@ impl Response {
                     for &(d, v) in curve {
                         out.extend_from_slice(&d.to_bits().to_le_bytes());
                         out.extend_from_slice(&v.to_bits().to_le_bytes());
+                    }
+                }
+            }
+            Response::Sketches(seqs) => {
+                out.push(TYPE_SKETCHES);
+                out.extend_from_slice(&(seqs.len() as u32).to_le_bytes());
+                for seq in seqs {
+                    out.extend_from_slice(&(seq.len() as u32).to_le_bytes());
+                    for &(rank, node) in seq {
+                        out.extend_from_slice(&rank.to_bits().to_le_bytes());
+                        out.extend_from_slice(&node.to_le_bytes());
                     }
                 }
             }
@@ -366,6 +422,20 @@ impl Response {
                     curves.push(curve);
                 }
                 Response::Curves(curves)
+            }
+            TYPE_SKETCHES => {
+                let count = c.count(4)?;
+                let mut seqs = Vec::with_capacity(count);
+                for _ in 0..count {
+                    let len = c.count(12)?;
+                    let mut seq = Vec::with_capacity(len);
+                    for _ in 0..len {
+                        let rank = c.f64()?;
+                        seq.push((rank, c.u32()?));
+                    }
+                    seqs.push(seq);
+                }
+                Response::Sketches(seqs)
             }
             TYPE_ERROR => {
                 let code = c.u16()?;
@@ -485,6 +555,10 @@ mod tests {
             d: 3.0,
             pairs: vec![(0, 1), (2, 3)],
         });
+        roundtrip_request(Request::SketchPrefix {
+            d: f64::INFINITY,
+            nodes: vec![0, 42],
+        });
     }
 
     #[test]
@@ -502,6 +576,11 @@ mod tests {
             other => panic!("wrong variant: {other:?}"),
         }
         roundtrip_response(Response::Curves(vec![vec![(1.0, 2.0), (2.0, 3.5)], vec![]]));
+        roundtrip_response(Response::Sketches(vec![
+            vec![(0.25, 3), (0.5, 1)],
+            vec![],
+            vec![(1.0, 7)],
+        ]));
         roundtrip_response(Response::Error {
             code: ERR_NODE_RANGE,
             message: "node 99 out of range".into(),

@@ -1,0 +1,667 @@
+//! The stateless scatter/gather router of the distributed tier.
+//!
+//! A [`Router`] binds the ordinary `ADSKWIR1` listener — clients cannot
+//! tell it from a single-process [`crate::Server`] — but holds **no
+//! sketch data**. It keeps only the `ADSKSHD1` manifest's node-range
+//! table plus one backend address per shard. Each worker thread owns a
+//! lazily-connected [`crate::Client`] per backend; an incoming batch is
+//! pre-validated exactly as the single-process server would validate it,
+//! partitioned by owning shard, scattered (pipelined) over the backend
+//! connections, and the answers are merged back into request order.
+//!
+//! # Merge guarantee
+//!
+//! Every merged answer is **bitwise identical** to the single-process
+//! engine on the unsharded store:
+//!
+//! * Per-node requests (harmonic, decay, cardinality, neighborhood
+//!   function, sketch prefix) are answered entirely by each node's
+//!   owning backend, whose rows are byte-for-byte the unsharded rows —
+//!   merging is pure index placement, no arithmetic.
+//! * Jaccard pairs whose endpoints share a shard go to that backend
+//!   directly. A **cross-shard** pair is answered by fetching each
+//!   endpoint's `(rank, node)` sketch prefix from its owner and
+//!   replaying the insertions into the same bottom-k sketch
+//!   [`AdsView::minhash_at`] builds locally — the similarity is then
+//!   computed by the same `adsketch_minhash` routine the local engine
+//!   calls, on identical sketches.
+//!
+//! [`AdsView::minhash_at`]: adsketch_core::AdsView::minhash_at
+//!
+//! # Failure semantics
+//!
+//! Backends are contacted with a bounded connect timeout, every read is
+//! bounded by a read deadline, and each leg of a scatter gets a bounded
+//! retry with reconnect. If a required backend stays unreachable, the
+//! *whole* request is answered with one [`ERR_BACKEND`] error frame —
+//! never a hang, never a partially merged answer — and the client's
+//! connection stays usable. The router holds no per-request state across
+//! connections, so once the backend returns, the next attempt simply
+//! reconnects and succeeds.
+
+use std::collections::HashMap;
+use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
+use std::time::Duration;
+
+use adsketch_core::{thread_count, ShardManifest};
+use adsketch_graph::NodeId;
+use adsketch_minhash::{similarity, BottomKSketch};
+
+use crate::client::Client;
+use crate::error::ServeError;
+use crate::proto::{Request, Response, ERR_BACKEND, ERR_RESPONSE_TOO_LARGE, MAX_FRAME_LEN};
+use crate::server::{
+    batch_too_large, check_nodes, nf_too_large, serve_pool, sketches_too_large, ServerHandle,
+};
+
+/// Deadlines and retry budget for the router's backend connections.
+#[derive(Debug, Clone)]
+pub struct RouterConfig {
+    /// Bound on each TCP connect to a backend.
+    pub connect_timeout: Duration,
+    /// Bound on each blocking read from a backend.
+    pub read_timeout: Duration,
+    /// How many times a failed leg is retried (with reconnect) before
+    /// the whole request is failed with [`ERR_BACKEND`].
+    pub retries: u32,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        Self {
+            connect_timeout: Duration::from_secs(1),
+            read_timeout: Duration::from_secs(2),
+            retries: 1,
+        }
+    }
+}
+
+/// A bound scatter/gather router over a fleet of shard backends.
+pub struct Router {
+    listener: TcpListener,
+    manifest: Arc<ShardManifest>,
+    backends: Arc<Vec<SocketAddr>>,
+    workers: usize,
+    config: RouterConfig,
+    stop: Arc<AtomicBool>,
+}
+
+impl Router {
+    /// Binds a router to `addr` with one backend address per manifest
+    /// shard (`backends[i]` must serve shard `i`) and a fixed pool of
+    /// `workers` connection threads (`0` ⇒ all cores).
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        manifest: ShardManifest,
+        backends: Vec<SocketAddr>,
+        workers: usize,
+        config: RouterConfig,
+    ) -> Result<Self, ServeError> {
+        if backends.len() != manifest.num_shards() {
+            return Err(ServeError::Store(format!(
+                "router needs one backend per shard: the manifest describes {} shards, \
+                 got {} backend addresses",
+                manifest.num_shards(),
+                backends.len()
+            )));
+        }
+        let listener = TcpListener::bind(addr)?;
+        Ok(Self {
+            listener,
+            manifest: Arc::new(manifest),
+            backends: Arc::new(backends),
+            workers: thread_count(workers).max(1),
+            config,
+            stop: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The address the listener is bound to.
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A handle that can stop this router from another thread (same
+    /// graceful-shutdown contract as [`crate::Server`]).
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle::new(
+            self.listener
+                .local_addr()
+                .expect("bound listener has an address"),
+            Arc::clone(&self.stop),
+        )
+    }
+
+    /// Routes until [`ServerHandle::shutdown`]. Blocks the calling
+    /// thread; returns the number of client connections served.
+    pub fn run(self) -> std::io::Result<u64> {
+        let Router {
+            listener,
+            manifest,
+            backends,
+            workers,
+            config,
+            stop,
+        } = self;
+        let served = serve_pool(&listener, workers, &stop, &|_worker| {
+            let mut fleet =
+                Fleet::new(Arc::clone(&manifest), Arc::clone(&backends), config.clone());
+            move |req: &Request| fleet.route(req)
+        });
+        Ok(served)
+    }
+}
+
+/// One sub-request of a scatter: the target shard plus the request to
+/// send it. Legs to the same shard are pipelined on its connection in
+/// slice order.
+type Leg = (usize, Request);
+
+/// A worker thread's view of the backend fleet: one lazily (re)connected
+/// client per shard.
+struct Fleet {
+    manifest: Arc<ShardManifest>,
+    addrs: Arc<Vec<SocketAddr>>,
+    config: RouterConfig,
+    conns: Vec<Option<Client>>,
+    /// Bumped whenever a shard's connection is dropped; a pipelined leg
+    /// remembers the epoch it was sent under, so the gather phase can
+    /// tell "response still in flight" from "connection was replaced".
+    epochs: Vec<u64>,
+}
+
+impl Fleet {
+    fn new(
+        manifest: Arc<ShardManifest>,
+        addrs: Arc<Vec<SocketAddr>>,
+        config: RouterConfig,
+    ) -> Self {
+        let shards = addrs.len();
+        Self {
+            manifest,
+            addrs,
+            config,
+            conns: (0..shards).map(|_| None).collect(),
+            epochs: vec![0; shards],
+        }
+    }
+
+    /// The standing connection to `shard`, dialing (with deadlines) if
+    /// there is none.
+    fn conn(&mut self, shard: usize) -> Result<&mut Client, ServeError> {
+        if self.conns[shard].is_none() {
+            let client = Client::connect_timeout(&self.addrs[shard], self.config.connect_timeout)?;
+            client.set_read_timeout(Some(self.config.read_timeout))?;
+            self.conns[shard] = Some(client);
+        }
+        Ok(self.conns[shard].as_mut().expect("just connected"))
+    }
+
+    /// Drops `shard`'s connection (its request/response pairing can no
+    /// longer be trusted after any failure).
+    fn drop_conn(&mut self, shard: usize) {
+        self.conns[shard] = None;
+        self.epochs[shard] += 1;
+    }
+
+    /// One request/response exchange with `shard`, retried with
+    /// reconnect up to the configured budget. Exhausting the budget
+    /// yields [`ServeError::Backend`] — the typed whole-request failure.
+    fn exchange(&mut self, shard: usize, req: &Request) -> Result<Response, ServeError> {
+        let mut last: Option<ServeError> = None;
+        for _ in 0..=self.config.retries {
+            let attempt = self.conn(shard).and_then(|c| {
+                c.send(req)?;
+                c.recv_response()
+            });
+            match attempt {
+                Ok(resp) => return Ok(resp),
+                Err(e) => {
+                    self.drop_conn(shard);
+                    last = Some(e);
+                }
+            }
+        }
+        Err(ServeError::Backend {
+            shard,
+            message: last.expect("at least one attempt ran").to_string(),
+        })
+    }
+
+    /// Scatter/gather: pipelines every leg's send before reading any
+    /// response, then gathers in leg order. A failed leg falls back to a
+    /// fresh [`Fleet::exchange`] (reconnect + resend + bounded retries);
+    /// if that also fails, the whole scatter fails.
+    fn scatter(&mut self, legs: &[Leg]) -> Result<Vec<Response>, ServeError> {
+        // Send phase: remember the connection epoch each leg was sent
+        // under; a send failure just leaves the leg for the gather
+        // phase's exchange fallback.
+        let mut sent: Vec<Option<u64>> = Vec::with_capacity(legs.len());
+        for (shard, req) in legs {
+            let ok = self.conn(*shard).and_then(|c| c.send(req)).is_ok();
+            if ok {
+                sent.push(Some(self.epochs[*shard]));
+            } else {
+                self.drop_conn(*shard);
+                sent.push(None);
+            }
+        }
+        // Gather phase, in leg order (which is per-connection send
+        // order, so pipelined responses pair up correctly).
+        let mut out = Vec::with_capacity(legs.len());
+        for ((shard, req), sent_epoch) in legs.iter().zip(sent) {
+            let live = sent_epoch == Some(self.epochs[*shard]);
+            let resp = if live {
+                match self.conns[*shard]
+                    .as_mut()
+                    .expect("live epoch implies a connection")
+                    .recv_response()
+                {
+                    Ok(resp) => resp,
+                    Err(_) => {
+                        self.drop_conn(*shard);
+                        self.exchange(*shard, req)?
+                    }
+                }
+            } else {
+                self.exchange(*shard, req)?
+            };
+            out.push(resp);
+        }
+        Ok(out)
+    }
+
+    /// Groups batch-item indices by owning shard. Shards come out in
+    /// ascending order; each index list preserves request order.
+    fn partition(&self, nodes: impl Iterator<Item = NodeId>) -> Vec<(usize, Vec<usize>)> {
+        let mut by_shard: Vec<Vec<usize>> = vec![Vec::new(); self.addrs.len()];
+        for (i, v) in nodes.enumerate() {
+            by_shard[self.manifest.shard_of(v as u64)].push(i);
+        }
+        by_shard
+            .into_iter()
+            .enumerate()
+            .filter(|(_, idxs)| !idxs.is_empty())
+            .collect()
+    }
+
+    /// Answers one client request. Infallible at this level: every
+    /// failure becomes a typed error frame.
+    fn route(&mut self, req: &Request) -> Response {
+        match self.try_route(req) {
+            Ok(resp) => resp,
+            Err(e) => {
+                let (shard, message) = match e {
+                    ServeError::Backend { shard, message } => (Some(shard), message),
+                    other => (None, other.to_string()),
+                };
+                Response::Error {
+                    code: ERR_BACKEND,
+                    message: match shard {
+                        Some(s) => format!("backend for shard {s} unavailable: {message}"),
+                        None => format!("backend fleet failure: {message}"),
+                    },
+                }
+            }
+        }
+    }
+
+    fn try_route(&mut self, req: &Request) -> Result<Response, ServeError> {
+        let n = self.manifest.num_nodes() as u64;
+        let all = 0..n;
+        // Pre-validate in the same iteration order as the single-process
+        // server, so invalid batches earn byte-identical error frames
+        // without touching any backend.
+        let precheck = match req {
+            Request::Harmonic { nodes }
+            | Request::Decay { nodes, .. }
+            | Request::NeighborhoodFunction { nodes }
+            | Request::SketchPrefix { nodes, .. } => {
+                check_nodes(&mut nodes.iter().copied(), n, &all)
+            }
+            Request::Cardinality { queries } => {
+                check_nodes(&mut queries.iter().map(|q| q.0), n, &all)
+            }
+            Request::Jaccard { pairs, .. } => {
+                check_nodes(&mut pairs.iter().flat_map(|&(u, v)| [u, v]), n, &all)
+            }
+        };
+        if let Some(err) = precheck {
+            return Ok(err);
+        }
+        let too_large = match req {
+            Request::Harmonic { nodes } | Request::Decay { nodes, .. } => {
+                batch_too_large(nodes.len())
+            }
+            Request::Cardinality { queries } => batch_too_large(queries.len()),
+            Request::Jaccard { pairs, .. } => batch_too_large(pairs.len()),
+            Request::NeighborhoodFunction { .. } | Request::SketchPrefix { .. } => None,
+        };
+        if let Some(err) = too_large {
+            return Ok(err);
+        }
+        match req {
+            Request::Harmonic { nodes } => {
+                self.route_floats(req, nodes, |sub| Request::Harmonic { nodes: sub })
+            }
+            Request::Decay { kernel, nodes } => {
+                let kernel = *kernel;
+                self.route_floats(req, nodes, move |sub| Request::Decay { kernel, nodes: sub })
+            }
+            Request::Cardinality { queries } => self.route_cardinality(req, queries),
+            Request::NeighborhoodFunction { nodes } => self.route_curves(req, nodes),
+            Request::SketchPrefix { d, nodes } => self.route_sketches(req, *d, nodes),
+            Request::Jaccard { d, pairs } => self.route_jaccard(*d, pairs),
+        }
+    }
+
+    /// Per-node float batches (harmonic / decay): partition, scatter,
+    /// place each backend's answers back at their request indices.
+    fn route_floats(
+        &mut self,
+        req: &Request,
+        nodes: &[NodeId],
+        make: impl Fn(Vec<NodeId>) -> Request,
+    ) -> Result<Response, ServeError> {
+        let parts = self.partition(nodes.iter().copied());
+        if let [(shard, _)] = parts[..] {
+            return self.exchange(shard, req);
+        }
+        let legs: Vec<Leg> = parts
+            .iter()
+            .map(|(shard, idxs)| (*shard, make(idxs.iter().map(|&i| nodes[i]).collect())))
+            .collect();
+        let resps = self.scatter(&legs)?;
+        let mut out = vec![0.0f64; nodes.len()];
+        for ((shard, idxs), resp) in parts.iter().zip(resps) {
+            let xs = expect_floats(*shard, resp, idxs.len())?;
+            for (&i, x) in idxs.iter().zip(xs) {
+                out[i] = x;
+            }
+        }
+        Ok(Response::Floats(out))
+    }
+
+    fn route_cardinality(
+        &mut self,
+        req: &Request,
+        queries: &[(NodeId, f64)],
+    ) -> Result<Response, ServeError> {
+        let parts = self.partition(queries.iter().map(|q| q.0));
+        if let [(shard, _)] = parts[..] {
+            return self.exchange(shard, req);
+        }
+        let legs: Vec<Leg> = parts
+            .iter()
+            .map(|(shard, idxs)| {
+                (
+                    *shard,
+                    Request::Cardinality {
+                        queries: idxs.iter().map(|&i| queries[i]).collect(),
+                    },
+                )
+            })
+            .collect();
+        let resps = self.scatter(&legs)?;
+        let mut out = vec![0.0f64; queries.len()];
+        for ((shard, idxs), resp) in parts.iter().zip(resps) {
+            let xs = expect_floats(*shard, resp, idxs.len())?;
+            for (&i, x) in idxs.iter().zip(xs) {
+                out[i] = x;
+            }
+        }
+        Ok(Response::Floats(out))
+    }
+
+    fn route_curves(&mut self, req: &Request, nodes: &[NodeId]) -> Result<Response, ServeError> {
+        let parts = self.partition(nodes.iter().copied());
+        if let [(shard, _)] = parts[..] {
+            return self.exchange(shard, req);
+        }
+        let legs: Vec<Leg> = parts
+            .iter()
+            .map(|(shard, idxs)| {
+                (
+                    *shard,
+                    Request::NeighborhoodFunction {
+                        nodes: idxs.iter().map(|&i| nodes[i]).collect(),
+                    },
+                )
+            })
+            .collect();
+        let resps = self.scatter(&legs)?;
+        let mut out: Vec<Vec<(f64, f64)>> = vec![Vec::new(); nodes.len()];
+        for ((shard, idxs), resp) in parts.iter().zip(resps) {
+            let curves = match resp {
+                Response::Curves(cs) if cs.len() == idxs.len() => cs,
+                // A sub-batch too big for one frame means the merged
+                // batch is too — answer with the canonical error the
+                // single-process server produces for the full batch.
+                Response::Error { code, .. } if code == ERR_RESPONSE_TOO_LARGE => {
+                    return Ok(nf_too_large(nodes.len()))
+                }
+                other => return Err(unexpected(*shard, other)),
+            };
+            for (&i, c) in idxs.iter().zip(curves) {
+                out[i] = c;
+            }
+        }
+        // The merged response must obey the same frame bound each
+        // backend enforced on its sub-batch.
+        let size = 5u64 + out.iter().map(|c| 4 + 16 * c.len() as u64).sum::<u64>();
+        if size > MAX_FRAME_LEN as u64 {
+            return Ok(nf_too_large(nodes.len()));
+        }
+        Ok(Response::Curves(out))
+    }
+
+    fn route_sketches(
+        &mut self,
+        req: &Request,
+        d: f64,
+        nodes: &[NodeId],
+    ) -> Result<Response, ServeError> {
+        let parts = self.partition(nodes.iter().copied());
+        if let [(shard, _)] = parts[..] {
+            return self.exchange(shard, req);
+        }
+        let legs: Vec<Leg> = parts
+            .iter()
+            .map(|(shard, idxs)| {
+                (
+                    *shard,
+                    Request::SketchPrefix {
+                        d,
+                        nodes: idxs.iter().map(|&i| nodes[i]).collect(),
+                    },
+                )
+            })
+            .collect();
+        let resps = self.scatter(&legs)?;
+        let mut out: Vec<Vec<(f64, NodeId)>> = vec![Vec::new(); nodes.len()];
+        for ((shard, idxs), resp) in parts.iter().zip(resps) {
+            let seqs = match resp {
+                Response::Sketches(ss) if ss.len() == idxs.len() => ss,
+                Response::Error { code, .. } if code == ERR_RESPONSE_TOO_LARGE => {
+                    return Ok(sketches_too_large(nodes.len()))
+                }
+                other => return Err(unexpected(*shard, other)),
+            };
+            for (&i, s) in idxs.iter().zip(seqs) {
+                out[i] = s;
+            }
+        }
+        let size = 5u64 + out.iter().map(|s| 4 + 12 * s.len() as u64).sum::<u64>();
+        if size > MAX_FRAME_LEN as u64 {
+            return Ok(sketches_too_large(nodes.len()));
+        }
+        Ok(Response::Sketches(out))
+    }
+
+    /// Jaccard: same-shard pairs go straight to their owner; cross-shard
+    /// pairs are merged from per-endpoint sketch prefixes (see the
+    /// module docs for why this stays bitwise identical).
+    fn route_jaccard(
+        &mut self,
+        d: f64,
+        pairs: &[(NodeId, NodeId)],
+    ) -> Result<Response, ServeError> {
+        let shards = self.addrs.len();
+        let mut same: Vec<Vec<usize>> = vec![Vec::new(); shards];
+        let mut cross: Vec<usize> = Vec::new();
+        for (i, &(u, v)) in pairs.iter().enumerate() {
+            let su = self.manifest.shard_of(u as u64);
+            let sv = self.manifest.shard_of(v as u64);
+            if su == sv {
+                same[su].push(i);
+            } else {
+                cross.push(i);
+            }
+        }
+        // Deduplicated prefix nodes needed per shard for the cross pairs.
+        let mut need: Vec<Vec<NodeId>> = vec![Vec::new(); shards];
+        let mut seen: HashMap<NodeId, ()> = HashMap::new();
+        for &i in &cross {
+            for v in [pairs[i].0, pairs[i].1] {
+                if seen.insert(v, ()).is_none() {
+                    need[self.manifest.shard_of(v as u64)].push(v);
+                }
+            }
+        }
+        enum Merge {
+            Pairs(Vec<usize>),
+            Prefixes(Vec<NodeId>),
+        }
+        let mut legs: Vec<Leg> = Vec::new();
+        let mut merges: Vec<Merge> = Vec::new();
+        for (shard, idxs) in same.into_iter().enumerate() {
+            if !idxs.is_empty() {
+                legs.push((
+                    shard,
+                    Request::Jaccard {
+                        d,
+                        pairs: idxs.iter().map(|&i| pairs[i]).collect(),
+                    },
+                ));
+                merges.push(Merge::Pairs(idxs));
+            }
+        }
+        for (shard, nodes) in need.into_iter().enumerate() {
+            if !nodes.is_empty() {
+                legs.push((
+                    shard,
+                    Request::SketchPrefix {
+                        d,
+                        nodes: nodes.clone(),
+                    },
+                ));
+                merges.push(Merge::Prefixes(nodes));
+            }
+        }
+        if cross.is_empty() {
+            if let [(shard, Request::Jaccard { .. })] = &legs[..] {
+                // Every pair lives on one shard: forward verbatim.
+                return self.exchange(
+                    *shard,
+                    &Request::Jaccard {
+                        d,
+                        pairs: pairs.to_vec(),
+                    },
+                );
+            }
+        }
+        let resps = self.scatter(&legs)?;
+        let mut out = vec![0.0f64; pairs.len()];
+        let k = self.manifest.k();
+        let mut sketches: HashMap<NodeId, BottomKSketch> = HashMap::new();
+        for (((shard, _req), merge), resp) in legs.iter().zip(&merges).zip(resps) {
+            match merge {
+                Merge::Pairs(idxs) => {
+                    let xs = expect_floats(*shard, resp, idxs.len())?;
+                    for (&i, x) in idxs.iter().zip(xs) {
+                        out[i] = x;
+                    }
+                }
+                Merge::Prefixes(nodes) => {
+                    let seqs = match resp {
+                        Response::Sketches(ss) if ss.len() == nodes.len() => ss,
+                        Response::Error { code, .. } if code == ERR_RESPONSE_TOO_LARGE => {
+                            // The one-shot prefix fetch overflowed a
+                            // frame; split it until it fits.
+                            self.fetch_prefixes_split(*shard, d, nodes)?
+                        }
+                        other => return Err(unexpected(*shard, other)),
+                    };
+                    for (&v, seq) in nodes.iter().zip(seqs) {
+                        sketches.insert(v, replay(k, &seq));
+                    }
+                }
+            }
+        }
+        for &i in &cross {
+            let (u, v) = pairs[i];
+            let su = &sketches[&u];
+            let sv = &sketches[&v];
+            out[i] = similarity::jaccard(su, sv);
+        }
+        Ok(Response::Floats(out))
+    }
+
+    /// Fetches sketch prefixes with recursive halving when a batch's
+    /// response cannot fit one frame.
+    fn fetch_prefixes_split(
+        &mut self,
+        shard: usize,
+        d: f64,
+        nodes: &[NodeId],
+    ) -> Result<Vec<Vec<(f64, NodeId)>>, ServeError> {
+        let resp = self.exchange(
+            shard,
+            &Request::SketchPrefix {
+                d,
+                nodes: nodes.to_vec(),
+            },
+        )?;
+        match resp {
+            Response::Sketches(ss) if ss.len() == nodes.len() => Ok(ss),
+            Response::Error { code, .. } if code == ERR_RESPONSE_TOO_LARGE && nodes.len() > 1 => {
+                let (a, b) = nodes.split_at(nodes.len() / 2);
+                let mut out = self.fetch_prefixes_split(shard, d, a)?;
+                out.extend(self.fetch_prefixes_split(shard, d, b)?);
+                Ok(out)
+            }
+            other => Err(unexpected(shard, other)),
+        }
+    }
+}
+
+/// Rebuilds the bottom-k MinHash sketch from a served `(rank, node)`
+/// insertion sequence — the same insertions, in the same order, as the
+/// local `minhash_at`.
+fn replay(k: usize, seq: &[(f64, NodeId)]) -> BottomKSketch {
+    let mut sketch = BottomKSketch::new(k);
+    for &(rank, node) in seq {
+        sketch.insert_ranked(rank, node as u64);
+    }
+    sketch
+}
+
+fn expect_floats(shard: usize, resp: Response, want: usize) -> Result<Vec<f64>, ServeError> {
+    match resp {
+        Response::Floats(xs) if xs.len() == want => Ok(xs),
+        other => Err(unexpected(shard, other)),
+    }
+}
+
+/// A response the merge cannot use (an error frame where data was due,
+/// a mismatched count, a wrong variant) — fail the whole request with a
+/// typed backend error rather than guess.
+fn unexpected(shard: usize, resp: Response) -> ServeError {
+    let message = match resp {
+        Response::Error { code, message } => format!("answered error frame {code}: {message}"),
+        other => format!("answered an unexpected response: {other:?}"),
+    };
+    ServeError::Backend { shard, message }
+}

@@ -11,13 +11,30 @@
 //! so served answers are bitwise identical to local ones by
 //! construction.
 //!
+//! The pool machinery is shared: [`Server`] plugs an estimator-evaluating
+//! handler into the crate-internal `serve_pool`, the distributed tier's
+//! [`crate::router::Router`] plugs in a scatter/gather handler, and both
+//! get identical handshake, pipelining, framing, and shutdown behavior.
+//!
+//! # Backend mode
+//!
+//! A [`Server`] is generic over its store via [`RequestStore`]. The
+//! default [`ShardedStore`] owns every node; a
+//! [`crate::backend::BackendStore`] owns one manifest shard range and
+//! answers [`ERR_SHARD_RANGE`] for in-graph nodes routed to the wrong
+//! process — so a misconfigured router fails loudly instead of serving
+//! empty-row garbage.
+//!
 //! # Shutdown
 //!
 //! [`ServerHandle::shutdown`] flips a shared flag and nudges the
 //! listener awake. The accept loop stops taking connections; workers
 //! notice the flag at their next frame boundary (connection sockets run
 //! a short read timeout as a poll interval), finish the request in
-//! flight, and exit. [`Server::run`] returns once the pool drains.
+//! flight, and exit. A request whose bytes have *started* to arrive is
+//! committed: the worker keeps reading (within a bounded drain budget)
+//! and answers it before exiting, so an accepted pipeline never loses a
+//! response to shutdown. [`Server::run`] returns once the pool drains.
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -32,23 +49,47 @@ use adsketch_graph::NodeId;
 use crate::error::ServeError;
 use crate::proto::{
     write_frame, Request, Response, ERR_MALFORMED, ERR_NODE_RANGE, ERR_RESPONSE_TOO_LARGE,
-    MAX_FRAME_LEN, WIRE_MAGIC, WIRE_VERSION,
+    ERR_SHARD_RANGE, MAX_FRAME_LEN, WIRE_MAGIC, WIRE_VERSION,
 };
 use crate::store::ShardedStore;
 
 /// How often a blocked worker re-checks the shutdown flag.
 const POLL_INTERVAL: Duration = Duration::from_millis(50);
 
-/// A bound query server over a [`ShardedStore`].
-pub struct Server {
+/// How many poll intervals a worker will wait out, after shutdown, for
+/// the rest of a request whose first bytes already arrived (bounds the
+/// drain at ~5 s per read against a stalled client).
+const DRAIN_POLL_BUDGET: u32 = 100;
+
+/// A store a [`Server`] can answer queries over: any [`AdsView`] plus a
+/// declaration of which node range this process owns.
+///
+/// The default implementation owns everything — the single-process
+/// topology. A backend process owning one manifest shard overrides
+/// [`RequestStore::owned_range`] so requests for nodes it does not hold
+/// are rejected with [`ERR_SHARD_RANGE`] instead of silently evaluated
+/// over empty rows.
+pub trait RequestStore: AdsView + Send + Sync {
+    /// The contiguous node range `start..end` this process holds rows
+    /// for. Nodes inside `0..num_nodes` but outside this range earn an
+    /// [`ERR_SHARD_RANGE`] error frame.
+    fn owned_range(&self) -> std::ops::Range<u64> {
+        0..self.num_nodes() as u64
+    }
+}
+
+impl RequestStore for ShardedStore {}
+
+/// A bound query server over a [`RequestStore`].
+pub struct Server<S: RequestStore = ShardedStore> {
     listener: TcpListener,
-    store: Arc<ShardedStore>,
+    store: Arc<S>,
     workers: usize,
     stop: Arc<AtomicBool>,
 }
 
-/// A cloneable handle that can stop a running [`Server`] from another
-/// thread.
+/// A cloneable handle that can stop a running [`Server`] (or
+/// [`crate::router::Router`]) from another thread.
 #[derive(Debug, Clone)]
 pub struct ServerHandle {
     addr: SocketAddr,
@@ -56,6 +97,10 @@ pub struct ServerHandle {
 }
 
 impl ServerHandle {
+    pub(crate) fn new(addr: SocketAddr, stop: Arc<AtomicBool>) -> Self {
+        Self { addr, stop }
+    }
+
     /// The server's bound address.
     pub fn addr(&self) -> SocketAddr {
         self.addr
@@ -72,15 +117,11 @@ impl ServerHandle {
     }
 }
 
-impl Server {
+impl<S: RequestStore> Server<S> {
     /// Binds a server to `addr` (use port 0 for an ephemeral port) with a
     /// fixed pool of `workers` connection threads (`0` ⇒ all cores).
     /// Call [`Server::run`] to start serving.
-    pub fn bind(
-        addr: impl ToSocketAddrs,
-        store: Arc<ShardedStore>,
-        workers: usize,
-    ) -> std::io::Result<Self> {
+    pub fn bind(addr: impl ToSocketAddrs, store: Arc<S>, workers: usize) -> std::io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         Ok(Self {
             listener,
@@ -99,13 +140,12 @@ impl Server {
     /// A handle that can stop this server from another thread. Take it
     /// before calling [`Server::run`].
     pub fn handle(&self) -> ServerHandle {
-        ServerHandle {
-            addr: self
-                .listener
+        ServerHandle::new(
+            self.listener
                 .local_addr()
                 .expect("bound listener has an address"),
-            stop: Arc::clone(&self.stop),
-        }
+            Arc::clone(&self.stop),
+        )
     }
 
     /// Serves until [`ServerHandle::shutdown`]. Blocks the calling
@@ -118,28 +158,50 @@ impl Server {
             workers,
             stop,
         } = self;
-        let (tx, rx) = std::sync::mpsc::channel::<TcpStream>();
-        let rx = Mutex::new(rx);
-        // `workers + 1` pool slots: slot 0 accepts, the rest serve. Each
-        // slot records how many connections its thread handled.
-        let mut served = vec![0u64; workers + 1];
-        shard_slots(
-            &mut served,
-            workers + 1,
-            || (),
-            |(), i, slot| {
-                if i == 0 {
-                    // The acceptor only exits once the stop flag is set (or
-                    // every worker is gone), and workers poll that same flag
-                    // on their receive timeout — so the pool always drains.
-                    accept_loop(&listener, &tx, &stop);
-                } else {
-                    *slot = worker_loop(&rx, &store, &stop);
-                }
-            },
-        );
-        Ok(served.iter().sum())
+        let served = serve_pool(&listener, workers, &stop, &|_worker| {
+            let store = Arc::clone(&store);
+            move |req: &Request| answer(&*store, req)
+        });
+        Ok(served)
     }
+}
+
+/// The shared serving pool: `workers + 1` slots — slot 0 accepts, the
+/// rest each build one handler via `make_handler(worker_index)` and serve
+/// connections off a shared queue through it. Returns the number of
+/// connections served. Used by both [`Server`] (estimator handler) and
+/// [`crate::router::Router`] (scatter/gather handler).
+pub(crate) fn serve_pool<M, H>(
+    listener: &TcpListener,
+    workers: usize,
+    stop: &AtomicBool,
+    make_handler: &M,
+) -> u64
+where
+    M: Fn(usize) -> H + Sync,
+    H: FnMut(&Request) -> Response,
+{
+    let (tx, rx) = std::sync::mpsc::channel::<TcpStream>();
+    let rx = Mutex::new(rx);
+    // Each slot records how many connections its thread handled.
+    let mut served = vec![0u64; workers + 1];
+    shard_slots(
+        &mut served,
+        workers + 1,
+        || (),
+        |(), i, slot| {
+            if i == 0 {
+                // The acceptor only exits once the stop flag is set (or
+                // every worker is gone), and workers poll that same flag
+                // on their receive timeout — so the pool always drains.
+                accept_loop(listener, &tx, stop);
+            } else {
+                let mut handler = make_handler(i - 1);
+                *slot = worker_loop(&rx, stop, &mut handler);
+            }
+        },
+    );
+    served.iter().sum()
 }
 
 /// Accepts connections until the stop flag flips, handing each off to
@@ -164,7 +226,11 @@ fn accept_loop(listener: &TcpListener, tx: &Sender<TcpStream>, stop: &AtomicBool
 
 /// Serves connections off the shared queue until the queue closes or the
 /// stop flag flips. Returns the number of connections handled.
-fn worker_loop(rx: &Mutex<Receiver<TcpStream>>, store: &ShardedStore, stop: &AtomicBool) -> u64 {
+fn worker_loop<H: FnMut(&Request) -> Response>(
+    rx: &Mutex<Receiver<TcpStream>>,
+    stop: &AtomicBool,
+    handler: &mut H,
+) -> u64 {
     let mut served = 0u64;
     loop {
         let conn = {
@@ -175,7 +241,7 @@ fn worker_loop(rx: &Mutex<Receiver<TcpStream>>, store: &ShardedStore, stop: &Ato
             Ok(stream) => {
                 served += 1;
                 // A broken connection only ends that connection.
-                let _ = serve_connection(stream, store, stop);
+                let _ = serve_connection(stream, stop, handler);
             }
             Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {
                 if stop.load(Ordering::SeqCst) {
@@ -193,18 +259,29 @@ enum ReadOutcome {
     Full,
     /// Clean EOF before any byte of the buffer.
     Eof,
-    /// The stop flag flipped while waiting.
+    /// The stop flag flipped while waiting at a clean boundary.
     Stopped,
 }
 
 /// Fills `buf` from a stream whose read timeout doubles as the shutdown
 /// poll interval.
+///
+/// Shutdown semantics: with `committed` false and no byte of `buf` read
+/// yet, a flipped stop flag returns [`ReadOutcome::Stopped`] — the
+/// connection is between messages and can be dropped cleanly. But once
+/// any byte has arrived (or the caller marked the read `committed`,
+/// i.e. a frame header was already consumed), the peer has an accepted
+/// request in flight — keep reading through [`DRAIN_POLL_BUDGET`] extra
+/// poll intervals so the request can still be answered, and only then
+/// give up with a timeout error.
 fn read_full(
     stream: &mut TcpStream,
     buf: &mut [u8],
     stop: &AtomicBool,
+    committed: bool,
 ) -> std::io::Result<ReadOutcome> {
     let mut filled = 0;
+    let mut drain_polls = 0u32;
     while filled < buf.len() {
         match stream.read(&mut buf[filled..]) {
             Ok(0) if filled == 0 => return Ok(ReadOutcome::Eof),
@@ -220,7 +297,16 @@ fn read_full(
                     || e.kind() == std::io::ErrorKind::TimedOut =>
             {
                 if stop.load(Ordering::SeqCst) {
-                    return Ok(ReadOutcome::Stopped);
+                    if !committed && filled == 0 {
+                        return Ok(ReadOutcome::Stopped);
+                    }
+                    drain_polls += 1;
+                    if drain_polls >= DRAIN_POLL_BUDGET {
+                        return Err(std::io::Error::new(
+                            std::io::ErrorKind::TimedOut,
+                            "shutdown drain budget exhausted mid message",
+                        ));
+                    }
                 }
             }
             Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
@@ -230,18 +316,19 @@ fn read_full(
     Ok(ReadOutcome::Full)
 }
 
-/// Handshake + request/response loop for one connection.
-fn serve_connection(
+/// Handshake + request/response loop for one connection, answering each
+/// decoded request through `handler`.
+fn serve_connection<H: FnMut(&Request) -> Response>(
     mut stream: TcpStream,
-    store: &ShardedStore,
     stop: &AtomicBool,
+    handler: &mut H,
 ) -> Result<(), ServeError> {
     stream.set_read_timeout(Some(POLL_INTERVAL))?;
     stream.set_nodelay(true)?;
 
     // Handshake: 8-byte magic + u32 client version.
     let mut hello = [0u8; 12];
-    match read_full(&mut stream, &mut hello, stop)? {
+    match read_full(&mut stream, &mut hello, stop, false)? {
         ReadOutcome::Full => {}
         ReadOutcome::Eof | ReadOutcome::Stopped => return Ok(()),
     }
@@ -259,11 +346,13 @@ fn serve_connection(
     accept[1..5].copy_from_slice(&WIRE_VERSION.to_le_bytes());
     stream.write_all(&accept)?;
 
-    // Request frames, answered in order until EOF or shutdown.
+    // Request frames, answered in order until EOF or shutdown. A frame
+    // whose header has started to arrive is committed — it gets its
+    // answer even if shutdown lands mid-read.
     let mut writer = std::io::BufWriter::new(stream.try_clone()?);
     loop {
         let mut len_buf = [0u8; 4];
-        match read_full(&mut stream, &mut len_buf, stop)? {
+        match read_full(&mut stream, &mut len_buf, stop, false)? {
             ReadOutcome::Full => {}
             ReadOutcome::Eof | ReadOutcome::Stopped => return Ok(()),
         }
@@ -281,13 +370,14 @@ fn serve_connection(
             return Err(ServeError::Protocol("oversized frame".into()));
         }
         let mut body = vec![0u8; len as usize];
-        match read_full(&mut stream, &mut body, stop)? {
+        match read_full(&mut stream, &mut body, stop, true)? {
             ReadOutcome::Full => {}
-            // Mid-frame EOF/stop: nothing sensible left to answer.
+            // Mid-frame EOF: nothing sensible left to answer. (Stopped is
+            // unreachable on a committed read.)
             ReadOutcome::Eof | ReadOutcome::Stopped => return Ok(()),
         }
         let response = match Request::decode(&body) {
-            Ok(req) => answer(store, &req),
+            Ok(req) => handler(&req),
             Err(e) => Response::Error {
                 code: ERR_MALFORMED,
                 message: e.to_string(),
@@ -317,9 +407,9 @@ fn serve_connection(
 /// `count × 8` answer bits) still fits in [`MAX_FRAME_LEN`] — checked
 /// *before* any estimator work, so an oversized-but-legal request costs
 /// nothing but an error frame.
-const MAX_FLOAT_BATCH: usize = (MAX_FRAME_LEN as usize - 5) / 8;
+pub(crate) const MAX_FLOAT_BATCH: usize = (MAX_FRAME_LEN as usize - 5) / 8;
 
-fn batch_too_large(count: usize) -> Option<Response> {
+pub(crate) fn batch_too_large(count: usize) -> Option<Response> {
     (count > MAX_FLOAT_BATCH).then(|| Response::Error {
         code: ERR_RESPONSE_TOO_LARGE,
         message: format!(
@@ -329,28 +419,50 @@ fn batch_too_large(count: usize) -> Option<Response> {
     })
 }
 
+/// The error frame for a node outside the store entirely — shared with
+/// the router so pre-validation there produces byte-identical frames.
+pub(crate) fn node_range_error(bad: NodeId, n: u64) -> Response {
+    Response::Error {
+        code: ERR_NODE_RANGE,
+        message: format!("node {bad} out of range (store covers {n} nodes)"),
+    }
+}
+
+/// Walks `nodes`, returning the error frame for the first node outside
+/// `0..n` (or outside `owned`, for a backend holding one shard).
+pub(crate) fn check_nodes(
+    nodes: &mut dyn Iterator<Item = NodeId>,
+    n: u64,
+    owned: &std::ops::Range<u64>,
+) -> Option<Response> {
+    for v in nodes {
+        if (v as u64) >= n {
+            return Some(node_range_error(v, n));
+        }
+        if !owned.contains(&(v as u64)) {
+            return Some(Response::Error {
+                code: ERR_SHARD_RANGE,
+                message: format!(
+                    "node {v} is outside this backend's shard range {}..{}",
+                    owned.start, owned.end
+                ),
+            });
+        }
+    }
+    None
+}
+
 /// Evaluates one request batch over the store. All estimator work runs
 /// through [`QueryEngine`] — the exact code path local callers use — on
 /// this worker's thread (cross-request parallelism comes from the pool).
 /// Response size is bounded *before or during* evaluation: float batches
-/// are rejected up front when too long, and curve batches stop
+/// are rejected up front when too long, and curve/sketch batches stop
 /// evaluating the moment their running encoded size would overflow a
 /// frame — a legal request can never force an unbounded allocation.
-fn answer(store: &ShardedStore, req: &Request) -> Response {
+fn answer<S: RequestStore>(store: &S, req: &Request) -> Response {
     let n = store.num_nodes() as u64;
-    let check = |nodes: &mut dyn Iterator<Item = NodeId>| -> Option<Response> {
-        let bad = loop {
-            match nodes.next() {
-                Some(v) if v as u64 >= n => break v,
-                Some(_) => {}
-                None => return None,
-            }
-        };
-        Some(Response::Error {
-            code: ERR_NODE_RANGE,
-            message: format!("node {bad} out of range (store covers {n} nodes)"),
-        })
-    };
+    let owned = store.owned_range();
+    let check = |nodes: &mut dyn Iterator<Item = NodeId>| check_nodes(nodes, n, &owned);
     let engine = QueryEngine::with_threads(store, 1);
     match req {
         Request::Harmonic { nodes } => check(&mut nodes.iter().copied())
@@ -367,6 +479,20 @@ fn answer(store: &ShardedStore, req: &Request) -> Response {
         Request::Jaccard { d, pairs } => check(&mut pairs.iter().flat_map(|&(u, v)| [u, v]))
             .or_else(|| batch_too_large(pairs.len()))
             .unwrap_or_else(|| Response::Floats(engine.jaccard_batch(pairs, *d))),
+        Request::SketchPrefix { d, nodes } => check(&mut nodes.iter().copied())
+            .unwrap_or_else(|| sketch_prefix_bounded(store, *d, nodes)),
+    }
+}
+
+/// The canonical overflow error for a neighborhood-function batch —
+/// shared with the router so merged curve batches fail identically.
+pub(crate) fn nf_too_large(batch: usize) -> Response {
+    Response::Error {
+        code: ERR_RESPONSE_TOO_LARGE,
+        message: format!(
+            "neighborhood-function batch of {batch} nodes overflows one response \
+             frame; split the batch"
+        ),
     }
 }
 
@@ -376,7 +502,7 @@ fn answer(store: &ShardedStore, req: &Request) -> Response {
 /// [`AdsView::neighborhood_function_of`] call, in request order, so the
 /// answers are bitwise identical), but evaluation aborts with an error
 /// frame the moment the response could no longer fit one frame.
-fn neighborhood_function_bounded(store: &ShardedStore, nodes: &[NodeId]) -> Response {
+fn neighborhood_function_bounded<S: RequestStore>(store: &S, nodes: &[NodeId]) -> Response {
     // type byte + curve count, then per curve 4 + 16·len bytes.
     let mut size = 5u64;
     let mut curves = Vec::with_capacity(nodes.len().min(1 << 16));
@@ -384,16 +510,46 @@ fn neighborhood_function_bounded(store: &ShardedStore, nodes: &[NodeId]) -> Resp
         let curve = store.neighborhood_function_of(v);
         size += 4 + 16 * curve.len() as u64;
         if size > MAX_FRAME_LEN as u64 {
-            return Response::Error {
-                code: ERR_RESPONSE_TOO_LARGE,
-                message: format!(
-                    "neighborhood-function batch of {} nodes overflows one response \
-                     frame; split the batch",
-                    nodes.len()
-                ),
-            };
+            return nf_too_large(nodes.len());
         }
         curves.push(curve);
     }
     Response::Curves(curves)
+}
+
+/// The canonical overflow error for a sketch-prefix batch — shared with
+/// the router.
+pub(crate) fn sketches_too_large(batch: usize) -> Response {
+    Response::Error {
+        code: ERR_RESPONSE_TOO_LARGE,
+        message: format!(
+            "sketch-prefix batch of {batch} nodes overflows one response frame; \
+             split the batch"
+        ),
+    }
+}
+
+/// Evaluates a sketch-prefix batch with a running encoded-size bound.
+/// Each sequence is exactly the `(rank, node)` insertion stream the
+/// default [`AdsView::minhash_at`] would feed a bottom-k sketch for the
+/// same `(v, d)` — the property the router's cross-shard Jaccard replay
+/// relies on.
+fn sketch_prefix_bounded<S: RequestStore>(store: &S, d: f64, nodes: &[NodeId]) -> Response {
+    // type byte + sequence count, then per sequence 4 + 12·len bytes.
+    let mut size = 5u64;
+    let mut seqs = Vec::with_capacity(nodes.len().min(1 << 16));
+    for &v in nodes {
+        let mut seq: Vec<(f64, NodeId)> = Vec::new();
+        store.for_each_entry(v, |e| {
+            if e.dist <= d {
+                seq.push((e.rank, e.node));
+            }
+        });
+        size += 4 + 12 * seq.len() as u64;
+        if size > MAX_FRAME_LEN as u64 {
+            return sketches_too_large(nodes.len());
+        }
+        seqs.push(seq);
+    }
+    Response::Sketches(seqs)
 }

@@ -57,9 +57,6 @@ impl<R: Read> Read for HashingReader<R> {
 pub struct ShardedStore {
     manifest: ShardManifest,
     shards: Vec<FrozenAdsSet>,
-    /// `records[i].start` for each shard — the routing table
-    /// ([`ShardedStore::shard_of`] binary-searches it).
-    starts: Vec<u64>,
 }
 
 impl ShardedStore {
@@ -82,12 +79,7 @@ impl ShardedStore {
         for slot in slots {
             shards.push(slot.expect("every slot filled")?);
         }
-        let starts = manifest.records().iter().map(|r| r.start).collect();
-        Ok(Self {
-            manifest,
-            shards,
-            starts,
-        })
+        Ok(Self { manifest, shards })
     }
 
     /// The validated manifest this store was loaded against.
@@ -104,11 +96,7 @@ impl ShardedStore {
     /// contains `v`). Callers must pass `v < num_nodes`.
     #[inline]
     pub fn shard_of(&self, v: NodeId) -> usize {
-        debug_assert!((v as usize) < self.manifest.num_nodes());
-        // Last shard whose range start is ≤ v. Empty shards share their
-        // start with the following shard and sort before it, so the
-        // search lands on the owning (populated-range) shard.
-        self.starts.partition_point(|&s| s <= v as u64) - 1
+        self.manifest.shard_of(v as u64)
     }
 
     /// Direct access to shard `i`'s resident store.
@@ -135,8 +123,14 @@ impl ShardedStore {
 }
 
 /// Streams one shard off disk, verifying digest and cross-shard
-/// consistency against the manifest.
-fn load_shard(dir: &Path, manifest: &ShardManifest, i: usize) -> Result<FrozenAdsSet, ServeError> {
+/// consistency against the manifest. Shared with the distributed tier's
+/// [`crate::backend::BackendStore`], which loads exactly one shard this
+/// way.
+pub(crate) fn load_shard(
+    dir: &Path,
+    manifest: &ShardManifest,
+    i: usize,
+) -> Result<FrozenAdsSet, ServeError> {
     let rec = manifest.records()[i];
     let path: PathBuf = dir.join(shard_file_name(i));
     let file = std::fs::File::open(&path).map_err(|e| {

@@ -1,0 +1,355 @@
+//! The distributed tier's end-to-end guarantee: every answer a
+//! [`Router`] merges over a fleet of per-shard backends is **bitwise
+//! identical** to the local [`QueryEngine`] on the unsharded frozen
+//! store — across fleet sizes {1, 2, 4}, worker counts, pipelined and
+//! concurrent clients, and every request type of the protocol
+//! (mirroring `tests/serve_equivalence.rs` for the single-process tier).
+
+use std::net::SocketAddr;
+
+use proptest::prelude::*;
+
+use adsketch::core::centrality::DecayKernel;
+use adsketch::core::frozen::SHARD_MANIFEST_FILE;
+use adsketch::core::{freeze_sharded, AdsSet, AdsView, FrozenAdsSet, QueryEngine, ShardManifest};
+use adsketch::graph::{generators, NodeId};
+use adsketch::serve::{
+    BackendStore, Client, Request, Response, Router, RouterConfig, ServeError, ServerHandle,
+};
+
+/// Freezes `ads` into `shards` backend processes (in-process servers,
+/// one [`BackendStore`] each) plus a [`Router`] in front. The guard
+/// tears the whole fleet down and wipes the scratch dir on drop.
+fn spawn_fleet(ads: &AdsSet, shards: usize, workers: usize, tag: &str) -> FleetGuard {
+    let dir = std::env::temp_dir().join(format!("adsketch_test_router_{tag}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    freeze_sharded(ads, shards, &dir).expect("freeze_sharded");
+
+    let mut backend_addrs = Vec::with_capacity(shards);
+    let mut handles = Vec::new();
+    let mut joins = Vec::new();
+    for i in 0..shards {
+        let store = BackendStore::load(&dir, i).expect("load backend shard");
+        let server = store
+            .into_server("127.0.0.1:0", workers)
+            .expect("bind backend");
+        backend_addrs.push(server.local_addr().expect("backend addr"));
+        handles.push(server.handle());
+        joins.push(std::thread::spawn(move || server.run()));
+    }
+    let manifest = ShardManifest::load(dir.join(SHARD_MANIFEST_FILE)).expect("manifest");
+    let router = Router::bind(
+        "127.0.0.1:0",
+        manifest,
+        backend_addrs.clone(),
+        workers,
+        RouterConfig::default(),
+    )
+    .expect("bind router");
+    let addr = router.local_addr().expect("router addr");
+    handles.insert(0, router.handle());
+    joins.insert(0, std::thread::spawn(move || router.run()));
+    FleetGuard {
+        addr,
+        backend_addrs,
+        handles,
+        joins,
+        dir,
+    }
+}
+
+struct FleetGuard {
+    /// The router's client-facing address.
+    addr: SocketAddr,
+    /// One backend address per shard.
+    backend_addrs: Vec<SocketAddr>,
+    /// Router handle first, then one handle per backend.
+    handles: Vec<ServerHandle>,
+    joins: Vec<std::thread::JoinHandle<std::io::Result<u64>>>,
+    dir: std::path::PathBuf,
+}
+
+impl Drop for FleetGuard {
+    fn drop(&mut self) {
+        for h in &self.handles {
+            h.shutdown();
+        }
+        for j in self.joins.drain(..) {
+            let _ = j.join();
+        }
+        let _ = std::fs::remove_dir_all(&self.dir);
+    }
+}
+
+/// Fires every request type at the router and asserts each response is
+/// bitwise equal to the local engine on the unsharded store.
+fn assert_routed_equals_local(client: &mut Client, ads: &AdsSet, frozen: &FrozenAdsSet) {
+    let local = QueryEngine::new(frozen);
+    let n = ads.num_nodes() as NodeId;
+    let nodes: Vec<NodeId> = (0..n).collect();
+    let rev: Vec<NodeId> = (0..n).rev().collect();
+
+    assert_eq!(
+        client.harmonic(&nodes).expect("harmonic"),
+        local.harmonic_batch(&nodes)
+    );
+    // A shuffled batch must come back in request order, not shard order.
+    assert_eq!(
+        client.harmonic(&rev).expect("harmonic rev"),
+        local.harmonic_batch(&rev)
+    );
+    for kernel in [
+        DecayKernel::Harmonic,
+        DecayKernel::Constant,
+        DecayKernel::Threshold(2.0),
+        DecayKernel::Exponential { base: 2.0 },
+    ] {
+        assert_eq!(
+            client.decay(kernel, &nodes).expect("decay"),
+            local.decay_batch(kernel, &nodes),
+            "kernel {kernel:?}"
+        );
+    }
+    let queries: Vec<(NodeId, f64)> = nodes
+        .iter()
+        .map(|&v| (v, (v % 5) as f64))
+        .chain([(0, f64::INFINITY), (n - 1, 0.0)])
+        .collect();
+    assert_eq!(
+        client.cardinality(&queries).expect("cardinality"),
+        local.cardinality_batch(&queries)
+    );
+    assert_eq!(
+        client.neighborhood_function(&nodes).expect("nf"),
+        local.neighborhood_function_batch(&nodes)
+    );
+    // Neighbor pairs (mostly same-shard, boundary pairs cross-shard)
+    // plus antipodal pairs (mostly cross-shard) — both merge paths.
+    let mut pairs: Vec<(NodeId, NodeId)> = nodes.iter().map(|&v| (v, (v + 1) % n)).collect();
+    pairs.extend(nodes.iter().map(|&v| (v, (v + n / 2) % n)));
+    assert_eq!(
+        client.jaccard(2.0, &pairs).expect("jaccard"),
+        local.jaccard_batch(&pairs, 2.0)
+    );
+    // Sketch prefixes must be the exact (rank, node) insertion sequence
+    // the local view streams.
+    let d = 2.0;
+    let served = client.sketch_prefixes(d, &nodes).expect("sketch prefixes");
+    for (&v, seq) in nodes.iter().zip(&served) {
+        let mut want: Vec<(f64, NodeId)> = Vec::new();
+        frozen.for_each_entry(v, |e| {
+            if e.dist <= d {
+                want.push((e.rank, e.node));
+            }
+        });
+        assert_eq!(seq, &want, "sketch prefix of node {v}");
+    }
+}
+
+#[test]
+fn routed_answers_bitwise_identical_across_fleets_and_workers() {
+    let g = generators::gnp_directed(80, 0.06, 17);
+    let ads = AdsSet::build(&g, 4, 9);
+    let frozen = ads.freeze();
+    for shards in [1usize, 2, 4] {
+        for workers in [1usize, 2] {
+            let guard = spawn_fleet(&ads, shards, workers, &format!("eq_{shards}_{workers}"));
+            let mut client = Client::connect(guard.addr).expect("connect");
+            assert_routed_equals_local(&mut client, &ads, &frozen);
+        }
+    }
+}
+
+#[test]
+fn weighted_and_disconnected_graphs_route_identically() {
+    let weighted = generators::random_weighted_digraph(60, 3, 0.5, 2.5, 7);
+    let mut arcs = generators::gnp(30, 0.12, 5)
+        .all_arcs()
+        .map(|(u, v, _)| (u, v))
+        .collect::<Vec<_>>();
+    arcs.extend(
+        generators::gnp(30, 0.12, 6)
+            .all_arcs()
+            .map(|(u, v, _)| (u + 30, v + 30)),
+    );
+    let disconnected = adsketch::graph::Graph::directed(70, &arcs).unwrap();
+    for (name, g) in [("weighted", &weighted), ("disconnected", &disconnected)] {
+        let ads = AdsSet::build(g, 3, 2);
+        let frozen = ads.freeze();
+        let guard = spawn_fleet(&ads, 2, 2, &format!("kinds_{name}"));
+        let mut client = Client::connect(guard.addr).expect("connect");
+        assert_routed_equals_local(&mut client, &ads, &frozen);
+    }
+}
+
+#[test]
+fn pipelined_and_concurrent_clients_get_ordered_identical_answers() {
+    let g = generators::barabasi_albert(120, 3, 4);
+    let ads = AdsSet::build(&g, 4, 6);
+    let frozen = ads.freeze();
+    let local = QueryEngine::new(&frozen);
+    let guard = spawn_fleet(&ads, 4, 2, "pipeline");
+
+    // Deep pipeline on one router connection, mixing request types whose
+    // scatter fan-out differs — responses must align with request order.
+    let reqs: Vec<Request> = (0..40u32)
+        .map(|i| {
+            if i % 3 == 0 {
+                Request::Jaccard {
+                    d: 2.0,
+                    pairs: vec![(i, (i + 61) % 120), ((i + 1) % 120, (i + 2) % 120)],
+                }
+            } else {
+                Request::Harmonic {
+                    nodes: vec![i, (i + 7) % 120, (i * 3) % 120],
+                }
+            }
+        })
+        .collect();
+    let mut client = Client::connect(guard.addr).expect("connect");
+    let responses = client.pipeline(&reqs).expect("pipeline");
+    for (req, resp) in reqs.iter().zip(&responses) {
+        let want = match req {
+            Request::Harmonic { nodes } => local.harmonic_batch(nodes),
+            Request::Jaccard { d, pairs } => local.jaccard_batch(pairs, *d),
+            _ => unreachable!(),
+        };
+        assert_eq!(resp, &Response::Floats(want));
+    }
+
+    // Many concurrent connections served by a smaller worker pool.
+    std::thread::scope(|s| {
+        for c in 0..6u32 {
+            let addr = guard.addr;
+            let local = &local;
+            s.spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                let nodes: Vec<NodeId> = (0..120).filter(|v| v % (c + 2) == 0).collect();
+                for _ in 0..10 {
+                    assert_eq!(
+                        client.harmonic(&nodes).expect("harmonic"),
+                        local.harmonic_batch(&nodes)
+                    );
+                }
+            });
+        }
+    });
+}
+
+#[test]
+fn router_error_frames_match_the_single_process_server() {
+    let g = generators::gnp(30, 0.1, 3);
+    let ads = AdsSet::build(&g, 2, 1);
+    let frozen = ads.freeze();
+    let guard = spawn_fleet(&ads, 2, 1, "errors");
+    let mut client = Client::connect(guard.addr).expect("connect");
+    // Out-of-range nodes are rejected by the router itself, with the
+    // byte-identical message the single-process server produces.
+    let err = client.harmonic(&[0, 29, 30]).unwrap_err();
+    match err {
+        ServeError::Remote { code, message } => {
+            assert_eq!(code, adsketch::serve::proto::ERR_NODE_RANGE);
+            assert_eq!(message, "node 30 out of range (store covers 30 nodes)");
+        }
+        other => panic!("expected a Remote error, got {other}"),
+    }
+    let err = client.jaccard(1.0, &[(0, 99)]).unwrap_err();
+    assert!(matches!(err, ServeError::Remote { .. }));
+    // The connection survives error frames.
+    assert_eq!(
+        client.harmonic(&[0, 1]).expect("still usable"),
+        QueryEngine::new(&frozen).harmonic_batch(&[0, 1])
+    );
+}
+
+#[test]
+fn backends_reject_nodes_outside_their_shard_range() {
+    let g = generators::gnp(40, 0.1, 5);
+    let ads = AdsSet::build(&g, 3, 8);
+    let guard = spawn_fleet(&ads, 2, 1, "shard_range");
+    // Talk to shard 0's backend directly: a node owned by shard 1 is
+    // in-graph but not resident here — it must earn ERR_SHARD_RANGE, not
+    // a silent empty-row answer.
+    let mut direct = Client::connect(guard.backend_addrs[0]).expect("connect backend");
+    let err = direct.harmonic(&[39]).unwrap_err();
+    match err {
+        ServeError::Remote { code, message } => {
+            assert_eq!(code, adsketch::serve::proto::ERR_SHARD_RANGE);
+            assert!(message.contains("39"), "{message}");
+        }
+        other => panic!("expected a Remote error, got {other}"),
+    }
+    // Owned nodes still answer, and the connection survived the error.
+    assert_eq!(direct.harmonic(&[0]).expect("owned node").len(), 1);
+}
+
+#[test]
+fn router_shutdown_never_drops_an_accepted_pipelines_response() {
+    let g = generators::gnp(40, 0.12, 11);
+    let ads = AdsSet::build(&g, 3, 5);
+    let frozen = ads.freeze();
+    let local = QueryEngine::new(&frozen);
+    let guard = spawn_fleet(&ads, 2, 2, "shutdown_order");
+
+    // Pipeline a burst of requests, then shut the router down while they
+    // are (potentially) still in flight. Every request written before
+    // shutdown was accepted — each must still get its answer.
+    let reqs: Vec<Request> = (0..25u32)
+        .map(|i| Request::Harmonic {
+            nodes: (0..40).map(|v| (v + i) % 40).collect(),
+        })
+        .collect();
+    let mut client = Client::connect(guard.addr).expect("connect");
+    let router_handle = guard.handles[0].clone();
+    let responses = std::thread::scope(|s| {
+        let h = s.spawn(move || {
+            // Let the pipeline start flowing, then pull the plug.
+            std::thread::sleep(std::time::Duration::from_millis(5));
+            router_handle.shutdown();
+        });
+        let responses = client
+            .pipeline(&reqs)
+            .expect("pipelined responses survive shutdown");
+        h.join().expect("shutdown thread");
+        responses
+    });
+    assert_eq!(responses.len(), reqs.len());
+    for (req, resp) in reqs.iter().zip(&responses) {
+        let Request::Harmonic { nodes } = req else {
+            unreachable!()
+        };
+        assert_eq!(resp, &Response::Floats(local.harmonic_batch(nodes)));
+    }
+}
+
+proptest! {
+    /// Random tiny graph, random fleet size: routed mixed batches are
+    /// bitwise identical to the local engine.
+    #[test]
+    fn random_graphs_route_bitwise_identically(
+        n in 2usize..24,
+        seed in 0u64..500,
+        k in 1usize..5,
+        shards in 1usize..5,
+    ) {
+        let g = generators::gnp_directed(n, 0.15, seed);
+        let ads = AdsSet::build(&g, k, seed);
+        let frozen = ads.freeze();
+        let local = QueryEngine::new(&frozen);
+        let guard = spawn_fleet(&ads, shards, 2, "prop");
+        let mut client = Client::connect(guard.addr).expect("connect");
+        let nodes: Vec<NodeId> = (0..n as NodeId).collect();
+        prop_assert_eq!(
+            client.harmonic(&nodes).expect("harmonic"),
+            local.harmonic_batch(&nodes)
+        );
+        let pairs: Vec<(NodeId, NodeId)> = nodes
+            .iter()
+            .map(|&v| (v, (v + n as NodeId / 2) % n as NodeId))
+            .collect();
+        prop_assert_eq!(
+            client.jaccard(1.5, &pairs).expect("jaccard"),
+            local.jaccard_batch(&pairs, 1.5)
+        );
+    }
+}

@@ -1,0 +1,425 @@
+//! Fault-injection harness for the distributed tier: dead ports, killed
+//! backends, and a mock backend serving corrupt frames. In every
+//! scenario the router must answer with a **typed error frame** within
+//! its deadline — never a panic, never a hang, never a silently partial
+//! merge — and must recover on the next request once the backend is
+//! healthy again.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use adsketch::core::frozen::SHARD_MANIFEST_FILE;
+use adsketch::core::{freeze_sharded, AdsSet, QueryEngine, ShardManifest};
+use adsketch::graph::{generators, NodeId};
+use adsketch::serve::proto::{ERR_BACKEND, WIRE_VERSION};
+use adsketch::serve::{BackendStore, Client, Router, RouterConfig, ServeError, ServerHandle};
+
+/// Tight deadlines so fault scenarios resolve in test time.
+fn fast_config() -> RouterConfig {
+    RouterConfig {
+        connect_timeout: Duration::from_millis(250),
+        read_timeout: Duration::from_millis(400),
+        retries: 1,
+    }
+}
+
+/// Generous wall-clock ceiling: deadlines + retries + CI slack. The
+/// point is "bounded", not "fast".
+const DEADLINE: Duration = Duration::from_secs(5);
+
+fn assert_backend_error(err: ServeError) -> String {
+    match err {
+        ServeError::Remote { code, message } => {
+            assert_eq!(code, ERR_BACKEND, "wrong error code: {message}");
+            message
+        }
+        other => panic!("expected a typed ERR_BACKEND frame, got {other}"),
+    }
+}
+
+struct Scratch(std::path::PathBuf);
+
+impl Scratch {
+    fn new(tag: &str) -> Self {
+        let dir = std::env::temp_dir().join(format!("adsketch_test_router_faults_{tag}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        Self(dir)
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn spawn_backend(
+    dir: &std::path::Path,
+    shard: usize,
+) -> (
+    SocketAddr,
+    ServerHandle,
+    std::thread::JoinHandle<std::io::Result<u64>>,
+) {
+    let store = BackendStore::load(dir, shard).expect("load backend shard");
+    let server = store.into_server("127.0.0.1:0", 1).expect("bind backend");
+    let addr = server.local_addr().expect("backend addr");
+    let handle = server.handle();
+    let join = std::thread::spawn(move || server.run());
+    (addr, handle, join)
+}
+
+fn spawn_router(
+    dir: &std::path::Path,
+    backends: Vec<SocketAddr>,
+) -> (
+    SocketAddr,
+    ServerHandle,
+    std::thread::JoinHandle<std::io::Result<u64>>,
+) {
+    let manifest = ShardManifest::load(dir.join(SHARD_MANIFEST_FILE)).expect("manifest");
+    let router =
+        Router::bind("127.0.0.1:0", manifest, backends, 1, fast_config()).expect("bind router");
+    let addr = router.local_addr().expect("router addr");
+    let handle = router.handle();
+    let join = std::thread::spawn(move || router.run());
+    (addr, handle, join)
+}
+
+/// An ephemeral-port address nothing listens on (bound once, then
+/// dropped, so connects are refused immediately).
+fn dead_port() -> SocketAddr {
+    TcpListener::bind("127.0.0.1:0")
+        .expect("reserve port")
+        .local_addr()
+        .expect("addr")
+}
+
+#[test]
+fn dead_backend_port_yields_typed_error_and_live_shards_still_serve() {
+    let g = generators::gnp(40, 0.1, 3);
+    let ads = AdsSet::build(&g, 2, 1);
+    let frozen = ads.freeze();
+    let scratch = Scratch::new("dead_port");
+    freeze_sharded(&ads, 2, &scratch.0).expect("freeze_sharded");
+    let manifest = ShardManifest::load(scratch.0.join(SHARD_MANIFEST_FILE)).expect("manifest");
+    let shard0_end = manifest.records()[0].end as NodeId;
+
+    let (b0_addr, b0_handle, b0_join) = spawn_backend(&scratch.0, 0);
+    let (addr, r_handle, r_join) = spawn_router(&scratch.0, vec![b0_addr, dead_port()]);
+
+    let mut client = Client::connect(addr).expect("connect router");
+    // A batch spanning the dead shard fails whole, typed, and bounded.
+    let all: Vec<NodeId> = (0..40).collect();
+    let t0 = Instant::now();
+    let err = client.harmonic(&all).unwrap_err();
+    assert!(t0.elapsed() < DEADLINE, "took {:?}", t0.elapsed());
+    assert_backend_error(err);
+    // The client connection survived, and a batch owned entirely by the
+    // live shard still answers bitwise identically.
+    let owned: Vec<NodeId> = (0..shard0_end).collect();
+    assert_eq!(
+        client.harmonic(&owned).expect("live shard serves"),
+        QueryEngine::new(&frozen).harmonic_batch(&owned)
+    );
+
+    r_handle.shutdown();
+    r_join.join().expect("router thread").expect("router run");
+    b0_handle.shutdown();
+    b0_join
+        .join()
+        .expect("backend thread")
+        .expect("backend run");
+}
+
+#[test]
+fn killing_a_backend_mid_stream_fails_whole_requests_without_partial_answers() {
+    let g = generators::gnp(40, 0.12, 7);
+    let ads = AdsSet::build(&g, 3, 2);
+    let frozen = ads.freeze();
+    let scratch = Scratch::new("kill");
+    freeze_sharded(&ads, 2, &scratch.0).expect("freeze_sharded");
+    let manifest = ShardManifest::load(scratch.0.join(SHARD_MANIFEST_FILE)).expect("manifest");
+    let shard0_end = manifest.records()[0].end as NodeId;
+
+    let (b0_addr, b0_handle, b0_join) = spawn_backend(&scratch.0, 0);
+    let (b1_addr, b1_handle, b1_join) = spawn_backend(&scratch.0, 1);
+    let (addr, r_handle, r_join) = spawn_router(&scratch.0, vec![b0_addr, b1_addr]);
+
+    let mut client = Client::connect(addr).expect("connect router");
+    let all: Vec<NodeId> = (0..40).collect();
+    // Healthy first: establishes the router worker's standing backend
+    // connections and proves the fleet works.
+    assert_eq!(
+        client.harmonic(&all).expect("healthy fleet"),
+        QueryEngine::new(&frozen).harmonic_batch(&all)
+    );
+
+    // Kill backend 1 for good. The router's standing connection to it is
+    // now dead and its port refuses connects.
+    b1_handle.shutdown();
+    b1_join
+        .join()
+        .expect("backend thread")
+        .expect("backend run");
+
+    let t0 = Instant::now();
+    let err = client.harmonic(&all).unwrap_err();
+    assert!(t0.elapsed() < DEADLINE, "took {:?}", t0.elapsed());
+    let message = assert_backend_error(err);
+    assert!(message.contains("shard 1"), "{message}");
+
+    // No partial merges: every spanning request keeps failing whole,
+    // while shard-0-only batches keep answering bitwise identically.
+    assert_backend_error(client.harmonic(&all).unwrap_err());
+    let owned: Vec<NodeId> = (0..shard0_end).collect();
+    assert_eq!(
+        client.harmonic(&owned).expect("live shard serves"),
+        QueryEngine::new(&frozen).harmonic_batch(&owned)
+    );
+
+    r_handle.shutdown();
+    r_join.join().expect("router thread").expect("router run");
+    b0_handle.shutdown();
+    b0_join
+        .join()
+        .expect("backend thread")
+        .expect("backend run");
+}
+
+/// What the flaky proxy does with new connections.
+const HEALTHY: u8 = 0;
+/// Close immediately, before the handshake.
+const REFUSE: u8 = 1;
+/// Accept the TCP connection, then never read or write a byte — the
+/// connection looks alive but the handshake reply never comes.
+const BLACKHOLE: u8 = 6;
+/// Answer the handshake with a reject status.
+const REJECT_HANDSHAKE: u8 = 2;
+/// Accept the handshake, then answer with an insane length prefix.
+const GARBAGE: u8 = 3;
+/// Accept the handshake, then answer a truncated frame and close.
+const TRUNCATE: u8 = 4;
+/// Accept the handshake, swallow requests, never answer.
+const STALL: u8 = 5;
+
+/// A TCP proxy in front of a real backend whose failure mode can be
+/// switched at runtime. Switching also severs standing connections, so
+/// the router notices immediately — this is how "the backend died and
+/// came back" is simulated on one stable address (rebinding a real
+/// server's port would race TIME_WAIT).
+struct FlakyProxy {
+    addr: SocketAddr,
+    mode: Arc<AtomicU8>,
+    stop: Arc<AtomicBool>,
+    live: Arc<Mutex<Vec<TcpStream>>>,
+    join: Option<std::thread::JoinHandle<()>>,
+}
+
+impl FlakyProxy {
+    fn spawn(upstream: SocketAddr) -> Self {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind proxy");
+        let addr = listener.local_addr().expect("proxy addr");
+        let mode = Arc::new(AtomicU8::new(HEALTHY));
+        let stop = Arc::new(AtomicBool::new(false));
+        let live: Arc<Mutex<Vec<TcpStream>>> = Arc::new(Mutex::new(Vec::new()));
+        let join = {
+            let (mode, stop, live) = (Arc::clone(&mode), Arc::clone(&stop), Arc::clone(&live));
+            std::thread::spawn(move || proxy_loop(listener, upstream, &mode, &stop, &live))
+        };
+        Self {
+            addr,
+            mode,
+            stop,
+            live,
+            join: Some(join),
+        }
+    }
+
+    fn set_mode(&self, mode: u8) {
+        self.mode.store(mode, Ordering::SeqCst);
+        for conn in self.live.lock().expect("live list").drain(..) {
+            let _ = conn.shutdown(std::net::Shutdown::Both);
+        }
+    }
+}
+
+impl Drop for FlakyProxy {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        self.set_mode(REFUSE);
+        let _ = TcpStream::connect(self.addr);
+        if let Some(join) = self.join.take() {
+            let _ = join.join();
+        }
+    }
+}
+
+fn handshake_accept(conn: &mut TcpStream) -> bool {
+    let mut hello = [0u8; 12];
+    if conn.read_exact(&mut hello).is_err() {
+        return false;
+    }
+    let mut accept = [1u8; 5];
+    accept[1..5].copy_from_slice(&WIRE_VERSION.to_le_bytes());
+    conn.write_all(&accept).is_ok()
+}
+
+fn proxy_loop(
+    listener: TcpListener,
+    upstream: SocketAddr,
+    mode: &AtomicU8,
+    stop: &AtomicBool,
+    live: &Mutex<Vec<TcpStream>>,
+) {
+    for conn in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(mut client) = conn else { continue };
+        if let Ok(clone) = client.try_clone() {
+            live.lock().expect("live list").push(clone);
+        }
+        match mode.load(Ordering::SeqCst) {
+            HEALTHY => {
+                let Ok(up) = TcpStream::connect(upstream) else {
+                    let _ = client.shutdown(std::net::Shutdown::Both);
+                    continue;
+                };
+                if let Ok(clone) = up.try_clone() {
+                    live.lock().expect("live list").push(clone);
+                }
+                let (Ok(mut c2), Ok(mut u2)) = (client.try_clone(), up.try_clone()) else {
+                    continue;
+                };
+                std::thread::spawn(move || {
+                    let mut client = client;
+                    let mut up = up;
+                    let _ = std::io::copy(&mut client, &mut up);
+                    let _ = up.shutdown(std::net::Shutdown::Both);
+                });
+                std::thread::spawn(move || {
+                    let _ = std::io::copy(&mut u2, &mut c2);
+                    let _ = c2.shutdown(std::net::Shutdown::Both);
+                });
+            }
+            REFUSE => {
+                // A plain drop would leave the socket half-open through
+                // the clone in `live`; sever it for real.
+                let _ = client.shutdown(std::net::Shutdown::Both);
+            }
+            BLACKHOLE => {
+                // Deliberately half-open: the clone in `live` keeps the
+                // socket established, and nobody ever answers the
+                // handshake. The router's handshake deadline must fire.
+                drop(client);
+            }
+            REJECT_HANDSHAKE => {
+                let mut hello = [0u8; 12];
+                let _ = client.read_exact(&mut hello);
+                let mut reject = [0u8; 5];
+                reject[1..5].copy_from_slice(&WIRE_VERSION.to_le_bytes());
+                let _ = client.write_all(&reject);
+            }
+            GARBAGE => {
+                if handshake_accept(&mut client) {
+                    let mut buf = [0u8; 4096];
+                    let _ = client.read(&mut buf);
+                    // A length prefix far beyond MAX_FRAME_LEN.
+                    let _ = client.write_all(&u32::MAX.to_le_bytes());
+                }
+            }
+            TRUNCATE => {
+                if handshake_accept(&mut client) {
+                    let mut buf = [0u8; 4096];
+                    let _ = client.read(&mut buf);
+                    // Declare a 100-byte frame, deliver 10, hang up.
+                    let _ = client.write_all(&100u32.to_le_bytes());
+                    let _ = client.write_all(&[0u8; 10]);
+                }
+            }
+            _ => {
+                if handshake_accept(&mut client) {
+                    let mut buf = [0u8; 4096];
+                    while !stop.load(Ordering::SeqCst) {
+                        match client.read(&mut buf) {
+                            Ok(0) | Err(_) => break,
+                            Ok(_) => {}
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn corrupt_backend_frames_yield_typed_errors_then_clean_recovery() {
+    let g = generators::gnp(40, 0.12, 9);
+    let ads = AdsSet::build(&g, 3, 4);
+    let frozen = ads.freeze();
+    let local = QueryEngine::new(&frozen);
+    let scratch = Scratch::new("proxy");
+    freeze_sharded(&ads, 2, &scratch.0).expect("freeze_sharded");
+
+    let (b0_addr, b0_handle, b0_join) = spawn_backend(&scratch.0, 0);
+    let (b1_addr, b1_handle, b1_join) = spawn_backend(&scratch.0, 1);
+    // Shard 1 sits behind the flaky proxy; the router only knows the
+    // proxy's address.
+    let proxy = FlakyProxy::spawn(b1_addr);
+    let (addr, r_handle, r_join) = spawn_router(&scratch.0, vec![b0_addr, proxy.addr]);
+
+    let mut client = Client::connect(addr).expect("connect router");
+    let all: Vec<NodeId> = (0..40).collect();
+    let baseline = local.harmonic_batch(&all);
+    assert_eq!(client.harmonic(&all).expect("healthy"), baseline);
+
+    for (name, mode) in [
+        ("refuse", REFUSE),
+        ("blackhole", BLACKHOLE),
+        ("reject-handshake", REJECT_HANDSHAKE),
+        ("garbage", GARBAGE),
+        ("truncate", TRUNCATE),
+        ("stall", STALL),
+    ] {
+        proxy.set_mode(mode);
+        let t0 = Instant::now();
+        let err = client.harmonic(&all).unwrap_err();
+        assert!(t0.elapsed() < DEADLINE, "{name}: took {:?}", t0.elapsed());
+        let message = assert_backend_error(err);
+        assert!(message.contains("shard 1"), "{name}: {message}");
+
+        // Back to healthy: the very next request must succeed, bitwise
+        // identical — the router reconnects, no poisoned state.
+        proxy.set_mode(HEALTHY);
+        assert_eq!(
+            client.harmonic(&all).expect("recovered"),
+            baseline,
+            "{name}: recovery"
+        );
+    }
+
+    // Cross-shard jaccard recovers too (prefix-fetch path).
+    let pairs: Vec<(NodeId, NodeId)> = (0..20).map(|v| (v, v + 20)).collect();
+    assert_eq!(
+        client.jaccard(2.0, &pairs).expect("cross-shard jaccard"),
+        local.jaccard_batch(&pairs, 2.0)
+    );
+
+    drop(proxy);
+    r_handle.shutdown();
+    r_join.join().expect("router thread").expect("router run");
+    b0_handle.shutdown();
+    b0_join
+        .join()
+        .expect("backend thread")
+        .expect("backend run");
+    b1_handle.shutdown();
+    b1_join
+        .join()
+        .expect("backend thread")
+        .expect("backend run");
+}

@@ -229,6 +229,62 @@ fn graceful_shutdown_returns_and_refuses_new_work() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// Shutdown ordering: a request whose frame is only partially on the
+/// wire when shutdown fires must still be drained and answered — the
+/// server may only stop at a clean frame boundary, never mid-frame.
+#[test]
+fn shutdown_drains_a_request_caught_mid_frame() {
+    use std::io::{Read, Write};
+
+    use adsketch::serve::proto::{WIRE_MAGIC, WIRE_VERSION};
+
+    let g = generators::gnp(20, 0.2, 11);
+    let ads = AdsSet::build(&g, 2, 5);
+    let frozen = ads.freeze();
+    let guard = spawn_server(&ads, 1, 1, "drain");
+
+    // Raw socket so we control exactly how many bytes are on the wire.
+    let mut stream = std::net::TcpStream::connect(guard.addr).expect("connect");
+    stream.set_nodelay(true).expect("nodelay");
+    stream.write_all(&WIRE_MAGIC).expect("magic");
+    stream
+        .write_all(&WIRE_VERSION.to_le_bytes())
+        .expect("version");
+    let mut reply = [0u8; 5];
+    stream.read_exact(&mut reply).expect("handshake reply");
+    assert_eq!(reply[0], 1, "handshake accepted");
+
+    let body = Request::Harmonic {
+        nodes: vec![0, 1, 2],
+    }
+    .encode();
+    let len = (body.len() as u32).to_le_bytes();
+    // Two bytes of the length prefix, then shutdown fires mid-frame.
+    stream.write_all(&len[..2]).expect("half prefix");
+    let handle = guard.handle.as_ref().expect("handle");
+    std::thread::sleep(std::time::Duration::from_millis(60));
+    handle.shutdown();
+    std::thread::sleep(std::time::Duration::from_millis(150));
+    // Finish the frame well after the stop flag was raised.
+    stream.write_all(&len[2..]).expect("rest of prefix");
+    stream.write_all(&body).expect("body");
+
+    // The committed request still gets its full answer.
+    let mut resp_len = [0u8; 4];
+    stream.read_exact(&mut resp_len).expect("response arrives");
+    let mut resp_body = vec![0u8; u32::from_le_bytes(resp_len) as usize];
+    stream.read_exact(&mut resp_body).expect("response body");
+    match Response::decode(&resp_body).expect("decodes") {
+        Response::Floats(vals) => {
+            assert_eq!(vals, QueryEngine::new(&frozen).harmonic_batch(&[0, 1, 2]));
+        }
+        other => panic!("expected Floats, got {other:?}"),
+    }
+    // ... and then the server closes cleanly at the frame boundary.
+    let n = stream.read(&mut resp_len).expect("clean close");
+    assert_eq!(n, 0, "server must close, not answer past shutdown");
+}
+
 proptest! {
     /// Random tiny graph, random shard count: a served mixed batch is
     /// bitwise identical to the local engine.

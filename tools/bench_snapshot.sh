@@ -37,6 +37,11 @@ cargo run --release -p adsketch-bench --bin tbl_parallel -- "${BUILD_ARGS[@]}"
 cargo run --release -p adsketch-bench --bin tbl_query -- "${QUERY_ARGS[@]}"
 cargo run --release -p adsketch-serve --bin loadgen -- "${SERVE_ARGS[@]}"
 if [[ "${SMOKE:-0}" == "1" ]]; then
+  # Smoke also sweeps the distributed tier once: a router fronting a
+  # 2-backend fleet, identity-gated like everything else (throwaway
+  # JSON — the committed serve baseline stays single-process).
+  cargo run --release -p adsketch-serve --bin loadgen -- --router 2 --smoke \
+    --k "${K:-16}" --json target/BENCH_serve.router-smoke.json
   echo "smoke snapshots written to target/BENCH_{build,query,serve}.smoke.json (baselines untouched)"
 else
   echo "baselines written to BENCH_build.json, BENCH_query.json and BENCH_serve.json"
