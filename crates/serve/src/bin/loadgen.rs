@@ -14,26 +14,39 @@
 //! ```text
 //! cargo run --release -p adsketch-serve --bin loadgen -- \
 //!     [--n 100000] [--k 16] [--clients 4] [--workers 4] [--batch 256] \
-//!     [--requests 200] [--router N] [--json BENCH_serve.json] [--smoke]
+//!     [--requests 200] [--router N] [--replicas R] [--chaos] \
+//!     [--json BENCH_serve.json] [--smoke]
 //! ```
 //!
 //! `--router N` switches to the distributed topology: the store is
-//! frozen into `N` shards, `N` in-process backend servers (one
-//! [`BackendStore`] each) come up on ephemeral ports, a [`Router`]
-//! fronts them, and the same identity gate + workloads run against the
-//! router (workload names gain a `router_` prefix in the snapshot).
+//! frozen into `N` shards, `N × R` in-process backend servers (one
+//! [`BackendStore`] each, `--replicas R` per shard, default 1) come up
+//! on ephemeral ports, a [`Router`] fronts them, and the same identity
+//! gate + workloads run against the router (workload names gain a
+//! `router_` prefix in the snapshot).
+//!
+//! `--chaos` (router mode, `R ≥ 2`) adds a fault scheduler: while
+//! client threads hammer the router asserting every single response
+//! bitwise against the local baseline, the scheduler kills and restarts
+//! one backend replica at a time — always leaving at least one live
+//! replica per shard — and the run fails on **any** client-visible
+//! error or identity mismatch.
 //!
 //! `--smoke` shrinks everything to CI size (tiny graph, a handful of
 //! requests, no timing gates) — the identity assertions still run.
 
 use std::net::SocketAddr;
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use adsketch_core::frozen::SHARD_MANIFEST_FILE;
 use adsketch_core::{freeze_sharded, AdsSet, QueryEngine, ShardManifest};
 use adsketch_graph::{generators, NodeId};
-use adsketch_serve::{BackendStore, Client, Router, RouterConfig, Server, ShardedStore};
+use adsketch_serve::{
+    BackendStore, Client, Router, RouterConfig, Server, ServerHandle, ShardedStore,
+};
 use adsketch_util::args::{arg_flag, arg_str, arg_u64};
 use adsketch_util::{Rng64, SplitMix64};
 
@@ -67,7 +80,14 @@ fn main() {
     let batch = arg_u64("batch", 256) as usize;
     let requests = arg_u64("requests", if smoke { 10 } else { 200 }) as usize;
     let router_n = arg_u64("router", 0) as usize;
+    let replicas = arg_u64("replicas", 1) as usize;
+    let chaos = arg_flag("chaos");
     let json = arg_str("json", "");
+    if chaos && (router_n == 0 || replicas < 2) {
+        eprintln!("--chaos needs --router N and --replicas >= 2");
+        std::process::exit(2);
+    }
+    assert!(replicas >= 1, "--replicas must be at least 1");
 
     let g = generators::barabasi_albert(n, 4, 7);
     println!(
@@ -180,33 +200,48 @@ fn main() {
         let _ = std::fs::remove_dir_all(&dir);
         freeze_sharded(&ads, router_n, &dir).expect("freeze_sharded");
 
-        // One in-process backend server per shard, each holding only its
-        // own shard file, then a stateless router in front.
-        let mut backend_handles = Vec::new();
-        let mut backend_joins = Vec::new();
-        let mut backend_addrs = Vec::new();
-        for i in 0..router_n {
-            let store = BackendStore::load(&dir, i).expect("load backend shard");
-            let server = store
-                .into_server("127.0.0.1:0", workers)
-                .expect("bind backend");
-            backend_addrs.push(server.local_addr().expect("backend addr"));
-            backend_handles.push(server.handle());
-            backend_joins.push(std::thread::spawn(move || server.run()));
+        // One in-process backend server per (shard, replica), each
+        // holding only its own shard file, then a stateless router in
+        // front of the whole fleet. Backend pools are sized for their
+        // fan-in, not the client count: every router worker keeps one
+        // standing pipelined connection per replica, and the health
+        // prober plus the chaos scheduler's liveness pings each need a
+        // free slot on top — a pool of exactly `workers` would let the
+        // router's standing connections starve those probes forever.
+        let backend_workers = workers + 2;
+        let mut fleet: Vec<BackendSlot> = Vec::new();
+        let mut replica_addrs: Vec<Vec<SocketAddr>> = vec![Vec::new(); router_n];
+        let any_port: SocketAddr = "127.0.0.1:0".parse().expect("loopback addr");
+        for (shard, shard_addrs) in replica_addrs.iter_mut().enumerate() {
+            for _rep in 0..replicas {
+                let (addr, handle, join) = spawn_backend(&dir, shard, any_port, backend_workers);
+                shard_addrs.push(addr);
+                fleet.push(BackendSlot {
+                    shard,
+                    addr,
+                    handle,
+                    join: Some(join),
+                });
+            }
         }
         let manifest = ShardManifest::load(dir.join(SHARD_MANIFEST_FILE)).expect("manifest");
-        let router = Router::bind(
-            "127.0.0.1:0",
-            manifest,
-            backend_addrs,
-            workers,
-            RouterConfig::default(),
-        )
-        .expect("bind router");
+        let mut config = RouterConfig::default();
+        if chaos {
+            // The scheduler kills a replica every couple hundred ms, so
+            // recovery has to be fast: quick probing, short backoff, an
+            // extra failover pass, and hedging to shave straggler tails.
+            config.retries = 2;
+            config.probe_interval = Duration::from_millis(25);
+            config.backoff_base = Duration::from_millis(10);
+            config.backoff_cap = Duration::from_millis(100);
+            config.hedge_delay = Some(Duration::from_millis(15));
+        }
+        let router = Router::bind("127.0.0.1:0", manifest, replica_addrs, workers, config)
+            .expect("bind router");
         let addr = router.local_addr().expect("router addr");
         let router_handle = router.handle();
         let router_join = std::thread::spawn(move || router.run());
-        println!("\n--- router over {router_n} backends ---");
+        println!("\n--- router over {router_n} shards x {replicas} replica(s) ---");
 
         // The same pre-timing identity gate the single-process sweep
         // runs — including the jaccard sample, whose cross-shard pairs
@@ -220,6 +255,22 @@ fn main() {
             &jac_pairs,
             &jac_baseline,
         );
+
+        if chaos {
+            run_chaos(ChaosCtx {
+                addr,
+                n,
+                clients,
+                requests,
+                batch,
+                replicas,
+                harmonic_all: &harmonic_all,
+                card_baseline: &card_baseline,
+                dir: &dir,
+                workers: backend_workers,
+                fleet: &mut fleet,
+            });
+        }
 
         run_workload(
             "router_harmonic_batch",
@@ -272,11 +323,14 @@ fn main() {
             .join()
             .expect("router thread")
             .expect("router run");
-        for h in &backend_handles {
-            h.shutdown();
-        }
-        for j in backend_joins {
-            j.join().expect("backend thread").expect("backend run");
+        for slot in &mut fleet {
+            slot.handle.shutdown();
+            slot.join
+                .take()
+                .expect("running backend")
+                .join()
+                .expect("backend thread")
+                .expect("backend run");
         }
         std::fs::remove_dir_all(&dir).ok();
     }
@@ -314,6 +368,177 @@ fn verify_identity(
     assert_eq!(served_c, card_baseline, "served cardinality diverged");
     let served_j = client.jaccard(2.0, jac_pairs).expect("served jaccard");
     assert_eq!(served_j, jac_baseline, "served jaccard diverged");
+}
+
+/// One running backend replica of the router fleet.
+struct BackendSlot {
+    shard: usize,
+    addr: SocketAddr,
+    handle: ServerHandle,
+    join: Option<std::thread::JoinHandle<std::io::Result<u64>>>,
+}
+
+/// Loads shard `shard` fresh from disk and serves it on `addr` (port 0
+/// for an ephemeral port; the chaos scheduler passes the replica's old
+/// address so the router's endpoint table stays valid). Rebinding a
+/// just-released port can race the old socket's teardown, so bind
+/// failures retry briefly.
+fn spawn_backend(
+    dir: &Path,
+    shard: usize,
+    addr: SocketAddr,
+    workers: usize,
+) -> (
+    SocketAddr,
+    ServerHandle,
+    std::thread::JoinHandle<std::io::Result<u64>>,
+) {
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        let store = BackendStore::load(dir, shard).expect("load backend shard");
+        match store.into_server(addr, workers) {
+            Ok(server) => {
+                let addr = server.local_addr().expect("backend addr");
+                let handle = server.handle();
+                let join = std::thread::spawn(move || server.run());
+                return (addr, handle, join);
+            }
+            Err(e) => {
+                assert!(
+                    Instant::now() < deadline,
+                    "rebind backend shard {shard} at {addr}: {e}"
+                );
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        }
+    }
+}
+
+struct ChaosCtx<'a> {
+    addr: SocketAddr,
+    n: usize,
+    clients: usize,
+    requests: usize,
+    batch: usize,
+    replicas: usize,
+    harmonic_all: &'a [f64],
+    card_baseline: &'a [f64],
+    dir: &'a Path,
+    workers: usize,
+    fleet: &'a mut [BackendSlot],
+}
+
+/// Chaos drill: client threads hammer the router, asserting every
+/// response bitwise against the local baseline, while the scheduler
+/// kills and restarts one backend replica at a time (never leaving a
+/// shard without a live replica). Any client-visible error or identity
+/// mismatch panics the process.
+fn run_chaos(ctx: ChaosCtx<'_>) {
+    println!("chaos: killing and restarting every backend replica, one at a time, under load");
+    let chaos_done = AtomicBool::new(false);
+    let kills = std::thread::scope(|s| {
+        for ci in 0..ctx.clients {
+            let chaos_done = &chaos_done;
+            let (addr, n, batch, requests) = (ctx.addr, ctx.n, ctx.batch, ctx.requests);
+            let (harmonic_all, card_baseline) = (ctx.harmonic_all, ctx.card_baseline);
+            s.spawn(move || {
+                let mut rng = SplitMix64::new(0xBAD_C0DE ^ ci as u64);
+                let mut client = Client::connect(addr).expect("chaos client");
+                let mut issued = 0usize;
+                // Keep the load running until the scheduler has cycled
+                // the whole fleet, even if the request quota runs out
+                // first.
+                while issued < requests || !chaos_done.load(Ordering::SeqCst) {
+                    let nodes: Vec<NodeId> = (0..batch)
+                        .map(|_| (rng.next_u64() % n as u64) as NodeId)
+                        .collect();
+                    if issued.is_multiple_of(2) {
+                        let got = client.harmonic(&nodes).expect("chaos harmonic");
+                        let want: Vec<f64> =
+                            nodes.iter().map(|&v| harmonic_all[v as usize]).collect();
+                        assert_eq!(got, want, "served harmonic diverged under chaos");
+                    } else {
+                        let queries: Vec<(NodeId, f64)> = nodes.iter().map(|&v| (v, 3.0)).collect();
+                        let got = client.cardinality(&queries).expect("chaos cardinality");
+                        let want: Vec<f64> =
+                            nodes.iter().map(|&v| card_baseline[v as usize]).collect();
+                        assert_eq!(got, want, "served cardinality diverged under chaos");
+                    }
+                    issued += 1;
+                }
+            });
+        }
+        // The scheduler runs in the scope's own thread: one full pass
+        // over the fleet in replica-major order, so consecutive kills
+        // always hit different shards and a killed replica gets a full
+        // cycle to be re-adopted by the router's prober before its
+        // sibling goes down. The flag is raised by a drop guard so a
+        // scheduler panic still releases the client threads (the scope
+        // would otherwise join them forever and mask the real failure).
+        struct SetOnDrop<'a>(&'a AtomicBool);
+        impl Drop for SetOnDrop<'_> {
+            fn drop(&mut self) {
+                self.0.store(true, Ordering::SeqCst);
+            }
+        }
+        let _done = SetOnDrop(&chaos_done);
+        let mut order: Vec<usize> = (0..ctx.fleet.len()).collect();
+        order.sort_by_key(|&i| (i % ctx.replicas, i / ctx.replicas));
+        let mut kills = 0usize;
+        for &i in &order {
+            let shard = ctx.fleet[i].shard;
+            let victim_addr = ctx.fleet[i].addr;
+            // Never take a shard to zero live replicas: wait until a
+            // sibling is demonstrably answering before the kill.
+            let sibling = ctx
+                .fleet
+                .iter()
+                .position(|s| s.shard == shard && s.addr != victim_addr)
+                .expect("chaos needs >= 2 replicas per shard");
+            wait_backend_healthy(ctx.fleet[sibling].addr);
+            ctx.fleet[i].handle.shutdown();
+            ctx.fleet[i]
+                .join
+                .take()
+                .expect("running backend")
+                .join()
+                .expect("backend thread")
+                .expect("backend run");
+            // Let the router trip over the corpse for a while before the
+            // replica returns on the same address.
+            std::thread::sleep(Duration::from_millis(75));
+            let (addr, handle, join) = spawn_backend(ctx.dir, shard, victim_addr, ctx.workers);
+            assert_eq!(addr, victim_addr, "restarted replica must keep its address");
+            ctx.fleet[i].handle = handle;
+            ctx.fleet[i].join = Some(join);
+            kills += 1;
+            eprintln!("chaos: cycled replica at {victim_addr} (shard {shard})");
+            // Give the prober a beat to re-adopt it before the next kill.
+            std::thread::sleep(Duration::from_millis(75));
+        }
+        kills
+    });
+    assert!(kills > 0, "chaos scheduler must kill at least one replica");
+    println!("chaos: {kills} replica kill/restart cycles, zero client-visible errors");
+}
+
+/// Blocks until the backend at `addr` answers a `Health` ping.
+fn wait_backend_healthy(addr: SocketAddr) {
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        if let Ok(mut c) = Client::connect_timeout(&addr, Duration::from_millis(250)) {
+            let ready =
+                c.set_read_timeout(Some(Duration::from_millis(500))).is_ok() && c.health().is_ok();
+            if ready {
+                return;
+            }
+        }
+        assert!(
+            Instant::now() < deadline,
+            "backend at {addr} did not come back"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
 }
 
 enum WorkItem {

@@ -13,13 +13,30 @@
 
 use std::io::{BufReader, BufWriter, Read, Write};
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use adsketch_core::centrality::DecayKernel;
 use adsketch_graph::NodeId;
 
 use crate::error::ServeError;
-use crate::proto::{read_frame, write_frame, Request, Response, WIRE_MAGIC, WIRE_VERSION};
+use crate::proto::{
+    read_frame, write_frame, BatchSlot, Request, Response, MAX_FRAME_LEN, WIRE_MAGIC, WIRE_VERSION,
+};
+
+/// Partial progress of an incremental frame read: [`Client::recv_step`]
+/// can give up at a deadline *without* desynchronizing the stream,
+/// because the bytes read so far stay parked here and the next call
+/// resumes exactly where this one stopped. This is what makes hedged
+/// reads safe — the router can poll two replicas' connections in
+/// alternation and neither ever loses frame alignment.
+#[derive(Default)]
+struct FrameRx {
+    head: [u8; 4],
+    /// Bytes filled of the current stage (header until `body` exists,
+    /// then body).
+    filled: usize,
+    body: Option<Vec<u8>>,
+}
 
 /// A blocking connection to an `adsketch-serve` server.
 pub struct Client {
@@ -28,6 +45,7 @@ pub struct Client {
     /// A third handle onto the same socket, used to unwedge a pipeline
     /// whose reader failed while the writer is still blocked.
     stream: TcpStream,
+    rx: FrameRx,
 }
 
 impl Client {
@@ -78,6 +96,7 @@ impl Client {
             reader,
             writer,
             stream,
+            rx: FrameRx::default(),
         })
     }
 
@@ -109,6 +128,64 @@ impl Client {
         self.read_response()
     }
 
+    /// Waits up to `wait` for the next response frame. `Ok(None)` means
+    /// the deadline passed with the frame still incomplete — the partial
+    /// progress is retained (see [`FrameRx`]) and a later `recv_step`
+    /// resumes it, so timing out never desynchronizes the connection.
+    /// Any `Err` other than a timeout leaves the connection unusable.
+    pub(crate) fn recv_step(&mut self, wait: Duration) -> Result<Option<Response>, ServeError> {
+        let deadline = Instant::now() + wait;
+        loop {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return Ok(None);
+            }
+            self.stream.set_read_timeout(Some(remaining))?;
+            let read = match &mut self.rx.body {
+                None => self.reader.read(&mut self.rx.head[self.rx.filled..]),
+                Some(body) => self.reader.read(&mut body[self.rx.filled..]),
+            };
+            match read {
+                Ok(0) => {
+                    let clean = self.rx.body.is_none() && self.rx.filled == 0;
+                    return Err(ServeError::Protocol(if clean {
+                        "server closed the connection before responding".into()
+                    } else {
+                        "connection closed mid frame".into()
+                    }));
+                }
+                Ok(m) => {
+                    self.rx.filled += m;
+                    if self.rx.body.is_none() && self.rx.filled == 4 {
+                        let len = u32::from_le_bytes(self.rx.head);
+                        if len > MAX_FRAME_LEN {
+                            return Err(ServeError::Protocol(format!(
+                                "frame length {len} exceeds MAX_FRAME_LEN ({MAX_FRAME_LEN})"
+                            )));
+                        }
+                        self.rx.body = Some(vec![0u8; len as usize]);
+                        self.rx.filled = 0;
+                    }
+                    if let Some(body) = &self.rx.body {
+                        if self.rx.filled == body.len() {
+                            let body = self.rx.body.take().expect("frame body");
+                            self.rx.filled = 0;
+                            return Response::decode(&body).map(Some);
+                        }
+                    }
+                }
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    return Ok(None)
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(ServeError::Io(e)),
+            }
+        }
+    }
+
     /// Pipelines a whole slice of requests: a scoped writer thread
     /// streams every frame while the calling thread reads responses, so
     /// arbitrarily deep pipelines can never deadlock on full socket
@@ -120,6 +197,7 @@ impl Client {
             reader,
             writer,
             stream,
+            rx: _,
         } = self;
         std::thread::scope(|s| {
             let sender = s.spawn(|| -> Result<(), ServeError> {
@@ -226,6 +304,41 @@ impl Client {
             d,
             pairs: pairs.to_vec(),
         })
+    }
+
+    /// Pings the server's `0x07 Health` frame; returns the `[start, end)`
+    /// node range the server owns.
+    pub fn health(&mut self) -> Result<(u64, u64), ServeError> {
+        match self.request(&Request::Health)? {
+            Response::Health { start, end } => Ok((start, end)),
+            Response::Error { code, message } => Err(ServeError::Remote { code, message }),
+            other => Err(ServeError::Protocol(format!(
+                "expected a Health response, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Sends a float-batch request, accepting a degraded-mode
+    /// [`Response::Partial`] answer: each slot comes back as `Ok(value)`
+    /// (bitwise identical to the local engine) or `Err(code)`
+    /// ([`crate::proto::ERR_SHARD_DOWN`] — every replica of the shard
+    /// owning that query was down). Against a strict router or a plain
+    /// backend, every slot is `Ok`.
+    pub fn floats_partial(&mut self, req: &Request) -> Result<Vec<Result<f64, u16>>, ServeError> {
+        match self.request(req)? {
+            Response::Floats(xs) => Ok(xs.into_iter().map(Ok).collect()),
+            Response::Partial(slots) => Ok(slots
+                .into_iter()
+                .map(|slot| match slot {
+                    BatchSlot::Value(x) => Ok(x),
+                    BatchSlot::Down(code) => Err(code),
+                })
+                .collect()),
+            Response::Error { code, message } => Err(ServeError::Remote { code, message }),
+            other => Err(ServeError::Protocol(format!(
+                "expected a Floats or Partial response, got {other:?}"
+            ))),
+        }
     }
 
     /// The `(rank, node)` MinHash insertion sequence of each node's

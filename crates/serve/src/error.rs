@@ -37,6 +37,15 @@ pub enum ServeError {
         /// What went wrong on the last attempt.
         message: String,
     },
+    /// Every replica of a shard had its circuit open, so the request
+    /// failed fast without dialing anyone (the router's health prober
+    /// owns re-establishing contact).
+    ShardUnavailable {
+        /// The shard whose whole replica set is down.
+        shard: usize,
+        /// How many replicas the router is configured with for it.
+        replicas: usize,
+    },
 }
 
 impl fmt::Display for ServeError {
@@ -51,6 +60,13 @@ impl fmt::Display for ServeError {
             }
             ServeError::Backend { shard, message } => {
                 write!(f, "backend for shard {shard} failed: {message}")
+            }
+            ServeError::ShardUnavailable { shard, replicas } => {
+                write!(
+                    f,
+                    "all {replicas} replica(s) of shard {shard} are unavailable \
+                     (circuits open)"
+                )
             }
         }
     }

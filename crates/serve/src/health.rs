@@ -1,0 +1,253 @@
+//! Per-endpoint health tracking for the router's replica sets: a
+//! lock-light circuit breaker shared by every router worker and the
+//! background prober.
+//!
+//! Each `(shard, replica)` endpoint is in one of three states:
+//!
+//! * **Closed** — healthy; workers dial and send freely. Consecutive
+//!   failures escalate an exponentially growing, jittered cooldown
+//!   (`backoff_base`·2ⁱ capped at `backoff_cap`), during which the
+//!   endpoint is *cooling*: workers prefer other replicas but may still
+//!   fall back to it (a single-replica shard keeps its instant-recovery
+//!   behavior rather than stalling behind a timer).
+//! * **Open** — `failure_threshold` consecutive failures tripped the
+//!   circuit. Workers never dial an open endpoint; requests that find
+//!   every replica of a shard open fail fast with
+//!   [`crate::error::ServeError::ShardUnavailable`] instead of eating
+//!   connect timeouts on the hot path.
+//! * **Probing** — the half-open state. Once the cooldown expires, the
+//!   prober (only the prober) claims the endpoint with a CAS, pings it
+//!   with the `0x07 Health` frame, and either closes the circuit (the
+//!   replica answered *and* reported the node range the manifest assigns
+//!   it) or re-opens it with a longer cooldown.
+//!
+//! Backoff jitter is deterministic — a [`SplitMix64`] stream seeded from
+//! the endpoint's `(shard, replica)` coordinates — so fault-injection
+//! tests can bound dial rates without a real entropy source, and a fleet
+//! of routers restarted together still de-synchronizes its reconnects.
+
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicU8, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use adsketch_util::rng::{Rng64, SplitMix64};
+
+const ST_CLOSED: u8 = 0;
+const ST_OPEN: u8 = 1;
+const ST_PROBING: u8 = 2;
+
+/// How a worker should treat an endpoint right now.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Tier {
+    /// Circuit closed, no cooldown pending: first choice.
+    Available,
+    /// Circuit closed but inside a post-failure cooldown: use only when
+    /// no replica of the shard is `Available`.
+    Cooling,
+    /// Circuit open (or mid-probe): never dialed by workers.
+    Open,
+}
+
+struct Endpoint {
+    state: AtomicU8,
+    /// Consecutive failures since the last success.
+    fails: AtomicU32,
+    /// Cooldown expiry in milliseconds since the tracker started.
+    retry_at_ms: AtomicU64,
+    /// Deterministic per-endpoint jitter stream.
+    jitter: Mutex<SplitMix64>,
+}
+
+/// The shared health table: one [`Endpoint`] per `(shard, replica)`.
+pub(crate) struct HealthTracker {
+    started: Instant,
+    shards: Vec<Vec<Endpoint>>,
+    backoff_base: Duration,
+    backoff_cap: Duration,
+    failure_threshold: u32,
+}
+
+impl HealthTracker {
+    pub(crate) fn new(
+        replicas_per_shard: &[usize],
+        backoff_base: Duration,
+        backoff_cap: Duration,
+        failure_threshold: u32,
+    ) -> Self {
+        let shards = replicas_per_shard
+            .iter()
+            .enumerate()
+            .map(|(shard, &reps)| {
+                (0..reps)
+                    .map(|rep| Endpoint {
+                        state: AtomicU8::new(ST_CLOSED),
+                        fails: AtomicU32::new(0),
+                        retry_at_ms: AtomicU64::new(0),
+                        jitter: Mutex::new(SplitMix64::new(
+                            0x9E37_79B9_7F4A_7C15 ^ ((shard as u64) << 32 | rep as u64),
+                        )),
+                    })
+                    .collect()
+            })
+            .collect();
+        Self {
+            started: Instant::now(),
+            shards,
+            backoff_base,
+            backoff_cap,
+            failure_threshold: failure_threshold.max(1),
+        }
+    }
+
+    fn now_ms(&self) -> u64 {
+        self.started.elapsed().as_millis() as u64
+    }
+
+    fn ep(&self, shard: usize, rep: usize) -> &Endpoint {
+        &self.shards[shard][rep]
+    }
+
+    /// How a worker should treat `(shard, rep)` right now.
+    pub(crate) fn tier(&self, shard: usize, rep: usize) -> Tier {
+        let ep = self.ep(shard, rep);
+        if ep.state.load(Ordering::SeqCst) != ST_CLOSED {
+            return Tier::Open;
+        }
+        if self.now_ms() < ep.retry_at_ms.load(Ordering::SeqCst) {
+            Tier::Cooling
+        } else {
+            Tier::Available
+        }
+    }
+
+    /// A successful exchange: close the circuit and clear the backoff.
+    pub(crate) fn record_success(&self, shard: usize, rep: usize) {
+        let ep = self.ep(shard, rep);
+        // Cheap fast path: already pristine (the common case on every
+        // healthy response).
+        if ep.fails.load(Ordering::Relaxed) == 0 && ep.state.load(Ordering::Relaxed) == ST_CLOSED {
+            return;
+        }
+        ep.fails.store(0, Ordering::SeqCst);
+        ep.retry_at_ms.store(0, Ordering::SeqCst);
+        ep.state.store(ST_CLOSED, Ordering::SeqCst);
+    }
+
+    /// A failed dial/exchange/probe: escalate the jittered cooldown and
+    /// open the circuit at the consecutive-failure threshold.
+    pub(crate) fn record_failure(&self, shard: usize, rep: usize) {
+        let ep = self.ep(shard, rep);
+        let fails = ep.fails.fetch_add(1, Ordering::SeqCst) + 1;
+        let base = self.backoff_base.as_millis().max(1) as u64;
+        let cap = self.backoff_cap.as_millis().max(1) as u64;
+        let raw = base
+            .checked_shl((fails - 1).min(20))
+            .unwrap_or(u64::MAX)
+            .min(cap);
+        // Jitter into [0.75, 1.0) of the nominal cooldown.
+        let frac = {
+            let mut rng = ep.jitter.lock().expect("jitter lock");
+            (rng.next_u64() >> 40) as f64 / (1u64 << 24) as f64
+        };
+        let cooldown = ((raw as f64) * (0.75 + 0.25 * frac)) as u64;
+        ep.retry_at_ms
+            .store(self.now_ms() + cooldown.max(1), Ordering::SeqCst);
+        if fails >= self.failure_threshold {
+            ep.state.store(ST_OPEN, Ordering::SeqCst);
+        }
+    }
+
+    /// Claims an open endpoint whose cooldown has expired for a
+    /// half-open probe. Only one caller can win the CAS, so the prober
+    /// sends exactly one ping per cooldown cycle.
+    pub(crate) fn take_probe(&self, shard: usize, rep: usize) -> bool {
+        let ep = self.ep(shard, rep);
+        if ep.state.load(Ordering::SeqCst) != ST_OPEN
+            || self.now_ms() < ep.retry_at_ms.load(Ordering::SeqCst)
+        {
+            return false;
+        }
+        ep.state
+            .compare_exchange(ST_OPEN, ST_PROBING, Ordering::SeqCst, Ordering::SeqCst)
+            .is_ok()
+    }
+
+    /// Whether any circuit is currently open or probing (tells the
+    /// prober whether a round has anything to do).
+    pub(crate) fn any_open(&self) -> bool {
+        self.shards
+            .iter()
+            .flatten()
+            .any(|ep| ep.state.load(Ordering::SeqCst) != ST_CLOSED)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tracker(threshold: u32) -> HealthTracker {
+        HealthTracker::new(
+            &[2, 1],
+            Duration::from_millis(40),
+            Duration::from_millis(200),
+            threshold,
+        )
+    }
+
+    #[test]
+    fn threshold_opens_and_probe_claims_once() {
+        let t = tracker(3);
+        assert_eq!(t.tier(0, 0), Tier::Available);
+        t.record_failure(0, 0);
+        t.record_failure(0, 0);
+        assert_eq!(t.tier(0, 0), Tier::Cooling);
+        assert_eq!(t.tier(0, 1), Tier::Available);
+        assert!(!t.any_open());
+        t.record_failure(0, 0);
+        assert_eq!(t.tier(0, 0), Tier::Open);
+        assert!(t.any_open());
+        // Cooldown not expired yet: no probe.
+        assert!(!t.take_probe(0, 0));
+        std::thread::sleep(Duration::from_millis(250));
+        assert!(t.take_probe(0, 0));
+        // Probing: still off-limits to workers, and not claimable twice.
+        assert_eq!(t.tier(0, 0), Tier::Open);
+        assert!(!t.take_probe(0, 0));
+        t.record_success(0, 0);
+        assert_eq!(t.tier(0, 0), Tier::Available);
+        assert!(!t.any_open());
+    }
+
+    #[test]
+    fn failed_probe_reopens_with_longer_cooldown() {
+        let t = tracker(1);
+        t.record_failure(1, 0);
+        assert_eq!(t.tier(1, 0), Tier::Open);
+        let first = t.ep(1, 0).retry_at_ms.load(Ordering::SeqCst);
+        std::thread::sleep(Duration::from_millis(60));
+        assert!(t.take_probe(1, 0));
+        t.record_failure(1, 0);
+        assert_eq!(t.tier(1, 0), Tier::Open);
+        let second = t.ep(1, 0).retry_at_ms.load(Ordering::SeqCst);
+        // Escalated: the second cooldown expires later than the first.
+        assert!(second > first);
+    }
+
+    #[test]
+    fn backoff_is_capped_and_jitter_deterministic() {
+        let a = tracker(10);
+        let b = tracker(10);
+        for _ in 0..12 {
+            a.record_failure(0, 1);
+            b.record_failure(0, 1);
+        }
+        let ra = a.ep(0, 1).retry_at_ms.load(Ordering::SeqCst);
+        let rb = b.ep(0, 1).retry_at_ms.load(Ordering::SeqCst);
+        // Same endpoint coordinates ⇒ same jitter stream; cooldowns are
+        // capped at backoff_cap (200 ms here, within jitter).
+        let now_a = a.now_ms();
+        assert!(ra.saturating_sub(now_a) <= 200 + 5);
+        assert!(ra.abs_diff(rb) <= 5, "jitter must be deterministic");
+    }
+}

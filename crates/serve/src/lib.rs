@@ -18,7 +18,8 @@
 //! | [`server`] | [`Server`]: `TcpListener` + fixed thread pool (the builders' `shard_slots` helper), per-connection pipelining, graceful shutdown; generic over [`RequestStore`] |
 //! | [`client`] | [`Client`]: blocking client with batched and pipelined requests |
 //! | [`backend`] | [`BackendStore`]: one shard resident in one backend process, serving its manifest node range |
-//! | [`router`] | [`Router`]: stateless scatter/gather over a backend fleet, merging answers bitwise identical to the single-process engine |
+//! | [`router`] | [`Router`]: stateless scatter/gather over replica sets of backends, merging answers bitwise identical to the single-process engine |
+//! | `health` (internal) | per-endpoint circuit breaker (closed / cooling / open / half-open probe) shared by the router's workers and prober |
 //! | [`error`] | [`ServeError`] |
 //!
 //! Everything runs on `std` threads and `std::net` only — the crate has
@@ -27,13 +28,19 @@
 //!
 //! # Distributed topology
 //!
-//! One process per shard ([`BackendStore`] behind the same [`Server`]),
-//! any number of stateless [`Router`] processes in front: the router
-//! partitions each client batch by the manifest's node-range table,
-//! scatters over pipelined backend connections, and merges in request
-//! order — with bounded deadlines, bounded retries, and typed
-//! [`proto::ERR_BACKEND`] error frames instead of hangs or partial
-//! answers when a backend is down.
+//! Each shard runs as a **replica set** of processes (every replica a
+//! [`BackendStore`] behind the same [`Server`]), any number of stateless
+//! [`Router`] processes in front: the router partitions each client
+//! batch by the manifest's node-range table, scatters over pipelined
+//! backend connections — round-robin across a shard's healthy replicas,
+//! with circuit-breaker health tracking, failover, exponential-backoff
+//! reconnects, and optional hedged reads — and merges in request order.
+//! Failures stay typed and bounded: deadlines and retries cap every
+//! exchange, a dead shard yields a [`proto::ERR_BACKEND`] error frame
+//! (or, opted in via [`RouterConfig::degraded`], a
+//! [`Response::Partial`] frame whose [`proto::BatchSlot::Down`] slots
+//! carry [`proto::ERR_SHARD_DOWN`] for exactly the affected queries) —
+//! never a hang, never a silently partial answer.
 //!
 //! # Quick example
 //!
@@ -74,6 +81,7 @@
 pub mod backend;
 pub mod client;
 pub mod error;
+pub(crate) mod health;
 pub mod proto;
 pub mod router;
 pub mod server;
@@ -82,7 +90,7 @@ pub mod store;
 pub use backend::BackendStore;
 pub use client::Client;
 pub use error::ServeError;
-pub use proto::{Request, Response};
+pub use proto::{BatchSlot, Request, Response};
 pub use router::{Router, RouterConfig};
 pub use server::{RequestStore, Server, ServerHandle};
 pub use store::ShardedStore;

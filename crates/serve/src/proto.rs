@@ -31,6 +31,7 @@
 //! | `0x04` NeighborhoodFunction | `u32 count`, then `count × u32` node ids |
 //! | `0x05` Jaccard | `u64 distance bits`, `u32 count`, then `count × (u32 u, u32 v)` |
 //! | `0x06` SketchPrefix | `u64 distance bits`, `u32 count`, then `count × u32` node ids |
+//! | `0x07` Health | empty — a liveness/ownership ping |
 //!
 //! Response types (server → client):
 //!
@@ -39,6 +40,8 @@
 //! | `0x81` Floats | `u32 count`, then `count × u64` — `f64::to_bits` of each answer, so transport is lossless and served answers stay **bitwise identical** to the local engine |
 //! | `0x82` Curves | `u32 count`, then per curve `u32 len` + `len × (u64 dist bits, u64 value bits)` |
 //! | `0x83` Sketches | `u32 count`, then per node `u32 len` + `len × (u64 rank bits, u32 node id)` |
+//! | `0x84` Partial | `u32 count`, then per slot a `u8` tag: `0` + `u64` answer bits (the query succeeded, bitwise identical to the local engine) or `1` + `u16` error code (the shard owning that query is down) |
+//! | `0x85` Health | `u64 range start`, `u64 range end` — the node range this server owns |
 //! | `0xEE` Error | `u16 code`, `u32 message length`, then the UTF-8 message |
 //!
 //! `SketchPrefix` is the distributed tier's join primitive: it returns,
@@ -86,9 +89,14 @@ pub const ERR_RESPONSE_TOO_LARGE: u16 = 4;
 pub const ERR_SHARD_RANGE: u16 = 5;
 /// Error code: a shard backend required by the request could not be
 /// reached (or kept failing) within the router's deadline and retry
-/// budget. The router never answers with a partial merge — the whole
-/// request gets this error frame instead.
+/// budget. In the router's default all-or-nothing mode the whole request
+/// gets this error frame instead of a partial merge.
 pub const ERR_BACKEND: u16 = 6;
+/// Error code: every replica of the shard owning this query was down, so
+/// this slot of a degraded-mode [`Response::Partial`] batch has no
+/// answer. Only appears inside `Partial` frames, never as a whole-frame
+/// [`Response::Error`].
+pub const ERR_SHARD_DOWN: u16 = 7;
 
 const TYPE_HARMONIC: u8 = 0x01;
 const TYPE_DECAY: u8 = 0x02;
@@ -96,10 +104,15 @@ const TYPE_CARDINALITY: u8 = 0x03;
 const TYPE_NEIGHBORHOOD: u8 = 0x04;
 const TYPE_JACCARD: u8 = 0x05;
 const TYPE_SKETCH_PREFIX: u8 = 0x06;
+const TYPE_HEALTH: u8 = 0x07;
 const TYPE_FLOATS: u8 = 0x81;
 const TYPE_CURVES: u8 = 0x82;
 const TYPE_SKETCHES: u8 = 0x83;
+const TYPE_PARTIAL: u8 = 0x84;
+const TYPE_HEALTH_REPLY: u8 = 0x85;
 const TYPE_ERROR: u8 = 0xEE;
+const SLOT_VALUE: u8 = 0;
+const SLOT_DOWN: u8 = 1;
 
 /// One client request: a batch of queries of a single kind.
 #[derive(Debug, Clone, PartialEq)]
@@ -142,6 +155,22 @@ pub enum Request {
         /// Queried node ids.
         nodes: Vec<NodeId>,
     },
+    /// A liveness/ownership ping. Servers answer [`Response::Health`]
+    /// with the node range they own without touching any sketch data, so
+    /// the router's health prober can verify a replica is alive *and*
+    /// serving the shard it is configured for at negligible cost.
+    Health,
+}
+
+/// One slot of a degraded-mode [`Response::Partial`] batch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BatchSlot {
+    /// The query succeeded; the answer is bitwise identical to the local
+    /// engine's.
+    Value(f64),
+    /// The shard owning this query had no reachable replica; the code is
+    /// [`ERR_SHARD_DOWN`].
+    Down(u16),
 }
 
 /// One server response (answers frame `i` pairs with request frame `i`).
@@ -154,6 +183,19 @@ pub enum Response {
     /// One `(rank, node)` MinHash insertion sequence per queried node, in
     /// canonical order (answers a [`Request::SketchPrefix`]).
     Sketches(Vec<Vec<(f64, NodeId)>>),
+    /// A degraded-mode float batch: one slot per query, each either a
+    /// successful answer or a typed [`ERR_SHARD_DOWN`] marker. Only a
+    /// router with `RouterConfig::degraded` enabled emits this frame.
+    Partial(Vec<BatchSlot>),
+    /// Answers [`Request::Health`]: the `[start, end)` node range this
+    /// server owns (a backend reports its shard record; a router reports
+    /// the full keyspace).
+    Health {
+        /// First owned node id.
+        start: u64,
+        /// One past the last owned node id.
+        end: u64,
+    },
     /// The request could not be served; the connection stays usable.
     Error {
         /// Machine-readable code (`ERR_*`).
@@ -293,6 +335,7 @@ impl Request {
                 out.extend_from_slice(&d.to_bits().to_le_bytes());
                 push_nodes(&mut out, nodes);
             }
+            Request::Health => out.push(TYPE_HEALTH),
         }
         out
     }
@@ -342,6 +385,7 @@ impl Request {
                     nodes: take_nodes(&mut c)?,
                 }
             }
+            TYPE_HEALTH => Request::Health,
             t => {
                 return Err(ServeError::Protocol(format!(
                     "unknown request type {t:#04x}"
@@ -386,6 +430,27 @@ impl Response {
                         out.extend_from_slice(&node.to_le_bytes());
                     }
                 }
+            }
+            Response::Partial(slots) => {
+                out.push(TYPE_PARTIAL);
+                out.extend_from_slice(&(slots.len() as u32).to_le_bytes());
+                for &slot in slots {
+                    match slot {
+                        BatchSlot::Value(x) => {
+                            out.push(SLOT_VALUE);
+                            out.extend_from_slice(&x.to_bits().to_le_bytes());
+                        }
+                        BatchSlot::Down(code) => {
+                            out.push(SLOT_DOWN);
+                            out.extend_from_slice(&code.to_le_bytes());
+                        }
+                    }
+                }
+            }
+            Response::Health { start, end } => {
+                out.push(TYPE_HEALTH_REPLY);
+                out.extend_from_slice(&start.to_le_bytes());
+                out.extend_from_slice(&end.to_le_bytes());
             }
             Response::Error { code, message } => {
                 out.push(TYPE_ERROR);
@@ -436,6 +501,30 @@ impl Response {
                     seqs.push(seq);
                 }
                 Response::Sketches(seqs)
+            }
+            TYPE_PARTIAL => {
+                // Smallest slot is 3 bytes (tag + u16 code).
+                let count = c.count(3)?;
+                let mut slots = Vec::with_capacity(count);
+                for _ in 0..count {
+                    slots.push(match c.u8()? {
+                        SLOT_VALUE => BatchSlot::Value(c.f64()?),
+                        SLOT_DOWN => BatchSlot::Down(c.u16()?),
+                        t => {
+                            return Err(ServeError::Protocol(format!(
+                                "unknown partial-batch slot tag {t}"
+                            )))
+                        }
+                    });
+                }
+                Response::Partial(slots)
+            }
+            TYPE_HEALTH_REPLY => {
+                let start = c.u64()?;
+                Response::Health {
+                    start,
+                    end: c.u64()?,
+                }
             }
             TYPE_ERROR => {
                 let code = c.u16()?;
@@ -559,6 +648,7 @@ mod tests {
             d: f64::INFINITY,
             nodes: vec![0, 42],
         });
+        roundtrip_request(Request::Health);
     }
 
     #[test]
@@ -585,6 +675,31 @@ mod tests {
             code: ERR_NODE_RANGE,
             message: "node 99 out of range".into(),
         });
+        roundtrip_response(Response::Health {
+            start: 7,
+            end: u64::MAX,
+        });
+        // Partial slots carry raw bits too — NaN values survive.
+        let partial = Response::Partial(vec![
+            BatchSlot::Value(-0.0),
+            BatchSlot::Down(ERR_SHARD_DOWN),
+            BatchSlot::Value(nan),
+        ]);
+        let body = partial.encode();
+        match Response::decode(&body).unwrap() {
+            Response::Partial(slots) => {
+                assert_eq!(slots[1], BatchSlot::Down(ERR_SHARD_DOWN));
+                match (slots[0], slots[2]) {
+                    (BatchSlot::Value(a), BatchSlot::Value(b)) => {
+                        assert_eq!(a.to_bits(), (-0.0f64).to_bits());
+                        assert_eq!(b.to_bits(), nan.to_bits());
+                    }
+                    other => panic!("wrong slots: {other:?}"),
+                }
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+        roundtrip_response(Response::Partial(vec![]));
     }
 
     #[test]
@@ -607,6 +722,13 @@ mod tests {
         huge.extend_from_slice(&u32::MAX.to_le_bytes());
         assert!(Request::decode(&huge).is_err());
         assert!(Response::decode(&[0x00]).is_err());
+        // Health requests carry no payload; trailing bytes are rejected.
+        assert!(Request::decode(&[TYPE_HEALTH, 0]).is_err());
+        // Unknown partial-slot tag.
+        let mut bad = vec![TYPE_PARTIAL];
+        bad.extend_from_slice(&1u32.to_le_bytes());
+        bad.extend_from_slice(&[9, 0, 0]);
+        assert!(Response::decode(&bad).is_err());
     }
 
     #[test]

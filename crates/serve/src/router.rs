@@ -3,11 +3,12 @@
 //! A [`Router`] binds the ordinary `ADSKWIR1` listener — clients cannot
 //! tell it from a single-process [`crate::Server`] — but holds **no
 //! sketch data**. It keeps only the `ADSKSHD1` manifest's node-range
-//! table plus one backend address per shard. Each worker thread owns a
-//! lazily-connected [`crate::Client`] per backend; an incoming batch is
-//! pre-validated exactly as the single-process server would validate it,
-//! partitioned by owning shard, scattered (pipelined) over the backend
-//! connections, and the answers are merged back into request order.
+//! table plus a **replica set** of backend addresses per shard. Each
+//! worker thread owns a lazily-connected [`crate::Client`] per endpoint;
+//! an incoming batch is pre-validated exactly as the single-process
+//! server would validate it, partitioned by owning shard, scattered
+//! (pipelined) over backend connections, and the answers are merged back
+//! into request order.
 //!
 //! # Merge guarantee
 //!
@@ -16,9 +17,12 @@
 //!
 //! * Per-node requests (harmonic, decay, cardinality, neighborhood
 //!   function, sketch prefix) are answered entirely by each node's
-//!   owning backend, whose rows are byte-for-byte the unsharded rows —
-//!   merging is pure index placement, no arithmetic.
-//! * Jaccard pairs whose endpoints share a shard go to that backend
+//!   owning shard, whose replicas hold byte-for-byte the unsharded rows —
+//!   merging is pure index placement, no arithmetic. Because replicas of
+//!   a shard are interchangeable *bitwise*, the router is free to spread
+//!   legs across them, fail a leg over, or hedge it — none of which can
+//!   change a single answer bit.
+//! * Jaccard pairs whose endpoints share a shard go to that shard
 //!   directly. A **cross-shard** pair is answered by fetching each
 //!   endpoint's `(rank, node)` sketch prefix from its owner and
 //!   replaying the insertions into the same bottom-k sketch
@@ -28,44 +32,126 @@
 //!
 //! [`AdsView::minhash_at`]: adsketch_core::AdsView::minhash_at
 //!
+//! # Replica sets, failover, and health
+//!
+//! `Router::bind` takes one *list* of addresses per shard. Legs
+//! round-robin across a shard's healthy replicas; a failed leg fails
+//! over to the next healthy replica *before* spending the retry budget.
+//! A shared circuit breaker (the crate-internal `health` module) tracks
+//! every endpoint:
+//! consecutive failures escalate a jittered exponential cooldown and
+//! eventually open the endpoint's circuit, after which only the
+//! background prober (a cheap `0x07 Health` ping that also verifies the
+//! replica serves the shard range the manifest assigns it) may touch it.
+//! A request that finds **every** replica of a needed shard open fails
+//! fast — no connect timeouts on the hot path.
+//!
+//! With [`RouterConfig::hedge_delay`] set, a leg that has not answered
+//! after the delay is duplicated to a second healthy replica and the
+//! first answer wins. This is safe precisely because answers are bitwise
+//! identical; the loser's frame is drained (or its connection retired —
+//! connections are generation-counted) so pipelined replies can never
+//! cross-pair.
+//!
 //! # Failure semantics
 //!
 //! Backends are contacted with a bounded connect timeout, every read is
-//! bounded by a read deadline, and each leg of a scatter gets a bounded
-//! retry with reconnect. If a required backend stays unreachable, the
-//! *whole* request is answered with one [`ERR_BACKEND`] error frame —
-//! never a hang, never a partially merged answer — and the client's
-//! connection stays usable. The router holds no per-request state across
-//! connections, so once the backend returns, the next attempt simply
-//! reconnects and succeeds.
+//! bounded by a read deadline, and each leg gets replica failover plus a
+//! bounded retry. By default the router is all-or-nothing: if a required
+//! shard stays unreachable, the *whole* request is answered with one
+//! [`ERR_BACKEND`] error frame — never a hang, never a partially merged
+//! answer — and the client's connection stays usable. With
+//! [`RouterConfig::degraded`] enabled, float-valued batches (harmonic,
+//! decay, cardinality, Jaccard) instead come back as a
+//! [`Response::Partial`] frame: per-request [`ERR_SHARD_DOWN`] slots for
+//! exactly the queries owned by dead shards, bitwise-correct answers for
+//! everything else. Curve and sketch batches stay all-or-nothing in
+//! either mode.
 
 use std::collections::HashMap;
 use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
-use std::sync::atomic::AtomicBool;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use adsketch_core::{thread_count, ShardManifest};
+use adsketch_core::{thread_count, ShardManifest, ShardRecord};
 use adsketch_graph::NodeId;
 use adsketch_minhash::{similarity, BottomKSketch};
 
 use crate::client::Client;
 use crate::error::ServeError;
-use crate::proto::{Request, Response, ERR_BACKEND, ERR_RESPONSE_TOO_LARGE, MAX_FRAME_LEN};
+use crate::health::{HealthTracker, Tier};
+use crate::proto::{
+    BatchSlot, Request, Response, ERR_BACKEND, ERR_RESPONSE_TOO_LARGE, ERR_SHARD_DOWN,
+    MAX_FRAME_LEN,
+};
 use crate::server::{
-    batch_too_large, check_nodes, nf_too_large, serve_pool, sketches_too_large, ServerHandle,
+    batch_too_large, check_nodes, nf_too_large, serve_pool, sketches_too_large, ServerHandle, Wake,
 };
 
-/// Deadlines and retry budget for the router's backend connections.
+/// How long each alternating poll on a hedged pair of connections waits
+/// before giving the other racer a turn.
+const HEDGE_POLL: Duration = Duration::from_millis(2);
+
+/// How long the hedge loser gets to deliver its (already-answered) frame
+/// before its connection is retired instead of drained.
+const LOSER_DRAIN: Duration = Duration::from_millis(2);
+
+/// Deadlines, retry budget, and replica-set policy for the router's
+/// backend connections.
 #[derive(Debug, Clone)]
 pub struct RouterConfig {
-    /// Bound on each TCP connect to a backend.
+    /// Bound on each TCP connect (and handshake read) to a backend
+    /// replica. Default **1 s**.
     pub connect_timeout: Duration,
-    /// Bound on each blocking read from a backend.
+    /// Deadline for one replica to answer one leg. With hedging enabled
+    /// the hedge fires partway through this window; the window itself is
+    /// unchanged. Default **2 s**.
     pub read_timeout: Duration,
-    /// How many times a failed leg is retried (with reconnect) before
-    /// the whole request is failed with [`ERR_BACKEND`].
+    /// Extra failover passes after the first. Each pass offers the leg
+    /// to every dialable replica of the shard at most once, so a shard
+    /// with `R` live replicas sees at most `(retries + 1) × R` attempts
+    /// before the leg is failed — failover across replicas does **not**
+    /// consume the retry budget, it multiplies it. Default **1**.
     pub retries: u32,
+    /// First post-failure reconnect cooldown for an endpoint; doubles on
+    /// every consecutive failure (deterministic per-endpoint jitter in
+    /// `[0.75, 1.0)` of nominal) until [`RouterConfig::backoff_cap`].
+    /// Replaces immediate-reconnect hammering; a shard's *only* replica
+    /// is still dialed on demand during its cooldown so single-replica
+    /// recovery stays instant. Default **50 ms**.
+    pub backoff_base: Duration,
+    /// Ceiling on the per-endpoint reconnect cooldown, and therefore the
+    /// slowest rate at which a dead endpoint is probed. Default **2 s**.
+    pub backoff_cap: Duration,
+    /// Consecutive failures that open an endpoint's circuit. While open,
+    /// workers never dial the endpoint (only the background prober
+    /// does), and a request needing a shard whose replicas are *all*
+    /// open fails fast without any dial — so this bounds how long a dead
+    /// replica can keep eating `connect_timeout`s on the hot path.
+    /// `retries` interaction: one failed request can record up to
+    /// `(retries + 1) × R + 1` failures across a shard's endpoints, so a
+    /// threshold at or below that can open a circuit from a single
+    /// request. Default **3**.
+    pub failure_threshold: u32,
+    /// Cadence of the background half-open prober that re-checks open
+    /// circuits (each probe is one `Health` ping, rate-limited further
+    /// by the endpoint's own cooldown). Shutdown does not wait out this
+    /// interval — the prober is condvar-nudged. Default **100 ms**.
+    pub probe_interval: Duration,
+    /// Hedged reads: when set, a leg silent for this long is duplicated
+    /// to a second healthy replica of the same shard and the first
+    /// answer wins (identical bits either way). `None` disables hedging.
+    /// Values at or above [`RouterConfig::read_timeout`] never fire.
+    /// Default **None**.
+    pub hedge_delay: Option<Duration>,
+    /// Degraded mode: answer float-valued batches with a
+    /// [`Response::Partial`] frame carrying [`ERR_SHARD_DOWN`] slots for
+    /// queries whose shard has no reachable replica, instead of failing
+    /// the whole batch with [`ERR_BACKEND`]. Clients must opt in to
+    /// handling the `0x84` frame, so this defaults to **false**
+    /// (all-or-nothing).
+    pub degraded: bool,
 }
 
 impl Default for RouterConfig {
@@ -74,47 +160,71 @@ impl Default for RouterConfig {
             connect_timeout: Duration::from_secs(1),
             read_timeout: Duration::from_secs(2),
             retries: 1,
+            backoff_base: Duration::from_millis(50),
+            backoff_cap: Duration::from_secs(2),
+            failure_threshold: 3,
+            probe_interval: Duration::from_millis(100),
+            hedge_delay: None,
+            degraded: false,
         }
     }
 }
 
-/// A bound scatter/gather router over a fleet of shard backends.
+/// A bound scatter/gather router over a fleet of shard replica sets.
 pub struct Router {
     listener: TcpListener,
     manifest: Arc<ShardManifest>,
-    backends: Arc<Vec<SocketAddr>>,
+    replicas: Arc<Vec<Vec<SocketAddr>>>,
     workers: usize,
     config: RouterConfig,
     stop: Arc<AtomicBool>,
+    wake: Arc<Wake>,
+    health: Arc<HealthTracker>,
 }
 
 impl Router {
-    /// Binds a router to `addr` with one backend address per manifest
-    /// shard (`backends[i]` must serve shard `i`) and a fixed pool of
-    /// `workers` connection threads (`0` ⇒ all cores).
+    /// Binds a router to `addr` with one replica set per manifest shard
+    /// (every address in `replicas[i]` must serve shard `i`) and a fixed
+    /// pool of `workers` connection threads (`0` ⇒ all cores). A replica
+    /// set must not be empty; a single-address set reproduces the
+    /// unreplicated topology exactly.
     pub fn bind(
         addr: impl ToSocketAddrs,
         manifest: ShardManifest,
-        backends: Vec<SocketAddr>,
+        replicas: Vec<Vec<SocketAddr>>,
         workers: usize,
         config: RouterConfig,
     ) -> Result<Self, ServeError> {
-        if backends.len() != manifest.num_shards() {
+        if replicas.len() != manifest.num_shards() {
             return Err(ServeError::Store(format!(
-                "router needs one backend per shard: the manifest describes {} shards, \
-                 got {} backend addresses",
+                "router needs one replica set per shard: the manifest describes {} shards, \
+                 got {} replica sets",
                 manifest.num_shards(),
-                backends.len()
+                replicas.len()
+            )));
+        }
+        if let Some(shard) = replicas.iter().position(Vec::is_empty) {
+            return Err(ServeError::Store(format!(
+                "shard {shard} has an empty replica set; every shard needs at least one backend"
             )));
         }
         let listener = TcpListener::bind(addr)?;
+        let sizes: Vec<usize> = replicas.iter().map(Vec::len).collect();
+        let health = HealthTracker::new(
+            &sizes,
+            config.backoff_base,
+            config.backoff_cap,
+            config.failure_threshold,
+        );
         Ok(Self {
             listener,
             manifest: Arc::new(manifest),
-            backends: Arc::new(backends),
+            replicas: Arc::new(replicas),
             workers: thread_count(workers).max(1),
             config,
             stop: Arc::new(AtomicBool::new(false)),
+            wake: Arc::new(Wake::default()),
+            health: Arc::new(health),
         })
     }
 
@@ -124,13 +234,15 @@ impl Router {
     }
 
     /// A handle that can stop this router from another thread (same
-    /// graceful-shutdown contract as [`crate::Server`]).
+    /// graceful-shutdown contract as [`crate::Server`], plus a prompt
+    /// condvar nudge for the health prober).
     pub fn handle(&self) -> ServerHandle {
         ServerHandle::new(
             self.listener
                 .local_addr()
                 .expect("bound listener has an address"),
             Arc::clone(&self.stop),
+            Arc::clone(&self.wake),
         )
     }
 
@@ -140,137 +252,445 @@ impl Router {
         let Router {
             listener,
             manifest,
-            backends,
+            replicas,
             workers,
             config,
             stop,
+            wake,
+            health,
         } = self;
-        let served = serve_pool(&listener, workers, &stop, &|_worker| {
-            let mut fleet =
-                Fleet::new(Arc::clone(&manifest), Arc::clone(&backends), config.clone());
-            move |req: &Request| fleet.route(req)
+        let served = std::thread::scope(|scope| {
+            let prober =
+                scope.spawn(|| prober_loop(&manifest, &replicas, &config, &health, &stop, &wake));
+            let served = serve_pool(&listener, workers, &stop, &|_worker| {
+                let mut fleet = Fleet::new(
+                    Arc::clone(&manifest),
+                    Arc::clone(&replicas),
+                    config.clone(),
+                    Arc::clone(&health),
+                );
+                move |req: &Request| fleet.route(req)
+            });
+            // The pool has drained; make sure the prober exits even when
+            // run() ends without a ServerHandle::shutdown call.
+            stop.store(true, Ordering::SeqCst);
+            wake.notify();
+            prober.join().expect("prober thread");
+            served
         });
         Ok(served)
     }
 }
 
+/// The background half-open prober: wakes every `probe_interval` (or
+/// instantly on shutdown, via the condvar), claims open endpoints whose
+/// cooldown expired, and pings each with a `Health` frame.
+fn prober_loop(
+    manifest: &ShardManifest,
+    replicas: &[Vec<SocketAddr>],
+    config: &RouterConfig,
+    health: &HealthTracker,
+    stop: &AtomicBool,
+    wake: &Wake,
+) {
+    loop {
+        if wake.wait_timeout(config.probe_interval) || stop.load(Ordering::SeqCst) {
+            return;
+        }
+        if !health.any_open() {
+            continue;
+        }
+        for (shard, reps) in replicas.iter().enumerate() {
+            for (rep, addr) in reps.iter().enumerate() {
+                if stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                if !health.take_probe(shard, rep) {
+                    continue;
+                }
+                if probe(addr, &manifest.records()[shard], config) {
+                    health.record_success(shard, rep);
+                } else {
+                    health.record_failure(shard, rep);
+                }
+            }
+        }
+    }
+}
+
+/// One half-open probe: connect, handshake, `Health` ping. The endpoint
+/// only closes its circuit if it is reachable *and* reports the node
+/// range the manifest assigns its shard — a replica wired to the wrong
+/// shard stays fenced off instead of serving wrong-shard errors.
+fn probe(addr: &SocketAddr, record: &ShardRecord, config: &RouterConfig) -> bool {
+    let mut client = match Client::connect_timeout(addr, config.connect_timeout) {
+        Ok(c) => c,
+        Err(_) => return false,
+    };
+    if client.set_read_timeout(Some(config.read_timeout)).is_err() {
+        return false;
+    }
+    match client.health() {
+        Ok((start, end)) => start == record.start && end == record.end,
+        Err(_) => false,
+    }
+}
+
 /// One sub-request of a scatter: the target shard plus the request to
-/// send it. Legs to the same shard are pipelined on its connection in
-/// slice order.
+/// send it. Legs to the same connection are pipelined in slice order.
 type Leg = (usize, Request);
 
+/// Which racer of a hedged wait a poll belongs to.
+#[derive(Clone, Copy, PartialEq)]
+enum Racer {
+    Primary,
+    Hedge,
+}
+
 /// A worker thread's view of the backend fleet: one lazily (re)connected
-/// client per shard.
+/// client per `(shard, replica)` endpoint, plus the bookkeeping that
+/// keeps pipelined frames paired across failover and hedging.
 struct Fleet {
     manifest: Arc<ShardManifest>,
-    addrs: Arc<Vec<SocketAddr>>,
+    addrs: Arc<Vec<Vec<SocketAddr>>>,
     config: RouterConfig,
-    conns: Vec<Option<Client>>,
-    /// Bumped whenever a shard's connection is dropped; a pipelined leg
-    /// remembers the epoch it was sent under, so the gather phase can
-    /// tell "response still in flight" from "connection was replaced".
-    epochs: Vec<u64>,
+    health: Arc<HealthTracker>,
+    conns: Vec<Vec<Option<Client>>>,
+    /// Bumped whenever an endpoint's connection is dropped; a pipelined
+    /// leg remembers the epoch it was sent under, so the gather phase
+    /// can tell "response still in flight" from "connection was
+    /// replaced".
+    epochs: Vec<Vec<u64>>,
+    /// Frames sent but not yet gathered per endpoint. An endpoint with
+    /// in-flight frames must not serve an out-of-band exchange (its next
+    /// frames belong to earlier legs) nor host a hedge.
+    inflight: Vec<Vec<u32>>,
+    /// Round-robin cursor per shard.
+    rr: Vec<usize>,
 }
 
 impl Fleet {
     fn new(
         manifest: Arc<ShardManifest>,
-        addrs: Arc<Vec<SocketAddr>>,
+        addrs: Arc<Vec<Vec<SocketAddr>>>,
         config: RouterConfig,
+        health: Arc<HealthTracker>,
     ) -> Self {
-        let shards = addrs.len();
+        let sizes: Vec<usize> = addrs.iter().map(Vec::len).collect();
         Self {
             manifest,
             addrs,
             config,
-            conns: (0..shards).map(|_| None).collect(),
-            epochs: vec![0; shards],
+            health,
+            conns: sizes
+                .iter()
+                .map(|&r| (0..r).map(|_| None).collect())
+                .collect(),
+            epochs: sizes.iter().map(|&r| vec![0; r]).collect(),
+            inflight: sizes.iter().map(|&r| vec![0; r]).collect(),
+            rr: vec![0; sizes.len()],
         }
     }
 
-    /// The standing connection to `shard`, dialing (with deadlines) if
-    /// there is none.
-    fn conn(&mut self, shard: usize) -> Result<&mut Client, ServeError> {
-        if self.conns[shard].is_none() {
-            let client = Client::connect_timeout(&self.addrs[shard], self.config.connect_timeout)?;
-            client.set_read_timeout(Some(self.config.read_timeout))?;
-            self.conns[shard] = Some(client);
+    /// Drops an endpoint's connection (its request/response pairing can
+    /// no longer be trusted after any failure). The epoch bump strands
+    /// any frames still in flight on it — their legs re-exchange.
+    fn drop_conn(&mut self, shard: usize, rep: usize) {
+        self.conns[shard][rep] = None;
+        self.epochs[shard][rep] += 1;
+        self.inflight[shard][rep] = 0;
+    }
+
+    /// Records a failure with the circuit breaker and retires the
+    /// connection.
+    fn fail(&mut self, shard: usize, rep: usize) {
+        self.health.record_failure(shard, rep);
+        self.drop_conn(shard, rep);
+    }
+
+    /// A gathered leg releases its in-flight slot — unless the
+    /// connection was already replaced (the epoch guard prevents
+    /// decrementing a successor connection's count).
+    fn leg_done(&mut self, shard: usize, rep: usize, epoch: u64) {
+        if self.epochs[shard][rep] == epoch {
+            self.inflight[shard][rep] = self.inflight[shard][rep].saturating_sub(1);
         }
-        Ok(self.conns[shard].as_mut().expect("just connected"))
     }
 
-    /// Drops `shard`'s connection (its request/response pairing can no
-    /// longer be trusted after any failure).
-    fn drop_conn(&mut self, shard: usize) {
-        self.conns[shard] = None;
-        self.epochs[shard] += 1;
+    /// Round-robin choice of the replica to carry the next leg to
+    /// `shard`: available endpoints (circuit closed, no cooldown) first;
+    /// failing that, a cooling endpoint (so a shard whose only replica
+    /// just hiccuped is still dialed on demand — instant recovery);
+    /// `None` when every circuit is open.
+    fn pick(&mut self, shard: usize) -> Option<usize> {
+        let reps = self.addrs[shard].len();
+        let start = self.rr[shard];
+        self.rr[shard] = (start + 1) % reps;
+        let mut cooling = None;
+        for i in 0..reps {
+            let rep = (start + i) % reps;
+            match self.health.tier(shard, rep) {
+                Tier::Available => return Some(rep),
+                Tier::Cooling if cooling.is_none() => cooling = Some(rep),
+                _ => {}
+            }
+        }
+        cooling
     }
 
-    /// One request/response exchange with `shard`, retried with
-    /// reconnect up to the configured budget. Exhausting the budget
-    /// yields [`ServeError::Backend`] — the typed whole-request failure.
-    fn exchange(&mut self, shard: usize, req: &Request) -> Result<Response, ServeError> {
-        let mut last: Option<ServeError> = None;
-        for _ in 0..=self.config.retries {
-            let attempt = self.conn(shard).and_then(|c| {
-                c.send(req)?;
-                c.recv_response()
-            });
-            match attempt {
-                Ok(resp) => return Ok(resp),
-                Err(e) => {
-                    self.drop_conn(shard);
-                    last = Some(e);
+    /// Dials (if needed) and sends one frame to an endpoint.
+    fn try_send(&mut self, shard: usize, rep: usize, req: &Request) -> Result<(), ServeError> {
+        if self.conns[shard][rep].is_none() {
+            let client =
+                Client::connect_timeout(&self.addrs[shard][rep], self.config.connect_timeout)?;
+            self.conns[shard][rep] = Some(client);
+        }
+        self.conns[shard][rep]
+            .as_mut()
+            .expect("just connected")
+            .send(req)
+    }
+
+    /// Scatter-phase send of one leg with replica failover: returns the
+    /// endpoint and epoch the request is in flight on, or `None` when no
+    /// replica would take it (the gather phase then runs the full
+    /// exchange fallback).
+    fn send_leg(&mut self, shard: usize, req: &Request) -> Option<(usize, u64)> {
+        for _ in 0..self.addrs[shard].len() {
+            let rep = self.pick(shard)?;
+            match self.try_send(shard, rep, req) {
+                Ok(()) => {
+                    self.inflight[shard][rep] += 1;
+                    return Some((rep, self.epochs[shard][rep]));
+                }
+                Err(_) => self.fail(shard, rep),
+            }
+        }
+        None
+    }
+
+    /// One poll step on an endpoint's connection that has a frame due.
+    fn step(
+        &mut self,
+        shard: usize,
+        rep: usize,
+        wait: Duration,
+    ) -> Result<Option<Response>, ServeError> {
+        self.conns[shard][rep]
+            .as_mut()
+            .expect("stepping a live connection")
+            .recv_step(wait)
+    }
+
+    /// Primes a hedge: a *different* replica, circuit fully closed, with
+    /// no frames in flight on its connection (so the hedged response is
+    /// the very next frame it delivers). Sends `req` on it.
+    fn send_hedge(&mut self, shard: usize, primary: usize, req: &Request) -> Option<usize> {
+        let reps = self.addrs[shard].len();
+        let start = self.rr[shard];
+        self.rr[shard] = (start + 1) % reps;
+        for i in 0..reps {
+            let rep = (start + i) % reps;
+            if rep == primary
+                || self.inflight[shard][rep] > 0
+                || self.health.tier(shard, rep) != Tier::Available
+            {
+                continue;
+            }
+            match self.try_send(shard, rep, req) {
+                Ok(()) => return Some(rep),
+                Err(_) => self.fail(shard, rep),
+            }
+        }
+        None
+    }
+
+    /// The hedge loser still owes one response frame (already computed —
+    /// the winner answered the same request). Give it a brief chance to
+    /// deliver so the warm connection survives; otherwise retire the
+    /// connection, whose epoch bump strands the frame harmlessly. Either
+    /// way the *next* frame read from this endpoint pairs with the next
+    /// request — no cross-pairing.
+    fn settle_loser(&mut self, shard: usize, rep: usize) {
+        let drained = matches!(
+            self.conns[shard][rep]
+                .as_mut()
+                .map(|c| c.recv_step(LOSER_DRAIN)),
+            Some(Ok(Some(_)))
+        );
+        if !drained {
+            self.drop_conn(shard, rep);
+        }
+    }
+
+    /// Waits out one leg already in flight on `(shard, rep)`, hedging to
+    /// a second replica once [`RouterConfig::hedge_delay`] passes. On
+    /// success the circuit breaker hears about it; on failure the
+    /// endpoint(s) are failed and the caller decides about retrying.
+    fn await_response(
+        &mut self,
+        shard: usize,
+        rep: usize,
+        req: &Request,
+    ) -> Result<Response, ServeError> {
+        let deadline = Instant::now() + self.config.read_timeout;
+        let hedge_at = self
+            .config
+            .hedge_delay
+            .filter(|_| self.addrs[shard].len() > 1)
+            .map(|d| Instant::now() + d);
+        // Phase 1: the primary alone, up to the hedge point (or the whole
+        // window when hedging is off).
+        let phase1 = hedge_at.map_or(deadline, |t| t.min(deadline));
+        match self.step(shard, rep, phase1.saturating_duration_since(Instant::now())) {
+            Ok(Some(resp)) => {
+                self.health.record_success(shard, rep);
+                return Ok(resp);
+            }
+            Ok(None) => {}
+            Err(e) => {
+                self.fail(shard, rep);
+                return Err(e);
+            }
+        }
+        if hedge_at.is_none() || Instant::now() >= deadline {
+            self.fail(shard, rep);
+            return Err(timeout_error());
+        }
+        // Phase 2: race the straggler against a hedge, alternating short
+        // polls. recv_step keeps partial frame progress across polls, so
+        // neither connection can desynchronize.
+        let mut primary = Some(rep);
+        let mut hedge = self.send_hedge(shard, rep, req);
+        let mut last_err: Option<ServeError> = None;
+        while primary.is_some() || hedge.is_some() {
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            let slice = HEDGE_POLL.min(deadline.saturating_duration_since(now));
+            for who in [Racer::Primary, Racer::Hedge] {
+                let racer = match who {
+                    Racer::Primary => primary,
+                    Racer::Hedge => hedge,
+                };
+                let Some(r) = racer else { continue };
+                match self.step(shard, r, slice) {
+                    Ok(Some(resp)) => {
+                        self.health.record_success(shard, r);
+                        let loser = match who {
+                            Racer::Primary => hedge,
+                            Racer::Hedge => primary,
+                        };
+                        if let Some(l) = loser {
+                            self.settle_loser(shard, l);
+                        }
+                        return Ok(resp);
+                    }
+                    Ok(None) => {}
+                    Err(e) => {
+                        self.fail(shard, r);
+                        match who {
+                            Racer::Primary => primary = None,
+                            Racer::Hedge => hedge = None,
+                        }
+                        last_err = Some(e);
+                    }
                 }
             }
         }
-        Err(ServeError::Backend {
-            shard,
-            message: last.expect("at least one attempt ran").to_string(),
+        // Deadline passed (or both racers errored out).
+        for r in [primary, hedge].into_iter().flatten() {
+            self.fail(shard, r);
+        }
+        Err(last_err.unwrap_or_else(timeout_error))
+    }
+
+    /// One request/response with any replica of `shard`: round-robin
+    /// with failover across replicas, then up to `retries` more full
+    /// passes. Finding every circuit open fails fast with
+    /// [`ServeError::ShardUnavailable`] — no dial at all.
+    fn exchange(&mut self, shard: usize, req: &Request) -> Result<Response, ServeError> {
+        let mut last: Option<ServeError> = None;
+        for _pass in 0..=self.config.retries {
+            let mut attempted = false;
+            for _ in 0..self.addrs[shard].len() {
+                let Some(rep) = self.pick(shard) else { break };
+                attempted = true;
+                // An endpoint with frames in flight cannot serve an
+                // out-of-band exchange (its next frames belong to other
+                // legs): retire the connection — the epoch bump makes the
+                // stranded legs re-exchange — and dial fresh.
+                if self.inflight[shard][rep] > 0 {
+                    self.drop_conn(shard, rep);
+                }
+                match self.try_send(shard, rep, req) {
+                    Ok(()) => {
+                        let epoch = self.epochs[shard][rep];
+                        self.inflight[shard][rep] += 1;
+                        let res = self.await_response(shard, rep, req);
+                        self.leg_done(shard, rep, epoch);
+                        match res {
+                            Ok(resp) => return Ok(resp),
+                            Err(e) => last = Some(e),
+                        }
+                    }
+                    Err(e) => {
+                        self.fail(shard, rep);
+                        last = Some(e);
+                    }
+                }
+            }
+            if !attempted {
+                break;
+            }
+        }
+        Err(match last {
+            Some(e) => ServeError::Backend {
+                shard,
+                message: e.to_string(),
+            },
+            None => ServeError::ShardUnavailable {
+                shard,
+                replicas: self.addrs[shard].len(),
+            },
         })
     }
 
-    /// Scatter/gather: pipelines every leg's send before reading any
-    /// response, then gathers in leg order. A failed leg falls back to a
-    /// fresh [`Fleet::exchange`] (reconnect + resend + bounded retries);
-    /// if that also fails, the whole scatter fails.
-    fn scatter(&mut self, legs: &[Leg]) -> Result<Vec<Response>, ServeError> {
-        // Send phase: remember the connection epoch each leg was sent
-        // under; a send failure just leaves the leg for the gather
-        // phase's exchange fallback.
-        let mut sent: Vec<Option<u64>> = Vec::with_capacity(legs.len());
-        for (shard, req) in legs {
-            let ok = self.conn(*shard).and_then(|c| c.send(req)).is_ok();
-            if ok {
-                sent.push(Some(self.epochs[*shard]));
-            } else {
-                self.drop_conn(*shard);
-                sent.push(None);
-            }
-        }
-        // Gather phase, in leg order (which is per-connection send
-        // order, so pipelined responses pair up correctly).
-        let mut out = Vec::with_capacity(legs.len());
-        for ((shard, req), sent_epoch) in legs.iter().zip(sent) {
-            let live = sent_epoch == Some(self.epochs[*shard]);
-            let resp = if live {
-                match self.conns[*shard]
-                    .as_mut()
-                    .expect("live epoch implies a connection")
-                    .recv_response()
-                {
-                    Ok(resp) => resp,
-                    Err(_) => {
-                        self.drop_conn(*shard);
-                        self.exchange(*shard, req)?
+    /// Scatter/gather: pipelines every leg's send (with replica
+    /// failover) before reading any response, then gathers in leg order.
+    /// Each leg resolves independently — a failed leg falls back to a
+    /// fresh [`Fleet::exchange`], and only if that also fails does the
+    /// leg's slot carry an error (degraded mode answers around it;
+    /// strict mode fails the whole request).
+    fn scatter(&mut self, legs: &[Leg]) -> Vec<Result<Response, ServeError>> {
+        let sent: Vec<Option<(usize, u64)>> = legs
+            .iter()
+            .map(|(shard, req)| self.send_leg(*shard, req))
+            .collect();
+        // Gather in leg order (which is per-connection send order, so
+        // pipelined responses pair up correctly).
+        legs.iter()
+            .zip(sent)
+            .map(|((shard, req), sent)| {
+                if let Some((rep, epoch)) = sent {
+                    if self.epochs[*shard][rep] == epoch {
+                        let res = self.await_response(*shard, rep, req);
+                        self.leg_done(*shard, rep, epoch);
+                        if let Ok(resp) = res {
+                            return Ok(resp);
+                        }
                     }
                 }
-            } else {
-                self.exchange(*shard, req)?
-            };
-            out.push(resp);
-        }
-        Ok(out)
+                self.exchange(*shard, req)
+            })
+            .collect()
+    }
+
+    /// Like [`Fleet::scatter`] but all-or-nothing: the first leg error
+    /// fails the lot (the non-degradable curve/sketch paths).
+    fn scatter_strict(&mut self, legs: &[Leg]) -> Result<Vec<Response>, ServeError> {
+        self.scatter(legs).into_iter().collect()
     }
 
     /// Groups batch-item indices by owning shard. Shards come out in
@@ -295,6 +715,10 @@ impl Fleet {
             Err(e) => {
                 let (shard, message) = match e {
                     ServeError::Backend { shard, message } => (Some(shard), message),
+                    ServeError::ShardUnavailable { shard, replicas } => (
+                        Some(shard),
+                        format!("all {replicas} replica(s) unreachable (circuits open)"),
+                    ),
                     other => (None, other.to_string()),
                 };
                 Response::Error {
@@ -327,6 +751,7 @@ impl Fleet {
             Request::Jaccard { pairs, .. } => {
                 check_nodes(&mut pairs.iter().flat_map(|&(u, v)| [u, v]), n, &all)
             }
+            Request::Health => None,
         };
         if let Some(err) = precheck {
             return Ok(err);
@@ -337,7 +762,9 @@ impl Fleet {
             }
             Request::Cardinality { queries } => batch_too_large(queries.len()),
             Request::Jaccard { pairs, .. } => batch_too_large(pairs.len()),
-            Request::NeighborhoodFunction { .. } | Request::SketchPrefix { .. } => None,
+            Request::NeighborhoodFunction { .. }
+            | Request::SketchPrefix { .. }
+            | Request::Health => None,
         };
         if let Some(err) = too_large {
             return Ok(err);
@@ -354,11 +781,71 @@ impl Fleet {
             Request::NeighborhoodFunction { nodes } => self.route_curves(req, nodes),
             Request::SketchPrefix { d, nodes } => self.route_sketches(req, *d, nodes),
             Request::Jaccard { d, pairs } => self.route_jaccard(*d, pairs),
+            // The router owns (routes for) the whole keyspace.
+            Request::Health => Ok(Response::Health { start: 0, end: n }),
         }
     }
 
+    /// Whether degraded mode should answer around this error (a shard
+    /// that is down / failing) rather than fail the request (protocol
+    /// violations still do).
+    fn degrade(&self, e: &ServeError) -> bool {
+        self.config.degraded
+            && matches!(
+                e,
+                ServeError::Backend { .. } | ServeError::ShardUnavailable { .. }
+            )
+    }
+
+    /// Single-shard fast path for float batches, with the degraded-mode
+    /// fallback (the whole batch lives on the dead shard ⇒ every slot is
+    /// down).
+    fn exchange_floats(
+        &mut self,
+        shard: usize,
+        req: &Request,
+        count: usize,
+    ) -> Result<Response, ServeError> {
+        match self.exchange(shard, req) {
+            Ok(resp) => Ok(resp),
+            Err(e) if self.degrade(&e) => {
+                Ok(Response::Partial(vec![
+                    BatchSlot::Down(ERR_SHARD_DOWN);
+                    count
+                ]))
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Merges per-shard float legs back into request order: all-Value
+    /// slot vectors collapse to the classic [`Response::Floats`]; any
+    /// down shard (degraded mode only) yields [`Response::Partial`].
+    fn merge_floats(
+        &mut self,
+        count: usize,
+        parts: &[(usize, Vec<usize>)],
+        results: Vec<Result<Response, ServeError>>,
+    ) -> Result<Response, ServeError> {
+        let mut out = vec![BatchSlot::Down(ERR_SHARD_DOWN); count];
+        let mut any_down = false;
+        for ((shard, idxs), res) in parts.iter().zip(results) {
+            match res {
+                Ok(resp) => {
+                    let xs = expect_floats(*shard, resp, idxs.len())?;
+                    for (&i, x) in idxs.iter().zip(xs) {
+                        out[i] = BatchSlot::Value(x);
+                    }
+                }
+                Err(e) if self.degrade(&e) => any_down = true,
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(finish_floats(out, any_down))
+    }
+
     /// Per-node float batches (harmonic / decay): partition, scatter,
-    /// place each backend's answers back at their request indices.
+    /// place each shard's answers back at their request indices.
     fn route_floats(
         &mut self,
         req: &Request,
@@ -367,21 +854,14 @@ impl Fleet {
     ) -> Result<Response, ServeError> {
         let parts = self.partition(nodes.iter().copied());
         if let [(shard, _)] = parts[..] {
-            return self.exchange(shard, req);
+            return self.exchange_floats(shard, req, nodes.len());
         }
         let legs: Vec<Leg> = parts
             .iter()
             .map(|(shard, idxs)| (*shard, make(idxs.iter().map(|&i| nodes[i]).collect())))
             .collect();
-        let resps = self.scatter(&legs)?;
-        let mut out = vec![0.0f64; nodes.len()];
-        for ((shard, idxs), resp) in parts.iter().zip(resps) {
-            let xs = expect_floats(*shard, resp, idxs.len())?;
-            for (&i, x) in idxs.iter().zip(xs) {
-                out[i] = x;
-            }
-        }
-        Ok(Response::Floats(out))
+        let results = self.scatter(&legs);
+        self.merge_floats(nodes.len(), &parts, results)
     }
 
     fn route_cardinality(
@@ -391,7 +871,7 @@ impl Fleet {
     ) -> Result<Response, ServeError> {
         let parts = self.partition(queries.iter().map(|q| q.0));
         if let [(shard, _)] = parts[..] {
-            return self.exchange(shard, req);
+            return self.exchange_floats(shard, req, queries.len());
         }
         let legs: Vec<Leg> = parts
             .iter()
@@ -404,15 +884,8 @@ impl Fleet {
                 )
             })
             .collect();
-        let resps = self.scatter(&legs)?;
-        let mut out = vec![0.0f64; queries.len()];
-        for ((shard, idxs), resp) in parts.iter().zip(resps) {
-            let xs = expect_floats(*shard, resp, idxs.len())?;
-            for (&i, x) in idxs.iter().zip(xs) {
-                out[i] = x;
-            }
-        }
-        Ok(Response::Floats(out))
+        let results = self.scatter(&legs);
+        self.merge_floats(queries.len(), &parts, results)
     }
 
     fn route_curves(&mut self, req: &Request, nodes: &[NodeId]) -> Result<Response, ServeError> {
@@ -431,7 +904,7 @@ impl Fleet {
                 )
             })
             .collect();
-        let resps = self.scatter(&legs)?;
+        let resps = self.scatter_strict(&legs)?;
         let mut out: Vec<Vec<(f64, f64)>> = vec![Vec::new(); nodes.len()];
         for ((shard, idxs), resp) in parts.iter().zip(resps) {
             let curves = match resp {
@@ -479,7 +952,7 @@ impl Fleet {
                 )
             })
             .collect();
-        let resps = self.scatter(&legs)?;
+        let resps = self.scatter_strict(&legs)?;
         let mut out: Vec<Vec<(f64, NodeId)>> = vec![Vec::new(); nodes.len()];
         for ((shard, idxs), resp) in parts.iter().zip(resps) {
             let seqs = match resp {
@@ -502,7 +975,9 @@ impl Fleet {
 
     /// Jaccard: same-shard pairs go straight to their owner; cross-shard
     /// pairs are merged from per-endpoint sketch prefixes (see the
-    /// module docs for why this stays bitwise identical).
+    /// module docs for why this stays bitwise identical). Degraded mode:
+    /// a down shard takes out exactly the pairs that need it — same-
+    /// shard pairs it owns, cross pairs with an endpoint on it.
     fn route_jaccard(
         &mut self,
         d: f64,
@@ -563,25 +1038,38 @@ impl Fleet {
         if cross.is_empty() {
             if let [(shard, Request::Jaccard { .. })] = &legs[..] {
                 // Every pair lives on one shard: forward verbatim.
-                return self.exchange(
-                    *shard,
+                let shard = *shard;
+                return self.exchange_floats(
+                    shard,
                     &Request::Jaccard {
                         d,
                         pairs: pairs.to_vec(),
                     },
+                    pairs.len(),
                 );
             }
         }
-        let resps = self.scatter(&legs)?;
-        let mut out = vec![0.0f64; pairs.len()];
+        let results = self.scatter(&legs);
+        let mut out = vec![BatchSlot::Down(ERR_SHARD_DOWN); pairs.len()];
+        let mut any_down = false;
         let k = self.manifest.k();
         let mut sketches: HashMap<NodeId, BottomKSketch> = HashMap::new();
-        for (((shard, _req), merge), resp) in legs.iter().zip(&merges).zip(resps) {
+        for (((shard, _req), merge), res) in legs.iter().zip(&merges).zip(results) {
+            let resp = match res {
+                Ok(resp) => resp,
+                Err(e) if self.degrade(&e) => {
+                    // Pairs legs: their indices stay Down. Prefix legs:
+                    // the missing sketches mark the cross pairs below.
+                    any_down = true;
+                    continue;
+                }
+                Err(e) => return Err(e),
+            };
             match merge {
                 Merge::Pairs(idxs) => {
                     let xs = expect_floats(*shard, resp, idxs.len())?;
                     for (&i, x) in idxs.iter().zip(xs) {
-                        out[i] = x;
+                        out[i] = BatchSlot::Value(x);
                     }
                 }
                 Merge::Prefixes(nodes) => {
@@ -590,7 +1078,14 @@ impl Fleet {
                         Response::Error { code, .. } if code == ERR_RESPONSE_TOO_LARGE => {
                             // The one-shot prefix fetch overflowed a
                             // frame; split it until it fits.
-                            self.fetch_prefixes_split(*shard, d, nodes)?
+                            match self.fetch_prefixes_split(*shard, d, nodes) {
+                                Ok(ss) => ss,
+                                Err(e) if self.degrade(&e) => {
+                                    any_down = true;
+                                    continue;
+                                }
+                                Err(e) => return Err(e),
+                            }
                         }
                         other => return Err(unexpected(*shard, other)),
                     };
@@ -602,11 +1097,15 @@ impl Fleet {
         }
         for &i in &cross {
             let (u, v) = pairs[i];
-            let su = &sketches[&u];
-            let sv = &sketches[&v];
-            out[i] = similarity::jaccard(su, sv);
+            match (sketches.get(&u), sketches.get(&v)) {
+                (Some(su), Some(sv)) => out[i] = BatchSlot::Value(similarity::jaccard(su, sv)),
+                // An endpoint's prefix shard was down; the slot stays
+                // typed-down (strict mode never gets here — a failed
+                // prefix leg already returned Err above).
+                _ => any_down = true,
+            }
         }
-        Ok(Response::Floats(out))
+        Ok(finish_floats(out, any_down))
     }
 
     /// Fetches sketch prefixes with recursive halving when a batch's
@@ -634,6 +1133,32 @@ impl Fleet {
             }
             other => Err(unexpected(shard, other)),
         }
+    }
+}
+
+/// The typed error for a leg that timed out without a protocol failure.
+fn timeout_error() -> ServeError {
+    ServeError::Io(std::io::Error::new(
+        std::io::ErrorKind::TimedOut,
+        "backend response deadline exceeded",
+    ))
+}
+
+/// Collapses a slot vector: all-Value ⇒ the classic bitwise
+/// [`Response::Floats`]; any down slot ⇒ [`Response::Partial`].
+fn finish_floats(slots: Vec<BatchSlot>, any_down: bool) -> Response {
+    if any_down {
+        Response::Partial(slots)
+    } else {
+        Response::Floats(
+            slots
+                .into_iter()
+                .map(|s| match s {
+                    BatchSlot::Value(x) => x,
+                    BatchSlot::Down(_) => unreachable!("no down slots"),
+                })
+                .collect(),
+        )
     }
 }
 

@@ -40,8 +40,8 @@ use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{Receiver, Sender};
-use std::sync::{Arc, Mutex};
-use std::time::Duration;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 use adsketch_core::{shard_slots, thread_count, AdsView, QueryEngine};
 use adsketch_graph::NodeId;
@@ -60,6 +60,14 @@ const POLL_INTERVAL: Duration = Duration::from_millis(50);
 /// the rest of a request whose first bytes already arrived (bounds the
 /// drain at ~5 s per read against a stalled client).
 const DRAIN_POLL_BUDGET: u32 = 100;
+
+/// How long a connection keeps answering *new* requests after shutdown
+/// is observed. Requests a peer pipelined before the stop flag flipped
+/// deserve their answers (they were accepted), and TCP offers no marker
+/// for "written before stop" — so the drain is bounded by wall clock
+/// instead. Without this cap a peer that never stops writing (a router
+/// under continuous client load) would postpone worker exit forever.
+const STOP_DRAIN_WINDOW: Duration = Duration::from_secs(1);
 
 /// A store a [`Server`] can answer queries over: any [`AdsView`] plus a
 /// declaration of which node range this process owns.
@@ -86,6 +94,38 @@ pub struct Server<S: RequestStore = ShardedStore> {
     store: Arc<S>,
     workers: usize,
     stop: Arc<AtomicBool>,
+    wake: Arc<Wake>,
+}
+
+/// A condvar-backed shutdown signal. Worker threads poll the stop flag on
+/// their short read timeouts, but long-sleeping auxiliary threads (the
+/// router's health prober waits out a whole `probe_interval` between
+/// rounds) must not inherit that poll cadence — they park on
+/// [`Wake::wait_timeout`] and [`ServerHandle::shutdown`] interrupts the
+/// sleep immediately via [`Wake::notify`].
+#[derive(Debug, Default)]
+pub(crate) struct Wake {
+    stopped: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl Wake {
+    /// Marks the signal stopped and wakes every parked waiter.
+    pub(crate) fn notify(&self) {
+        *self.stopped.lock().expect("wake lock") = true;
+        self.cv.notify_all();
+    }
+
+    /// Sleeps up to `timeout` or until [`Wake::notify`]; returns whether
+    /// the signal has stopped. The predicate lives under the mutex, so a
+    /// notify can never slip between the check and the park.
+    pub(crate) fn wait_timeout(&self, timeout: Duration) -> bool {
+        let mut stopped = self.stopped.lock().expect("wake lock");
+        if !*stopped {
+            stopped = self.cv.wait_timeout(stopped, timeout).expect("wake wait").0;
+        }
+        *stopped
+    }
 }
 
 /// A cloneable handle that can stop a running [`Server`] (or
@@ -94,11 +134,12 @@ pub struct Server<S: RequestStore = ShardedStore> {
 pub struct ServerHandle {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
+    wake: Arc<Wake>,
 }
 
 impl ServerHandle {
-    pub(crate) fn new(addr: SocketAddr, stop: Arc<AtomicBool>) -> Self {
-        Self { addr, stop }
+    pub(crate) fn new(addr: SocketAddr, stop: Arc<AtomicBool>, wake: Arc<Wake>) -> Self {
+        Self { addr, stop, wake }
     }
 
     /// The server's bound address.
@@ -111,6 +152,7 @@ impl ServerHandle {
     /// Idempotent.
     pub fn shutdown(&self) {
         self.stop.store(true, Ordering::SeqCst);
+        self.wake.notify();
         // Nudge the accept loop awake; any error just means it already
         // stopped listening.
         let _ = TcpStream::connect(self.addr);
@@ -128,6 +170,7 @@ impl<S: RequestStore> Server<S> {
             store,
             workers: thread_count(workers).max(1),
             stop: Arc::new(AtomicBool::new(false)),
+            wake: Arc::new(Wake::default()),
         })
     }
 
@@ -145,6 +188,7 @@ impl<S: RequestStore> Server<S> {
                 .local_addr()
                 .expect("bound listener has an address"),
             Arc::clone(&self.stop),
+            Arc::clone(&self.wake),
         )
     }
 
@@ -157,6 +201,7 @@ impl<S: RequestStore> Server<S> {
             store,
             workers,
             stop,
+            wake: _,
         } = self;
         let served = serve_pool(&listener, workers, &stop, &|_worker| {
             let store = Arc::clone(&store);
@@ -348,9 +393,18 @@ fn serve_connection<H: FnMut(&Request) -> Response>(
 
     // Request frames, answered in order until EOF or shutdown. A frame
     // whose header has started to arrive is committed — it gets its
-    // answer even if shutdown lands mid-read.
+    // answer even if shutdown lands mid-read. After shutdown, already
+    // pipelined requests keep draining for [`STOP_DRAIN_WINDOW`]; then
+    // the connection closes even if the peer is still writing.
     let mut writer = std::io::BufWriter::new(stream.try_clone()?);
+    let mut stop_seen: Option<Instant> = None;
     loop {
+        if stop.load(Ordering::SeqCst) {
+            let seen = *stop_seen.get_or_insert_with(Instant::now);
+            if seen.elapsed() >= STOP_DRAIN_WINDOW {
+                return Ok(());
+            }
+        }
         let mut len_buf = [0u8; 4];
         match read_full(&mut stream, &mut len_buf, stop, false)? {
             ReadOutcome::Full => {}
@@ -481,6 +535,12 @@ fn answer<S: RequestStore>(store: &S, req: &Request) -> Response {
             .unwrap_or_else(|| Response::Floats(engine.jaccard_batch(pairs, *d))),
         Request::SketchPrefix { d, nodes } => check(&mut nodes.iter().copied())
             .unwrap_or_else(|| sketch_prefix_bounded(store, *d, nodes)),
+        // Liveness + ownership ping: no sketch data touched, so a prober
+        // can hammer this cheaply.
+        Request::Health => Response::Health {
+            start: owned.start,
+            end: owned.end,
+        },
     }
 }
 

@@ -1,9 +1,10 @@
 //! The distributed serving topology end to end: build →
-//! `freeze_sharded` → one backend **process** per shard (each loads
-//! only its own shard) → a stateless router in front → batch-query the
-//! router — verifying every merged answer is bitwise identical to the
-//! local [`QueryEngine`] on the unsharded store, including cross-shard
-//! Jaccard pairs.
+//! `freeze_sharded` → a **replica set** of backend processes per shard
+//! (each loads only its own shard) → a stateless router in front, with
+//! hedged reads enabled → batch-query the router — verifying every
+//! merged answer is bitwise identical to the local [`QueryEngine`] on
+//! the unsharded store, including cross-shard Jaccard pairs — then kill
+//! one replica and query straight through the hole.
 //!
 //! ```text
 //! cargo run --release --example router_quickstart
@@ -36,39 +37,43 @@ fn main() {
     let _ = std::fs::remove_dir_all(&dir);
     freeze_sharded(&ads, shards, &dir).expect("freeze_sharded");
 
-    // One backend per shard: each loads ONLY its shard file and serves
-    // its manifest node range on its own port.
-    let mut backend_addrs = Vec::with_capacity(shards);
-    let mut backend_handles = Vec::with_capacity(shards);
-    let mut backend_threads = Vec::with_capacity(shards);
-    for i in 0..shards {
-        let store = BackendStore::load(&dir, i).expect("load backend shard");
-        println!(
-            "backend {i}: shard nodes {:?} ({} entries resident)",
-            store.owned_range(),
-            store.total_entries()
-        );
-        let server = store.into_server("127.0.0.1:0", 2).expect("bind backend");
-        backend_addrs.push(server.local_addr().expect("backend addr"));
-        backend_handles.push(server.handle());
-        backend_threads.push(std::thread::spawn(move || server.run()));
+    // A replica set per shard: every replica of shard i loads ONLY that
+    // shard file and serves its manifest node range on its own port.
+    let replicas = 2;
+    let mut backend_addrs: Vec<Vec<std::net::SocketAddr>> = vec![Vec::new(); shards];
+    let mut backend_handles = Vec::with_capacity(shards * replicas);
+    let mut backend_threads = Vec::with_capacity(shards * replicas);
+    for (i, shard_addrs) in backend_addrs.iter_mut().enumerate() {
+        for r in 0..replicas {
+            let store = BackendStore::load(&dir, i).expect("load backend shard");
+            if r == 0 {
+                println!(
+                    "shard {i}: nodes {:?} ({} entries resident per replica)",
+                    store.owned_range(),
+                    store.total_entries()
+                );
+            }
+            let server = store.into_server("127.0.0.1:0", 2).expect("bind backend");
+            shard_addrs.push(server.local_addr().expect("backend addr"));
+            backend_handles.push(server.handle());
+            backend_threads.push(std::thread::spawn(move || server.run()));
+        }
     }
 
     // A stateless router in front: it holds no sketch data, only the
-    // manifest's node-range table and the backend addresses.
+    // manifest's node-range table and the replica addresses. Hedged
+    // reads are safe to enable because replicas answer identical bits.
     let manifest = ShardManifest::load(dir.join(SHARD_MANIFEST_FILE)).expect("manifest");
-    let router = Router::bind(
-        "127.0.0.1:0",
-        manifest,
-        backend_addrs.clone(),
-        2,
-        RouterConfig::default(),
-    )
-    .expect("bind router");
+    let config = RouterConfig {
+        hedge_delay: Some(std::time::Duration::from_millis(20)),
+        ..RouterConfig::default()
+    };
+    let router = Router::bind("127.0.0.1:0", manifest, backend_addrs.clone(), 2, config)
+        .expect("bind router");
     let addr = router.local_addr().expect("router addr");
     let handle = router.handle();
     let router_thread = std::thread::spawn(move || router.run());
-    println!("\nrouter at {addr} over {shards} backends: {backend_addrs:?}");
+    println!("\nrouter at {addr} over {shards} shards x {replicas} replicas: {backend_addrs:?}");
 
     // Clients talk to the router exactly as they would to a
     // single-process server — same protocol, same answers.
@@ -98,6 +103,21 @@ fn main() {
         cardinality.len(),
         jaccard.len()
     );
+
+    // Kill shard 0's first replica and query straight through the hole:
+    // the router fails the legs over to the surviving replica, and the
+    // answers do not change by a single bit.
+    backend_handles.remove(0).shutdown();
+    backend_threads
+        .remove(0)
+        .join()
+        .expect("backend thread")
+        .expect("backend run");
+    let after_loss = client
+        .harmonic(&nodes)
+        .expect("harmonic after replica loss");
+    assert_eq!(after_loss, local.harmonic_batch(&nodes));
+    println!("killed one replica of shard 0 — answers unchanged, no client-visible error");
 
     // Shutdown ordering: router first (it drains in-flight client
     // work), then the backends.

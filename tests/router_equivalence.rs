@@ -5,145 +5,29 @@
 //! concurrent clients, and every request type of the protocol
 //! (mirroring `tests/serve_equivalence.rs` for the single-process tier).
 
-use std::net::SocketAddr;
+mod common;
 
 use proptest::prelude::*;
 
-use adsketch::core::centrality::DecayKernel;
-use adsketch::core::frozen::SHARD_MANIFEST_FILE;
-use adsketch::core::{freeze_sharded, AdsSet, AdsView, FrozenAdsSet, QueryEngine, ShardManifest};
+use adsketch::core::{AdsSet, QueryEngine};
 use adsketch::graph::{generators, NodeId};
-use adsketch::serve::{
-    BackendStore, Client, Request, Response, Router, RouterConfig, ServeError, ServerHandle,
-};
+use adsketch::serve::{Client, Request, Response, RouterConfig, ServeError};
+
+use common::{assert_routed_equals_local, ReplicaFleet};
 
 /// Freezes `ads` into `shards` backend processes (in-process servers,
-/// one [`BackendStore`] each) plus a [`Router`] in front. The guard
-/// tears the whole fleet down and wipes the scratch dir on drop.
-fn spawn_fleet(ads: &AdsSet, shards: usize, workers: usize, tag: &str) -> FleetGuard {
-    let dir = std::env::temp_dir().join(format!("adsketch_test_router_{tag}"));
-    let _ = std::fs::remove_dir_all(&dir);
-    freeze_sharded(ads, shards, &dir).expect("freeze_sharded");
-
-    let mut backend_addrs = Vec::with_capacity(shards);
-    let mut handles = Vec::new();
-    let mut joins = Vec::new();
-    for i in 0..shards {
-        let store = BackendStore::load(&dir, i).expect("load backend shard");
-        let server = store
-            .into_server("127.0.0.1:0", workers)
-            .expect("bind backend");
-        backend_addrs.push(server.local_addr().expect("backend addr"));
-        handles.push(server.handle());
-        joins.push(std::thread::spawn(move || server.run()));
-    }
-    let manifest = ShardManifest::load(dir.join(SHARD_MANIFEST_FILE)).expect("manifest");
-    let router = Router::bind(
-        "127.0.0.1:0",
-        manifest,
-        backend_addrs.clone(),
+/// one [`adsketch::serve::BackendStore`] each, one replica per shard)
+/// plus a router in front. The guard tears the whole fleet down and
+/// wipes the scratch dir on drop.
+fn spawn_fleet(ads: &AdsSet, shards: usize, workers: usize, tag: &str) -> ReplicaFleet {
+    ReplicaFleet::spawn(
+        ads,
+        shards,
+        1,
         workers,
+        &format!("eqv_{tag}"),
         RouterConfig::default(),
     )
-    .expect("bind router");
-    let addr = router.local_addr().expect("router addr");
-    handles.insert(0, router.handle());
-    joins.insert(0, std::thread::spawn(move || router.run()));
-    FleetGuard {
-        addr,
-        backend_addrs,
-        handles,
-        joins,
-        dir,
-    }
-}
-
-struct FleetGuard {
-    /// The router's client-facing address.
-    addr: SocketAddr,
-    /// One backend address per shard.
-    backend_addrs: Vec<SocketAddr>,
-    /// Router handle first, then one handle per backend.
-    handles: Vec<ServerHandle>,
-    joins: Vec<std::thread::JoinHandle<std::io::Result<u64>>>,
-    dir: std::path::PathBuf,
-}
-
-impl Drop for FleetGuard {
-    fn drop(&mut self) {
-        for h in &self.handles {
-            h.shutdown();
-        }
-        for j in self.joins.drain(..) {
-            let _ = j.join();
-        }
-        let _ = std::fs::remove_dir_all(&self.dir);
-    }
-}
-
-/// Fires every request type at the router and asserts each response is
-/// bitwise equal to the local engine on the unsharded store.
-fn assert_routed_equals_local(client: &mut Client, ads: &AdsSet, frozen: &FrozenAdsSet) {
-    let local = QueryEngine::new(frozen);
-    let n = ads.num_nodes() as NodeId;
-    let nodes: Vec<NodeId> = (0..n).collect();
-    let rev: Vec<NodeId> = (0..n).rev().collect();
-
-    assert_eq!(
-        client.harmonic(&nodes).expect("harmonic"),
-        local.harmonic_batch(&nodes)
-    );
-    // A shuffled batch must come back in request order, not shard order.
-    assert_eq!(
-        client.harmonic(&rev).expect("harmonic rev"),
-        local.harmonic_batch(&rev)
-    );
-    for kernel in [
-        DecayKernel::Harmonic,
-        DecayKernel::Constant,
-        DecayKernel::Threshold(2.0),
-        DecayKernel::Exponential { base: 2.0 },
-    ] {
-        assert_eq!(
-            client.decay(kernel, &nodes).expect("decay"),
-            local.decay_batch(kernel, &nodes),
-            "kernel {kernel:?}"
-        );
-    }
-    let queries: Vec<(NodeId, f64)> = nodes
-        .iter()
-        .map(|&v| (v, (v % 5) as f64))
-        .chain([(0, f64::INFINITY), (n - 1, 0.0)])
-        .collect();
-    assert_eq!(
-        client.cardinality(&queries).expect("cardinality"),
-        local.cardinality_batch(&queries)
-    );
-    assert_eq!(
-        client.neighborhood_function(&nodes).expect("nf"),
-        local.neighborhood_function_batch(&nodes)
-    );
-    // Neighbor pairs (mostly same-shard, boundary pairs cross-shard)
-    // plus antipodal pairs (mostly cross-shard) — both merge paths.
-    let mut pairs: Vec<(NodeId, NodeId)> = nodes.iter().map(|&v| (v, (v + 1) % n)).collect();
-    pairs.extend(nodes.iter().map(|&v| (v, (v + n / 2) % n)));
-    assert_eq!(
-        client.jaccard(2.0, &pairs).expect("jaccard"),
-        local.jaccard_batch(&pairs, 2.0)
-    );
-    // Sketch prefixes must be the exact (rank, node) insertion sequence
-    // the local view streams.
-    let d = 2.0;
-    let served = client.sketch_prefixes(d, &nodes).expect("sketch prefixes");
-    for (&v, seq) in nodes.iter().zip(&served) {
-        let mut want: Vec<(f64, NodeId)> = Vec::new();
-        frozen.for_each_entry(v, |e| {
-            if e.dist <= d {
-                want.push((e.rank, e.node));
-            }
-        });
-        assert_eq!(seq, &want, "sketch prefix of node {v}");
-    }
 }
 
 #[test]
@@ -270,7 +154,7 @@ fn backends_reject_nodes_outside_their_shard_range() {
     // Talk to shard 0's backend directly: a node owned by shard 1 is
     // in-graph but not resident here — it must earn ERR_SHARD_RANGE, not
     // a silent empty-row answer.
-    let mut direct = Client::connect(guard.backend_addrs[0]).expect("connect backend");
+    let mut direct = Client::connect(guard.slots[0][0].addr).expect("connect backend");
     let err = direct.harmonic(&[39]).unwrap_err();
     match err {
         ServeError::Remote { code, message } => {
@@ -300,7 +184,7 @@ fn router_shutdown_never_drops_an_accepted_pipelines_response() {
         })
         .collect();
     let mut client = Client::connect(guard.addr).expect("connect");
-    let router_handle = guard.handles[0].clone();
+    let router_handle = guard.router_handle();
     let responses = std::thread::scope(|s| {
         let h = s.spawn(move || {
             // Let the pipeline start flowing, then pull the plug.

@@ -3,113 +3,48 @@
 //! scenario the router must answer with a **typed error frame** within
 //! its deadline — never a panic, never a hang, never a silently partial
 //! merge — and must recover on the next request once the backend is
-//! healthy again.
+//! healthy again. The last test pins the circuit breaker's other
+//! promise: a backend that *stays* dead sees a bounded, backed-off dial
+//! rate instead of one connect attempt per incoming request.
 
-use std::io::{Read, Write};
+mod common;
+
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use adsketch::core::frozen::SHARD_MANIFEST_FILE;
 use adsketch::core::{freeze_sharded, AdsSet, QueryEngine, ShardManifest};
 use adsketch::graph::{generators, NodeId};
-use adsketch::serve::proto::{ERR_BACKEND, WIRE_VERSION};
-use adsketch::serve::{BackendStore, Client, Router, RouterConfig, ServeError, ServerHandle};
+use adsketch::serve::{Client, RouterConfig};
 
-/// Tight deadlines so fault scenarios resolve in test time.
-fn fast_config() -> RouterConfig {
-    RouterConfig {
-        connect_timeout: Duration::from_millis(250),
-        read_timeout: Duration::from_millis(400),
-        retries: 1,
-    }
-}
+use common::{
+    assert_backend_error, dead_port, fast_config, spawn_backend, spawn_router, FlakyProxy, Scratch,
+    BLACKHOLE, GARBAGE, HEALTHY, REFUSE, REJECT_HANDSHAKE, STALL, TRUNCATE,
+};
 
 /// Generous wall-clock ceiling: deadlines + retries + CI slack. The
 /// point is "bounded", not "fast".
 const DEADLINE: Duration = Duration::from_secs(5);
-
-fn assert_backend_error(err: ServeError) -> String {
-    match err {
-        ServeError::Remote { code, message } => {
-            assert_eq!(code, ERR_BACKEND, "wrong error code: {message}");
-            message
-        }
-        other => panic!("expected a typed ERR_BACKEND frame, got {other}"),
-    }
-}
-
-struct Scratch(std::path::PathBuf);
-
-impl Scratch {
-    fn new(tag: &str) -> Self {
-        let dir = std::env::temp_dir().join(format!("adsketch_test_router_faults_{tag}"));
-        let _ = std::fs::remove_dir_all(&dir);
-        Self(dir)
-    }
-}
-
-impl Drop for Scratch {
-    fn drop(&mut self) {
-        let _ = std::fs::remove_dir_all(&self.0);
-    }
-}
-
-fn spawn_backend(
-    dir: &std::path::Path,
-    shard: usize,
-) -> (
-    SocketAddr,
-    ServerHandle,
-    std::thread::JoinHandle<std::io::Result<u64>>,
-) {
-    let store = BackendStore::load(dir, shard).expect("load backend shard");
-    let server = store.into_server("127.0.0.1:0", 1).expect("bind backend");
-    let addr = server.local_addr().expect("backend addr");
-    let handle = server.handle();
-    let join = std::thread::spawn(move || server.run());
-    (addr, handle, join)
-}
-
-fn spawn_router(
-    dir: &std::path::Path,
-    backends: Vec<SocketAddr>,
-) -> (
-    SocketAddr,
-    ServerHandle,
-    std::thread::JoinHandle<std::io::Result<u64>>,
-) {
-    let manifest = ShardManifest::load(dir.join(SHARD_MANIFEST_FILE)).expect("manifest");
-    let router =
-        Router::bind("127.0.0.1:0", manifest, backends, 1, fast_config()).expect("bind router");
-    let addr = router.local_addr().expect("router addr");
-    let handle = router.handle();
-    let join = std::thread::spawn(move || router.run());
-    (addr, handle, join)
-}
-
-/// An ephemeral-port address nothing listens on (bound once, then
-/// dropped, so connects are refused immediately).
-fn dead_port() -> SocketAddr {
-    TcpListener::bind("127.0.0.1:0")
-        .expect("reserve port")
-        .local_addr()
-        .expect("addr")
-}
 
 #[test]
 fn dead_backend_port_yields_typed_error_and_live_shards_still_serve() {
     let g = generators::gnp(40, 0.1, 3);
     let ads = AdsSet::build(&g, 2, 1);
     let frozen = ads.freeze();
-    let scratch = Scratch::new("dead_port");
+    let scratch = Scratch::new("faults_dead_port");
     freeze_sharded(&ads, 2, &scratch.0).expect("freeze_sharded");
     let manifest = ShardManifest::load(scratch.0.join(SHARD_MANIFEST_FILE)).expect("manifest");
     let shard0_end = manifest.records()[0].end as NodeId;
 
     let (b0_addr, b0_handle, b0_join) = spawn_backend(&scratch.0, 0);
-    let (addr, r_handle, r_join) = spawn_router(&scratch.0, vec![b0_addr, dead_port()]);
+    let (addr, r_handle, r_join) = spawn_router(
+        &scratch.0,
+        vec![vec![b0_addr], vec![dead_port()]],
+        1,
+        fast_config(),
+    );
 
     let mut client = Client::connect(addr).expect("connect router");
     // A batch spanning the dead shard fails whole, typed, and bounded.
@@ -140,14 +75,19 @@ fn killing_a_backend_mid_stream_fails_whole_requests_without_partial_answers() {
     let g = generators::gnp(40, 0.12, 7);
     let ads = AdsSet::build(&g, 3, 2);
     let frozen = ads.freeze();
-    let scratch = Scratch::new("kill");
+    let scratch = Scratch::new("faults_kill");
     freeze_sharded(&ads, 2, &scratch.0).expect("freeze_sharded");
     let manifest = ShardManifest::load(scratch.0.join(SHARD_MANIFEST_FILE)).expect("manifest");
     let shard0_end = manifest.records()[0].end as NodeId;
 
     let (b0_addr, b0_handle, b0_join) = spawn_backend(&scratch.0, 0);
     let (b1_addr, b1_handle, b1_join) = spawn_backend(&scratch.0, 1);
-    let (addr, r_handle, r_join) = spawn_router(&scratch.0, vec![b0_addr, b1_addr]);
+    let (addr, r_handle, r_join) = spawn_router(
+        &scratch.0,
+        vec![vec![b0_addr], vec![b1_addr]],
+        1,
+        fast_config(),
+    );
 
     let mut client = Client::connect(addr).expect("connect router");
     let all: Vec<NodeId> = (0..40).collect();
@@ -190,179 +130,13 @@ fn killing_a_backend_mid_stream_fails_whole_requests_without_partial_answers() {
         .expect("backend run");
 }
 
-/// What the flaky proxy does with new connections.
-const HEALTHY: u8 = 0;
-/// Close immediately, before the handshake.
-const REFUSE: u8 = 1;
-/// Accept the TCP connection, then never read or write a byte — the
-/// connection looks alive but the handshake reply never comes.
-const BLACKHOLE: u8 = 6;
-/// Answer the handshake with a reject status.
-const REJECT_HANDSHAKE: u8 = 2;
-/// Accept the handshake, then answer with an insane length prefix.
-const GARBAGE: u8 = 3;
-/// Accept the handshake, then answer a truncated frame and close.
-const TRUNCATE: u8 = 4;
-/// Accept the handshake, swallow requests, never answer.
-const STALL: u8 = 5;
-
-/// A TCP proxy in front of a real backend whose failure mode can be
-/// switched at runtime. Switching also severs standing connections, so
-/// the router notices immediately — this is how "the backend died and
-/// came back" is simulated on one stable address (rebinding a real
-/// server's port would race TIME_WAIT).
-struct FlakyProxy {
-    addr: SocketAddr,
-    mode: Arc<AtomicU8>,
-    stop: Arc<AtomicBool>,
-    live: Arc<Mutex<Vec<TcpStream>>>,
-    join: Option<std::thread::JoinHandle<()>>,
-}
-
-impl FlakyProxy {
-    fn spawn(upstream: SocketAddr) -> Self {
-        let listener = TcpListener::bind("127.0.0.1:0").expect("bind proxy");
-        let addr = listener.local_addr().expect("proxy addr");
-        let mode = Arc::new(AtomicU8::new(HEALTHY));
-        let stop = Arc::new(AtomicBool::new(false));
-        let live: Arc<Mutex<Vec<TcpStream>>> = Arc::new(Mutex::new(Vec::new()));
-        let join = {
-            let (mode, stop, live) = (Arc::clone(&mode), Arc::clone(&stop), Arc::clone(&live));
-            std::thread::spawn(move || proxy_loop(listener, upstream, &mode, &stop, &live))
-        };
-        Self {
-            addr,
-            mode,
-            stop,
-            live,
-            join: Some(join),
-        }
-    }
-
-    fn set_mode(&self, mode: u8) {
-        self.mode.store(mode, Ordering::SeqCst);
-        for conn in self.live.lock().expect("live list").drain(..) {
-            let _ = conn.shutdown(std::net::Shutdown::Both);
-        }
-    }
-}
-
-impl Drop for FlakyProxy {
-    fn drop(&mut self) {
-        self.stop.store(true, Ordering::SeqCst);
-        self.set_mode(REFUSE);
-        let _ = TcpStream::connect(self.addr);
-        if let Some(join) = self.join.take() {
-            let _ = join.join();
-        }
-    }
-}
-
-fn handshake_accept(conn: &mut TcpStream) -> bool {
-    let mut hello = [0u8; 12];
-    if conn.read_exact(&mut hello).is_err() {
-        return false;
-    }
-    let mut accept = [1u8; 5];
-    accept[1..5].copy_from_slice(&WIRE_VERSION.to_le_bytes());
-    conn.write_all(&accept).is_ok()
-}
-
-fn proxy_loop(
-    listener: TcpListener,
-    upstream: SocketAddr,
-    mode: &AtomicU8,
-    stop: &AtomicBool,
-    live: &Mutex<Vec<TcpStream>>,
-) {
-    for conn in listener.incoming() {
-        if stop.load(Ordering::SeqCst) {
-            break;
-        }
-        let Ok(mut client) = conn else { continue };
-        if let Ok(clone) = client.try_clone() {
-            live.lock().expect("live list").push(clone);
-        }
-        match mode.load(Ordering::SeqCst) {
-            HEALTHY => {
-                let Ok(up) = TcpStream::connect(upstream) else {
-                    let _ = client.shutdown(std::net::Shutdown::Both);
-                    continue;
-                };
-                if let Ok(clone) = up.try_clone() {
-                    live.lock().expect("live list").push(clone);
-                }
-                let (Ok(mut c2), Ok(mut u2)) = (client.try_clone(), up.try_clone()) else {
-                    continue;
-                };
-                std::thread::spawn(move || {
-                    let mut client = client;
-                    let mut up = up;
-                    let _ = std::io::copy(&mut client, &mut up);
-                    let _ = up.shutdown(std::net::Shutdown::Both);
-                });
-                std::thread::spawn(move || {
-                    let _ = std::io::copy(&mut u2, &mut c2);
-                    let _ = c2.shutdown(std::net::Shutdown::Both);
-                });
-            }
-            REFUSE => {
-                // A plain drop would leave the socket half-open through
-                // the clone in `live`; sever it for real.
-                let _ = client.shutdown(std::net::Shutdown::Both);
-            }
-            BLACKHOLE => {
-                // Deliberately half-open: the clone in `live` keeps the
-                // socket established, and nobody ever answers the
-                // handshake. The router's handshake deadline must fire.
-                drop(client);
-            }
-            REJECT_HANDSHAKE => {
-                let mut hello = [0u8; 12];
-                let _ = client.read_exact(&mut hello);
-                let mut reject = [0u8; 5];
-                reject[1..5].copy_from_slice(&WIRE_VERSION.to_le_bytes());
-                let _ = client.write_all(&reject);
-            }
-            GARBAGE => {
-                if handshake_accept(&mut client) {
-                    let mut buf = [0u8; 4096];
-                    let _ = client.read(&mut buf);
-                    // A length prefix far beyond MAX_FRAME_LEN.
-                    let _ = client.write_all(&u32::MAX.to_le_bytes());
-                }
-            }
-            TRUNCATE => {
-                if handshake_accept(&mut client) {
-                    let mut buf = [0u8; 4096];
-                    let _ = client.read(&mut buf);
-                    // Declare a 100-byte frame, deliver 10, hang up.
-                    let _ = client.write_all(&100u32.to_le_bytes());
-                    let _ = client.write_all(&[0u8; 10]);
-                }
-            }
-            _ => {
-                if handshake_accept(&mut client) {
-                    let mut buf = [0u8; 4096];
-                    while !stop.load(Ordering::SeqCst) {
-                        match client.read(&mut buf) {
-                            Ok(0) | Err(_) => break,
-                            Ok(_) => {}
-                        }
-                    }
-                }
-            }
-        }
-    }
-}
-
 #[test]
 fn corrupt_backend_frames_yield_typed_errors_then_clean_recovery() {
     let g = generators::gnp(40, 0.12, 9);
     let ads = AdsSet::build(&g, 3, 4);
     let frozen = ads.freeze();
     let local = QueryEngine::new(&frozen);
-    let scratch = Scratch::new("proxy");
+    let scratch = Scratch::new("faults_proxy");
     freeze_sharded(&ads, 2, &scratch.0).expect("freeze_sharded");
 
     let (b0_addr, b0_handle, b0_join) = spawn_backend(&scratch.0, 0);
@@ -370,7 +144,12 @@ fn corrupt_backend_frames_yield_typed_errors_then_clean_recovery() {
     // Shard 1 sits behind the flaky proxy; the router only knows the
     // proxy's address.
     let proxy = FlakyProxy::spawn(b1_addr);
-    let (addr, r_handle, r_join) = spawn_router(&scratch.0, vec![b0_addr, proxy.addr]);
+    let (addr, r_handle, r_join) = spawn_router(
+        &scratch.0,
+        vec![vec![b0_addr], vec![proxy.addr]],
+        1,
+        fast_config(),
+    );
 
     let mut client = Client::connect(addr).expect("connect router");
     let all: Vec<NodeId> = (0..40).collect();
@@ -419,6 +198,89 @@ fn corrupt_backend_frames_yield_typed_errors_then_clean_recovery() {
         .expect("backend run");
     b1_handle.shutdown();
     b1_join
+        .join()
+        .expect("backend thread")
+        .expect("backend run");
+}
+
+/// A listener that counts every accepted connection and hangs up — a
+/// permanently dead backend whose dial pressure is observable.
+fn counting_refuser() -> (SocketAddr, Arc<AtomicUsize>, Arc<AtomicBool>) {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind counter");
+    let addr = listener.local_addr().expect("addr");
+    let count = Arc::new(AtomicUsize::new(0));
+    let stop = Arc::new(AtomicBool::new(false));
+    {
+        let (count, stop) = (Arc::clone(&count), Arc::clone(&stop));
+        std::thread::spawn(move || {
+            for conn in listener.incoming() {
+                if stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                count.fetch_add(1, Ordering::SeqCst);
+                drop(conn);
+            }
+        });
+    }
+    (addr, count, stop)
+}
+
+#[test]
+fn dead_backend_sees_a_bounded_dial_rate_not_per_request_hammering() {
+    let g = generators::gnp(40, 0.1, 5);
+    let ads = AdsSet::build(&g, 2, 3);
+    let scratch = Scratch::new("faults_dial_rate");
+    freeze_sharded(&ads, 2, &scratch.0).expect("freeze_sharded");
+
+    let (b0_addr, b0_handle, b0_join) = spawn_backend(&scratch.0, 0);
+    let (dead_addr, dials, counter_stop) = counting_refuser();
+    // A realistic breaker: three strikes open the circuit, reconnects
+    // back off 50 ms → 200 ms, the prober re-checks on that cadence.
+    let config = RouterConfig {
+        connect_timeout: Duration::from_millis(250),
+        read_timeout: Duration::from_millis(400),
+        retries: 1,
+        failure_threshold: 3,
+        backoff_base: Duration::from_millis(50),
+        backoff_cap: Duration::from_millis(200),
+        probe_interval: Duration::from_millis(25),
+        hedge_delay: None,
+        degraded: false,
+    };
+    let (addr, r_handle, r_join) =
+        spawn_router(&scratch.0, vec![vec![b0_addr], vec![dead_addr]], 1, config);
+
+    // Hammer the router with requests needing the dead shard for a fixed
+    // window. Every request must fail typed; the dial count must track
+    // the backoff schedule, not the request rate.
+    let mut client = Client::connect(addr).expect("connect router");
+    let all: Vec<NodeId> = (0..40).collect();
+    let window = Duration::from_millis(1200);
+    let t0 = Instant::now();
+    let mut failed = 0usize;
+    while t0.elapsed() < window {
+        assert_backend_error(client.harmonic(&all).unwrap_err());
+        failed += 1;
+    }
+    let dialed = dials.load(Ordering::SeqCst);
+    // Once the circuit opens (3 failures), requests fail fast without
+    // touching the endpoint, so far more requests than dials must fit
+    // the window.
+    assert!(failed >= 20, "requests should fail fast, got {failed}");
+    assert!(dialed >= 1, "the dead endpoint was never tried");
+    // 3 dials to open + one half-open probe per backed-off cooldown
+    // (≤ 200 ms each) over 1.2 s, plus slack: far below `failed`.
+    assert!(
+        dialed <= 25,
+        "dead backend hammered: {dialed} dials for {failed} requests in {window:?}"
+    );
+
+    counter_stop.store(true, Ordering::SeqCst);
+    let _ = TcpStream::connect(dead_addr);
+    r_handle.shutdown();
+    r_join.join().expect("router thread").expect("router run");
+    b0_handle.shutdown();
+    b0_join
         .join()
         .expect("backend thread")
         .expect("backend run");

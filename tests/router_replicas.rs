@@ -1,0 +1,401 @@
+//! Replica-aware routing: the router must survive the death of any
+//! minority of a shard's replica set with **zero client-visible
+//! errors** and bitwise-identical answers — across fleet shapes, worker
+//! counts, kills mid-pipeline, hedged reads, and (opt-in) graceful
+//! degradation when a whole replica set is down.
+
+mod common;
+
+use std::time::{Duration, Instant};
+
+use proptest::prelude::*;
+
+use adsketch::core::{freeze_sharded, AdsSet, QueryEngine};
+use adsketch::graph::{generators, NodeId};
+use adsketch::serve::proto::ERR_SHARD_DOWN;
+use adsketch::serve::{Client, Request, RouterConfig, ServeError};
+
+use common::{
+    assert_routed_equals_local, dead_port, fast_config, spawn_backend, spawn_router, FlakyProxy,
+    ReplicaFleet, Scratch, STALL, TRUNCATE,
+};
+
+#[test]
+fn replicated_fleets_answer_bitwise_identically() {
+    let g = generators::gnp_directed(80, 0.06, 21);
+    let ads = AdsSet::build(&g, 4, 11);
+    let frozen = ads.freeze();
+    for (shards, replicas) in [(1usize, 3usize), (4, 2)] {
+        for workers in [1usize, 2] {
+            let guard = ReplicaFleet::spawn(
+                &ads,
+                shards,
+                replicas,
+                workers,
+                &format!("rep_eq_{shards}x{replicas}_{workers}"),
+                RouterConfig::default(),
+            );
+            let mut client = Client::connect(guard.addr).expect("connect");
+            assert_routed_equals_local(&mut client, &ads, &frozen);
+        }
+    }
+}
+
+#[test]
+fn killing_each_replica_in_turn_is_invisible_to_clients() {
+    let g = generators::gnp_directed(60, 0.08, 5);
+    let ads = AdsSet::build(&g, 3, 7);
+    let frozen = ads.freeze();
+    let local = QueryEngine::new(&frozen);
+    let nodes: Vec<NodeId> = (0..60).collect();
+    let pairs: Vec<(NodeId, NodeId)> = nodes.iter().map(|&v| (v, (v + 30) % 60)).collect();
+    let harmonic = local.harmonic_batch(&nodes);
+    let jaccard = local.jaccard_batch(&pairs, 2.0);
+
+    // Replica death must never open a window of client errors, so the
+    // failure threshold is set out of reach: cooling replicas stay
+    // dialable as fallback and the dead one is simply failed over.
+    let mut config = fast_config();
+    config.failure_threshold = 100_000;
+    for (shards, replicas) in [(1usize, 3usize), (2, 2)] {
+        let mut guard = ReplicaFleet::spawn(
+            &ads,
+            shards,
+            replicas,
+            2,
+            &format!("rep_kill_{shards}x{replicas}"),
+            config.clone(),
+        );
+        let mut client = Client::connect(guard.addr).expect("connect");
+        assert_eq!(client.harmonic(&nodes).expect("healthy"), harmonic);
+        for shard in 0..shards {
+            for rep in 0..replicas {
+                // Kill one replica — its standing router connections die
+                // and its port refuses — then query through the hole.
+                guard.kill(shard, rep);
+                for _ in 0..3 {
+                    assert_eq!(
+                        client
+                            .harmonic(&nodes)
+                            .expect("harmonic with a dead replica"),
+                        harmonic,
+                        "shard {shard} rep {rep} down"
+                    );
+                }
+                assert_eq!(
+                    client
+                        .jaccard(2.0, &pairs)
+                        .expect("jaccard with a dead replica"),
+                    jaccard,
+                    "shard {shard} rep {rep} down"
+                );
+                guard.restart(shard, rep);
+                // The restarted replica rejoins transparently; the next
+                // answers stay bitwise identical whether or not the
+                // router has re-adopted it yet.
+                assert_eq!(client.harmonic(&nodes).expect("after restart"), harmonic);
+            }
+        }
+    }
+}
+
+#[test]
+fn mid_pipeline_replica_loss_never_breaks_response_pairing() {
+    let g = generators::barabasi_albert(80, 3, 9);
+    let ads = AdsSet::build(&g, 3, 3);
+    let frozen = ads.freeze();
+    let local = QueryEngine::new(&frozen);
+    let scratch = Scratch::new("rep_midpipe");
+    freeze_sharded(&ads, 2, &scratch.0).expect("freeze_sharded");
+
+    // Shard 0's first replica sits behind the flaky proxy; its second
+    // replica and shard 1 are direct backends.
+    let (b0a_addr, b0a_handle, b0a_join) = spawn_backend(&scratch.0, 0);
+    let (b0b_addr, b0b_handle, b0b_join) = spawn_backend(&scratch.0, 0);
+    let (b1_addr, b1_handle, b1_join) = spawn_backend(&scratch.0, 1);
+    let proxy = FlakyProxy::spawn(b0a_addr);
+    let mut config = fast_config();
+    config.retries = 2;
+    let (addr, r_handle, r_join) = spawn_router(
+        &scratch.0,
+        vec![vec![proxy.addr, b0b_addr], vec![b1_addr]],
+        2,
+        config,
+    );
+
+    let reqs: Vec<Request> = (0..40u32)
+        .map(|i| Request::Harmonic {
+            nodes: (0..80).map(|v| (v + i) % 80).collect(),
+        })
+        .collect();
+    let mut client = Client::connect(addr).expect("connect");
+    // Warm the pipeline once, then sever the proxied replica MID-FRAME
+    // while a deep pipeline is in flight (TRUNCATE also corrupts any
+    // frame a fresh dial gets). Every response must still arrive, in
+    // order, bitwise identical — the failover may not cross-pair frames.
+    assert!(client.pipeline(&reqs[..4]).is_ok());
+    let responses = std::thread::scope(|s| {
+        let proxy = &proxy;
+        s.spawn(move || {
+            std::thread::sleep(Duration::from_millis(3));
+            proxy.set_mode(TRUNCATE);
+        });
+        client
+            .pipeline(&reqs)
+            .expect("pipeline survives replica loss")
+    });
+    for (req, resp) in reqs.iter().zip(&responses) {
+        let Request::Harmonic { nodes } = req else {
+            unreachable!()
+        };
+        assert_eq!(
+            resp,
+            &adsketch::serve::Response::Floats(local.harmonic_batch(nodes)),
+            "response pairing broke after mid-pipeline replica loss"
+        );
+    }
+
+    drop(proxy);
+    r_handle.shutdown();
+    r_join.join().expect("router thread").expect("router run");
+    for (h, j) in [
+        (b0a_handle, b0a_join),
+        (b0b_handle, b0b_join),
+        (b1_handle, b1_join),
+    ] {
+        h.shutdown();
+        j.join().expect("backend thread").expect("backend run");
+    }
+}
+
+#[test]
+fn hedged_reads_mask_straggling_replicas() {
+    let g = generators::gnp(50, 0.1, 13);
+    let ads = AdsSet::build(&g, 3, 5);
+    let frozen = ads.freeze();
+    let local = QueryEngine::new(&frozen);
+    let scratch = Scratch::new("rep_hedge");
+    freeze_sharded(&ads, 1, &scratch.0).expect("freeze_sharded");
+
+    let (b0a_addr, b0a_handle, b0a_join) = spawn_backend(&scratch.0, 0);
+    let (b0b_addr, b0b_handle, b0b_join) = spawn_backend(&scratch.0, 0);
+    // Replica 0 accepts the handshake and then never answers anything —
+    // a hard straggler. The read deadline is deliberately huge: only the
+    // hedge can produce fast answers.
+    let proxy = FlakyProxy::spawn(b0a_addr);
+    proxy.set_mode(STALL);
+    let config = RouterConfig {
+        connect_timeout: Duration::from_millis(250),
+        read_timeout: Duration::from_secs(5),
+        retries: 1,
+        failure_threshold: 100_000,
+        backoff_base: Duration::from_millis(10),
+        backoff_cap: Duration::from_millis(100),
+        probe_interval: Duration::from_millis(25),
+        hedge_delay: Some(Duration::from_millis(25)),
+        degraded: false,
+    };
+    let (addr, r_handle, r_join) =
+        spawn_router(&scratch.0, vec![vec![proxy.addr, b0b_addr]], 1, config);
+
+    let mut client = Client::connect(addr).expect("connect");
+    let nodes: Vec<NodeId> = (0..50).collect();
+    let baseline = local.harmonic_batch(&nodes);
+    let t0 = Instant::now();
+    for _ in 0..3 {
+        assert_eq!(
+            client.harmonic(&nodes).expect("hedged answer"),
+            baseline,
+            "hedged answers must stay bitwise identical"
+        );
+    }
+    // 3 requests × ~25 ms hedge delay, far under one 5 s read timeout:
+    // the answers came from the hedge, not from waiting the straggler
+    // out.
+    assert!(
+        t0.elapsed() < Duration::from_secs(2),
+        "hedging did not mask the straggler: {:?}",
+        t0.elapsed()
+    );
+
+    drop(proxy);
+    r_handle.shutdown();
+    r_join.join().expect("router thread").expect("router run");
+    for (h, j) in [(b0a_handle, b0a_join), (b0b_handle, b0b_join)] {
+        h.shutdown();
+        j.join().expect("backend thread").expect("backend run");
+    }
+}
+
+#[test]
+fn degraded_mode_serves_typed_slots_for_dead_shards() {
+    let g = generators::gnp(40, 0.1, 17);
+    let ads = AdsSet::build(&g, 2, 9);
+    let frozen = ads.freeze();
+    let local = QueryEngine::new(&frozen);
+    let scratch = Scratch::new("rep_degraded");
+    freeze_sharded(&ads, 2, &scratch.0).expect("freeze_sharded");
+    let manifest = adsketch::core::ShardManifest::load(
+        scratch.0.join(adsketch::core::frozen::SHARD_MANIFEST_FILE),
+    )
+    .expect("manifest");
+    let shard0_end = manifest.records()[0].end as NodeId;
+
+    let (b0_addr, b0_handle, b0_join) = spawn_backend(&scratch.0, 0);
+    let (b1_addr, b1_handle, b1_join) = spawn_backend(&scratch.0, 1);
+    let mut config = fast_config();
+    config.degraded = true;
+    config.failure_threshold = 3;
+    let (addr, r_handle, r_join) =
+        spawn_router(&scratch.0, vec![vec![b0_addr], vec![b1_addr]], 1, config);
+
+    let mut client = Client::connect(addr).expect("connect");
+    let all: Vec<NodeId> = (0..40).collect();
+    let baseline = local.harmonic_batch(&all);
+    // Healthy: degraded mode is invisible — plain Floats, all Ok.
+    let slots = client
+        .floats_partial(&Request::Harmonic { nodes: all.clone() })
+        .expect("healthy partial");
+    assert_eq!(
+        slots
+            .iter()
+            .map(|s| *s.as_ref().expect("ok"))
+            .collect::<Vec<_>>(),
+        baseline
+    );
+
+    // Shard 1's only replica dies: spanning float batches now answer
+    // with typed per-request slots — values for shard 0's nodes (still
+    // bitwise identical), ERR_SHARD_DOWN for exactly shard 1's.
+    b1_handle.shutdown();
+    b1_join
+        .join()
+        .expect("backend thread")
+        .expect("backend run");
+    for round in 0..3 {
+        let slots = client
+            .floats_partial(&Request::Harmonic { nodes: all.clone() })
+            .expect("degraded partial");
+        assert_eq!(slots.len(), all.len());
+        for (&v, slot) in all.iter().zip(&slots) {
+            if v < shard0_end {
+                assert_eq!(slot, &Ok(baseline[v as usize]), "round {round}, node {v}");
+            } else {
+                assert_eq!(slot, &Err(ERR_SHARD_DOWN), "round {round}, node {v}");
+            }
+        }
+    }
+    // A batch owned entirely by the dead shard: every slot down (the
+    // single-shard fast path degrades too).
+    let dead_only: Vec<NodeId> = (shard0_end..40).collect();
+    let slots = client
+        .floats_partial(&Request::Harmonic {
+            nodes: dead_only.clone(),
+        })
+        .expect("all-down partial");
+    assert!(slots.iter().all(|s| s == &Err(ERR_SHARD_DOWN)));
+    // Jaccard: same-shard pairs on the live shard still answer bitwise;
+    // any pair touching the dead shard is typed down.
+    let pairs: Vec<(NodeId, NodeId)> = vec![(0, 1), (0, 39), (39, 38)];
+    let want = local.jaccard_batch(&pairs, 2.0);
+    let slots = client
+        .floats_partial(&Request::Jaccard { d: 2.0, pairs })
+        .expect("degraded jaccard");
+    assert_eq!(slots[0], Ok(want[0]));
+    assert_eq!(slots[1], Err(ERR_SHARD_DOWN));
+    assert_eq!(slots[2], Err(ERR_SHARD_DOWN));
+    // Curve batches stay all-or-nothing even in degraded mode.
+    let err = client.neighborhood_function(&all).unwrap_err();
+    assert!(matches!(err, ServeError::Remote { .. }));
+
+    r_handle.shutdown();
+    r_join.join().expect("router thread").expect("router run");
+    b0_handle.shutdown();
+    b0_join
+        .join()
+        .expect("backend thread")
+        .expect("backend run");
+}
+
+#[test]
+fn router_shutdown_is_prompt_despite_a_slow_probe_interval() {
+    let g = generators::gnp(30, 0.1, 23);
+    let ads = AdsSet::build(&g, 2, 2);
+    // A glacial probe interval: without the condvar nudge, shutdown
+    // would stall until the prober's next tick.
+    let mut config = fast_config();
+    config.probe_interval = Duration::from_secs(30);
+    config.failure_threshold = 1;
+    let mut guard = ReplicaFleet::spawn(&ads, 1, 2, 1, "rep_shutdown", config);
+    let mut client = Client::connect(guard.addr).expect("connect");
+    let nodes: Vec<NodeId> = (0..30).collect();
+
+    // Open a circuit so shutdown happens with the breaker engaged.
+    guard.kill(0, 0);
+    for _ in 0..3 {
+        client.harmonic(&nodes).expect("replica 1 serves");
+    }
+    drop(client);
+    let took = guard.shutdown_router_timed();
+    assert!(
+        took < Duration::from_secs(3),
+        "router shutdown waited out the probe interval: {took:?}"
+    );
+}
+
+proptest! {
+    /// Random tiny graph, random fleet shape, one replica of every
+    /// shard dead: round-robin + failover never reorders the
+    /// request-order merge — answers stay bitwise identical to the
+    /// local engine.
+    #[test]
+    fn failover_and_round_robin_never_reorder_the_merge(
+        n in 2usize..20,
+        seed in 0u64..500,
+        k in 1usize..4,
+        shards in 1usize..4,
+        dead_rep in 0usize..2,
+    ) {
+        let g = generators::gnp_directed(n, 0.15, seed);
+        let ads = AdsSet::build(&g, k, seed);
+        let frozen = ads.freeze();
+        let local = QueryEngine::new(&frozen);
+        let scratch = Scratch::new("rep_prop");
+        freeze_sharded(&ads, shards, &scratch.0).expect("freeze_sharded");
+        let mut replicas = Vec::with_capacity(shards);
+        let mut cleanup = Vec::new();
+        for shard in 0..shards {
+            let (live, handle, join) = spawn_backend(&scratch.0, shard);
+            cleanup.push((handle, join));
+            // One live replica, one dead port — which slot is dead
+            // varies, so both round-robin positions get exercised.
+            let mut reps = vec![live, dead_port()];
+            reps.swap(0, dead_rep);
+            replicas.push(reps);
+        }
+        let (addr, r_handle, r_join) = spawn_router(&scratch.0, replicas, 2, fast_config());
+
+        let mut client = Client::connect(addr).expect("connect");
+        let nodes: Vec<NodeId> = (0..n as NodeId).collect();
+        let rev: Vec<NodeId> = nodes.iter().rev().copied().collect();
+        prop_assert_eq!(
+            client.harmonic(&rev).expect("harmonic"),
+            local.harmonic_batch(&rev)
+        );
+        let pairs: Vec<(NodeId, NodeId)> = nodes
+            .iter()
+            .map(|&v| (v, (v + n as NodeId / 2) % n as NodeId))
+            .collect();
+        prop_assert_eq!(
+            client.jaccard(1.5, &pairs).expect("jaccard"),
+            local.jaccard_batch(&pairs, 1.5)
+        );
+
+        r_handle.shutdown();
+        r_join.join().expect("router thread").expect("router run");
+        for (h, j) in cleanup {
+            h.shutdown();
+            j.join().expect("backend thread").expect("backend run");
+        }
+    }
+}

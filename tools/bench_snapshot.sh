@@ -42,6 +42,11 @@ if [[ "${SMOKE:-0}" == "1" ]]; then
   # JSON — the committed serve baseline stays single-process).
   cargo run --release -p adsketch-serve --bin loadgen -- --router 2 --smoke \
     --k "${K:-16}" --json target/BENCH_serve.router-smoke.json
+  # And a tiny chaos drill: 2 shards x 2 replicas, the scheduler kills
+  # and restarts one backend replica at a time under live load; any
+  # client-visible error or identity mismatch fails the run.
+  cargo run --release -p adsketch-serve --bin loadgen -- --router 2 --replicas 2 \
+    --chaos --smoke --k "${K:-16}" --json target/BENCH_serve.chaos-smoke.json
   echo "smoke snapshots written to target/BENCH_{build,query,serve}.smoke.json (baselines untouched)"
 else
   echo "baselines written to BENCH_build.json, BENCH_query.json and BENCH_serve.json"
