@@ -4,6 +4,8 @@
 //! `tbl_*`) and criterion benches; see `DESIGN.md` §6 for the experiment
 //! index and `EXPERIMENTS.md` for paper-vs-measured results.
 
+#![forbid(unsafe_code)]
+
 pub mod table;
 
 pub use table::Table;

@@ -10,6 +10,8 @@
 //! statistically rigorous; swap in the real crate when networked (the
 //! bench sources need no changes).
 
+#![forbid(unsafe_code)]
+
 use std::fmt::Display;
 use std::time::{Duration, Instant};
 

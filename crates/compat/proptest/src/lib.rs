@@ -13,6 +13,8 @@
 //! case. Swap in the real crate when networked (test sources need no
 //! changes).
 
+#![forbid(unsafe_code)]
+
 pub mod collection;
 pub mod strategy;
 pub mod test_runner;

@@ -88,6 +88,11 @@ use crate::entry::AdsEntry;
 use crate::hip::HipItem;
 use crate::view::AdsView;
 
+#[allow(unsafe_code)] // the workspace's single unsafe module; see its docs
+mod mmap;
+
+use mmap::MapRegion;
+
 /// Magic bytes identifying a serialized frozen ADS store.
 pub const FROZEN_MAGIC: [u8; 8] = *b"ADSKFRZ1";
 /// The on-disk format version this build writes and reads.
@@ -96,6 +101,55 @@ pub const FROZEN_FORMAT_VERSION: u32 = 1;
 const HEADER_LEN: usize = 40;
 const CHECKSUM_OFFSET: usize = 32;
 
+/// One CSR column: either owned on the heap or a typed view into the
+/// store's mapped file region (byte offset + element count; the region
+/// itself lives on the enclosing [`FrozenAdsSet`]).
+#[derive(Debug)]
+enum Col<T> {
+    Owned(Vec<T>),
+    Mapped { off: usize, count: usize },
+}
+
+/// Column element types that can be viewed directly out of a mapped
+/// region. Views were alignment-checked once at load time, so resolution
+/// here is infallible.
+trait ColElem: Copy {
+    fn view(region: &MapRegion, off: usize, count: usize) -> &[Self];
+}
+
+impl ColElem for u32 {
+    #[inline]
+    fn view(region: &MapRegion, off: usize, count: usize) -> &[u32] {
+        region
+            .u32_slice(off, count)
+            .expect("column checked at load")
+    }
+}
+
+impl ColElem for f64 {
+    #[inline]
+    fn view(region: &MapRegion, off: usize, count: usize) -> &[f64] {
+        region
+            .f64_slice(off, count)
+            .expect("column checked at load")
+    }
+}
+
+impl<T: ColElem> Col<T> {
+    /// The column contents, whichever backing holds them.
+    #[inline]
+    fn slice<'a>(&'a self, region: Option<&'a MapRegion>) -> &'a [T] {
+        match self {
+            Col::Owned(v) => v,
+            Col::Mapped { off, count } => T::view(
+                region.expect("mapped column requires a region"),
+                *off,
+                *count,
+            ),
+        }
+    }
+}
+
 /// A frozen, immutable, struct-of-arrays ADS set.
 ///
 /// CSR-style layout: node `v`'s entries occupy the index range
@@ -103,19 +157,66 @@ const CHECKSUM_OFFSET: usize = 32;
 /// `weights` column holds the HIP adjusted weights (Lemma 5.1),
 /// precomputed once at freeze time — queries never rerun the bottom-k
 /// threshold scan.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Columns are either owned heap `Vec`s (freeze, `from_bytes`, the
+/// buffered loaders) or zero-copy views into a memory-mapped store file
+/// ([`FrozenAdsSet::load_with`] with [`LoadOptions::map`]); every query
+/// path is backing-agnostic and bitwise identical across the two.
+#[derive(Debug)]
 pub struct FrozenAdsSet {
     k: u32,
+    /// Backs any `Col::Mapped` column; `None` for fully-owned stores.
+    region: Option<MapRegion>,
     /// `n + 1` prefix offsets into the entry columns.
-    offsets: Vec<u32>,
+    offsets: Col<u32>,
     /// Sampled node ids, per node in canonical `(dist, node)` order.
-    nodes: Vec<NodeId>,
+    nodes: Col<NodeId>,
     /// Distances from each sketch's source.
-    dists: Vec<f64>,
+    dists: Col<f64>,
     /// The sampled nodes' random ranks.
-    ranks: Vec<f64>,
+    ranks: Col<f64>,
     /// Precomputed HIP adjusted weights `1/τ`.
-    weights: Vec<f64>,
+    weights: Col<f64>,
+}
+
+impl Clone for FrozenAdsSet {
+    /// Deep copy: a clone always owns its columns (cloning a mapped
+    /// store materializes it, dropping the dependence on the mapping).
+    fn clone(&self) -> Self {
+        Self::from_owned_cols(
+            self.k,
+            self.offsets().to_vec(),
+            self.nodes().to_vec(),
+            self.dists().to_vec(),
+            self.ranks().to_vec(),
+            self.weights().to_vec(),
+        )
+    }
+}
+
+impl PartialEq for FrozenAdsSet {
+    /// Logical equality over `k` and the five columns — a mapped store
+    /// and its owned copy compare equal.
+    fn eq(&self, other: &Self) -> bool {
+        self.k == other.k
+            && self.offsets() == other.offsets()
+            && self.nodes() == other.nodes()
+            && self
+                .dists()
+                .iter()
+                .map(|x| x.to_bits())
+                .eq(other.dists().iter().map(|x| x.to_bits()))
+            && self
+                .ranks()
+                .iter()
+                .map(|x| x.to_bits())
+                .eq(other.ranks().iter().map(|x| x.to_bits()))
+            && self
+                .weights()
+                .iter()
+                .map(|x| x.to_bits())
+                .eq(other.weights().iter().map(|x| x.to_bits()))
+    }
 }
 
 /// Errors surfaced by [`FrozenAdsSet::from_bytes`] / [`FrozenAdsSet::load`].
@@ -260,12 +361,132 @@ impl<W: Write> Write for HashingWriter<W> {
     }
 }
 
+/// The `Read` twin of [`HashingWriter`]: FNV-hashes every byte it
+/// yields, so the buffered loader can produce whole-file digests in the
+/// same pass that parses the store.
+struct HashingReader<R: Read> {
+    inner: R,
+    hash: Fnv1a64,
+}
+
+impl<R: Read> HashingReader<R> {
+    fn new(inner: R) -> Self {
+        Self {
+            inner,
+            hash: Fnv1a64::new(),
+        }
+    }
+
+    fn digest(&self) -> u64 {
+        self.hash.digest()
+    }
+}
+
+impl<R: Read> Read for HashingReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let n = self.inner.read(buf)?;
+        self.hash.update(&buf[..n]);
+        Ok(n)
+    }
+}
+
+/// How [`FrozenAdsSet::load_with`] brings a store off disk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LoadOptions {
+    /// Verify the header checksum and the full structural invariants
+    /// (default **on**). Turning this off is the warm-restart fast path
+    /// for files this process (or a trusted peer) already verified:
+    /// header sanity, exact length, and offset-table invariants are
+    /// still enforced, but the per-byte checksum walk and the O(E)
+    /// canonical-order scan are skipped.
+    pub verify: bool,
+    /// Map the file's columns in place with `mmap` instead of copying
+    /// them into owned memory (default **off**, matching
+    /// [`FrozenAdsSet::load`]'s historical behaviour). Zero-copy on
+    /// 64-bit Linux; elsewhere (and whenever the syscall declines) the
+    /// loader silently falls back to buffered reads, so the option is
+    /// a pure fast path. Replicas mapping the same file share its pages
+    /// through the kernel page cache.
+    pub map: bool,
+}
+
+impl Default for LoadOptions {
+    fn default() -> Self {
+        Self {
+            verify: true,
+            map: false,
+        }
+    }
+}
+
+impl LoadOptions {
+    /// Verified, zero-copy: the serving tier's cold-start default.
+    pub fn mapped() -> Self {
+        Self {
+            verify: true,
+            map: true,
+        }
+    }
+
+    /// Unverified, zero-copy: the warm-replica-restart fast path for
+    /// stores that were already verified when first deployed.
+    pub fn trusted() -> Self {
+        Self {
+            verify: false,
+            map: true,
+        }
+    }
+}
+
 fn read_u32(buf: &[u8], at: usize) -> u32 {
     u32::from_le_bytes(buf[at..at + 4].try_into().expect("bounds checked"))
 }
 
 fn read_u64(buf: &[u8], at: usize) -> u64 {
     u64::from_le_bytes(buf[at..at + 8].try_into().expect("bounds checked"))
+}
+
+/// The untrusted fields of a version-1 store header, after the O(1)
+/// sanity checks shared by the streaming and mapped loaders.
+struct ParsedHeader {
+    k: u32,
+    n: u64,
+    entries: u64,
+    stored_checksum: u64,
+    /// Exact serialized length the header implies (u128: untrusted).
+    expected_len: u128,
+}
+
+/// Validates magic/version/counts of a 40-byte store header.
+fn parse_store_header(header: &[u8; HEADER_LEN]) -> Result<ParsedHeader, FrozenError> {
+    if header[..8] != FROZEN_MAGIC {
+        return Err(FrozenError::BadMagic);
+    }
+    let version = read_u32(header, 8);
+    if version != FROZEN_FORMAT_VERSION {
+        return Err(FrozenError::UnsupportedVersion(version));
+    }
+    let k = read_u32(header, 12);
+    let n = read_u64(header, 16);
+    let entries = read_u64(header, 24);
+    let stored_checksum = read_u64(header, CHECKSUM_OFFSET);
+    if k == 0 {
+        return Err(FrozenError::Corrupt("k must be ≥ 1".into()));
+    }
+    if n > u32::MAX as u64 || entries > u32::MAX as u64 {
+        return Err(FrozenError::Corrupt(format!(
+            "node/entry counts exceed the u32 CSR limit (n = {n}, entries = {entries})"
+        )));
+    }
+    // All arithmetic in u128: header fields are untrusted.
+    let expected_len = HEADER_LEN as u128 + (n as u128 + 1) * 4 + entries as u128 * (4 + 3 * 8);
+    Ok(ParsedHeader {
+        k,
+        n,
+        entries,
+        stored_checksum,
+        expected_len,
+    })
 }
 
 /// Fills `buf` from the reader, mapping end-of-input to
@@ -302,7 +523,9 @@ const COL_CAPACITY_HINT: usize = 1 << 20;
 /// hashing every byte for the header checksum.
 struct ColumnReader<'a, R: Read> {
     r: &'a mut R,
-    hash: &'a mut Fnv1a64,
+    /// `None` when the caller opted out of checksum verification — the
+    /// expensive per-byte FNV walk is skipped entirely.
+    hash: Option<&'a mut Fnv1a64>,
     /// Total serialized length the header promised (for error reporting).
     expected: u64,
     consumed: &'a mut u64,
@@ -322,7 +545,9 @@ impl<R: Read> ColumnReader<'_, R> {
             let take = remaining.min(buf.len());
             read_exact_or_truncated(self.r, &mut buf[..take], self.expected, *self.consumed)?;
             *self.consumed += take as u64;
-            self.hash.update(&buf[..take]);
+            if let Some(hash) = self.hash.as_deref_mut() {
+                hash.update(&buf[..take]);
+            }
             on_chunk(&buf[..take]);
             remaining -= take;
         }
@@ -353,6 +578,62 @@ impl<R: Read> ColumnReader<'_, R> {
 }
 
 impl FrozenAdsSet {
+    /// Assembles a fully-owned store from its columns.
+    fn from_owned_cols(
+        k: u32,
+        offsets: Vec<u32>,
+        nodes: Vec<NodeId>,
+        dists: Vec<f64>,
+        ranks: Vec<f64>,
+        weights: Vec<f64>,
+    ) -> Self {
+        Self {
+            k,
+            region: None,
+            offsets: Col::Owned(offsets),
+            nodes: Col::Owned(nodes),
+            dists: Col::Owned(dists),
+            ranks: Col::Owned(ranks),
+            weights: Col::Owned(weights),
+        }
+    }
+
+    /// The CSR prefix-offset column (`n + 1` elements).
+    #[inline]
+    fn offsets(&self) -> &[u32] {
+        self.offsets.slice(self.region.as_ref())
+    }
+
+    /// The sampled-node-id column (`E` elements).
+    #[inline]
+    fn nodes(&self) -> &[NodeId] {
+        self.nodes.slice(self.region.as_ref())
+    }
+
+    /// The distance column (`E` elements).
+    #[inline]
+    fn dists(&self) -> &[f64] {
+        self.dists.slice(self.region.as_ref())
+    }
+
+    /// The rank column (`E` elements).
+    #[inline]
+    fn ranks(&self) -> &[f64] {
+        self.ranks.slice(self.region.as_ref())
+    }
+
+    /// The HIP adjusted-weight column (`E` elements).
+    #[inline]
+    fn weights(&self) -> &[f64] {
+        self.weights.slice(self.region.as_ref())
+    }
+
+    /// True when the store's columns view a memory-mapped file instead
+    /// of owned heap memory (see [`LoadOptions::map`]).
+    pub fn is_mapped(&self) -> bool {
+        self.region.is_some()
+    }
+
     /// Freezes a heap-backed ADS set into columnar form, precomputing the
     /// HIP adjusted weight of every entry.
     ///
@@ -382,14 +663,7 @@ impl FrozenAdsSet {
             sketch.hip_scan(|it| weights.push(it.weight));
             offsets.push(nodes.len() as u32);
         }
-        Self {
-            k: ads.k() as u32,
-            offsets,
-            nodes,
-            dists,
-            ranks,
-            weights,
-        }
+        Self::from_owned_cols(ads.k() as u32, offsets, nodes, dists, ranks, weights)
     }
 
     /// Freezes only rows `lo..hi` of `ads` into a *full-width* store: the
@@ -424,25 +698,19 @@ impl FrozenAdsSet {
             }
             offsets.push(nodes.len() as u32);
         }
-        Self {
-            k: ads.k() as u32,
-            offsets,
-            nodes,
-            dists,
-            ranks,
-            weights,
-        }
+        Self::from_owned_cols(ads.k() as u32, offsets, nodes, dists, ranks, weights)
     }
 
     /// Reconstructs a heap-backed [`AdsSet`] (e.g. to continue mutating a
     /// loaded store). The round trip `ads.freeze().thaw()` is lossless.
     pub fn thaw(&self) -> AdsSet {
+        let (nodes, dists, ranks) = (self.nodes(), self.dists(), self.ranks());
         let sketches = (0..self.num_nodes() as NodeId)
             .map(|v| {
                 let r = self.entry_range(v);
                 let entries: Vec<AdsEntry> = r
                     .clone()
-                    .map(|i| AdsEntry::new(self.nodes[i], self.dists[i], self.ranks[i]))
+                    .map(|i| AdsEntry::new(nodes[i], dists[i], ranks[i]))
                     .collect();
                 BottomKAds::from_entries(self.k as usize, entries)
             })
@@ -459,13 +727,13 @@ impl FrozenAdsSet {
     /// Number of nodes covered.
     #[inline]
     pub fn num_nodes(&self) -> usize {
-        self.offsets.len() - 1
+        self.offsets().len() - 1
     }
 
     /// Total number of stored entries.
     #[inline]
     pub fn num_entries(&self) -> usize {
-        self.nodes.len()
+        self.nodes().len()
     }
 
     /// Number of entries stored before node `v`'s range (the CSR prefix
@@ -476,39 +744,50 @@ impl FrozenAdsSet {
     /// the O(1) check sharded-store loaders use.
     #[inline]
     pub fn entry_offset(&self, v: usize) -> usize {
-        self.offsets[v] as usize
+        self.offsets()[v] as usize
     }
 
     #[inline]
     fn entry_range(&self, v: NodeId) -> std::ops::Range<usize> {
-        self.offsets[v as usize] as usize..self.offsets[v as usize + 1] as usize
+        let offsets = self.offsets();
+        offsets[v as usize] as usize..offsets[v as usize + 1] as usize
     }
 
     /// The precomputed HIP adjusted weights of `ADS(v)`, in canonical
     /// order (zero-copy column slice).
     #[inline]
     pub fn hip_weights_slice(&self, v: NodeId) -> &[f64] {
-        &self.weights[self.entry_range(v)]
+        &self.weights()[self.entry_range(v)]
     }
 
     /// The distances of `ADS(v)` in canonical order (zero-copy slice).
     #[inline]
     pub fn dists_slice(&self, v: NodeId) -> &[f64] {
-        &self.dists[self.entry_range(v)]
+        &self.dists()[self.entry_range(v)]
     }
 
-    /// Resident memory of the store in bytes (struct + columns).
+    /// Resident *heap* memory of the store in bytes (struct + owned
+    /// columns). Mapped columns count as zero: their pages are
+    /// file-backed, shared with every other process mapping the same
+    /// store, and reclaimable by the kernel at any time.
     pub fn resident_bytes(&self) -> usize {
+        fn owned<T>(col: &Col<T>) -> usize {
+            match col {
+                Col::Owned(v) => v.capacity() * std::mem::size_of::<T>(),
+                Col::Mapped { .. } => 0,
+            }
+        }
         std::mem::size_of::<Self>()
-            + self.offsets.capacity() * std::mem::size_of::<u32>()
-            + self.nodes.capacity() * std::mem::size_of::<NodeId>()
-            + (self.dists.capacity() + self.ranks.capacity() + self.weights.capacity())
-                * std::mem::size_of::<f64>()
+            + owned(&self.offsets)
+            + owned(&self.nodes)
+            + owned(&self.dists)
+            + owned(&self.ranks)
+            + owned(&self.weights)
     }
 
     /// Exact length of [`FrozenAdsSet::to_bytes`]'s output in bytes.
     pub fn serialized_len(&self) -> usize {
-        HEADER_LEN + self.offsets.len() * 4 + self.nodes.len() * 4 + self.nodes.len() * 3 * 8
+        HEADER_LEN + self.offsets().len() * 4 + self.num_entries() * 4 + self.num_entries() * 3 * 8
     }
 
     /// The 40-byte version-1 header with the checksum field zeroed.
@@ -541,13 +820,13 @@ impl FrozenAdsSet {
                 fill += b.len();
             }};
         }
-        for &o in &self.offsets {
+        for &o in self.offsets() {
             push!(o.to_le_bytes());
         }
-        for &nd in &self.nodes {
+        for &nd in self.nodes() {
             push!(nd.to_le_bytes());
         }
-        for col in [&self.dists, &self.ranks, &self.weights] {
+        for col in [self.dists(), self.ranks(), self.weights()] {
             for &x in col.iter() {
                 push!(x.to_bits().to_le_bytes());
             }
@@ -598,43 +877,35 @@ impl FrozenAdsSet {
     /// trailing bytes themselves). All header/checksum/structural
     /// validations of `from_bytes` apply.
     pub fn from_reader<R: Read>(r: &mut R) -> Result<Self, FrozenError> {
+        Self::from_reader_opts(r, true)
+    }
+
+    /// [`FrozenAdsSet::from_reader`] with checksum/structural validation
+    /// controlled by `verify` (the buffered half of
+    /// [`FrozenAdsSet::load_with`]). With `verify` off, only the O(1)
+    /// header sanity checks and the O(n) offset invariants every query
+    /// relies on are enforced — the per-byte checksum walk and the O(E)
+    /// canonical-order scan are skipped.
+    fn from_reader_opts<R: Read>(r: &mut R, verify: bool) -> Result<Self, FrozenError> {
         let mut header = [0u8; HEADER_LEN];
         read_exact_or_truncated(r, &mut header, HEADER_LEN as u64, 0)?;
-        if header[..8] != FROZEN_MAGIC {
-            return Err(FrozenError::BadMagic);
-        }
-        let version = read_u32(&header, 8);
-        if version != FROZEN_FORMAT_VERSION {
-            return Err(FrozenError::UnsupportedVersion(version));
-        }
-        let k = read_u32(&header, 12);
-        let n = read_u64(&header, 16);
-        let entries = read_u64(&header, 24);
-        let stored_checksum = read_u64(&header, CHECKSUM_OFFSET);
-        if k == 0 {
-            return Err(FrozenError::Corrupt("k must be ≥ 1".into()));
-        }
-        if n > u32::MAX as u64 || entries > u32::MAX as u64 {
-            return Err(FrozenError::Corrupt(format!(
-                "node/entry counts exceed the u32 CSR limit (n = {n}, entries = {entries})"
-            )));
-        }
-        // All arithmetic in u128: header fields are untrusted.
-        let expected = HEADER_LEN as u128 + (n as u128 + 1) * 4 + entries as u128 * (4 + 3 * 8);
+        let parsed = parse_store_header(&header)?;
+        let (k, n, entries) = (parsed.k, parsed.n as usize, parsed.entries as usize);
 
         // Hash the header with the checksum field zeroed, then every
         // payload byte as it streams past.
         let mut hash = Fnv1a64::new();
-        hash.update(&header[..CHECKSUM_OFFSET]);
-        hash.update(&[0u8; 8]);
-        hash.update(&header[CHECKSUM_OFFSET + 8..]);
+        if verify {
+            hash.update(&header[..CHECKSUM_OFFSET]);
+            hash.update(&[0u8; 8]);
+            hash.update(&header[CHECKSUM_OFFSET + 8..]);
+        }
 
-        let (n, entries) = (n as usize, entries as usize);
         let mut consumed = HEADER_LEN as u64;
         let mut col_reader = ColumnReader {
             r,
-            hash: &mut hash,
-            expected: expected as u64,
+            hash: verify.then_some(&mut hash),
+            expected: parsed.expected_len as u64,
             consumed: &mut consumed,
         };
         // Capacity hints are capped: the counts come from an untrusted
@@ -645,22 +916,21 @@ impl FrozenAdsSet {
         let ranks = col_reader.read_f64_col(entries)?;
         let weights = col_reader.read_f64_col(entries)?;
 
-        let computed = hash.digest();
-        if computed != stored_checksum {
-            return Err(FrozenError::ChecksumMismatch {
-                stored: stored_checksum,
-                computed,
-            });
+        if verify {
+            let computed = hash.digest();
+            if computed != parsed.stored_checksum {
+                return Err(FrozenError::ChecksumMismatch {
+                    stored: parsed.stored_checksum,
+                    computed,
+                });
+            }
         }
-        let store = Self {
-            k,
-            offsets,
-            nodes,
-            dists,
-            ranks,
-            weights,
-        };
-        store.validate_structure()?;
+        let store = Self::from_owned_cols(k, offsets, nodes, dists, ranks, weights);
+        if verify {
+            store.validate_structure()?;
+        } else {
+            store.validate_offsets()?;
+        }
         Ok(store)
     }
 
@@ -682,33 +952,45 @@ impl FrozenAdsSet {
         Ok(store)
     }
 
-    /// Structural invariants the CSR columns must satisfy for every query
-    /// to be well-defined: monotone offsets spanning exactly the entry
-    /// columns, in-range node ids, canonical per-node entry order.
-    fn validate_structure(&self) -> Result<(), FrozenError> {
-        let n = self.num_nodes();
-        if self.offsets[0] != 0 {
+    /// The O(n) offset invariants every query's slicing relies on:
+    /// monotone offsets starting at 0 and spanning exactly the entry
+    /// columns. Enforced even by trust-the-file loads
+    /// ([`LoadOptions::verify`] off) so no column access can panic on
+    /// an inverted or out-of-bounds range.
+    fn validate_offsets(&self) -> Result<(), FrozenError> {
+        let offsets = self.offsets();
+        if offsets[0] != 0 {
             return Err(FrozenError::Corrupt("offsets[0] must be 0".into()));
         }
-        if self.offsets.windows(2).any(|w| w[0] > w[1]) {
+        if offsets.windows(2).any(|w| w[0] > w[1]) {
             return Err(FrozenError::Corrupt(
                 "offsets must be non-decreasing".into(),
             ));
         }
-        if *self.offsets.last().expect("n+1 offsets") as usize != self.nodes.len() {
+        if *offsets.last().expect("n+1 offsets") as usize != self.num_entries() {
             return Err(FrozenError::Corrupt(
                 "last offset must equal the entry count".into(),
             ));
         }
+        Ok(())
+    }
+
+    /// Structural invariants the CSR columns must satisfy for every query
+    /// to be well-defined: monotone offsets spanning exactly the entry
+    /// columns, in-range node ids, canonical per-node entry order.
+    fn validate_structure(&self) -> Result<(), FrozenError> {
+        self.validate_offsets()?;
+        let n = self.num_nodes();
+        let (nodes, dists) = (self.nodes(), self.dists());
         for v in 0..n as NodeId {
             let r = self.entry_range(v);
-            if self.nodes[r.clone()].iter().any(|&nd| nd as usize >= n) {
+            if nodes[r.clone()].iter().any(|&nd| nd as usize >= n) {
                 return Err(FrozenError::Corrupt(format!(
                     "node {v}: sampled node id out of range"
                 )));
             }
-            let ds = &self.dists[r.clone()];
-            let ns = &self.nodes[r];
+            let ds = &dists[r.clone()];
+            let ns = &nodes[r];
             let in_order = ds.windows(2).zip(ns.windows(2)).all(|(d, nd)| {
                 d[0].total_cmp(&d[1]).then(nd[0].cmp(&nd[1])) == std::cmp::Ordering::Less
             });
@@ -732,17 +1014,162 @@ impl FrozenAdsSet {
 
     /// Streams in and deserializes a store written by
     /// [`FrozenAdsSet::save`], rejecting files with trailing bytes after
-    /// the payload.
+    /// the payload. Equivalent to [`FrozenAdsSet::load_with`] with
+    /// [`LoadOptions::default`]: fully verified, owned (copying) columns.
     pub fn load(path: impl AsRef<Path>) -> Result<Self, FrozenError> {
+        Self::load_with(path, LoadOptions::default())
+    }
+
+    /// Loads a store with explicit [`LoadOptions`]: optionally mapping
+    /// the file's columns in place (zero-copy, kernel-page-cache-shared)
+    /// and optionally skipping checksum + full structural verification
+    /// for warm restarts of already-trusted files.
+    ///
+    /// All of [`FrozenAdsSet::load`]'s rejections apply whenever
+    /// `opts.verify` is on, regardless of backing; with `verify` off,
+    /// header sanity, exact file length, and the offset-table invariants
+    /// are still enforced (queries can never slice out of bounds), but
+    /// bit rot in the entry columns goes undetected by design.
+    pub fn load_with(path: impl AsRef<Path>, opts: LoadOptions) -> Result<Self, FrozenError> {
+        Ok(Self::load_with_digest(path, opts)?.0)
+    }
+
+    /// [`FrozenAdsSet::load_with`], additionally returning the FNV-1a 64
+    /// digest of the complete file when `opts.verify` is on (`None`
+    /// otherwise). Sharded-store loaders use this to check the
+    /// manifest's whole-file shard digests in the same pass instead of
+    /// re-reading the file.
+    pub fn load_with_digest(
+        path: impl AsRef<Path>,
+        opts: LoadOptions,
+    ) -> Result<(Self, Option<u64>), FrozenError> {
         let file = std::fs::File::open(path)?;
-        let mut r = std::io::BufReader::new(file);
-        let store = Self::from_reader(&mut r)?;
-        if !reader_at_eof(&mut r)? {
-            return Err(FrozenError::Corrupt(
-                "trailing bytes after the payload".into(),
-            ));
+        if opts.map {
+            if let Some(region) = mmap::map_readonly(&file)? {
+                return Self::from_mapped(region, opts.verify);
+            }
         }
-        Ok(store)
+        // Buffered copying path: no mmap requested, unsupported
+        // platform, or the map syscall declined.
+        let mut r = std::io::BufReader::new(file);
+        let (store, digest) = if opts.verify {
+            let mut hr = HashingReader::new(&mut r);
+            let store = Self::from_reader_opts(&mut hr, true)?;
+            if !reader_at_eof(&mut hr)? {
+                return Err(FrozenError::Corrupt(
+                    "trailing bytes after the payload".into(),
+                ));
+            }
+            let digest = hr.digest();
+            (store, Some(digest))
+        } else {
+            let store = Self::from_reader_opts(&mut r, false)?;
+            if !reader_at_eof(&mut r)? {
+                return Err(FrozenError::Corrupt(
+                    "trailing bytes after the payload".into(),
+                ));
+            }
+            (store, None)
+        };
+        Ok((store, digest))
+    }
+
+    /// Builds a store over a mapped file region: header and length
+    /// checks always; checksum + full structural scan only under
+    /// `verify`. Columns stay zero-copy views except the three `f64`
+    /// columns of files whose layout lands them 8-misaligned (possible
+    /// in the padding-free v1 format when `n + 1 + E` is odd) — those
+    /// are decoded into owned memory so every slice access stays sound.
+    fn from_mapped(region: MapRegion, verify: bool) -> Result<(Self, Option<u64>), FrozenError> {
+        let buf = region.bytes();
+        if buf.len() < HEADER_LEN {
+            return Err(FrozenError::Truncated {
+                expected: HEADER_LEN as u64,
+                actual: buf.len() as u64,
+            });
+        }
+        let header: [u8; HEADER_LEN] = buf[..HEADER_LEN].try_into().expect("length checked");
+        let parsed = parse_store_header(&header)?;
+        if (buf.len() as u128) < parsed.expected_len {
+            return Err(FrozenError::Truncated {
+                expected: parsed.expected_len as u64,
+                actual: buf.len() as u64,
+            });
+        }
+        if buf.len() as u128 > parsed.expected_len {
+            return Err(FrozenError::Corrupt(format!(
+                "{} trailing bytes after the payload",
+                buf.len() as u128 - parsed.expected_len
+            )));
+        }
+        let whole_file_digest = if verify {
+            let computed = buffer_checksum(buf);
+            if computed != parsed.stored_checksum {
+                return Err(FrozenError::ChecksumMismatch {
+                    stored: parsed.stored_checksum,
+                    computed,
+                });
+            }
+            let mut h = Fnv1a64::new();
+            h.update(buf);
+            Some(h.digest())
+        } else {
+            None
+        };
+
+        let (n, entries) = (parsed.n as usize, parsed.entries as usize);
+        let off_offsets = HEADER_LEN;
+        let off_nodes = off_offsets + (n + 1) * 4;
+        let off_dists = off_nodes + entries * 4;
+        let off_ranks = off_dists + entries * 8;
+        let off_weights = off_ranks + entries * 8;
+        // u32 columns are always 4-aligned (page-aligned base, 4-aligned
+        // offsets); assert the invariant rather than trusting it.
+        assert!(
+            region.u32_slice(off_offsets, n + 1).is_some()
+                && region.u32_slice(off_nodes, entries).is_some(),
+            "u32 columns must be in bounds and aligned in a length-checked mapping"
+        );
+        let f64_mapped = region.f64_slice(off_dists, entries).is_some();
+        let f64_col = |off: usize| -> Col<f64> {
+            if f64_mapped {
+                Col::Mapped {
+                    off,
+                    count: entries,
+                }
+            } else {
+                Col::Owned(
+                    buf[off..off + entries * 8]
+                        .chunks_exact(8)
+                        .map(|w| f64::from_bits(u64::from_le_bytes(w.try_into().expect("8-byte"))))
+                        .collect(),
+                )
+            }
+        };
+        let dists = f64_col(off_dists);
+        let ranks = f64_col(off_ranks);
+        let weights = f64_col(off_weights);
+        let store = Self {
+            k: parsed.k,
+            offsets: Col::Mapped {
+                off: off_offsets,
+                count: n + 1,
+            },
+            nodes: Col::Mapped {
+                off: off_nodes,
+                count: entries,
+            },
+            dists,
+            ranks,
+            weights,
+            region: Some(region),
+        };
+        if verify {
+            store.validate_structure()?;
+        } else {
+            store.validate_offsets()?;
+        }
+        Ok((store, whole_file_digest))
     }
 
     /// Estimated distance distribution of the whole graph — same quantity
@@ -770,19 +1197,19 @@ impl AdsView for FrozenAdsSet {
     }
 
     fn for_each_entry(&self, v: NodeId, mut f: impl FnMut(AdsEntry)) {
-        let r = self.entry_range(v);
-        for i in r {
-            f(AdsEntry::new(self.nodes[i], self.dists[i], self.ranks[i]));
+        let (nodes, dists, ranks) = (self.nodes(), self.dists(), self.ranks());
+        for i in self.entry_range(v) {
+            f(AdsEntry::new(nodes[i], dists[i], ranks[i]));
         }
     }
 
     fn for_each_hip(&self, v: NodeId, mut f: impl FnMut(HipItem)) {
-        let r = self.entry_range(v);
-        for i in r {
+        let (nodes, dists, weights) = (self.nodes(), self.dists(), self.weights());
+        for i in self.entry_range(v) {
             f(HipItem {
-                node: self.nodes[i],
-                dist: self.dists[i],
-                weight: self.weights[i],
+                node: nodes[i],
+                dist: dists[i],
+                weight: weights[i],
             });
         }
     }
@@ -799,11 +1226,12 @@ impl AdsView for FrozenAdsSet {
     fn minhash_at(&self, v: NodeId, d: f64) -> adsketch_minhash::BottomKSketch {
         // Insert only the binary-searched distance-≤ d prefix, like the
         // heap path — not the trait default's full-sketch filter scan.
-        let start = self.offsets[v as usize] as usize;
+        let start = self.offsets()[v as usize] as usize;
         let cut = start + AdsView::size_at(self, v, d);
+        let (nodes, ranks) = (self.nodes(), self.ranks());
         let mut sketch = adsketch_minhash::BottomKSketch::new(self.k as usize);
         for i in start..cut {
-            sketch.insert_ranked(self.ranks[i], self.nodes[i] as u64);
+            sketch.insert_ranked(ranks[i], nodes[i] as u64);
         }
         sketch
     }
@@ -1415,6 +1843,78 @@ mod tests {
                 "bit flip at byte {at} must be rejected"
             );
         }
+    }
+
+    /// Writes `frozen` to a unique temp file and returns the path.
+    fn save_temp(frozen: &FrozenAdsSet, tag: &str) -> std::path::PathBuf {
+        let path = std::env::temp_dir().join(format!("adsketch_frozen_{tag}.ads"));
+        frozen.save(&path).unwrap();
+        path
+    }
+
+    #[test]
+    fn mapped_load_is_bitwise_identical() {
+        let frozen = sample_set().freeze();
+        let path = save_temp(&frozen, "mapped_roundtrip");
+        for opts in [LoadOptions::mapped(), LoadOptions::trusted()] {
+            let loaded = FrozenAdsSet::load_with(&path, opts).unwrap();
+            // On 64-bit Linux the columns must actually be zero-copy.
+            if cfg!(all(target_os = "linux", target_pointer_width = "64")) {
+                assert!(loaded.is_mapped(), "expected a mapped store under {opts:?}");
+            }
+            assert_eq!(loaded, frozen);
+            // Clones of a mapped store own their columns.
+            let clone = loaded.clone();
+            assert!(!clone.is_mapped());
+            assert_eq!(clone, frozen);
+            // Serialization is backing-agnostic.
+            assert_eq!(loaded.to_bytes(), frozen.to_bytes());
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn mapped_load_rejects_corruption_like_buffered() {
+        let frozen = sample_set().freeze();
+        let good = frozen.to_bytes();
+        let path = std::env::temp_dir().join("adsketch_frozen_mapped_corrupt.ads");
+        let check = |bytes: &[u8], what: &str| {
+            std::fs::write(&path, bytes).unwrap();
+            let mapped = FrozenAdsSet::load_with(&path, LoadOptions::mapped());
+            let buffered = FrozenAdsSet::load(&path);
+            assert!(mapped.is_err(), "mapped load must reject {what}");
+            assert!(buffered.is_err(), "buffered load must reject {what}");
+        };
+        let mut bad = good.clone();
+        bad[0] ^= 0xff;
+        check(&bad, "bad magic");
+        let mut bad = good.clone();
+        bad[HEADER_LEN + (good.len() - HEADER_LEN) / 2] ^= 0x01;
+        check(&bad, "payload bit flip");
+        check(&good[..good.len() - 1], "truncation");
+        let mut bad = good.clone();
+        bad.push(0);
+        check(&bad, "trailing bytes");
+        // The trusted loader still rejects length/offset-table damage
+        // (only checksum + canonical-order checks are waived).
+        std::fs::write(&path, &good[..good.len() - 1]).unwrap();
+        assert!(FrozenAdsSet::load_with(&path, LoadOptions::trusted()).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_with_digest_returns_whole_file_fnv() {
+        let frozen = sample_set().freeze();
+        let path = save_temp(&frozen, "digest");
+        let mut expected = Fnv1a64::new();
+        expected.update(&std::fs::read(&path).unwrap());
+        for opts in [LoadOptions::mapped(), LoadOptions::default()] {
+            let (_, digest) = FrozenAdsSet::load_with_digest(&path, opts).unwrap();
+            assert_eq!(digest, Some(expected.digest()), "under {opts:?}");
+        }
+        let (_, digest) = FrozenAdsSet::load_with_digest(&path, LoadOptions::trusted()).unwrap();
+        assert_eq!(digest, None, "trusted loads skip hashing entirely");
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -66,6 +66,10 @@
 //! ```
 
 #![deny(missing_docs)]
+// All unsafe code in the workspace is fenced into `frozen::mmap` (which
+// carries a module-level `allow` plus `deny(unsafe_op_in_unsafe_fn)` and
+// per-call safety comments); every sibling crate is `forbid(unsafe_code)`.
+#![deny(unsafe_code)]
 
 pub mod ads_set;
 pub mod basic;
@@ -94,7 +98,9 @@ pub use builder::{shard_slots, thread_count};
 pub use engine::QueryEngine;
 pub use entry::AdsEntry;
 pub use error::CoreError;
-pub use frozen::{freeze_sharded, FrozenAdsSet, FrozenError, ShardManifest, ShardRecord};
+pub use frozen::{
+    freeze_sharded, FrozenAdsSet, FrozenError, LoadOptions, ShardManifest, ShardRecord,
+};
 pub use hip::{HipItem, HipWeights};
 pub use view::AdsView;
 

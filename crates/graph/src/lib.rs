@@ -26,6 +26,7 @@
 //! * [`components`] — union-find and weakly-connected components.
 
 #![deny(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod bfs;
 pub mod components;

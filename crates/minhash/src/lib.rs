@@ -22,6 +22,8 @@
 //! The basic estimators and their exact variance theory live in
 //! [`estimators`]; base-b (rounded-rank) register sketches in [`baseb`].
 
+#![forbid(unsafe_code)]
+
 pub mod baseb;
 pub mod bottomk;
 pub mod estimators;

@@ -15,8 +15,30 @@
 //! cargo run --release -p adsketch-serve --bin loadgen -- \
 //!     [--n 100000] [--k 16] [--clients 4] [--workers 4] [--batch 256] \
 //!     [--requests 200] [--router N] [--replicas R] [--chaos] \
-//!     [--json BENCH_serve.json] [--smoke]
+//!     [--zipf S] [--cache BYTES] [--coalesce-us U] \
+//!     [--json BENCH_serve.json] [--append] [--smoke]
 //! ```
+//!
+//! `--append` splices this run's records onto an existing `--json`
+//! snapshot instead of overwriting it, so one file can collect rows
+//! from several tiers.
+//!
+//! `--zipf S` (default 0 = uniform) skews every workload's node sampling
+//! to a Zipf(S) popularity distribution over node ids and pins the
+//! cardinality workload to one query distance — the hot-set,
+//! single-SLO-threshold shape an answer cache is built for. `--cache BYTES` and
+//! `--coalesce-us U` configure the router's answer cache and coalescing
+//! window (router mode only); records carry a `tier` field
+//! (`direct` / `router` / `router+cache`) plus the workload's observed
+//! `cache_hit_rate`.
+//!
+//! Every record also reports `cold_start_ms` — the wall time from cold
+//! process start to a query-ready store for the tier that served it. The
+//! direct sweep additionally emits three dedicated `cold_start_*`
+//! records comparing the copying loader (`cold_start_copy`), the mmap
+//! loader with checksums (`cold_start_mmap_verified`), and the trusted
+//! warm-restart mmap path that skips checksum scans
+//! (`cold_start_mmap`).
 //!
 //! `--router N` switches to the distributed topology: the store is
 //! frozen into `N` shards, `N × R` in-process backend servers (one
@@ -42,10 +64,11 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use adsketch_core::frozen::SHARD_MANIFEST_FILE;
-use adsketch_core::{freeze_sharded, AdsSet, QueryEngine, ShardManifest};
+use adsketch_core::{freeze_sharded, AdsSet, LoadOptions, QueryEngine, ShardManifest};
 use adsketch_graph::{generators, NodeId};
 use adsketch_serve::{
-    BackendStore, Client, Router, RouterConfig, Server, ServerHandle, ShardedStore,
+    BackendStore, CacheStatsHandle, Client, Router, RouterConfig, Server, ServerHandle,
+    ShardedStore,
 };
 use adsketch_util::args::{arg_flag, arg_str, arg_u64};
 use adsketch_util::{Rng64, SplitMix64};
@@ -53,6 +76,10 @@ use adsketch_util::{Rng64, SplitMix64};
 /// One measured serving configuration.
 struct Record {
     workload: &'static str,
+    /// Which serving tier answered: `direct` (single-process server),
+    /// `router` (scatter/gather fleet), or `router+cache` (fleet with
+    /// the answer cache enabled).
+    tier: &'static str,
     shards: usize,
     workers: usize,
     clients: usize,
@@ -61,10 +88,47 @@ struct Record {
     n: usize,
     m: usize,
     k: usize,
+    /// Zipf skew of the node sampler (0 = uniform).
+    zipf_s: f64,
     node_queries_per_sec: f64,
     p50_us: f64,
     p99_us: f64,
+    /// Router answer-cache hit rate observed during this workload
+    /// (`None` when no cache fronted it).
+    cache_hit_rate: Option<f64>,
+    /// Cold start to a query-ready store for this tier, in ms.
+    cold_start_ms: f64,
     host_threads: usize,
+}
+
+/// Query distance for the cardinality workload. Uniform mode spreads
+/// over five thresholds; Zipf mode pins one threshold — the skewed
+/// workload models dashboard/SLO traffic, where one distance bound
+/// dominates (and where an answer cache is meant to win).
+fn card_d(rng: &mut SplitMix64, zipf_s: f64) -> f64 {
+    if zipf_s > 0.0 {
+        3.0
+    } else {
+        (rng.next_u64() % 5) as f64
+    }
+}
+
+/// Samples a node id from a Zipf(`s`) popularity distribution over
+/// `0..n` via the bounded-Pareto inverse CDF (rank 1 → node 0 is the
+/// most popular). `s = 0` degenerates to uniform.
+fn zipf_node(rng: &mut SplitMix64, n: usize, s: f64) -> NodeId {
+    if s == 0.0 {
+        return (rng.next_u64() % n as u64) as NodeId;
+    }
+    let u = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+    let nf = n as f64;
+    let rank = if (s - 1.0).abs() < 1e-9 {
+        nf.powf(u)
+    } else {
+        let a = 1.0 - s;
+        ((nf.powf(a) - 1.0) * u + 1.0).powf(1.0 / a)
+    };
+    (rank.floor() as usize).clamp(1, n) as NodeId - 1
 }
 
 fn main() {
@@ -82,7 +146,11 @@ fn main() {
     let router_n = arg_u64("router", 0) as usize;
     let replicas = arg_u64("replicas", 1) as usize;
     let chaos = arg_flag("chaos");
+    let zipf_s: f64 = arg_str("zipf", "0").parse().unwrap_or(0.0);
+    let cache_bytes = arg_u64("cache", 0) as usize;
+    let coalesce_us = arg_u64("coalesce-us", 0);
     let json = arg_str("json", "");
+    let append = arg_flag("append");
     if chaos && (router_n == 0 || replicas < 2) {
         eprintln!("--chaos needs --router N and --replicas >= 2");
         std::process::exit(2);
@@ -119,13 +187,33 @@ fn main() {
         let t0 = Instant::now();
         freeze_sharded(&ads, shards, &dir).expect("freeze_sharded");
         let freeze_t = t0.elapsed();
+        // Cold-start triple over the same frozen store: the copying
+        // loader, the trusted warm-restart mmap path (no checksum
+        // scans), and the serve-default mmap loader (checksums on) —
+        // the last one also becomes the store this config serves from.
+        let t0 = Instant::now();
+        drop(ShardedStore::load_with(&dir, LoadOptions::default()).expect("copying load"));
+        let copy_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let t0 = Instant::now();
+        drop(ShardedStore::load_with(&dir, LoadOptions::trusted()).expect("trusted mmap load"));
+        let trusted_ms = t0.elapsed().as_secs_f64() * 1e3;
         let t0 = Instant::now();
         let store = Arc::new(ShardedStore::load(&dir).expect("load sharded store"));
+        let mmap_ms = t0.elapsed().as_secs_f64() * 1e3;
         println!(
-            "\n--- shards = {shards}: freeze {freeze_t:.2?}, parallel load {:.2?}, {} B resident ---",
-            t0.elapsed(),
+            "\n--- shards = {shards}: freeze {freeze_t:.2?}, cold start copy {copy_ms:.2} ms / \
+             mmap+verify {mmap_ms:.2} ms / mmap trusted {trusted_ms:.2} ms, {} B resident ---",
             store.resident_bytes()
         );
+        if shards == 1 {
+            for (workload, ms) in [
+                ("cold_start_copy", copy_ms),
+                ("cold_start_mmap_verified", mmap_ms),
+                ("cold_start_mmap", trusted_ms),
+            ] {
+                records.push(cold_start_record(workload, ms, &g, k, workers));
+            }
+        }
 
         let server = Server::bind("127.0.0.1:0", Arc::clone(&store), workers).expect("bind");
         let addr = server.local_addr().expect("addr");
@@ -152,17 +240,19 @@ fn main() {
             batch,
             n,
             |rng, batch, n| {
-                let nodes: Vec<NodeId> = (0..batch)
-                    .map(|_| (rng.next_u64() % n as u64) as NodeId)
-                    .collect();
+                let nodes: Vec<NodeId> = (0..batch).map(|_| zipf_node(rng, n, zipf_s)).collect();
                 WorkItem::Harmonic(nodes)
             },
             &mut records,
             RecordCtx {
+                tier: "direct",
                 shards,
                 workers,
                 g: &g,
                 k,
+                zipf_s,
+                cache: None,
+                cold_start_ms: mmap_ms,
             },
         );
         run_workload(
@@ -174,19 +264,20 @@ fn main() {
             n,
             |rng, batch, n| {
                 let queries: Vec<(NodeId, f64)> = (0..batch)
-                    .map(|_| {
-                        let v = (rng.next_u64() % n as u64) as NodeId;
-                        (v, (rng.next_u64() % 5) as f64)
-                    })
+                    .map(|_| (zipf_node(rng, n, zipf_s), card_d(rng, zipf_s)))
                     .collect();
                 WorkItem::Cardinality(queries)
             },
             &mut records,
             RecordCtx {
+                tier: "direct",
                 shards,
                 workers,
                 g: &g,
                 k,
+                zipf_s,
+                cache: None,
+                cold_start_ms: mmap_ms,
             },
         );
 
@@ -212,6 +303,7 @@ fn main() {
         let mut fleet: Vec<BackendSlot> = Vec::new();
         let mut replica_addrs: Vec<Vec<SocketAddr>> = vec![Vec::new(); router_n];
         let any_port: SocketAddr = "127.0.0.1:0".parse().expect("loopback addr");
+        let t0 = Instant::now();
         for (shard, shard_addrs) in replica_addrs.iter_mut().enumerate() {
             for _rep in 0..replicas {
                 let (addr, handle, join) = spawn_backend(&dir, shard, any_port, backend_workers);
@@ -224,8 +316,21 @@ fn main() {
                 });
             }
         }
+        // Fleet cold start: every replica's mmap shard load + serve bind.
+        let fleet_cold_ms = t0.elapsed().as_secs_f64() * 1e3;
         let manifest = ShardManifest::load(dir.join(SHARD_MANIFEST_FILE)).expect("manifest");
-        let mut config = RouterConfig::default();
+        let mut config = RouterConfig {
+            cache_bytes,
+            ..RouterConfig::default()
+        };
+        if coalesce_us > 0 {
+            config.coalesce_window = Some(Duration::from_micros(coalesce_us));
+        }
+        let tier = if cache_bytes > 0 {
+            "router+cache"
+        } else {
+            "router"
+        };
         if chaos {
             // The scheduler kills a replica every couple hundred ms, so
             // recovery has to be fast: quick probing, short backoff, an
@@ -240,8 +345,12 @@ fn main() {
             .expect("bind router");
         let addr = router.local_addr().expect("router addr");
         let router_handle = router.handle();
+        let cache_stats = router.cache_stats();
         let router_join = std::thread::spawn(move || router.run());
-        println!("\n--- router over {router_n} shards x {replicas} replica(s) ---");
+        println!(
+            "\n--- {tier} over {router_n} shards x {replicas} replica(s), \
+             fleet cold start {fleet_cold_ms:.2} ms ---"
+        );
 
         // The same pre-timing identity gate the single-process sweep
         // runs — including the jaccard sample, whose cross-shard pairs
@@ -280,17 +389,19 @@ fn main() {
             batch,
             n,
             |rng, batch, n| {
-                let nodes: Vec<NodeId> = (0..batch)
-                    .map(|_| (rng.next_u64() % n as u64) as NodeId)
-                    .collect();
+                let nodes: Vec<NodeId> = (0..batch).map(|_| zipf_node(rng, n, zipf_s)).collect();
                 WorkItem::Harmonic(nodes)
             },
             &mut records,
             RecordCtx {
+                tier,
                 shards: router_n,
                 workers,
                 g: &g,
                 k,
+                zipf_s,
+                cache: cache_stats.as_ref(),
+                cold_start_ms: fleet_cold_ms,
             },
         );
         run_workload(
@@ -302,19 +413,20 @@ fn main() {
             n,
             |rng, batch, n| {
                 let queries: Vec<(NodeId, f64)> = (0..batch)
-                    .map(|_| {
-                        let v = (rng.next_u64() % n as u64) as NodeId;
-                        (v, (rng.next_u64() % 5) as f64)
-                    })
+                    .map(|_| (zipf_node(rng, n, zipf_s), card_d(rng, zipf_s)))
                     .collect();
                 WorkItem::Cardinality(queries)
             },
             &mut records,
             RecordCtx {
+                tier,
                 shards: router_n,
                 workers,
                 g: &g,
                 k,
+                zipf_s,
+                cache: cache_stats.as_ref(),
+                cold_start_ms: fleet_cold_ms,
             },
         );
 
@@ -335,10 +447,30 @@ fn main() {
         std::fs::remove_dir_all(&dir).ok();
     }
 
-    if !json.is_empty() {
-        std::fs::write(&json, render_json(&records)).expect("write json snapshot");
+    if !json.is_empty() && !records.is_empty() {
+        let rendered = render_json(&records);
+        // `--append` splices this run's records onto an existing
+        // snapshot array, so one BENCH_serve.json can hold rows from
+        // several tiers (see tools/bench_snapshot.sh).
+        let payload = match std::fs::read_to_string(&json) {
+            Ok(prev) if append && prev.trim_end().ends_with(']') => {
+                merge_json_arrays(&prev, &rendered)
+            }
+            _ => rendered,
+        };
+        std::fs::write(&json, payload).expect("write json snapshot");
         eprintln!("snapshot written to {json}");
     }
+}
+
+/// Splices two rendered record arrays into one flat array.
+fn merge_json_arrays(prev: &str, new: &str) -> String {
+    let prev_body = prev.trim_end().trim_end_matches(']').trim_end();
+    let new_body = new.trim_start().trim_start_matches('[').trim_start();
+    if prev_body == "[" {
+        return new.to_string();
+    }
+    format!("{prev_body},\n  {new_body}")
 }
 
 /// Asserts that a full served node sweep equals the committed local
@@ -547,10 +679,44 @@ enum WorkItem {
 }
 
 struct RecordCtx<'a> {
+    tier: &'static str,
     shards: usize,
     workers: usize,
     g: &'a adsketch_graph::Graph,
     k: usize,
+    zipf_s: f64,
+    cache: Option<&'a CacheStatsHandle>,
+    cold_start_ms: f64,
+}
+
+/// A dedicated cold-start record for the direct tier: no traffic, only
+/// the wall time from cold start to a query-ready store.
+fn cold_start_record(
+    workload: &'static str,
+    ms: f64,
+    g: &adsketch_graph::Graph,
+    k: usize,
+    workers: usize,
+) -> Record {
+    Record {
+        workload,
+        tier: "direct",
+        shards: 1,
+        workers,
+        clients: 0,
+        batch: 0,
+        requests_per_client: 0,
+        n: g.num_nodes(),
+        m: g.num_arcs(),
+        k,
+        zipf_s: 0.0,
+        node_queries_per_sec: 0.0,
+        p50_us: 0.0,
+        p99_us: 0.0,
+        cache_hit_rate: None,
+        cold_start_ms: ms,
+        host_threads: std::thread::available_parallelism().map_or(1, |p| p.get()),
+    }
 }
 
 /// Drives `clients` concurrent connections, each issuing `requests`
@@ -568,6 +734,7 @@ fn run_workload(
     ctx: RecordCtx<'_>,
 ) {
     let mut per_client: Vec<Vec<u64>> = vec![Vec::new(); clients];
+    let counters_before = ctx.cache.map(|c| (c.hits(), c.misses()));
     let wall = Instant::now();
     std::thread::scope(|s| {
         for (ci, lat) in per_client.iter_mut().enumerate() {
@@ -608,13 +775,25 @@ fn run_workload(
     };
     let (p50_us, p99_us) = (pct(0.50), pct(0.99));
     let qps = node_queries / wall_s;
+    // Hit rate over exactly this workload's traffic (counter deltas, so
+    // the identity gate's warm-up does not inflate it).
+    let cache_hit_rate = ctx.cache.zip(counters_before).map(|(c, (h0, m0))| {
+        let (h, m) = (c.hits() - h0, c.misses() - m0);
+        if h + m == 0 {
+            0.0
+        } else {
+            h as f64 / (h + m) as f64
+        }
+    });
+    let hit_note = cache_hit_rate.map_or(String::new(), |r| format!(", cache hit rate {r:.2}"));
     println!(
         "{workload}: shards={} clients={clients} batch={batch}: {total_requests} requests in \
-         {wall_s:.2}s  →  {qps:.0} node-queries/s, p50 {p50_us:.0}µs, p99 {p99_us:.0}µs",
+         {wall_s:.2}s  →  {qps:.0} node-queries/s, p50 {p50_us:.0}µs, p99 {p99_us:.0}µs{hit_note}",
         ctx.shards
     );
     records.push(Record {
         workload,
+        tier: ctx.tier,
         shards: ctx.shards,
         workers: ctx.workers,
         clients,
@@ -623,9 +802,12 @@ fn run_workload(
         n: ctx.g.num_nodes(),
         m: ctx.g.num_arcs(),
         k: ctx.k,
+        zipf_s: ctx.zipf_s,
         node_queries_per_sec: qps,
         p50_us,
         p99_us,
+        cache_hit_rate,
+        cold_start_ms: ctx.cold_start_ms,
         host_threads: std::thread::available_parallelism().map_or(1, |p| p.get()),
     });
 }
@@ -633,14 +815,19 @@ fn run_workload(
 fn render_json(records: &[Record]) -> String {
     let mut out = String::from("[\n");
     for (i, r) in records.iter().enumerate() {
+        let hit_rate = r
+            .cache_hit_rate
+            .map_or_else(|| "null".to_string(), |h| format!("{h:.4}"));
         out.push_str(&format!(
             concat!(
-                "  {{\"workload\": \"{}\", \"shards\": {}, \"workers\": {}, \"clients\": {}, ",
-                "\"batch\": {}, \"requests_per_client\": {}, \"n\": {}, \"m\": {}, \"k\": {}, ",
-                "\"node_queries_per_sec\": {:.1}, \"p50_us\": {:.1}, \"p99_us\": {:.1}, ",
-                "\"host_threads\": {}}}{}\n"
+                "  {{\"workload\": \"{}\", \"tier\": \"{}\", \"shards\": {}, \"workers\": {}, ",
+                "\"clients\": {}, \"batch\": {}, \"requests_per_client\": {}, \"n\": {}, ",
+                "\"m\": {}, \"k\": {}, \"zipf_s\": {:.2}, \"node_queries_per_sec\": {:.1}, ",
+                "\"p50_us\": {:.1}, \"p99_us\": {:.1}, \"cache_hit_rate\": {}, ",
+                "\"cold_start_ms\": {:.3}, \"host_threads\": {}}}{}\n"
             ),
             r.workload,
+            r.tier,
             r.shards,
             r.workers,
             r.clients,
@@ -649,9 +836,12 @@ fn render_json(records: &[Record]) -> String {
             r.n,
             r.m,
             r.k,
+            r.zipf_s,
             r.node_queries_per_sec,
             r.p50_us,
             r.p99_us,
+            hit_rate,
+            r.cold_start_ms,
             r.host_threads,
             if i + 1 == records.len() { "" } else { "," }
         ));

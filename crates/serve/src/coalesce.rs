@@ -1,0 +1,249 @@
+//! Cross-client request coalescing: merging concurrent workers'
+//! same-shard sub-batches into one wire batch.
+//!
+//! Under high client concurrency, many router workers hold sub-batches
+//! bound for the *same* backend at the same moment. Without coalescing,
+//! each worker performs its own exchange — the backend pays per-request
+//! framing, dispatch, and engine-batch overhead once per worker. With
+//! [`crate::RouterConfig::coalesce_window`] set, workers briefly pool
+//! those sub-batches: the first worker to open a `(shard, request kind,
+//! parameters)` group becomes its **leader**, waits out the window while
+//! other workers join, then sends one merged, deduplicated batch and
+//! publishes the per-item answers for every participant to slice out.
+//!
+//! # Correctness
+//!
+//! Coalescing only touches per-node float kinds (harmonic, decay,
+//! cardinality), whose answers are a pure function of `(item,
+//! parameters)` — merging, deduplicating, and reordering items across
+//! client requests cannot change a single answer bit, because each item's
+//! answer is computed by the backend exactly as it would have been in
+//! the participant's own batch. Every answer travels as `f64::to_bits`,
+//! so fan-out replays exact bits.
+//!
+//! # Deadlock freedom and failure containment
+//!
+//! A worker first **submits** every shard leg of its request, then
+//! performs **all** its leader duties (wait, close, merged exchange,
+//! publish), and only then waits on the groups it joined — so no
+//! participant ever waits on a join while another participant waits on
+//! it. Joins are bounded: a joiner whose leader has not published by the
+//! deadline falls back to its own individual exchange, and a leader
+//! whose merged exchange fails publishes the failure so *every*
+//! participant falls back individually — coalescing can delay an answer,
+//! never change or lose one.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use crate::proto::MAX_FRAME_LEN;
+
+/// One deduplicatable query item: `(node, aux bits)`. The aux word is
+/// the per-item query-distance bits for cardinality and zero for the
+/// per-node kinds whose parameters live in the group key.
+pub(crate) type Item = (u32, u64);
+
+/// Published answers of a merged batch: item → `f64::to_bits` answer.
+pub(crate) type AnswerMap = Arc<HashMap<Item, u64>>;
+
+/// Bound on a merged batch's item count, chosen so the merged *request*
+/// frame fits [`MAX_FRAME_LEN`] for the largest wire encoding
+/// (cardinality: 12 bytes per item) — which is also well under the
+/// response-side float-batch bound the backend enforces.
+pub(crate) const MAX_COALESCED: usize = (MAX_FRAME_LEN as usize - 16) / 12;
+
+/// What one merged batch coalesces: same shard, same request kind, same
+/// request-level parameters (kernel tag + parameter bits).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) struct GroupKey {
+    pub(crate) shard: usize,
+    pub(crate) kind: u8,
+    pub(crate) tag: u8,
+    pub(crate) params: u64,
+}
+
+/// The shared coalescing state: at most one *open* batch per group key.
+#[derive(Debug)]
+pub(crate) struct Coalescer {
+    window: Duration,
+    groups: Mutex<HashMap<GroupKey, Arc<Batch>>>,
+}
+
+/// One in-flight merged batch.
+#[derive(Debug)]
+pub(crate) struct Batch {
+    /// When the leader closes the batch and sends the merged exchange.
+    pub(crate) close_at: Instant,
+    state: Mutex<BatchState>,
+    cv: Condvar,
+}
+
+#[derive(Debug)]
+struct BatchState {
+    items: Vec<Item>,
+    /// `None` until the leader publishes; `Some(None)` = the merged
+    /// exchange failed and every participant falls back individually;
+    /// `Some(Some(map))` = per-item answer bits.
+    outcome: Option<Option<AnswerMap>>,
+}
+
+/// A participant's role in one group.
+#[derive(Debug)]
+pub(crate) enum Ticket {
+    /// Opened the batch; owes the leader duties (wait out the window,
+    /// close, exchange, publish).
+    Leader(Arc<Batch>),
+    /// Joined an open batch; waits for the leader's publication.
+    Joiner(Arc<Batch>),
+    /// The open batch had no room; exchange individually.
+    Solo,
+}
+
+impl Coalescer {
+    pub(crate) fn new(window: Duration) -> Self {
+        Self {
+            window,
+            groups: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Adds `items` to the group's open batch, opening one (and
+    /// assigning leadership) if none exists. Batches whose item count
+    /// would exceed [`MAX_COALESCED`] refuse the join ([`Ticket::Solo`]).
+    pub(crate) fn submit(&self, key: GroupKey, items: &[Item]) -> Ticket {
+        let mut groups = self.groups.lock().expect("coalescer groups lock");
+        if let Some(batch) = groups.get(&key) {
+            let mut st = batch.state.lock().expect("coalesce batch lock");
+            if st.items.len() + items.len() > MAX_COALESCED {
+                return Ticket::Solo;
+            }
+            st.items.extend_from_slice(items);
+            drop(st);
+            return Ticket::Joiner(Arc::clone(batch));
+        }
+        let batch = Arc::new(Batch {
+            close_at: Instant::now() + self.window,
+            state: Mutex::new(BatchState {
+                items: items.to_vec(),
+                outcome: None,
+            }),
+            cv: Condvar::new(),
+        });
+        groups.insert(key, Arc::clone(&batch));
+        Ticket::Leader(batch)
+    }
+
+    /// Leader-only: closes the batch — removed from the group table
+    /// first, so later submissions open a fresh batch — and returns the
+    /// merged item list (duplicates included; the leader deduplicates).
+    pub(crate) fn close(&self, key: GroupKey, batch: &Batch) -> Vec<Item> {
+        self.groups
+            .lock()
+            .expect("coalescer groups lock")
+            .remove(&key);
+        std::mem::take(&mut batch.state.lock().expect("coalesce batch lock").items)
+    }
+}
+
+impl Batch {
+    /// Leader-only: records the merged exchange's outcome and wakes
+    /// every waiting participant. `None` means "fall back individually".
+    pub(crate) fn publish(&self, outcome: Option<AnswerMap>) {
+        let mut st = self.state.lock().expect("coalesce batch lock");
+        st.outcome = Some(outcome);
+        self.cv.notify_all();
+    }
+
+    /// Blocks until the leader publishes or `deadline` passes. Both a
+    /// timeout and a published failure come back as `None` — the caller
+    /// falls back to its own exchange either way.
+    pub(crate) fn wait(&self, deadline: Instant) -> Option<AnswerMap> {
+        let mut st = self.state.lock().expect("coalesce batch lock");
+        loop {
+            if let Some(outcome) = &st.outcome {
+                return outcome.clone();
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            st = self
+                .cv
+                .wait_timeout(st, deadline - now)
+                .expect("coalesce batch wait")
+                .0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const KEY: GroupKey = GroupKey {
+        shard: 0,
+        kind: 0x01,
+        tag: 0,
+        params: 0,
+    };
+
+    #[test]
+    fn first_submit_leads_later_submits_join() {
+        let co = Coalescer::new(Duration::from_millis(5));
+        let t1 = co.submit(KEY, &[(1, 0), (2, 0)]);
+        let Ticket::Leader(batch) = t1 else {
+            panic!("first submit leads");
+        };
+        assert!(matches!(co.submit(KEY, &[(3, 0)]), Ticket::Joiner(_)));
+        // A different group key opens its own batch.
+        let other = GroupKey { shard: 1, ..KEY };
+        assert!(matches!(co.submit(other, &[(9, 0)]), Ticket::Leader(_)));
+        // Close merges the joined items and reopens the key.
+        let items = co.close(KEY, &batch);
+        assert_eq!(items, vec![(1, 0), (2, 0), (3, 0)]);
+        assert!(matches!(co.submit(KEY, &[(4, 0)]), Ticket::Leader(_)));
+    }
+
+    #[test]
+    fn publish_wakes_joiners_with_the_answer_map() {
+        let co = Arc::new(Coalescer::new(Duration::from_millis(2)));
+        let Ticket::Leader(batch) = co.submit(KEY, &[(1, 0)]) else {
+            panic!("leads");
+        };
+        let Ticket::Joiner(joined) = co.submit(KEY, &[(2, 0)]) else {
+            panic!("joins");
+        };
+        let waiter =
+            std::thread::spawn(move || joined.wait(Instant::now() + Duration::from_secs(5)));
+        let items = co.close(KEY, &batch);
+        let map: HashMap<Item, u64> = items.into_iter().map(|it| (it, u64::from(it.0))).collect();
+        batch.publish(Some(Arc::new(map)));
+        let got = waiter.join().expect("waiter").expect("published");
+        assert_eq!(got.get(&(2, 0)), Some(&2));
+        // The leader's own wait resolves instantly post-publish.
+        assert!(batch.wait(Instant::now()).is_some());
+    }
+
+    #[test]
+    fn failed_merges_and_timeouts_mean_fall_back() {
+        let co = Coalescer::new(Duration::from_millis(1));
+        let Ticket::Leader(batch) = co.submit(KEY, &[(1, 0)]) else {
+            panic!("leads");
+        };
+        // Timeout with nothing published.
+        assert!(batch
+            .wait(Instant::now() + Duration::from_millis(5))
+            .is_none());
+        batch.publish(None);
+        assert!(batch.wait(Instant::now()).is_none());
+    }
+
+    #[test]
+    fn full_batches_refuse_joins() {
+        let co = Coalescer::new(Duration::from_millis(1));
+        let big = vec![(0u32, 0u64); MAX_COALESCED];
+        assert!(matches!(co.submit(KEY, &big), Ticket::Leader(_)));
+        assert!(matches!(co.submit(KEY, &[(1, 0)]), Ticket::Solo));
+    }
+}

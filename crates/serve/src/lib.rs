@@ -20,6 +20,8 @@
 //! | [`backend`] | [`BackendStore`]: one shard resident in one backend process, serving its manifest node range |
 //! | [`router`] | [`Router`]: stateless scatter/gather over replica sets of backends, merging answers bitwise identical to the single-process engine |
 //! | `health` (internal) | per-endpoint circuit breaker (closed / cooling / open / half-open probe) shared by the router's workers and prober |
+//! | `cache` (internal) | the router's sharded, size-bounded LRU answer cache ([`RouterConfig::cache_bytes`]); counters via [`CacheStatsHandle`] |
+//! | `coalesce` (internal) | cross-client request coalescing ([`RouterConfig::coalesce_window`]): merged same-shard wire batches with per-participant fan-out |
 //! | [`error`] | [`ServeError`] |
 //!
 //! Everything runs on `std` threads and `std::net` only — the crate has
@@ -77,9 +79,12 @@
 //! ```
 
 #![deny(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod backend;
+pub(crate) mod cache;
 pub mod client;
+pub(crate) mod coalesce;
 pub mod error;
 pub(crate) mod health;
 pub mod proto;
@@ -88,6 +93,7 @@ pub mod server;
 pub mod store;
 
 pub use backend::BackendStore;
+pub use cache::CacheStatsHandle;
 pub use client::Client;
 pub use error::ServeError;
 pub use proto::{BatchSlot, Request, Response};

@@ -205,7 +205,7 @@ pub enum Response {
     },
 }
 
-fn kernel_to_wire(k: DecayKernel) -> (u8, u64) {
+pub(crate) fn kernel_to_wire(k: DecayKernel) -> (u8, u64) {
     match k {
         DecayKernel::Threshold(d) => (0, d.to_bits()),
         DecayKernel::Exponential { base } => (1, base.to_bits()),
@@ -214,7 +214,7 @@ fn kernel_to_wire(k: DecayKernel) -> (u8, u64) {
     }
 }
 
-fn kernel_from_wire(tag: u8, bits: u64) -> Result<DecayKernel, ServeError> {
+pub(crate) fn kernel_from_wire(tag: u8, bits: u64) -> Result<DecayKernel, ServeError> {
     Ok(match tag {
         0 => DecayKernel::Threshold(f64::from_bits(bits)),
         1 => DecayKernel::Exponential {

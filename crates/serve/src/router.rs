@@ -78,12 +78,16 @@ use adsketch_core::{thread_count, ShardManifest, ShardRecord};
 use adsketch_graph::NodeId;
 use adsketch_minhash::{similarity, BottomKSketch};
 
+use crate::cache::{
+    AnswerCache, CacheKey, CacheStatsHandle, KIND_CARDINALITY, KIND_DECAY, KIND_HARMONIC,
+};
 use crate::client::Client;
+use crate::coalesce::{AnswerMap, Coalescer, GroupKey, Item, Ticket};
 use crate::error::ServeError;
 use crate::health::{HealthTracker, Tier};
 use crate::proto::{
-    BatchSlot, Request, Response, ERR_BACKEND, ERR_RESPONSE_TOO_LARGE, ERR_SHARD_DOWN,
-    MAX_FRAME_LEN,
+    kernel_from_wire, kernel_to_wire, BatchSlot, Request, Response, ERR_BACKEND,
+    ERR_RESPONSE_TOO_LARGE, ERR_SHARD_DOWN, MAX_FRAME_LEN,
 };
 use crate::server::{
     batch_too_large, check_nodes, nf_too_large, serve_pool, sketches_too_large, ServerHandle, Wake,
@@ -152,6 +156,28 @@ pub struct RouterConfig {
     /// handling the `0x84` frame, so this defaults to **false**
     /// (all-or-nothing).
     pub degraded: bool,
+    /// Byte budget for the router's **answer cache**: a sharded LRU over
+    /// per-node float answers (harmonic, decay, cardinality, Jaccard)
+    /// keyed by `(request kind, parameter bits, node)`. The frozen store
+    /// is immutable per generation, so cached answers never need
+    /// invalidation, and because they are stored as `f64::to_bits` a hit
+    /// replays the *exact* bits the backend served — batch requests peel
+    /// cached nodes off before the scatter and splice them back in merge
+    /// order, preserving bitwise identity verbatim. `0` disables the
+    /// cache (the default: fault-injection and failover tests rely on
+    /// every query reaching a backend).
+    pub cache_bytes: usize,
+    /// Cross-client coalescing window: when set, a worker's per-shard
+    /// sub-batch of a per-node float kind briefly pools with other
+    /// workers' concurrent sub-batches for the same `(shard, kind,
+    /// parameters)` group; one merged, deduplicated wire batch is
+    /// exchanged and the answers fan back out to every participant.
+    /// Adds up to one window of latency per request in exchange for
+    /// fewer, larger backend exchanges under high client concurrency.
+    /// Failed merges fall back to individual exchanges, so coalescing
+    /// can delay an answer but never change or lose one. Default
+    /// **None** (off).
+    pub coalesce_window: Option<Duration>,
 }
 
 impl Default for RouterConfig {
@@ -166,6 +192,8 @@ impl Default for RouterConfig {
             probe_interval: Duration::from_millis(100),
             hedge_delay: None,
             degraded: false,
+            cache_bytes: 0,
+            coalesce_window: None,
         }
     }
 }
@@ -180,6 +208,8 @@ pub struct Router {
     stop: Arc<AtomicBool>,
     wake: Arc<Wake>,
     health: Arc<HealthTracker>,
+    cache: Option<Arc<AnswerCache>>,
+    coalescer: Option<Arc<Coalescer>>,
 }
 
 impl Router {
@@ -216,6 +246,10 @@ impl Router {
             config.backoff_cap,
             config.failure_threshold,
         );
+        let cache = AnswerCache::new(config.cache_bytes);
+        let coalescer = config
+            .coalesce_window
+            .map(|window| Arc::new(Coalescer::new(window)));
         Ok(Self {
             listener,
             manifest: Arc::new(manifest),
@@ -225,6 +259,18 @@ impl Router {
             stop: Arc::new(AtomicBool::new(false)),
             wake: Arc::new(Wake::default()),
             health: Arc::new(health),
+            cache,
+            coalescer,
+        })
+    }
+
+    /// A handle onto the answer cache's hit/miss counters, or `None`
+    /// when [`RouterConfig::cache_bytes`] is zero. Take it before
+    /// [`Router::run`] (which consumes the router); it stays valid for
+    /// the router's whole life and after shutdown.
+    pub fn cache_stats(&self) -> Option<CacheStatsHandle> {
+        self.cache.as_ref().map(|inner| CacheStatsHandle {
+            inner: Arc::clone(inner),
         })
     }
 
@@ -258,6 +304,8 @@ impl Router {
             stop,
             wake,
             health,
+            cache,
+            coalescer,
         } = self;
         let served = std::thread::scope(|scope| {
             let prober =
@@ -268,6 +316,8 @@ impl Router {
                     Arc::clone(&replicas),
                     config.clone(),
                     Arc::clone(&health),
+                    cache.clone(),
+                    coalescer.clone(),
                 );
                 move |req: &Request| fleet.route(req)
             });
@@ -367,6 +417,12 @@ struct Fleet {
     inflight: Vec<Vec<u32>>,
     /// Round-robin cursor per shard.
     rr: Vec<usize>,
+    /// The router-wide answer cache (shared across workers); `None`
+    /// when [`RouterConfig::cache_bytes`] is zero.
+    cache: Option<Arc<AnswerCache>>,
+    /// The router-wide cross-client coalescer; `None` when
+    /// [`RouterConfig::coalesce_window`] is unset.
+    coalescer: Option<Arc<Coalescer>>,
 }
 
 impl Fleet {
@@ -375,6 +431,8 @@ impl Fleet {
         addrs: Arc<Vec<Vec<SocketAddr>>>,
         config: RouterConfig,
         health: Arc<HealthTracker>,
+        cache: Option<Arc<AnswerCache>>,
+        coalescer: Option<Arc<Coalescer>>,
     ) -> Self {
         let sizes: Vec<usize> = addrs.iter().map(Vec::len).collect();
         Self {
@@ -382,6 +440,8 @@ impl Fleet {
             addrs,
             config,
             health,
+            cache,
+            coalescer,
             conns: sizes
                 .iter()
                 .map(|&r| (0..r).map(|_| None).collect())
@@ -844,14 +904,62 @@ impl Fleet {
         Ok(finish_floats(out, any_down))
     }
 
-    /// Per-node float batches (harmonic / decay): partition, scatter,
-    /// place each shard's answers back at their request indices.
-    fn route_floats(
+    /// The answer-cache key stream for a cacheable per-node float batch,
+    /// or `None` when the cache is off (the request kinds dispatched
+    /// here — harmonic, decay, cardinality — are all cacheable).
+    fn cache_keys(&self, req: &Request) -> Option<Vec<CacheKey>> {
+        self.cache.as_ref()?;
+        Some(match req {
+            Request::Harmonic { nodes } => nodes.iter().map(|&v| CacheKey::harmonic(v)).collect(),
+            Request::Decay { kernel, nodes } => {
+                let (tag, bits) = kernel_to_wire(*kernel);
+                nodes
+                    .iter()
+                    .map(|&v| CacheKey::decay(tag, bits, v))
+                    .collect()
+            }
+            Request::Cardinality { queries } => queries
+                .iter()
+                .map(|&(v, d)| CacheKey::cardinality(v, d))
+                .collect(),
+            _ => return None,
+        })
+    }
+
+    /// Per-node float batches (harmonic / decay): peel cached answers,
+    /// serve the misses through the cold path, splice the hits back in.
+    fn route_floats<F: Fn(Vec<NodeId>) -> Request>(
         &mut self,
         req: &Request,
         nodes: &[NodeId],
-        make: impl Fn(Vec<NodeId>) -> Request,
+        make: F,
     ) -> Result<Response, ServeError> {
+        let Some(keys) = self.cache_keys(req) else {
+            return self.route_floats_cold(req, nodes, &make);
+        };
+        let cache = Arc::clone(self.cache.as_ref().expect("cache_keys implies a cache"));
+        let (hits, miss) = peel(&cache, &keys);
+        if miss.is_empty() {
+            return Ok(all_hits(hits));
+        }
+        let sub: Vec<NodeId> = miss.iter().map(|&i| nodes[i]).collect();
+        let resp = self.route_floats_cold(&make(sub.clone()), &sub, &make)?;
+        Ok(splice_floats(&cache, &keys, hits, &miss, resp))
+    }
+
+    /// The uncached float-batch path: partition, scatter (or coalesce),
+    /// place each shard's answers back at their request indices.
+    fn route_floats_cold<F: Fn(Vec<NodeId>) -> Request>(
+        &mut self,
+        req: &Request,
+        nodes: &[NodeId],
+        make: &F,
+    ) -> Result<Response, ServeError> {
+        if self.coalescer.is_some() {
+            if let Some((kind, tag, params, items)) = coalesce_items(req) {
+                return self.route_items_coalesced(kind, tag, params, &items);
+            }
+        }
         let parts = self.partition(nodes.iter().copied());
         if let [(shard, _)] = parts[..] {
             return self.exchange_floats(shard, req, nodes.len());
@@ -869,6 +977,34 @@ impl Fleet {
         req: &Request,
         queries: &[(NodeId, f64)],
     ) -> Result<Response, ServeError> {
+        let Some(keys) = self.cache_keys(req) else {
+            return self.route_cardinality_cold(req, queries);
+        };
+        let cache = Arc::clone(self.cache.as_ref().expect("cache_keys implies a cache"));
+        let (hits, miss) = peel(&cache, &keys);
+        if miss.is_empty() {
+            return Ok(all_hits(hits));
+        }
+        let sub: Vec<(NodeId, f64)> = miss.iter().map(|&i| queries[i]).collect();
+        let resp = self.route_cardinality_cold(
+            &Request::Cardinality {
+                queries: sub.clone(),
+            },
+            &sub,
+        )?;
+        Ok(splice_floats(&cache, &keys, hits, &miss, resp))
+    }
+
+    fn route_cardinality_cold(
+        &mut self,
+        req: &Request,
+        queries: &[(NodeId, f64)],
+    ) -> Result<Response, ServeError> {
+        if self.coalescer.is_some() {
+            if let Some((kind, tag, params, items)) = coalesce_items(req) {
+                return self.route_items_coalesced(kind, tag, params, &items);
+            }
+        }
         let parts = self.partition(queries.iter().map(|q| q.0));
         if let [(shard, _)] = parts[..] {
             return self.exchange_floats(shard, req, queries.len());
@@ -886,6 +1022,113 @@ impl Fleet {
             .collect();
         let results = self.scatter(&legs);
         self.merge_floats(queries.len(), &parts, results)
+    }
+
+    /// Routes a per-node float batch through the cross-client coalescer:
+    /// submit every shard leg, perform this worker's leader duties, then
+    /// collect — joiners wait for their leader's publication and fall
+    /// back to an individual exchange on any failure or timeout.
+    fn route_items_coalesced(
+        &mut self,
+        kind: u8,
+        tag: u8,
+        params: u64,
+        items: &[Item],
+    ) -> Result<Response, ServeError> {
+        let co = Arc::clone(self.coalescer.as_ref().expect("coalescer present"));
+        let parts = self.partition(items.iter().map(|it| it.0));
+        let subs: Vec<(usize, Vec<Item>)> = parts
+            .iter()
+            .map(|(shard, idxs)| (*shard, idxs.iter().map(|&i| items[i]).collect()))
+            .collect();
+        // Phase 1: submit every leg before any wait, so no participant
+        // blocks on a join while owing leader duties elsewhere.
+        let tickets: Vec<Ticket> = subs
+            .iter()
+            .map(|(shard, sub)| {
+                co.submit(
+                    GroupKey {
+                        shard: *shard,
+                        kind,
+                        tag,
+                        params,
+                    },
+                    sub,
+                )
+            })
+            .collect();
+        // Phase 2: leader duties. A failed merged exchange publishes
+        // `None`, sending every participant down the individual-exchange
+        // fallback — coalescing never introduces a new failure mode.
+        for ((shard, _), ticket) in subs.iter().zip(&tickets) {
+            let Ticket::Leader(batch) = ticket else {
+                continue;
+            };
+            let now = Instant::now();
+            if batch.close_at > now {
+                std::thread::sleep(batch.close_at - now);
+            }
+            let key = GroupKey {
+                shard: *shard,
+                kind,
+                tag,
+                params,
+            };
+            let merged = co.close(key, batch);
+            let mut uniq: Vec<Item> = Vec::with_capacity(merged.len());
+            let mut seen = std::collections::HashSet::with_capacity(merged.len());
+            for it in merged {
+                if seen.insert(it) {
+                    uniq.push(it);
+                }
+            }
+            let outcome = match self.exchange(*shard, &items_request(kind, tag, params, &uniq)) {
+                Ok(Response::Floats(xs)) if xs.len() == uniq.len() => Some(Arc::new(
+                    uniq.into_iter()
+                        .zip(xs.into_iter().map(f64::to_bits))
+                        .collect::<HashMap<Item, u64>>(),
+                )),
+                _ => None,
+            };
+            batch.publish(outcome);
+        }
+        // A bound on how long a joiner waits for its leader: the window
+        // plus a full exchange's worth of deadlines. Expiring early is
+        // safe — the fallback recomputes identical bits.
+        let wait_budget = co_window_budget(&self.config);
+        // Phase 3: collect per leg, in request order.
+        let mut slots = vec![BatchSlot::Down(ERR_SHARD_DOWN); items.len()];
+        let mut any_down = false;
+        for (((shard, idxs), (_, sub)), ticket) in parts.iter().zip(&subs).zip(tickets) {
+            let answers: Option<AnswerMap> = match &ticket {
+                Ticket::Leader(batch) | Ticket::Joiner(batch) => {
+                    batch.wait(Instant::now() + wait_budget)
+                }
+                Ticket::Solo => None,
+            };
+            if let Some(map) = answers {
+                for (&i, it) in idxs.iter().zip(sub) {
+                    let bits = *map
+                        .get(it)
+                        .expect("a published merge covers every submitted item");
+                    slots[i] = BatchSlot::Value(f64::from_bits(bits));
+                }
+                continue;
+            }
+            // Individual fallback: exactly this request's sub-batch, with
+            // the usual degraded-mode handling.
+            match self.exchange(*shard, &items_request(kind, tag, params, sub)) {
+                Ok(resp) => {
+                    let xs = expect_floats(*shard, resp, sub.len())?;
+                    for (&i, x) in idxs.iter().zip(xs) {
+                        slots[i] = BatchSlot::Value(x);
+                    }
+                }
+                Err(e) if self.degrade(&e) => any_down = true,
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(finish_floats(slots, any_down))
     }
 
     fn route_curves(&mut self, req: &Request, nodes: &[NodeId]) -> Result<Response, ServeError> {
@@ -973,12 +1216,36 @@ impl Fleet {
         Ok(Response::Sketches(out))
     }
 
+    /// Jaccard with the answer cache in front: pairs are cached exactly
+    /// as queried (`(u, v)` and `(v, u)` are distinct keys), misses go
+    /// through the cold path, hits splice back in request order.
+    fn route_jaccard(
+        &mut self,
+        d: f64,
+        pairs: &[(NodeId, NodeId)],
+    ) -> Result<Response, ServeError> {
+        let Some(cache) = self.cache.clone() else {
+            return self.route_jaccard_cold(d, pairs);
+        };
+        let keys: Vec<CacheKey> = pairs
+            .iter()
+            .map(|&(u, v)| CacheKey::jaccard(d, u, v))
+            .collect();
+        let (hits, miss) = peel(&cache, &keys);
+        if miss.is_empty() {
+            return Ok(all_hits(hits));
+        }
+        let sub: Vec<(NodeId, NodeId)> = miss.iter().map(|&i| pairs[i]).collect();
+        let resp = self.route_jaccard_cold(d, &sub)?;
+        Ok(splice_floats(&cache, &keys, hits, &miss, resp))
+    }
+
     /// Jaccard: same-shard pairs go straight to their owner; cross-shard
     /// pairs are merged from per-endpoint sketch prefixes (see the
     /// module docs for why this stays bitwise identical). Degraded mode:
     /// a down shard takes out exactly the pairs that need it — same-
     /// shard pairs it owns, cross pairs with an endpoint on it.
-    fn route_jaccard(
+    fn route_jaccard_cold(
         &mut self,
         d: f64,
         pairs: &[(NodeId, NodeId)],
@@ -1134,6 +1401,135 @@ impl Fleet {
             other => Err(unexpected(shard, other)),
         }
     }
+}
+
+/// Looks every key up in the answer cache: per-index hit bits plus the
+/// indices that must still be served.
+fn peel(cache: &AnswerCache, keys: &[CacheKey]) -> (Vec<Option<u64>>, Vec<usize>) {
+    let hits: Vec<Option<u64>> = keys.iter().map(|k| cache.get(k)).collect();
+    let miss: Vec<usize> = hits
+        .iter()
+        .enumerate()
+        .filter_map(|(i, h)| h.is_none().then_some(i))
+        .collect();
+    (hits, miss)
+}
+
+/// A fully cache-answered batch: every slot's exact bits, no backend
+/// touched.
+fn all_hits(hits: Vec<Option<u64>>) -> Response {
+    Response::Floats(
+        hits.into_iter()
+            .map(|h| f64::from_bits(h.expect("all slots hit")))
+            .collect(),
+    )
+}
+
+/// Splices cached bits back into a miss-only served response (in merge
+/// order: hit slots keep their cached bits, miss slots consume the
+/// served answers in request order), inserting freshly served values
+/// into the cache on the way through. Responses that carry no per-query
+/// answers (whole-request error frames) pass through untouched, exactly
+/// as the uncached path would have returned them.
+fn splice_floats(
+    cache: &AnswerCache,
+    keys: &[CacheKey],
+    hits: Vec<Option<u64>>,
+    miss: &[usize],
+    resp: Response,
+) -> Response {
+    match resp {
+        Response::Floats(xs) if xs.len() == miss.len() => {
+            for (&i, &x) in miss.iter().zip(&xs) {
+                cache.insert(keys[i], x.to_bits());
+            }
+            let mut served = xs.into_iter();
+            Response::Floats(
+                hits.into_iter()
+                    .map(|h| match h {
+                        Some(bits) => f64::from_bits(bits),
+                        None => served.next().expect("one served answer per miss"),
+                    })
+                    .collect(),
+            )
+        }
+        Response::Partial(slots) if slots.len() == miss.len() => {
+            // Only successful answers are remembered — a Down slot must
+            // not outlive its shard's outage.
+            for (&i, slot) in miss.iter().zip(&slots) {
+                if let BatchSlot::Value(x) = slot {
+                    cache.insert(keys[i], x.to_bits());
+                }
+            }
+            let mut served = slots.into_iter();
+            Response::Partial(
+                hits.into_iter()
+                    .map(|h| match h {
+                        Some(bits) => BatchSlot::Value(f64::from_bits(bits)),
+                        None => served.next().expect("one served slot per miss"),
+                    })
+                    .collect(),
+            )
+        }
+        other => other,
+    }
+}
+
+/// The coalescing profile of a per-node float request: group-key bits
+/// plus the per-index item list. Only harmonic, decay, and cardinality
+/// coalesce — their answers are pure per-item functions.
+fn coalesce_items(req: &Request) -> Option<(u8, u8, u64, Vec<Item>)> {
+    match req {
+        Request::Harmonic { nodes } => {
+            Some((KIND_HARMONIC, 0, 0, nodes.iter().map(|&v| (v, 0)).collect()))
+        }
+        Request::Decay { kernel, nodes } => {
+            let (tag, bits) = kernel_to_wire(*kernel);
+            Some((
+                KIND_DECAY,
+                tag,
+                bits,
+                nodes.iter().map(|&v| (v, 0)).collect(),
+            ))
+        }
+        Request::Cardinality { queries } => Some((
+            KIND_CARDINALITY,
+            0,
+            0,
+            queries.iter().map(|&(v, d)| (v, d.to_bits())).collect(),
+        )),
+        _ => None,
+    }
+}
+
+/// Rebuilds the wire request for a merged (or fallback) item list —
+/// the inverse of [`coalesce_items`], bit-exact by construction.
+fn items_request(kind: u8, tag: u8, params: u64, items: &[Item]) -> Request {
+    match kind {
+        KIND_HARMONIC => Request::Harmonic {
+            nodes: items.iter().map(|it| it.0).collect(),
+        },
+        KIND_DECAY => Request::Decay {
+            kernel: kernel_from_wire(tag, params).expect("round-tripped kernel tag"),
+            nodes: items.iter().map(|it| it.0).collect(),
+        },
+        KIND_CARDINALITY => Request::Cardinality {
+            queries: items
+                .iter()
+                .map(|&(v, bits)| (v, f64::from_bits(bits)))
+                .collect(),
+        },
+        _ => unreachable!("only per-node float kinds coalesce"),
+    }
+}
+
+/// How long a coalescing participant waits for its leader before
+/// falling back: the window itself plus a full exchange's deadlines
+/// (generous — an early fallback merely duplicates work, never changes
+/// an answer).
+fn co_window_budget(config: &RouterConfig) -> Duration {
+    let window = config.coalesce_window.unwrap_or_default();
+    window + (config.connect_timeout + config.read_timeout) * (config.retries + 2)
 }
 
 /// The typed error for a leg that timed out without a protocol failure.

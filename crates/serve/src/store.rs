@@ -5,9 +5,11 @@
 //! [`adsketch_core::freeze_sharded`]: `S` full-width `FrozenAdsSet` v1
 //! files (shard `i` populates only the node range its manifest record
 //! declares) plus the checksummed `ADSKSHD1` manifest. [`ShardedStore::load`]
-//! reads the manifest, then streams all shards in **parallel** (one
-//! thread per shard via the builders' `shard_slots` helper), verifying
-//! for each shard:
+//! reads the manifest, then brings all shards up in **parallel** (one
+//! thread per shard via the builders' `shard_slots` helper), mapping
+//! each shard's columns in place where the platform supports it
+//! (`mmap`; replicas share the kernel page cache) and verifying for
+//! each shard:
 //!
 //! * the store-level format checks (magic, version, checksum, structure —
 //!   [`adsketch_core::FrozenAdsSet::from_reader`]),
@@ -26,29 +28,13 @@
 //! `FrozenAdsSet`** — the property the serving tier's end-to-end
 //! guarantee is built on.
 
-use std::io::Read;
 use std::path::{Path, PathBuf};
 
-use adsketch_core::frozen::{reader_at_eof, shard_file_name, Fnv1a64, SHARD_MANIFEST_FILE};
-use adsketch_core::{shard_slots, AdsView, FrozenAdsSet, QueryEngine, ShardManifest};
+use adsketch_core::frozen::{shard_file_name, SHARD_MANIFEST_FILE};
+use adsketch_core::{shard_slots, AdsView, FrozenAdsSet, LoadOptions, QueryEngine, ShardManifest};
 use adsketch_graph::NodeId;
 
 use crate::error::ServeError;
-
-/// A `Read` adapter that FNV-hashes every byte it yields (for verifying
-/// manifest-recorded whole-file shard digests while streaming).
-struct HashingReader<R: Read> {
-    inner: R,
-    hash: Fnv1a64,
-}
-
-impl<R: Read> Read for HashingReader<R> {
-    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
-        let n = self.inner.read(buf)?;
-        self.hash.update(&buf[..n]);
-        Ok(n)
-    }
-}
 
 /// A loaded sharded store: the validated manifest plus one resident
 /// [`FrozenAdsSet`] per shard, with per-node routing by the manifest's
@@ -61,10 +47,21 @@ pub struct ShardedStore {
 
 impl ShardedStore {
     /// Loads a sharded store from a directory written by
-    /// [`adsketch_core::freeze_sharded`], streaming all shards in
-    /// parallel and verifying every integrity property listed in the
-    /// [module docs](self).
+    /// [`adsketch_core::freeze_sharded`], mapping every shard's columns
+    /// in place (zero-copy where the platform supports it) in parallel
+    /// and verifying every integrity property listed in the
+    /// [module docs](self). Equivalent to [`ShardedStore::load_with`]
+    /// with [`LoadOptions::mapped`].
     pub fn load(dir: impl AsRef<Path>) -> Result<Self, ServeError> {
+        Self::load_with(dir, LoadOptions::mapped())
+    }
+
+    /// [`ShardedStore::load`] with explicit [`LoadOptions`]: `map` picks
+    /// zero-copy vs. copying column backing, and `verify: false` skips
+    /// the checksum, whole-file digest, and canonical-order scans for
+    /// warm restarts of already-verified store directories (manifest
+    /// parsing, parameter agreement, and range checks always run).
+    pub fn load_with(dir: impl AsRef<Path>, opts: LoadOptions) -> Result<Self, ServeError> {
         let dir = dir.as_ref();
         let manifest = ShardManifest::load(dir.join(SHARD_MANIFEST_FILE))?;
         let mut slots: Vec<Option<Result<FrozenAdsSet, ServeError>>> =
@@ -73,7 +70,7 @@ impl ShardedStore {
             &mut slots,
             0,
             || (),
-            |(), i, slot| *slot = Some(load_shard(dir, &manifest, i)),
+            |(), i, slot| *slot = Some(load_shard(dir, &manifest, i, opts)),
         );
         let mut shards = Vec::with_capacity(manifest.num_shards());
         for slot in slots {
@@ -122,42 +119,35 @@ impl ShardedStore {
     }
 }
 
-/// Streams one shard off disk, verifying digest and cross-shard
-/// consistency against the manifest. Shared with the distributed tier's
-/// [`crate::backend::BackendStore`], which loads exactly one shard this
-/// way.
+/// Brings one shard off disk (mapped or copied per `opts`), verifying
+/// digest and cross-shard consistency against the manifest. Shared with
+/// the distributed tier's [`crate::backend::BackendStore`], which loads
+/// exactly one shard this way.
 pub(crate) fn load_shard(
     dir: &Path,
     manifest: &ShardManifest,
     i: usize,
+    opts: LoadOptions,
 ) -> Result<FrozenAdsSet, ServeError> {
     let rec = manifest.records()[i];
     let path: PathBuf = dir.join(shard_file_name(i));
-    let file = std::fs::File::open(&path).map_err(|e| {
-        if e.kind() == std::io::ErrorKind::NotFound {
+    // Trailing bytes are rejected by the store loader itself, so nothing
+    // appended to a shard file can slip past the whole-file digest.
+    let (shard, digest) = FrozenAdsSet::load_with_digest(&path, opts).map_err(|e| match e {
+        adsketch_core::FrozenError::Io(ref io) if io.kind() == std::io::ErrorKind::NotFound => {
             ServeError::Store(format!("shard {i} missing: {}", path.display()))
-        } else {
-            ServeError::Io(e)
         }
+        e => ServeError::from(e),
     })?;
-    let mut r = HashingReader {
-        inner: std::io::BufReader::new(file),
-        hash: Fnv1a64::new(),
-    };
-    let shard = FrozenAdsSet::from_reader(&mut r)?;
-    // Drain any trailing bytes into the digest so appended garbage can
-    // never slip past the whole-file comparison below.
-    if !reader_at_eof(&mut r)? {
-        let mut sink = [0u8; 8192];
-        while r.read(&mut sink)? > 0 {}
-    }
-    let digest = r.hash.digest();
-    if digest != rec.digest {
-        return Err(ServeError::Store(format!(
-            "shard {i}: file digest {digest:#018x} does not match the manifest's {:#018x} \
-             (corrupt file, or a shard from a different freeze)",
-            rec.digest
-        )));
+    if opts.verify {
+        let digest = digest.expect("verified loads always produce a whole-file digest");
+        if digest != rec.digest {
+            return Err(ServeError::Store(format!(
+                "shard {i}: file digest {digest:#018x} does not match the manifest's {:#018x} \
+                 (corrupt file, or a shard from a different freeze)",
+                rec.digest
+            )));
+        }
     }
     if shard.k() != manifest.k() {
         return Err(ServeError::Store(format!(

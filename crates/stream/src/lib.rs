@@ -21,6 +21,7 @@
 //! | [`streaming_ads`] | ADS over streams: first-occurrence and recency variants (Section 3.1) |
 
 #![deny(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod counter;
 pub mod hip_hll;

@@ -23,6 +23,7 @@
 //!   experiment and benchmark binaries.
 
 #![deny(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod args;
 pub mod harmonic;

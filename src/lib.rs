@@ -50,6 +50,8 @@
 //! assert_eq!(harmonic_all[0], hc); // bitwise-identical answers
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use adsketch_core as core;
 pub use adsketch_graph as graph;
 pub use adsketch_minhash as minhash;

@@ -15,7 +15,9 @@ use adsketch::core::frozen::SHARD_MANIFEST_FILE;
 use adsketch::core::{freeze_sharded, AdsSet, AdsView, FrozenAdsSet, QueryEngine, ShardManifest};
 use adsketch::graph::NodeId;
 use adsketch::serve::proto::{ERR_BACKEND, WIRE_VERSION};
-use adsketch::serve::{BackendStore, Client, Router, RouterConfig, ServeError, ServerHandle};
+use adsketch::serve::{
+    BackendStore, CacheStatsHandle, Client, Router, RouterConfig, ServeError, ServerHandle,
+};
 
 /// Tight deadlines so fault scenarios resolve in test time. The failure
 /// threshold is high enough that single-replica fault tests never open
@@ -32,6 +34,19 @@ pub fn fast_config() -> RouterConfig {
         probe_interval: Duration::from_millis(25),
         hedge_delay: None,
         degraded: false,
+        cache_bytes: 0,
+        coalesce_window: None,
+    }
+}
+
+/// [`fast_config`] with the serve-tier fast path fully on: an answer
+/// cache plus a short cross-client coalescing window. Answers must stay
+/// bitwise identical to the cold path.
+pub fn fast_path_config() -> RouterConfig {
+    RouterConfig {
+        cache_bytes: 1 << 20,
+        coalesce_window: Some(Duration::from_millis(2)),
+        ..fast_config()
     }
 }
 
@@ -127,13 +142,31 @@ pub fn spawn_router(
     ServerHandle,
     std::thread::JoinHandle<std::io::Result<u64>>,
 ) {
+    let (addr, handle, join, _) = spawn_router_with_stats(dir, replicas, workers, config);
+    (addr, handle, join)
+}
+
+/// [`spawn_router`], also returning the answer-cache counters handle
+/// (`None` unless the config enables the cache).
+pub fn spawn_router_with_stats(
+    dir: &std::path::Path,
+    replicas: Vec<Vec<SocketAddr>>,
+    workers: usize,
+    config: RouterConfig,
+) -> (
+    SocketAddr,
+    ServerHandle,
+    std::thread::JoinHandle<std::io::Result<u64>>,
+    Option<CacheStatsHandle>,
+) {
     let manifest = ShardManifest::load(dir.join(SHARD_MANIFEST_FILE)).expect("manifest");
     let router =
         Router::bind("127.0.0.1:0", manifest, replicas, workers, config).expect("bind router");
     let addr = router.local_addr().expect("router addr");
     let handle = router.handle();
+    let stats = router.cache_stats();
     let join = std::thread::spawn(move || router.run());
-    (addr, handle, join)
+    (addr, handle, join, stats)
 }
 
 /// One backend replica of a [`ReplicaFleet`]; `join` is `None` while the
@@ -152,6 +185,8 @@ pub struct ReplicaFleet {
     pub addr: SocketAddr,
     /// `slots[shard][rep]` — every replica of a shard serves that shard.
     pub slots: Vec<Vec<ReplicaSlot>>,
+    /// Router answer-cache counters (`None` when the cache is off).
+    pub cache_stats: Option<CacheStatsHandle>,
     router_handle: ServerHandle,
     router_join: Option<std::thread::JoinHandle<std::io::Result<u64>>>,
     workers: usize,
@@ -189,10 +224,12 @@ impl ReplicaFleet {
             .iter()
             .map(|reps| reps.iter().map(|s| s.addr).collect())
             .collect();
-        let (addr, router_handle, router_join) = spawn_router(&scratch.0, addrs, workers, config);
+        let (addr, router_handle, router_join, cache_stats) =
+            spawn_router_with_stats(&scratch.0, addrs, workers, config);
         Self {
             addr,
             slots,
+            cache_stats,
             router_handle,
             router_join: Some(router_join),
             workers,

@@ -9,11 +9,12 @@ mod common;
 
 use proptest::prelude::*;
 
+use adsketch::core::centrality::DecayKernel;
 use adsketch::core::{AdsSet, QueryEngine};
 use adsketch::graph::{generators, NodeId};
 use adsketch::serve::{Client, Request, Response, RouterConfig, ServeError};
 
-use common::{assert_routed_equals_local, ReplicaFleet};
+use common::{assert_routed_equals_local, fast_path_config, ReplicaFleet};
 
 /// Freezes `ads` into `shards` backend processes (in-process servers,
 /// one [`adsketch::serve::BackendStore`] each, one replica per shard)
@@ -206,6 +207,64 @@ fn router_shutdown_never_drops_an_accepted_pipelines_response() {
     }
 }
 
+#[test]
+fn fast_path_full_battery_identical_cold_and_hot() {
+    let g = generators::gnp_directed(80, 0.06, 23);
+    let ads = AdsSet::build(&g, 4, 3);
+    let frozen = ads.freeze();
+    let guard = ReplicaFleet::spawn(&ads, 2, 1, 2, "eqv_fastpath", fast_path_config());
+    let mut client = Client::connect(guard.addr).expect("connect");
+    // Cold pass populates the cache, hot pass replays from it — both
+    // must be bitwise identical to the local engine.
+    assert_routed_equals_local(&mut client, &ads, &frozen);
+    assert_routed_equals_local(&mut client, &ads, &frozen);
+    let stats = guard.cache_stats.as_ref().expect("cache enabled");
+    assert!(stats.hits() > 0, "second battery pass must hit the cache");
+    assert!(stats.misses() > 0, "first battery pass must miss the cache");
+    assert!(stats.resident_entries() <= stats.capacity_entries());
+}
+
+#[test]
+fn cache_evicts_instead_of_growing_past_its_budget() {
+    let g = generators::barabasi_albert(300, 2, 13);
+    let ads = AdsSet::build(&g, 3, 5);
+    let frozen = ads.freeze();
+    let local = QueryEngine::new(&frozen);
+    // 4 KiB of cache = 64 accounted entries; the workload inserts far
+    // more distinct answers than that across three cached kinds.
+    let config = RouterConfig {
+        cache_bytes: 4096,
+        ..RouterConfig::default()
+    };
+    let guard = ReplicaFleet::spawn(&ads, 2, 1, 2, "eqv_cache_bound", config);
+    let stats = guard.cache_stats.as_ref().expect("cache enabled");
+    let budget_entries = 4096 / 64;
+    assert_eq!(stats.capacity_entries(), budget_entries);
+    let mut client = Client::connect(guard.addr).expect("connect");
+    let nodes: Vec<NodeId> = (0..300).collect();
+    let queries: Vec<(NodeId, f64)> = nodes.iter().map(|&v| (v, 2.0)).collect();
+    for _ in 0..3 {
+        assert_eq!(
+            client.harmonic(&nodes).expect("harmonic"),
+            local.harmonic_batch(&nodes)
+        );
+        assert_eq!(
+            client.cardinality(&queries).expect("cardinality"),
+            local.cardinality_batch(&queries)
+        );
+    }
+    // Filling far past the byte budget evicts; residency never grows
+    // beyond the configured capacity.
+    assert!(
+        stats.resident_entries() <= stats.capacity_entries(),
+        "resident {} > capacity {}",
+        stats.resident_entries(),
+        stats.capacity_entries()
+    );
+    assert!(stats.resident_bytes() <= 4096);
+    assert!(stats.misses() > budget_entries as u64);
+}
+
 proptest! {
     /// Random tiny graph, random fleet size: routed mixed batches are
     /// bitwise identical to the local engine.
@@ -235,5 +294,67 @@ proptest! {
             client.jaccard(1.5, &pairs).expect("jaccard"),
             local.jaccard_batch(&pairs, 1.5)
         );
+    }
+}
+
+proptest! {
+    /// With the answer cache and the coalescing window both on,
+    /// concurrent clients interleaving hot (repeated), cold (fresh), and
+    /// coalesced (simultaneous identical) batches still get answers
+    /// bitwise identical to the local engine — the fast path may change
+    /// timing, never bits.
+    #[test]
+    fn interleaved_hot_cold_coalesced_batches_route_identically(
+        n in 8u32..40,
+        seed in 0u64..500,
+        shards in 1usize..4,
+    ) {
+        let g = generators::gnp_directed(n as usize, 0.12, seed);
+        let ads = AdsSet::build(&g, 3, seed);
+        let frozen = ads.freeze();
+        let local = QueryEngine::new(&frozen);
+        let guard =
+            ReplicaFleet::spawn(&ads, shards, 1, 2, "eqv_fastprop", fast_path_config());
+        // Identical across clients, fired simultaneously → coalesces.
+        let shared: Vec<NodeId> = (0..n).collect();
+        std::thread::scope(|s| {
+            for c in 0..3u32 {
+                let addr = guard.addr;
+                let local = &local;
+                let shared = &shared;
+                s.spawn(move || {
+                    let mut client = Client::connect(addr).expect("connect");
+                    for round in 0..3u32 {
+                        assert_eq!(
+                            client.harmonic(shared).expect("harmonic"),
+                            local.harmonic_batch(shared)
+                        );
+                        // A per-client batch: cold on the first send of
+                        // the pair, hot (cache-served) on the second.
+                        let mine: Vec<NodeId> = (0..n)
+                            .filter(|v| (v.wrapping_mul(7) + c + round) % 3 == 0)
+                            .collect();
+                        if mine.is_empty() {
+                            continue;
+                        }
+                        let kernel = DecayKernel::Exponential { base: 2.0 };
+                        for _ in 0..2 {
+                            assert_eq!(
+                                client.decay(kernel, &mine).expect("decay"),
+                                local.decay_batch(kernel, &mine)
+                            );
+                        }
+                        let q: Vec<(NodeId, f64)> =
+                            mine.iter().map(|&v| (v, f64::from(round))).collect();
+                        assert_eq!(
+                            client.cardinality(&q).expect("cardinality"),
+                            local.cardinality_batch(&q)
+                        );
+                    }
+                });
+            }
+        });
+        let stats = guard.cache_stats.as_ref().expect("cache enabled");
+        prop_assert!(stats.hits() > 0, "repeated batches must hit the cache");
     }
 }

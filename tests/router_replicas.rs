@@ -194,6 +194,8 @@ fn hedged_reads_mask_straggling_replicas() {
         probe_interval: Duration::from_millis(25),
         hedge_delay: Some(Duration::from_millis(25)),
         degraded: false,
+        cache_bytes: 0,
+        coalesce_window: None,
     };
     let (addr, r_handle, r_join) =
         spawn_router(&scratch.0, vec![vec![proxy.addr, b0b_addr]], 1, config);

@@ -9,7 +9,12 @@
 #   the heap baseline before being timed), and
 #   BENCH_serve.json — end-to-end TCP serving (sharded store, concurrent
 #   clients over loopback; every served sweep asserted bitwise identical
-#   to the local engine before being timed).
+#   to the local engine before being timed). Rows carry a `tier` field:
+#   `direct` single-process rows (including the cold_start_* loader
+#   comparison records), `router` rows (Zipf workload, answer cache
+#   off), and `router+cache` rows (same workload, cache + coalescing
+#   on) — the cache-on rows must beat the cache-off rows on the skewed
+#   workload, and `cold_start_mmap` must sit far below `cold_start_copy`.
 #
 # Quick mode (default): the full-size matrix, one timed iteration per
 # configuration —
@@ -36,12 +41,30 @@ fi
 cargo run --release -p adsketch-bench --bin tbl_parallel -- "${BUILD_ARGS[@]}"
 cargo run --release -p adsketch-bench --bin tbl_query -- "${QUERY_ARGS[@]}"
 cargo run --release -p adsketch-serve --bin loadgen -- "${SERVE_ARGS[@]}"
+if [[ "${SMOKE:-0}" != "1" ]]; then
+  # Distributed-tier rows, appended to the same snapshot: the same
+  # Zipf-skewed workload through the router with the answer cache off,
+  # then on. Both runs are identity-gated; the cache-on rows must win
+  # on the skewed workload. (The coalescing window is deliberately off
+  # here — it trades cold-request latency for fan-in reduction, which
+  # this low-concurrency loopback workload cannot show; CI's smoke runs
+  # and the router test suites keep it exercised.)
+  cargo run --release -p adsketch-serve --bin loadgen -- --router 2 \
+    --n "${N:-100000}" --k "${K:-16}" --zipf 1.1 \
+    --json BENCH_serve.json --append
+  cargo run --release -p adsketch-serve --bin loadgen -- --router 2 \
+    --n "${N:-100000}" --k "${K:-16}" --zipf 1.1 \
+    --cache 67108864 \
+    --json BENCH_serve.json --append
+fi
 if [[ "${SMOKE:-0}" == "1" ]]; then
   # Smoke also sweeps the distributed tier once: a router fronting a
-  # 2-backend fleet, identity-gated like everything else (throwaway
+  # 2-backend fleet with the serve-tier fast path (answer cache +
+  # coalescing) on, identity-gated like everything else (throwaway
   # JSON — the committed serve baseline stays single-process).
   cargo run --release -p adsketch-serve --bin loadgen -- --router 2 --smoke \
-    --k "${K:-16}" --json target/BENCH_serve.router-smoke.json
+    --k "${K:-16}" --zipf 1.1 --cache 4194304 --coalesce-us 200 \
+    --json target/BENCH_serve.router-smoke.json
   # And a tiny chaos drill: 2 shards x 2 replicas, the scheduler kills
   # and restarts one backend replica at a time under live load; any
   # client-visible error or identity mismatch fails the run.
