@@ -5,13 +5,17 @@
 //! bytes on disk), extending the paper's ADS-size table with a
 //! persistence column.
 //!
+//! The second table reports the frozen store's two on-disk formats side
+//! by side — full-width v1 vs compressed v2 bytes/entry (`--full` adds
+//! the n = 100 000, k = 16 benchmark cell).
+//!
 //! ```text
-//! cargo run --release -p adsketch-bench --bin tbl_ads_size [--runs 400]
+//! cargo run --release -p adsketch-bench --bin tbl_ads_size [--runs 400] [--full]
 //! ```
 
 use adsketch_bench::table::f;
 use adsketch_bench::{arg_u64, Table};
-use adsketch_core::{reference, AdsSet};
+use adsketch_core::{reference, AdsSet, StoreFormat};
 use adsketch_graph::{generators, NodeId};
 use adsketch_util::harmonic::{
     expected_bottomk_ads_size, expected_kmins_ads_size, expected_kpartition_ads_size,
@@ -62,39 +66,58 @@ fn main() {
 
     // Storage cost of a full bottom-k ADS set (one PrunedDijkstra build
     // per cell on a Barabási–Albert graph): heap build representation vs
-    // the frozen columnar store, resident and serialized.
+    // the frozen store in both on-disk formats — full-width v1 and the
+    // compressed v2 (delta+varint columns). The n = 100 000, k = 16 cell
+    // is the repo's standing benchmark configuration (`--full` only; it
+    // builds a 100k-node ADS set per run).
+    let full = adsketch_bench::arg_flag("full");
     let mut st = Table::new(vec![
         "n",
         "k",
         "entries/node",
         "heap B/node",
-        "frozen B/node",
-        "disk B/node",
-        "disk/heap",
+        "v1 B/entry",
+        "v2 B/entry",
+        "v1/v2",
     ]);
-    for &n in &[1_000usize, 10_000] {
+    let cells: &[(usize, &[usize])] = if full {
+        &[
+            (1_000, &[4, 16, 64]),
+            (10_000, &[4, 16, 64]),
+            (100_000, &[16]),
+        ]
+    } else {
+        &[(1_000, &[4, 16, 64]), (10_000, &[4, 16, 64])]
+    };
+    for &(n, ks) in cells {
         let g = generators::barabasi_albert(n, 4, 7);
-        for &k in &[4usize, 16, 64] {
+        for &k in ks {
             let ads = AdsSet::build_parallel(&g, k, 42, 0);
             let frozen = ads.freeze();
             let heap = ads.approx_heap_bytes() as f64;
-            let resident = frozen.resident_bytes() as f64;
-            let disk = frozen.serialized_len() as f64;
-            let nf = n as f64;
+            let entries = frozen.num_entries() as f64;
+            let v1 = frozen.serialized_len() as f64;
+            let v2 = frozen.to_bytes_format(StoreFormat::V2).len() as f64;
             st.row(vec![
                 n.to_string(),
                 k.to_string(),
                 f(ads.mean_entries()),
-                f(heap / nf),
-                f(resident / nf),
-                f(disk / nf),
-                format!("{:.2}", disk / heap),
+                f(heap / n as f64),
+                f(v1 / entries),
+                f(v2 / entries),
+                format!("{:.2}x", v1 / v2),
             ]);
         }
     }
     println!(
-        "\n=== Store size: heap build form vs frozen store (BA m=4, one build per cell) ===\n{}",
+        "\n=== Store size: heap build form vs frozen store v1/v2 (BA m=4, one build per cell) ===\n{}",
         st.render()
     );
-    println!("heap counts sketch vectors by capacity; disk is the exact v1 serialized\nlength (header + CSR offsets + node/dist/rank/weight columns, 28 B/entry).");
+    println!(
+        "heap counts sketch vectors by capacity (per node); v1 is the exact full-width\n\
+         serialized length (header + CSR offsets + node/dist/rank/weight columns,\n\
+         28 B/entry amortized); v2 is the compressed format (per-row delta+varint\n\
+         node ids, dictionary-coded distances, 7-byte rank mantissas, 1/τ weight\n\
+         back-references — bitwise-lossless, escape columns where needed)."
+    );
 }

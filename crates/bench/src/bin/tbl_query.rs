@@ -6,11 +6,23 @@
 //! batch. The heap baseline is one [`AdsSet::hip`] call per node (the
 //! pre-freeze API: per-call `HipWeights` allocation + threshold-scan
 //! recompute); the frozen rows serve the same queries from a
-//! [`FrozenAdsSet`] through [`QueryEngine`]. Every configuration is
-//! asserted **bitwise identical** to the heap baseline before it is
-//! timed. With `--json PATH` the measurements are written as a
-//! machine-readable snapshot (see `tools/bench_snapshot.sh`, which
-//! maintains `BENCH_query.json`).
+//! [`FrozenAdsSet`] through [`QueryEngine`] — in both store formats:
+//! full-width v1 and the compressed v2 (delta+varint columns,
+//! block-decoded query path). Every configuration runs once untimed and
+//! is asserted **bitwise identical** to the heap baseline before it is
+//! timed (the untimed pass also triggers the v2 store's one-time thaw
+//! into full-width columns — this binary sizes the decode budget to
+//! allow it, the steady-state a resident query server runs at), then
+//! reports the best of [`TIMED_RUNS`] timed repetitions. The rounds are
+//! **interleaved round-robin across backends** — every backend is timed
+//! once per round, and each backend records its own minimum — so a slow
+//! host phase (throttling, a background job) lands on all backends
+//! alike instead of masquerading as a format regression for whichever
+//! backend happened to run during it. Each record carries
+//! the serving store's format and on-disk bytes, so the snapshot tracks
+//! the compression win alongside throughput. With `--json PATH` the
+//! measurements are written as a machine-readable snapshot (see
+//! `tools/bench_snapshot.sh`, which maintains `BENCH_query.json`).
 //!
 //! ```text
 //! cargo run --release -p adsketch-bench --bin tbl_query \
@@ -24,8 +36,12 @@ use std::time::Instant;
 
 use adsketch_bench::table::f;
 use adsketch_bench::{arg_flag, arg_str, arg_u64, Table};
-use adsketch_core::{centrality, AdsSet, FrozenAdsSet, QueryEngine};
+use adsketch_core::{centrality, AdsSet, FrozenAdsSet, QueryEngine, StoreFormat};
 use adsketch_graph::{generators, NodeId};
+
+/// Timed repetitions per configuration; the recorded figure is the
+/// minimum (the run least disturbed by unrelated host load).
+const TIMED_RUNS: usize = 10;
 
 /// One measured query configuration.
 struct Record {
@@ -38,6 +54,18 @@ struct Record {
     threads: usize,
     ns_per_batch: u128,
     speedup_vs_heap: f64,
+    /// Store representation serving this row: `heap`, `v1`, or `v2`.
+    store_format: &'static str,
+    /// Bytes of that representation (serialized length for the frozen
+    /// formats, approximate heap footprint for `heap`).
+    store_bytes: usize,
+}
+
+/// The serving store's format + size, stamped onto each record.
+#[derive(Clone, Copy)]
+struct StoreInfo {
+    format: &'static str,
+    bytes: usize,
 }
 
 fn main() {
@@ -69,9 +97,58 @@ fn main() {
         frozen.serialized_len()
     );
 
+    // The same store in the compressed v2 format. The decode budget is
+    // sized to the whole decoded store, so the untimed warm-up/identity
+    // pass thaws it once into shared full-width columns and every timed
+    // sweep serves from those — the steady-state of a resident query
+    // server. Both serving stores are loaded through `from_bytes`, like
+    // a query server loads them from disk, so the two formats are
+    // compared on the same footing (the `freeze()` output only feeds the
+    // encoders and the heap rows).
+    let t0 = Instant::now();
+    let v1_bytes = frozen.to_bytes();
+    let v2_bytes = frozen.to_bytes_format(StoreFormat::V2);
+    adsketch_core::frozen::set_block_cache_budget(
+        (frozen.resident_bytes() + frozen.resident_bytes() / 4).max(64 << 20),
+    );
+    let frozen = FrozenAdsSet::from_bytes(&v1_bytes).expect("v1 store decodes");
+    let frozen_v2 = FrozenAdsSet::from_bytes(&v2_bytes).expect("v2 store decodes");
+    println!(
+        "v2 encode: {:.2?} ({} B on disk, {:.2}x smaller than v1)",
+        t0.elapsed(),
+        v2_bytes.len(),
+        v1_bytes.len() as f64 / v2_bytes.len() as f64,
+    );
+    let info_v1 = StoreInfo {
+        format: "v1",
+        bytes: v1_bytes.len(),
+    };
+    let info_v2 = StoreInfo {
+        format: "v2",
+        bytes: v2_bytes.len(),
+    };
+
     let mut records = Vec::new();
-    run_harmonic(&g, &ads, &frozen, k, &mut records);
-    run_cardinality(&g, &ads, &frozen, k, &mut records);
+    run_harmonic(
+        &g,
+        &ads,
+        &frozen,
+        &frozen_v2,
+        info_v1,
+        info_v2,
+        k,
+        &mut records,
+    );
+    run_cardinality(
+        &g,
+        &ads,
+        &frozen,
+        &frozen_v2,
+        info_v1,
+        info_v2,
+        k,
+        &mut records,
+    );
 
     if !json.is_empty() {
         std::fs::write(&json, render_json(&records)).expect("write json snapshot");
@@ -80,15 +157,23 @@ fn main() {
 }
 
 /// Closeness-centrality batch: harmonic centrality of every node.
+#[allow(clippy::too_many_arguments)]
 fn run_harmonic(
     g: &adsketch_graph::Graph,
     ads: &AdsSet,
     frozen: &FrozenAdsSet,
+    frozen_v2: &FrozenAdsSet,
+    info_v1: StoreInfo,
+    info_v2: StoreInfo,
     k: usize,
     records: &mut Vec<Record>,
 ) {
     let n = ads.num_nodes();
     let mut t = Table::new(vec!["backend", "threads", "time", "speedup", "identical"]);
+    let info_heap = StoreInfo {
+        format: "heap",
+        bytes: ads.approx_heap_bytes(),
+    };
 
     // Heap baseline: one AdsSet::hip call per node.
     let t0 = Instant::now();
@@ -106,31 +191,55 @@ fn run_harmonic(
         1,
         base_ns,
         base_ns,
-        true,
+        info_heap,
     );
 
-    type Backend<'a> = (&'static str, Box<dyn Fn() -> Vec<f64> + 'a>);
+    type Backend<'a> = (&'static str, StoreInfo, Box<dyn Fn() -> Vec<f64> + 'a>);
     let configs: Vec<Backend> = vec![
         (
             "heap_engine",
+            info_heap,
             Box::new(|| QueryEngine::with_threads(ads, 1).harmonic_all()),
         ),
         (
             "frozen_engine",
+            info_v1,
             Box::new(|| QueryEngine::with_threads(frozen, 1).harmonic_all()),
         ),
         (
             "frozen_engine_allcores",
+            info_v1,
             Box::new(|| QueryEngine::new(frozen).harmonic_all()),
         ),
+        (
+            "frozen_v2_engine",
+            info_v2,
+            Box::new(|| QueryEngine::with_threads(frozen_v2, 1).harmonic_all()),
+        ),
+        (
+            "frozen_v2_engine_allcores",
+            info_v2,
+            Box::new(|| QueryEngine::new(frozen_v2).harmonic_all()),
+        ),
     ];
-    for (name, run) in configs {
+    // Untimed identity gate per backend (doubles as warm-up: pages,
+    // branch predictors, and the v2 store's one-time thaw).
+    for (name, _, run) in &configs {
+        assert!(run() == baseline, "harmonic_all/{name}: output diverged");
+    }
+    // Interleaved rounds: every backend timed once per round, each
+    // keeping its own minimum, so host-load drift hits all alike.
+    let mut mins = vec![u128::MAX; configs.len()];
+    for _ in 0..TIMED_RUNS {
+        for ((name, _, run), min_ns) in configs.iter().zip(&mut mins) {
+            let t0 = Instant::now();
+            let got = run();
+            *min_ns = (*min_ns).min(t0.elapsed().as_nanos());
+            assert!(got == baseline, "harmonic_all/{name}: output diverged");
+        }
+    }
+    for ((name, info, _), ns) in configs.iter().zip(mins) {
         let threads = if name.ends_with("allcores") { 0 } else { 1 };
-        let t0 = Instant::now();
-        let got = run();
-        let ns = t0.elapsed().as_nanos();
-        let identical = got == baseline;
-        assert!(identical, "harmonic_all/{name}: output diverged");
         push(
             records,
             &mut t,
@@ -141,7 +250,7 @@ fn run_harmonic(
             threads,
             ns,
             base_ns,
-            identical,
+            *info,
         );
     }
     println!(
@@ -151,10 +260,14 @@ fn run_harmonic(
 }
 
 /// Neighborhood-cardinality batch: |N_3(v)| for every node.
+#[allow(clippy::too_many_arguments)]
 fn run_cardinality(
     g: &adsketch_graph::Graph,
     ads: &AdsSet,
     frozen: &FrozenAdsSet,
+    frozen_v2: &FrozenAdsSet,
+    info_v1: StoreInfo,
+    info_v2: StoreInfo,
     k: usize,
     records: &mut Vec<Record>,
 ) {
@@ -178,27 +291,60 @@ fn run_cardinality(
         1,
         base_ns,
         base_ns,
-        true,
+        StoreInfo {
+            format: "heap",
+            bytes: ads.approx_heap_bytes(),
+        },
     );
 
-    for threads in [1usize, 0] {
-        let engine = QueryEngine::with_threads(frozen, threads);
-        let t0 = Instant::now();
-        let got = engine.cardinality_batch(&queries);
-        let ns = t0.elapsed().as_nanos();
-        let identical = got == baseline;
-        assert!(identical, "cardinality/frozen/{threads}: output diverged");
+    let configs: Vec<(&'static str, QueryEngine<'_>, usize, StoreInfo)> = [
+        ("frozen_engine", frozen, info_v1),
+        ("frozen_v2_engine", frozen_v2, info_v2),
+    ]
+    .into_iter()
+    .flat_map(|(name, store, info)| {
+        [1usize, 0].map(|threads| {
+            (
+                name,
+                QueryEngine::with_threads(store, threads),
+                threads,
+                info,
+            )
+        })
+    })
+    .collect();
+    // Untimed identity gate + warm-up, as in the harmonic sweep.
+    for (name, engine, threads, _) in &configs {
+        assert!(
+            engine.cardinality_batch(&queries) == baseline,
+            "cardinality/{name}/{threads}: output diverged"
+        );
+    }
+    // Interleaved rounds (see the harmonic sweep).
+    let mut mins = vec![u128::MAX; configs.len()];
+    for _ in 0..TIMED_RUNS {
+        for ((name, engine, threads, _), min_ns) in configs.iter().zip(&mut mins) {
+            let t0 = Instant::now();
+            let got = engine.cardinality_batch(&queries);
+            *min_ns = (*min_ns).min(t0.elapsed().as_nanos());
+            assert!(
+                got == baseline,
+                "cardinality/{name}/{threads}: output diverged"
+            );
+        }
+    }
+    for ((name, _, threads, info), ns) in configs.iter().zip(mins) {
         push(
             records,
             &mut t,
             "cardinality_at_3",
             g,
             k,
-            "frozen_engine",
-            threads,
+            name,
+            *threads,
             ns,
             base_ns,
-            identical,
+            *info,
         );
     }
     println!(
@@ -218,7 +364,7 @@ fn push(
     threads: usize,
     ns: u128,
     base_ns: u128,
-    identical: bool,
+    info: StoreInfo,
 ) {
     let speedup = base_ns as f64 / ns as f64;
     t.row(vec![
@@ -226,7 +372,8 @@ fn push(
         threads.to_string(),
         format!("{:.2?}", std::time::Duration::from_nanos(ns as u64)),
         format!("{}x", f(speedup)),
-        if identical { "yes" } else { "NO" }.to_string(),
+        // Reaching a row at all means its identity gate passed.
+        "yes".to_string(),
     ]);
     records.push(Record {
         workload,
@@ -238,6 +385,8 @@ fn push(
         threads,
         ns_per_batch: ns,
         speedup_vs_heap: speedup,
+        store_format: info.format,
+        store_bytes: info.bytes,
     });
 }
 
@@ -248,7 +397,8 @@ fn render_json(records: &[Record]) -> String {
             concat!(
                 "  {{\"workload\": \"{}\", \"host_threads\": {}, \"n\": {}, \"m\": {}, ",
                 "\"k\": {}, \"backend\": \"{}\", \"threads\": {}, ",
-                "\"ns_per_batch\": {}, \"speedup_vs_heap\": {:.4}}}{}\n"
+                "\"ns_per_batch\": {}, \"speedup_vs_heap\": {:.4}, ",
+                "\"store_format\": \"{}\", \"store_bytes\": {}}}{}\n"
             ),
             r.workload,
             r.host_threads,
@@ -259,6 +409,8 @@ fn render_json(records: &[Record]) -> String {
             r.threads,
             r.ns_per_batch,
             r.speedup_vs_heap,
+            r.store_format,
+            r.store_bytes,
             if i + 1 == records.len() { "" } else { "," }
         ));
     }

@@ -43,14 +43,58 @@
 //! same format through any `Write`/`Read` without materializing the whole
 //! buffer; `to_bytes`/`from_bytes` are thin wrappers over them.
 //!
+//! # On-disk format (version 2, compressed)
+//!
+//! [`FrozenAdsSet::to_bytes_format`] with [`StoreFormat::V2`] writes the
+//! opt-in compressed format (v1 stays the default and every reader
+//! accepts both, dispatching on the header's version field). The header
+//! shares its first 40 bytes with v1 — same magic, same checksum
+//! convention — followed by four per-column encoding tags and the block
+//! granularity:
+//!
+//! ```text
+//! offset  size          field
+//! 0       8             magic  = b"ADSKFRZ1"
+//! 8       4             format version (u32, = 2)
+//! 12      4             k (u32)
+//! 16      8             n = number of nodes (u64)
+//! 24      8             E = total number of entries (u64)
+//! 32      8             FNV-1a 64 checksum (as in v1: this field zeroed)
+//! 40      1             node-column tag   (0 delta+varint, 1 raw u32)
+//! 41      1             dist-column tag   (0 dict u16, 1 dict u32, 2 raw f64 bits)
+//! 42      1             rank-column tag   (0 fixed 7-byte m·2⁻⁵³, 1 raw f64 bits)
+//! 43      1             weight-column tag (0 varint τ back-reference, 1 raw f64 bits)
+//! 44      4             R = rows per block (u32)
+//! 48      (n+1)*4       offsets  (u32, identical to the v1 column)
+//! ...     4             D = distance-dictionary size (u32)
+//! ...     D*8           distance dictionary (distinct f64 bits, ascending)
+//! ...     (B+1)*8       block byte offsets into the blob (u64),
+//!                       B = ⌈n / R⌉ blocks of R rows each
+//! ...     8             blob length (u64)
+//! ...     blob          per-block payloads, back to back
+//! ```
+//!
+//! Each block's payload is column-major: a 16-byte header of four u32
+//! section lengths, then the `[dists][ranks][weights][nodes]` sections
+//! for that block's entries. A `1` (or for dists `2`) tag byte marks a
+//! whole column *escaped* to raw full-width values; the encoder picks
+//! tags by **verifying bit-exact reconstruction of every entry**, so
+//! v1 ↔ v2 round trips are bitwise lossless for any store and every
+//! estimator answers bit-identically on either format. Queries decode
+//! blocks lazily on first touch into a per-thread scratch (see
+//! `frozen/v2.rs`), so a mapped v2 store only ever touches the pages of
+//! the blocks it serves. v1 readers predating this version reject v2
+//! stores with [`FrozenError::UnsupportedVersion`]`(2)`.
+//!
 //! # Sharded stores (manifest format version 1)
 //!
 //! [`freeze_sharded`] partitions the node range `0..n` into `S` contiguous
-//! sub-ranges (balanced by entry count) and writes one *full-width*
-//! version-1 store per shard — each shard file covers all `n` rows but
-//! only its own range is populated, so every shard is independently
-//! loadable by [`FrozenAdsSet::load`] and valid against the v1 structural
-//! checks. Next to the shards it writes a checksummed manifest
+//! sub-ranges (balanced by entry count) and writes one store per shard
+//! (version 1 by default; [`freeze_sharded_format`] opts the whole fleet
+//! into v2) — each shard file covers all `n` rows but only its own range
+//! is populated, so every shard is independently loadable by
+//! [`FrozenAdsSet::load`] and valid against the structural checks of its
+//! format. Next to the shards it writes a checksummed manifest
 //! ([`SHARD_MANIFEST_FILE`], magic `ADSKSHD1`):
 //!
 //! ```text
@@ -90,13 +134,49 @@ use crate::view::AdsView;
 
 #[allow(unsafe_code)] // the workspace's single unsafe module; see its docs
 mod mmap;
+mod v2;
+mod varint;
 
 use mmap::MapRegion;
+use v2::RowSlices;
 
 /// Magic bytes identifying a serialized frozen ADS store.
 pub const FROZEN_MAGIC: [u8; 8] = *b"ADSKFRZ1";
-/// The on-disk format version this build writes and reads.
+/// The default on-disk format version ([`StoreFormat::V1`], full-width
+/// columns). Writers opt into the compressed version 2 via
+/// [`StoreFormat::V2`]; readers accept both.
 pub const FROZEN_FORMAT_VERSION: u32 = 1;
+/// The compressed on-disk format version (see the module docs).
+pub const FROZEN_FORMAT_VERSION_V2: u32 = 2;
+
+/// Which on-disk format a store is written in. Readers never need this:
+/// every load path dispatches on the header's version field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StoreFormat {
+    /// Version 1: full-width columns (u32 node, f64 dist/rank/weight),
+    /// 28 bytes per entry. The default; fastest to write, loadable by
+    /// every build since the format was introduced, and the only format
+    /// whose mapped loads are zero-decode.
+    #[default]
+    V1,
+    /// Version 2: compressed block-columnar encoding (delta+varint node
+    /// ids, dictionary distances, 7-byte ranks, τ-back-reference
+    /// weights — each with a bit-exact raw escape). Typically 2–3×
+    /// smaller than v1 on unit-weight graphs; queries block-decode
+    /// lazily through a per-thread scratch. Bitwise-lossless: a
+    /// v1 ↔ v2 round trip reproduces every stored bit.
+    V2,
+}
+
+impl StoreFormat {
+    /// The on-disk version number this format writes.
+    pub fn version(self) -> u32 {
+        match self {
+            StoreFormat::V1 => FROZEN_FORMAT_VERSION,
+            StoreFormat::V2 => FROZEN_FORMAT_VERSION_V2,
+        }
+    }
+}
 
 const HEADER_LEN: usize = 40;
 const CHECKSUM_OFFSET: usize = 32;
@@ -165,57 +245,95 @@ impl<T: ColElem> Col<T> {
 #[derive(Debug)]
 pub struct FrozenAdsSet {
     k: u32,
-    /// Backs any `Col::Mapped` column; `None` for fully-owned stores.
+    /// Backs any `Col::Mapped` column and a mapped v2 blob; `None` for
+    /// fully-owned stores.
     region: Option<MapRegion>,
-    /// `n + 1` prefix offsets into the entry columns.
+    /// `n + 1` prefix offsets into the entry columns (identical layout
+    /// and meaning in both formats).
     offsets: Col<u32>,
-    /// Sampled node ids, per node in canonical `(dist, node)` order.
-    nodes: Col<NodeId>,
-    /// Distances from each sketch's source.
-    dists: Col<f64>,
-    /// The sampled nodes' random ranks.
-    ranks: Col<f64>,
-    /// Precomputed HIP adjusted weights `1/τ`.
-    weights: Col<f64>,
+    /// The entry columns, in whichever representation the store was
+    /// built or loaded with.
+    repr: Repr,
+}
+
+/// How a store's entry columns are held in memory.
+#[derive(Debug)]
+enum Repr {
+    /// Full-width parallel columns (freeze output and v1 stores).
+    Wide {
+        /// Sampled node ids, per node in canonical `(dist, node)` order.
+        nodes: Col<NodeId>,
+        /// Distances from each sketch's source.
+        dists: Col<f64>,
+        /// The sampled nodes' random ranks.
+        ranks: Col<f64>,
+        /// Precomputed HIP adjusted weights `1/τ`.
+        weights: Col<f64>,
+    },
+    /// Compressed block-columnar payload (v2 stores), decoded lazily
+    /// per block on first touch.
+    V2(v2::V2Repr),
 }
 
 impl Clone for FrozenAdsSet {
-    /// Deep copy: a clone always owns its columns (cloning a mapped
-    /// store materializes it, dropping the dependence on the mapping).
+    /// Deep copy: a clone always owns its backing (cloning a mapped
+    /// store copies the bytes out, dropping the dependence on the
+    /// mapping) and keeps its representation — a v2 store clones to a
+    /// v2 store, still compressed.
     fn clone(&self) -> Self {
-        Self::from_owned_cols(
-            self.k,
-            self.offsets().to_vec(),
-            self.nodes().to_vec(),
-            self.dists().to_vec(),
-            self.ranks().to_vec(),
-            self.weights().to_vec(),
-        )
+        match &self.repr {
+            Repr::Wide { .. } => {
+                let mut cols = (Vec::new(), Vec::new(), Vec::new(), Vec::new());
+                self.for_each_row(|_, row| {
+                    cols.0.extend_from_slice(row.nodes);
+                    cols.1.extend_from_slice(row.dists);
+                    cols.2.extend_from_slice(row.ranks);
+                    cols.3.extend_from_slice(row.weights);
+                });
+                Self::from_owned_cols(
+                    self.k,
+                    self.offsets().to_vec(),
+                    cols.0,
+                    cols.1,
+                    cols.2,
+                    cols.3,
+                )
+            }
+            Repr::V2(repr) => Self {
+                k: self.k,
+                region: None,
+                offsets: Col::Owned(self.offsets().to_vec()),
+                repr: Repr::V2(repr.to_owned_copy(self.region.as_ref())),
+            },
+        }
     }
 }
 
 impl PartialEq for FrozenAdsSet {
-    /// Logical equality over `k` and the five columns — a mapped store
-    /// and its owned copy compare equal.
+    /// Logical equality over `k`, the offsets, and the per-row entry
+    /// data (floats compared bitwise) — a mapped store and its owned
+    /// copy compare equal, and so do a v1 store and its v2 re-encoding.
     fn eq(&self, other: &Self) -> bool {
-        self.k == other.k
-            && self.offsets() == other.offsets()
-            && self.nodes() == other.nodes()
-            && self
-                .dists()
-                .iter()
+        if self.k != other.k || self.offsets() != other.offsets() {
+            return false;
+        }
+        let bits_eq = |a: &[f64], b: &[f64]| {
+            a.iter()
                 .map(|x| x.to_bits())
-                .eq(other.dists().iter().map(|x| x.to_bits()))
-            && self
-                .ranks()
-                .iter()
-                .map(|x| x.to_bits())
-                .eq(other.ranks().iter().map(|x| x.to_bits()))
-            && self
-                .weights()
-                .iter()
-                .map(|x| x.to_bits())
-                .eq(other.weights().iter().map(|x| x.to_bits()))
+                .eq(b.iter().map(|x| x.to_bits()))
+        };
+        let mut equal = true;
+        self.for_each_row(|v, row| {
+            if equal {
+                equal = other.with_row(v as NodeId, |o| {
+                    row.nodes == o.nodes
+                        && bits_eq(row.dists, o.dists)
+                        && bits_eq(row.ranks, o.ranks)
+                        && bits_eq(row.weights, o.weights)
+                });
+            }
+        });
+        equal
     }
 }
 
@@ -254,7 +372,7 @@ impl fmt::Display for FrozenError {
                 write!(
                     f,
                     "unsupported frozen-store format version {v} (this build reads \
-                     {FROZEN_FORMAT_VERSION})"
+                     {FROZEN_FORMAT_VERSION} and {FROZEN_FORMAT_VERSION_V2})"
                 )
             }
             FrozenError::Truncated { expected, actual } => {
@@ -438,6 +556,32 @@ impl LoadOptions {
     }
 }
 
+/// Sets the process-global **per-thread** budget (in bytes) for the
+/// compressed store's decoded-block scratch cache.
+///
+/// Format-v2 stores decode row blocks lazily on first touch and retain
+/// them per thread up to this budget; past it the thread's scratch is
+/// flushed wholesale and refills as the sweep proceeds. The 64 MiB
+/// default keeps point-query working sets resident while bounding
+/// memory on wide fleets. A **buffered** (non-mapped) store whose
+/// *entire* decoded form fits the budget instead thaws on first touch
+/// into one shared contiguous column set — the full-width (v1) memory
+/// layout — so hosts that repeatedly sweep one large store (batch
+/// benchmarks, dedicated query servers with memory to spare) can raise
+/// the budget above the store's decoded size and get v1 sweep
+/// throughput from the compressed file after the first touch; mapped
+/// stores always keep the lazy per-block path. Affects v2 stores only;
+/// answers are bit-identical at any budget.
+pub fn set_block_cache_budget(bytes: usize) {
+    v2::set_scratch_budget(bytes);
+}
+
+/// The current per-thread decoded-block scratch budget in bytes (see
+/// [`set_block_cache_budget`]).
+pub fn block_cache_budget() -> usize {
+    v2::scratch_budget()
+}
+
 fn read_u32(buf: &[u8], at: usize) -> u32 {
     u32::from_le_bytes(buf[at..at + 4].try_into().expect("bounds checked"))
 }
@@ -446,24 +590,27 @@ fn read_u64(buf: &[u8], at: usize) -> u64 {
     u64::from_le_bytes(buf[at..at + 8].try_into().expect("bounds checked"))
 }
 
-/// The untrusted fields of a version-1 store header, after the O(1)
-/// sanity checks shared by the streaming and mapped loaders.
+/// The untrusted fields common to both store-header versions, after the
+/// O(1) sanity checks shared by the streaming and mapped loaders.
 struct ParsedHeader {
+    version: u32,
     k: u32,
     n: u64,
     entries: u64,
     stored_checksum: u64,
-    /// Exact serialized length the header implies (u128: untrusted).
+    /// Exact serialized length a **v1** header implies (u128:
+    /// untrusted). For v2 the total length depends on body fields the
+    /// header does not carry; v2 loaders derive lengths progressively.
     expected_len: u128,
 }
 
-/// Validates magic/version/counts of a 40-byte store header.
+/// Validates magic/version/counts of the 40 common store-header bytes.
 fn parse_store_header(header: &[u8; HEADER_LEN]) -> Result<ParsedHeader, FrozenError> {
     if header[..8] != FROZEN_MAGIC {
         return Err(FrozenError::BadMagic);
     }
     let version = read_u32(header, 8);
-    if version != FROZEN_FORMAT_VERSION {
+    if version != FROZEN_FORMAT_VERSION && version != FROZEN_FORMAT_VERSION_V2 {
         return Err(FrozenError::UnsupportedVersion(version));
     }
     let k = read_u32(header, 12);
@@ -481,6 +628,7 @@ fn parse_store_header(header: &[u8; HEADER_LEN]) -> Result<ParsedHeader, FrozenE
     // All arithmetic in u128: header fields are untrusted.
     let expected_len = HEADER_LEN as u128 + (n as u128 + 1) * 4 + entries as u128 * (4 + 3 * 8);
     Ok(ParsedHeader {
+        version,
         k,
         n,
         entries,
@@ -578,7 +726,7 @@ impl<R: Read> ColumnReader<'_, R> {
 }
 
 impl FrozenAdsSet {
-    /// Assembles a fully-owned store from its columns.
+    /// Assembles a fully-owned wide store from its columns.
     fn from_owned_cols(
         k: u32,
         offsets: Vec<u32>,
@@ -591,10 +739,12 @@ impl FrozenAdsSet {
             k,
             region: None,
             offsets: Col::Owned(offsets),
-            nodes: Col::Owned(nodes),
-            dists: Col::Owned(dists),
-            ranks: Col::Owned(ranks),
-            weights: Col::Owned(weights),
+            repr: Repr::Wide {
+                nodes: Col::Owned(nodes),
+                dists: Col::Owned(dists),
+                ranks: Col::Owned(ranks),
+                weights: Col::Owned(weights),
+            },
         }
     }
 
@@ -604,28 +754,145 @@ impl FrozenAdsSet {
         self.offsets.slice(self.region.as_ref())
     }
 
-    /// The sampled-node-id column (`E` elements).
+    /// The four wide columns, for code paths that require full-width
+    /// representation. Panics on a v2 store — every caller dispatches on
+    /// `repr` first.
+    #[inline]
+    fn wide_cols(&self) -> (&[NodeId], &[f64], &[f64], &[f64]) {
+        match &self.repr {
+            Repr::Wide {
+                nodes,
+                dists,
+                ranks,
+                weights,
+            } => {
+                let region = self.region.as_ref();
+                (
+                    nodes.slice(region),
+                    dists.slice(region),
+                    ranks.slice(region),
+                    weights.slice(region),
+                )
+            }
+            Repr::V2(_) => panic!("full-width column access on a compressed (v2) store"),
+        }
+    }
+
+    /// The sampled-node-id column (`E` elements; wide stores only).
     #[inline]
     fn nodes(&self) -> &[NodeId] {
-        self.nodes.slice(self.region.as_ref())
+        self.wide_cols().0
     }
 
-    /// The distance column (`E` elements).
+    /// The distance column (`E` elements; wide stores only).
     #[inline]
     fn dists(&self) -> &[f64] {
-        self.dists.slice(self.region.as_ref())
+        self.wide_cols().1
     }
 
-    /// The rank column (`E` elements).
+    /// The rank column (`E` elements; wide stores only).
     #[inline]
     fn ranks(&self) -> &[f64] {
-        self.ranks.slice(self.region.as_ref())
+        self.wide_cols().2
     }
 
-    /// The HIP adjusted-weight column (`E` elements).
+    /// The HIP adjusted-weight column (`E` elements; wide stores only).
     #[inline]
     fn weights(&self) -> &[f64] {
-        self.weights.slice(self.region.as_ref())
+        self.wide_cols().3
+    }
+
+    /// The v2 decode context (compressed stores only).
+    #[inline]
+    fn v2_ctx<'a>(&'a self, repr: &'a v2::V2Repr) -> v2::V2Ctx<'a> {
+        v2::V2Ctx {
+            repr,
+            region: self.region.as_ref(),
+            offsets: self.offsets(),
+        }
+    }
+
+    /// Runs `f` on row `v`'s four column slices, whichever representation
+    /// holds them. Wide stores slice in place, and a **thawed** v2 store
+    /// takes the identical slicing path over its shared full-width
+    /// columns (one extra atomic load); other v2 stores hand out the row
+    /// from the lazily decoded per-thread block scratch. This is the
+    /// single dispatch point every query goes through, so estimator
+    /// arithmetic is shared — and bit-identical — across formats.
+    #[inline]
+    fn with_row<T>(&self, v: NodeId, f: impl FnOnce(RowSlices<'_>) -> T) -> T {
+        let (nodes, dists, ranks, weights) = match &self.repr {
+            Repr::Wide { .. } => self.wide_cols(),
+            Repr::V2(repr) => match repr.thawed_cols() {
+                Some(cols) => cols,
+                None => return self.v2_ctx(repr).with_row(v, f),
+            },
+        };
+        let r = self.entry_range(v);
+        f(RowSlices {
+            nodes: &nodes[r.clone()],
+            dists: &dists[r.clone()],
+            ranks: &ranks[r.clone()],
+            weights: &weights[r],
+        })
+    }
+
+    /// Visits every row in order — the cold full-scan twin of
+    /// [`FrozenAdsSet::with_row`] (serialization, thaw, equality). For
+    /// v2 stores this decodes block by block into one reused local
+    /// buffer, bypassing the per-thread scratch.
+    fn for_each_row(&self, mut f: impl FnMut(usize, RowSlices<'_>)) {
+        match &self.repr {
+            Repr::Wide { .. } => {
+                let (nodes, dists, ranks, weights) = self.wide_cols();
+                for v in 0..self.num_nodes() {
+                    let r = self.entry_range(v as NodeId);
+                    f(
+                        v,
+                        RowSlices {
+                            nodes: &nodes[r.clone()],
+                            dists: &dists[r.clone()],
+                            ranks: &ranks[r.clone()],
+                            weights: &weights[r],
+                        },
+                    );
+                }
+            }
+            Repr::V2(repr) => self.v2_ctx(repr).for_each_row_decoded(f),
+        }
+    }
+
+    /// Decodes the store into fully-owned wide columns (identity for
+    /// wide stores other than copying). The v1 writer and `thaw` use
+    /// this to serve from a compressed store.
+    fn to_wide_owned(&self) -> Self {
+        let mut nodes = Vec::with_capacity(self.num_entries());
+        let mut dists = Vec::with_capacity(self.num_entries());
+        let mut ranks = Vec::with_capacity(self.num_entries());
+        let mut weights = Vec::with_capacity(self.num_entries());
+        self.for_each_row(|_, row| {
+            nodes.extend_from_slice(row.nodes);
+            dists.extend_from_slice(row.dists);
+            ranks.extend_from_slice(row.ranks);
+            weights.extend_from_slice(row.weights);
+        });
+        Self::from_owned_cols(
+            self.k,
+            self.offsets().to_vec(),
+            nodes,
+            dists,
+            ranks,
+            weights,
+        )
+    }
+
+    /// The on-disk format version this store was built or loaded in:
+    /// `1` for full-width (wide) stores, `2` for compressed stores.
+    pub fn format_version(&self) -> u32 {
+        match &self.repr {
+            Repr::Wide { .. } => FROZEN_FORMAT_VERSION,
+            Repr::V2(_) => FROZEN_FORMAT_VERSION_V2,
+        }
     }
 
     /// True when the store's columns view a memory-mapped file instead
@@ -704,17 +971,13 @@ impl FrozenAdsSet {
     /// Reconstructs a heap-backed [`AdsSet`] (e.g. to continue mutating a
     /// loaded store). The round trip `ads.freeze().thaw()` is lossless.
     pub fn thaw(&self) -> AdsSet {
-        let (nodes, dists, ranks) = (self.nodes(), self.dists(), self.ranks());
-        let sketches = (0..self.num_nodes() as NodeId)
-            .map(|v| {
-                let r = self.entry_range(v);
-                let entries: Vec<AdsEntry> = r
-                    .clone()
-                    .map(|i| AdsEntry::new(nodes[i], dists[i], ranks[i]))
-                    .collect();
-                BottomKAds::from_entries(self.k as usize, entries)
-            })
-            .collect();
+        let mut sketches = Vec::with_capacity(self.num_nodes());
+        self.for_each_row(|_, row| {
+            let entries: Vec<AdsEntry> = (0..row.nodes.len())
+                .map(|i| AdsEntry::new(row.nodes[i], row.dists[i], row.ranks[i]))
+                .collect();
+            sketches.push(BottomKAds::from_entries(self.k as usize, entries));
+        });
         AdsSet::from_sketches(self.k as usize, sketches)
     }
 
@@ -733,7 +996,12 @@ impl FrozenAdsSet {
     /// Total number of stored entries.
     #[inline]
     pub fn num_entries(&self) -> usize {
-        self.nodes().len()
+        match &self.repr {
+            Repr::Wide { nodes, .. } => nodes.slice(self.region.as_ref()).len(),
+            // Valid for any loaded/constructed store: every load path
+            // validates the offset column before handing the store out.
+            Repr::V2(_) => *self.offsets().last().expect("n+1 offsets") as usize,
+        }
     }
 
     /// Number of entries stored before node `v`'s range (the CSR prefix
@@ -755,21 +1023,34 @@ impl FrozenAdsSet {
 
     /// The precomputed HIP adjusted weights of `ADS(v)`, in canonical
     /// order (zero-copy column slice).
+    ///
+    /// # Panics
+    ///
+    /// On a compressed (v2) store — there is no stable slice to borrow
+    /// from a lazily decoded block. Format-agnostic callers should go
+    /// through [`crate::view::AdsView`] instead.
     #[inline]
     pub fn hip_weights_slice(&self, v: NodeId) -> &[f64] {
         &self.weights()[self.entry_range(v)]
     }
 
     /// The distances of `ADS(v)` in canonical order (zero-copy slice).
+    ///
+    /// # Panics
+    ///
+    /// On a compressed (v2) store, like
+    /// [`FrozenAdsSet::hip_weights_slice`].
     #[inline]
     pub fn dists_slice(&self, v: NodeId) -> &[f64] {
         &self.dists()[self.entry_range(v)]
     }
 
     /// Resident *heap* memory of the store in bytes (struct + owned
-    /// columns). Mapped columns count as zero: their pages are
-    /// file-backed, shared with every other process mapping the same
-    /// store, and reclaimable by the kernel at any time.
+    /// columns; for v2, the actual compressed structures, not a
+    /// decoded-width estimate). Mapped columns and blobs count as zero:
+    /// their pages are file-backed, shared with every other process
+    /// mapping the same store, and reclaimable by the kernel at any
+    /// time.
     pub fn resident_bytes(&self) -> usize {
         fn owned<T>(col: &Col<T>) -> usize {
             match col {
@@ -777,15 +1058,21 @@ impl FrozenAdsSet {
                 Col::Mapped { .. } => 0,
             }
         }
-        std::mem::size_of::<Self>()
-            + owned(&self.offsets)
-            + owned(&self.nodes)
-            + owned(&self.dists)
-            + owned(&self.ranks)
-            + owned(&self.weights)
+        let repr = match &self.repr {
+            Repr::Wide {
+                nodes,
+                dists,
+                ranks,
+                weights,
+            } => owned(nodes) + owned(dists) + owned(ranks) + owned(weights),
+            Repr::V2(repr) => repr.resident_bytes(),
+        };
+        std::mem::size_of::<Self>() + owned(&self.offsets) + repr
     }
 
-    /// Exact length of [`FrozenAdsSet::to_bytes`]'s output in bytes.
+    /// Exact length of [`FrozenAdsSet::to_bytes`]'s (always version-1)
+    /// output in bytes. v2 output lengths depend on the data; measure
+    /// [`FrozenAdsSet::to_bytes_format`]'s result instead.
     pub fn serialized_len(&self) -> usize {
         HEADER_LEN + self.offsets().len() * 4 + self.num_entries() * 4 + self.num_entries() * 3 * 8
     }
@@ -840,8 +1127,12 @@ impl FrozenAdsSet {
     /// Streams the version-1 on-disk format into `w` without materializing
     /// the serialized buffer (two passes over the columns: one to compute
     /// the header checksum, one to write). [`FrozenAdsSet::to_bytes`] is a
-    /// thin wrapper over this.
+    /// thin wrapper over this. A compressed store is decoded to wide
+    /// columns first — the v1 ↔ v2 round trip is bitwise lossless.
     pub fn write_to<W: Write>(&self, w: &mut W) -> std::io::Result<()> {
+        if matches!(self.repr, Repr::V2(_)) {
+            return self.to_wide_owned().write_to(w);
+        }
         let mut header = self.header_with_zero_checksum();
         // Pass 1: the checksum, over header-with-zeroed-field + payload.
         let mut hash = Fnv1a64::new();
@@ -858,13 +1149,59 @@ impl FrozenAdsSet {
     }
 
     /// Serializes to the version-1 on-disk format (one contiguous
-    /// little-endian buffer; see the module docs for the layout).
+    /// little-endian buffer; see the module docs for the layout). Always
+    /// v1 regardless of the store's in-memory representation — the
+    /// compatibility baseline; use [`FrozenAdsSet::to_bytes_format`] to
+    /// opt into v2.
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut buf = Vec::with_capacity(self.serialized_len());
         self.write_to(&mut buf)
             .expect("Vec<u8> writes are infallible");
         debug_assert_eq!(buf.len(), self.serialized_len());
         buf
+    }
+
+    /// Serializes to the requested [`StoreFormat`]. Both outputs decode
+    /// to stores that compare equal to `self` (bitwise on every float),
+    /// so the choice only trades bytes against encode time.
+    pub fn to_bytes_format(&self, format: StoreFormat) -> Vec<u8> {
+        match format {
+            StoreFormat::V1 => self.to_bytes(),
+            StoreFormat::V2 => match &self.repr {
+                Repr::Wide { .. } => {
+                    let (nodes, dists, ranks, weights) = self.wide_cols();
+                    v2::encode(
+                        self.k,
+                        v2::RowsSource {
+                            offsets: self.offsets(),
+                            nodes,
+                            dists,
+                            ranks,
+                            weights,
+                        },
+                    )
+                }
+                // Re-encoding a compressed store: decode to wide first
+                // (the encoder verifies every entry against wide input).
+                Repr::V2(_) => self.to_wide_owned().to_bytes_format(StoreFormat::V2),
+            },
+        }
+    }
+
+    /// [`FrozenAdsSet::write_to`] with an explicit [`StoreFormat`].
+    pub fn write_to_format<W: Write>(&self, w: &mut W, format: StoreFormat) -> std::io::Result<()> {
+        match format {
+            StoreFormat::V1 => self.write_to(w),
+            StoreFormat::V2 => w.write_all(&self.to_bytes_format(StoreFormat::V2)),
+        }
+    }
+
+    /// [`FrozenAdsSet::save`] with an explicit [`StoreFormat`].
+    pub fn save_format(&self, path: impl AsRef<Path>, format: StoreFormat) -> std::io::Result<()> {
+        let file = std::fs::File::create(path)?;
+        let mut w = std::io::BufWriter::new(file);
+        self.write_to_format(&mut w, format)?;
+        w.flush()
     }
 
     /// Deserializes the version-1 format from any `Read`, streaming the
@@ -901,6 +1238,32 @@ impl FrozenAdsSet {
             hash.update(&header[CHECKSUM_OFFSET + 8..]);
         }
 
+        if parsed.version == FROZEN_FORMAT_VERSION_V2 {
+            let body = v2::read_body(r, n, entries, verify.then_some(&mut hash))?;
+            if verify {
+                let computed = hash.digest();
+                if computed != parsed.stored_checksum {
+                    return Err(FrozenError::ChecksumMismatch {
+                        stored: parsed.stored_checksum,
+                        computed,
+                    });
+                }
+            }
+            let store = Self {
+                k,
+                region: None,
+                offsets: body.offsets,
+                repr: Repr::V2(body.repr),
+            };
+            store.validate_offsets(entries)?;
+            if verify {
+                if let Repr::V2(repr) = &store.repr {
+                    store.v2_ctx(repr).validate()?;
+                }
+            }
+            return Ok(store);
+        }
+
         let mut consumed = HEADER_LEN as u64;
         let mut col_reader = ColumnReader {
             r,
@@ -929,7 +1292,7 @@ impl FrozenAdsSet {
         if verify {
             store.validate_structure()?;
         } else {
-            store.validate_offsets()?;
+            store.validate_offsets(store.num_entries())?;
         }
         Ok(store)
     }
@@ -953,11 +1316,13 @@ impl FrozenAdsSet {
     }
 
     /// The O(n) offset invariants every query's slicing relies on:
-    /// monotone offsets starting at 0 and spanning exactly the entry
-    /// columns. Enforced even by trust-the-file loads
-    /// ([`LoadOptions::verify`] off) so no column access can panic on
-    /// an inverted or out-of-bounds range.
-    fn validate_offsets(&self) -> Result<(), FrozenError> {
+    /// monotone offsets starting at 0 and spanning exactly `entries`
+    /// stored entries (the count is passed explicitly: for wide stores
+    /// it is the physical column length, for v2 the header's claim).
+    /// Enforced even by trust-the-file loads ([`LoadOptions::verify`]
+    /// off) so no column access can panic on an inverted or
+    /// out-of-bounds range.
+    fn validate_offsets(&self, entries: usize) -> Result<(), FrozenError> {
         let offsets = self.offsets();
         if offsets[0] != 0 {
             return Err(FrozenError::Corrupt("offsets[0] must be 0".into()));
@@ -967,7 +1332,7 @@ impl FrozenAdsSet {
                 "offsets must be non-decreasing".into(),
             ));
         }
-        if *offsets.last().expect("n+1 offsets") as usize != self.num_entries() {
+        if *offsets.last().expect("n+1 offsets") as usize != entries {
             return Err(FrozenError::Corrupt(
                 "last offset must equal the entry count".into(),
             ));
@@ -978,8 +1343,10 @@ impl FrozenAdsSet {
     /// Structural invariants the CSR columns must satisfy for every query
     /// to be well-defined: monotone offsets spanning exactly the entry
     /// columns, in-range node ids, canonical per-node entry order.
+    /// (Wide stores only; v2 stores run the block-level validator in
+    /// `frozen/v2.rs` instead.)
     fn validate_structure(&self) -> Result<(), FrozenError> {
-        self.validate_offsets()?;
+        self.validate_offsets(self.num_entries())?;
         let n = self.num_nodes();
         let (nodes, dists) = (self.nodes(), self.dists());
         for v in 0..n as NodeId {
@@ -1090,6 +1457,40 @@ impl FrozenAdsSet {
         }
         let header: [u8; HEADER_LEN] = buf[..HEADER_LEN].try_into().expect("length checked");
         let parsed = parse_store_header(&header)?;
+        if parsed.version == FROZEN_FORMAT_VERSION_V2 {
+            // v2: metadata (dictionary, block-offset table) decodes into
+            // small owned vectors; the offset column and the compressed
+            // blob stay zero-copy views. Blocks decode lazily on first
+            // touch, so unqueried pages are never faulted in.
+            let body = v2::parse_mapped(&region, parsed.n as usize, parsed.entries as usize)?;
+            let whole_file_digest = if verify {
+                let computed = buffer_checksum(buf);
+                if computed != parsed.stored_checksum {
+                    return Err(FrozenError::ChecksumMismatch {
+                        stored: parsed.stored_checksum,
+                        computed,
+                    });
+                }
+                let mut h = Fnv1a64::new();
+                h.update(buf);
+                Some(h.digest())
+            } else {
+                None
+            };
+            let store = Self {
+                k: parsed.k,
+                offsets: body.offsets,
+                repr: Repr::V2(body.repr),
+                region: Some(region),
+            };
+            store.validate_offsets(parsed.entries as usize)?;
+            if verify {
+                if let Repr::V2(repr) = &store.repr {
+                    store.v2_ctx(repr).validate()?;
+                }
+            }
+            return Ok((store, whole_file_digest));
+        }
         if (buf.len() as u128) < parsed.expected_len {
             return Err(FrozenError::Truncated {
                 expected: parsed.expected_len as u64,
@@ -1155,19 +1556,21 @@ impl FrozenAdsSet {
                 off: off_offsets,
                 count: n + 1,
             },
-            nodes: Col::Mapped {
-                off: off_nodes,
-                count: entries,
+            repr: Repr::Wide {
+                nodes: Col::Mapped {
+                    off: off_nodes,
+                    count: entries,
+                },
+                dists,
+                ranks,
+                weights,
             },
-            dists,
-            ranks,
-            weights,
             region: Some(region),
         };
         if verify {
             store.validate_structure()?;
         } else {
-            store.validate_offsets()?;
+            store.validate_offsets(store.num_entries())?;
         }
         Ok((store, whole_file_digest))
     }
@@ -1197,25 +1600,27 @@ impl AdsView for FrozenAdsSet {
     }
 
     fn for_each_entry(&self, v: NodeId, mut f: impl FnMut(AdsEntry)) {
-        let (nodes, dists, ranks) = (self.nodes(), self.dists(), self.ranks());
-        for i in self.entry_range(v) {
-            f(AdsEntry::new(nodes[i], dists[i], ranks[i]));
-        }
+        self.with_row(v, |row| {
+            for i in 0..row.nodes.len() {
+                f(AdsEntry::new(row.nodes[i], row.dists[i], row.ranks[i]));
+            }
+        })
     }
 
     fn for_each_hip(&self, v: NodeId, mut f: impl FnMut(HipItem)) {
-        let (nodes, dists, weights) = (self.nodes(), self.dists(), self.weights());
-        for i in self.entry_range(v) {
-            f(HipItem {
-                node: nodes[i],
-                dist: dists[i],
-                weight: weights[i],
-            });
-        }
+        self.with_row(v, |row| {
+            for i in 0..row.nodes.len() {
+                f(HipItem {
+                    node: row.nodes[i],
+                    dist: row.dists[i],
+                    weight: row.weights[i],
+                });
+            }
+        })
     }
 
     fn size_at(&self, v: NodeId, d: f64) -> usize {
-        self.dists_slice(v).partition_point(|&x| x <= d)
+        self.with_row(v, |row| row.dists.partition_point(|&x| x <= d))
     }
 
     #[inline]
@@ -1226,23 +1631,25 @@ impl AdsView for FrozenAdsSet {
     fn minhash_at(&self, v: NodeId, d: f64) -> adsketch_minhash::BottomKSketch {
         // Insert only the binary-searched distance-≤ d prefix, like the
         // heap path — not the trait default's full-sketch filter scan.
-        let start = self.offsets()[v as usize] as usize;
-        let cut = start + AdsView::size_at(self, v, d);
-        let (nodes, ranks) = (self.nodes(), self.ranks());
-        let mut sketch = adsketch_minhash::BottomKSketch::new(self.k as usize);
-        for i in start..cut {
-            sketch.insert_ranked(ranks[i], nodes[i] as u64);
-        }
-        sketch
+        self.with_row(v, |row| {
+            let cut = row.dists.partition_point(|&x| x <= d);
+            let mut sketch = adsketch_minhash::BottomKSketch::new(self.k as usize);
+            for i in 0..cut {
+                sketch.insert_ranked(row.ranks[i], row.nodes[i] as u64);
+            }
+            sketch
+        })
     }
 
     fn hip_cardinality_at(&self, v: NodeId, d: f64) -> f64 {
-        let cut = AdsView::size_at(self, v, d);
-        self.hip_weights_slice(v)[..cut].iter().sum()
+        self.with_row(v, |row| {
+            let cut = row.dists.partition_point(|&x| x <= d);
+            row.weights[..cut].iter().sum()
+        })
     }
 
     fn hip_reachable(&self, v: NodeId) -> f64 {
-        self.hip_weights_slice(v).iter().sum()
+        self.with_row(v, |row| row.weights.iter().sum())
     }
 }
 
@@ -1283,14 +1690,31 @@ pub struct ShardRecord {
     pub end: u64,
     /// Number of ADS entries stored in the shard.
     pub entries: u64,
-    /// FNV-1a 64 digest of the complete shard file.
+    /// FNV-1a 64 digest of the complete shard file, **as written** — it
+    /// pins the exact bytes, including the store-format version in the
+    /// shard's own header. A shard file re-encoded in a different format
+    /// (say, the v2 encoding of a shard the manifest digested as v1)
+    /// hashes differently and is rejected by digest-checking loaders,
+    /// even though both encodings decode to identical entries.
     pub digest: u64,
 }
 
 /// The checksummed manifest of a sharded frozen store: global parameters
 /// plus the contiguous node-range table (see the module docs for the
-/// on-disk layout). Written by [`freeze_sharded`]; consumed by the
-/// `adsketch-serve` loader.
+/// on-disk layout). Written by [`freeze_sharded`] /
+/// [`freeze_sharded_format`]; consumed by the `adsketch-serve` loader.
+///
+/// # Store-format versions a manifest may reference
+///
+/// The manifest format itself is unchanged at version 1 and carries no
+/// per-shard format field: shard files are self-describing (their own
+/// headers carry the version), and loaders accept any version the
+/// [`FrozenAdsSet`] readers accept — v1 and v2 shards, even mixed
+/// within one directory. What binds a manifest to specific formats is
+/// the digest column: each [`ShardRecord::digest`] was computed over
+/// one concrete byte image, so swapping a referenced shard file for its
+/// re-encoding in another version (without re-freezing) is detected and
+/// rejected exactly like any other byte-level mismatch.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ShardManifest {
     k: u32,
@@ -1519,11 +1943,30 @@ fn shard_cuts(ads: &AdsSet, shards: usize) -> Vec<usize> {
 /// independently loadable by [`FrozenAdsSet::load`]; serving loaders
 /// route node `v` to the shard whose manifest range contains it, and
 /// answers are bitwise identical to the unsharded store (the per-node
-/// entries are byte-for-byte the same).
+/// entries are byte-for-byte the same). Equivalent to
+/// [`freeze_sharded_format`] with [`StoreFormat::V1`].
 pub fn freeze_sharded(
     ads: &AdsSet,
     shards: usize,
     dir: impl AsRef<Path>,
+) -> Result<ShardManifest, FrozenError> {
+    freeze_sharded_format(ads, shards, dir, StoreFormat::V1)
+}
+
+/// [`freeze_sharded`] with an explicit per-shard [`StoreFormat`].
+///
+/// Every shard of one freeze is written in the same format, and the
+/// manifest's per-shard digests are computed over the bytes actually
+/// written — so a manifest pins each shard file's exact bytes *and
+/// therefore its format version*. Replacing a shard file with a
+/// re-encoding of the same data in the other format fails the serving
+/// loader's digest check by construction (see [`ShardRecord::digest`]);
+/// mixing formats requires re-freezing, never file swapping.
+pub fn freeze_sharded_format(
+    ads: &AdsSet,
+    shards: usize,
+    dir: impl AsRef<Path>,
+    format: StoreFormat,
 ) -> Result<ShardManifest, FrozenError> {
     assert!(shards >= 1, "shard count must be ≥ 1");
     let dir = dir.as_ref();
@@ -1535,7 +1978,7 @@ pub fn freeze_sharded(
         let shard = FrozenAdsSet::from_ads_set_range(ads, lo, hi);
         let file = std::fs::File::create(dir.join(shard_file_name(i)))?;
         let mut w = HashingWriter::new(std::io::BufWriter::new(file));
-        shard.write_to(&mut w)?;
+        shard.write_to_format(&mut w, format)?;
         w.flush()?;
         records.push(ShardRecord {
             start: lo as u64,
@@ -1925,5 +2368,141 @@ mod tests {
         };
         assert!(e.to_string().contains("100"));
         assert!(FrozenError::BadMagic.to_string().contains("magic"));
+    }
+
+    #[test]
+    fn v2_roundtrip_is_bitwise_lossless() {
+        let frozen = sample_set().freeze();
+        let v2_bytes = frozen.to_bytes_format(StoreFormat::V2);
+        assert!(
+            v2_bytes.len() * 2 < frozen.to_bytes().len(),
+            "v2 should be at least 2x smaller on a unit-weight graph \
+             ({} vs {} bytes)",
+            v2_bytes.len(),
+            frozen.to_bytes().len()
+        );
+        let decoded = FrozenAdsSet::from_bytes(&v2_bytes).unwrap();
+        assert_eq!(decoded.format_version(), 2);
+        assert_eq!(decoded, frozen);
+        // v2 → v1 reproduces the original v1 image byte for byte.
+        assert_eq!(decoded.to_bytes(), frozen.to_bytes());
+        // Re-encoding the decoded store is deterministic.
+        assert_eq!(decoded.to_bytes_format(StoreFormat::V2), v2_bytes);
+    }
+
+    #[test]
+    fn v2_estimates_match_v1_bitwise() {
+        let frozen = sample_set().freeze();
+        let v2 = FrozenAdsSet::from_bytes(&frozen.to_bytes_format(StoreFormat::V2)).unwrap();
+        for v in 0..frozen.num_nodes() as NodeId {
+            assert_eq!(
+                frozen.hip_reachable(v).to_bits(),
+                v2.hip_reachable(v).to_bits()
+            );
+            assert_eq!(
+                frozen.hip_cardinality_at(v, 2.0).to_bits(),
+                v2.hip_cardinality_at(v, 2.0).to_bits()
+            );
+            assert_eq!(frozen.size_at(v, 1.0), v2.size_at(v, 1.0));
+            let mut a = Vec::new();
+            let mut b = Vec::new();
+            frozen.for_each_hip(v, |it| {
+                a.push((it.node, it.dist.to_bits(), it.weight.to_bits()))
+            });
+            v2.for_each_hip(v, |it| {
+                b.push((it.node, it.dist.to_bits(), it.weight.to_bits()))
+            });
+            assert_eq!(a, b);
+        }
+        assert_eq!(
+            frozen.distance_distribution_estimate(),
+            v2.distance_distribution_estimate()
+        );
+    }
+
+    #[test]
+    fn v2_clone_and_thaw_preserve_everything() {
+        let ads = sample_set();
+        let frozen = ads.freeze();
+        let v2 = FrozenAdsSet::from_bytes(&frozen.to_bytes_format(StoreFormat::V2)).unwrap();
+        let cloned = v2.clone();
+        assert_eq!(cloned.format_version(), 2, "clones keep their format");
+        assert_eq!(cloned, frozen);
+        let thawed = v2.thaw();
+        assert_eq!(thawed.freeze().to_bytes(), frozen.to_bytes());
+        let _ = ads;
+    }
+
+    #[test]
+    fn v2_mapped_and_buffered_loads_are_identical() {
+        let frozen = sample_set().freeze();
+        let path = std::env::temp_dir().join("adsketch_frozen_v2_mapped.ads");
+        frozen.save_format(&path, StoreFormat::V2).unwrap();
+        for opts in [
+            LoadOptions::default(),
+            LoadOptions::mapped(),
+            LoadOptions::trusted(),
+        ] {
+            let loaded = FrozenAdsSet::load_with(&path, opts).unwrap();
+            assert_eq!(loaded.format_version(), 2, "under {opts:?}");
+            assert_eq!(loaded, frozen, "under {opts:?}");
+            assert_eq!(loaded.to_bytes(), frozen.to_bytes(), "under {opts:?}");
+        }
+        // Mapped v2 stores report only their real resident structures,
+        // far below the decoded width of the wide store.
+        let mapped = FrozenAdsSet::load_with(&path, LoadOptions::mapped()).unwrap();
+        assert!(mapped.is_mapped());
+        assert!(mapped.resident_bytes() < frozen.resident_bytes() / 4);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn v2_rejects_corruption_like_v1() {
+        let frozen = sample_set().freeze();
+        let good = frozen.to_bytes_format(StoreFormat::V2);
+        // Truncation mid-body.
+        assert!(FrozenAdsSet::from_bytes(&good[..good.len() / 2]).is_err());
+        // Bit flip in the blob → checksum mismatch.
+        let mut bad = good.clone();
+        let last = bad.len() - 1;
+        bad[last] ^= 0x40;
+        assert!(matches!(
+            FrozenAdsSet::from_bytes(&bad),
+            Err(FrozenError::ChecksumMismatch { .. })
+        ));
+        // Trailing garbage.
+        let mut long = good.clone();
+        long.push(0);
+        assert!(FrozenAdsSet::from_bytes(&long).is_err());
+        // Unknown future version is still rejected with the typed error.
+        let mut vnext = good;
+        vnext[8] = 3;
+        assert!(matches!(
+            FrozenAdsSet::from_bytes(&vnext),
+            Err(FrozenError::UnsupportedVersion(3))
+        ));
+    }
+
+    #[test]
+    fn v2_sharded_freeze_is_loadable_and_digest_pinned() {
+        let ads = sample_set();
+        let dir = std::env::temp_dir().join("adsketch_frozen_v2_shards");
+        std::fs::remove_dir_all(&dir).ok();
+        let manifest = freeze_sharded_format(&ads, 3, &dir, StoreFormat::V2).unwrap();
+        let whole = ads.freeze();
+        for (i, rec) in manifest.records().iter().enumerate() {
+            let path = dir.join(shard_file_name(i));
+            let (shard, digest) =
+                FrozenAdsSet::load_with_digest(&path, LoadOptions::default()).unwrap();
+            assert_eq!(shard.format_version(), 2);
+            assert_eq!(digest, Some(rec.digest), "digests cover the v2 bytes");
+            for v in rec.start..rec.end {
+                assert_eq!(
+                    whole.hip_reachable(v as NodeId).to_bits(),
+                    shard.hip_reachable(v as NodeId).to_bits()
+                );
+            }
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -1,0 +1,146 @@
+//! LEB128 variable-length integers for the compressed (v2) store format.
+//!
+//! Values are emitted little-endian, 7 bits per byte, the high bit of
+//! each byte flagging a continuation — the standard LEB128 scheme. Two
+//! properties matter to the store format:
+//!
+//! * **Canonical encodings only.** [`decode`] rejects *overlong*
+//!   encodings (a final byte of `0x00` after a continuation, e.g.
+//!   `[0x80, 0x00]` for `0`): every value has exactly one accepted byte
+//!   sequence, so a v2 store's byte image is a pure function of its
+//!   logical content and byte-level fixtures stay stable.
+//! * **Bounded length.** A `u64` needs at most [`MAX_LEN`] bytes; longer
+//!   continuations are rejected rather than wrapping.
+//!
+//! The decoders never panic on malformed input — truncation and
+//! non-canonical forms surface as typed [`VarintError`]s, which the v2
+//! validator maps to [`super::FrozenError::Corrupt`]. The query-path
+//! block decoder uses the same routines with its own graceful fallback.
+
+/// Maximum encoded length of a `u64` (⌈64 / 7⌉ bytes).
+pub(crate) const MAX_LEN: usize = 10;
+
+/// Why a varint failed to decode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum VarintError {
+    /// The input ended in the middle of a continuation chain.
+    Truncated,
+    /// The encoding is longer than its value requires (non-canonical),
+    /// or longer than any `u64` encoding can be.
+    Overlong,
+}
+
+impl std::fmt::Display for VarintError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VarintError::Truncated => write!(f, "truncated varint"),
+            VarintError::Overlong => write!(f, "overlong (non-canonical) varint"),
+        }
+    }
+}
+
+/// Appends the canonical LEB128 encoding of `x` to `out`.
+pub(crate) fn encode(mut x: u64, out: &mut Vec<u8>) {
+    loop {
+        let byte = (x & 0x7f) as u8;
+        x >>= 7;
+        if x == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Decodes one canonical LEB128 `u64` from the front of `buf`, returning
+/// the value and the number of bytes consumed.
+pub(crate) fn decode(buf: &[u8]) -> Result<(u64, usize), VarintError> {
+    let mut x = 0u64;
+    let mut shift = 0u32;
+    for (i, &byte) in buf.iter().enumerate() {
+        if i >= MAX_LEN {
+            return Err(VarintError::Overlong);
+        }
+        let payload = (byte & 0x7f) as u64;
+        // The 10th byte may only contribute the single remaining bit.
+        if shift == 63 && payload > 1 {
+            return Err(VarintError::Overlong);
+        }
+        x |= payload << shift;
+        if byte & 0x80 == 0 {
+            // Canonical form: a multi-byte encoding must not end in a
+            // zero byte (that value fit in fewer bytes).
+            if i > 0 && byte == 0 {
+                return Err(VarintError::Overlong);
+            }
+            return Ok((x, i + 1));
+        }
+        shift += 7;
+    }
+    Err(VarintError::Truncated)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrips_edge_values() {
+        for x in [
+            0u64,
+            1,
+            0x7f,
+            0x80,
+            0x3fff,
+            0x4000,
+            u32::MAX as u64,
+            u64::MAX - 1,
+            u64::MAX,
+        ] {
+            let mut buf = Vec::new();
+            encode(x, &mut buf);
+            assert!(buf.len() <= MAX_LEN);
+            assert_eq!(decode(&buf), Ok((x, buf.len())), "x = {x:#x}");
+            // Trailing bytes are left untouched.
+            buf.push(0xab);
+            assert_eq!(decode(&buf), Ok((x, buf.len() - 1)));
+        }
+    }
+
+    #[test]
+    fn encoding_lengths_are_minimal() {
+        let mut buf = Vec::new();
+        encode(0x7f, &mut buf);
+        assert_eq!(buf, [0x7f]);
+        buf.clear();
+        encode(0x80, &mut buf);
+        assert_eq!(buf, [0x80, 0x01]);
+        buf.clear();
+        encode(u64::MAX, &mut buf);
+        assert_eq!(buf.len(), MAX_LEN);
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        assert_eq!(decode(&[]), Err(VarintError::Truncated));
+        assert_eq!(decode(&[0x80]), Err(VarintError::Truncated));
+        assert_eq!(decode(&[0xff, 0xff]), Err(VarintError::Truncated));
+    }
+
+    #[test]
+    fn rejects_overlong_forms() {
+        // 0 and 1 padded with a redundant continuation byte.
+        assert_eq!(decode(&[0x80, 0x00]), Err(VarintError::Overlong));
+        assert_eq!(decode(&[0x81, 0x00]), Err(VarintError::Overlong));
+        // 11-byte chain can never be canonical for a u64.
+        assert_eq!(decode(&[0x80; 11]), Err(VarintError::Overlong));
+        // A 10th byte carrying more than the final bit overflows u64.
+        let mut buf = vec![0xff; 9];
+        buf.push(0x02);
+        assert_eq!(decode(&buf), Err(VarintError::Overlong));
+        // The canonical u64::MAX (9 × 0xff + 0x01) is accepted.
+        let mut ok = vec![0xff; 9];
+        ok.push(0x01);
+        assert_eq!(decode(&ok), Ok((u64::MAX, 10)));
+    }
+}

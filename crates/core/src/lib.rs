@@ -99,7 +99,8 @@ pub use engine::QueryEngine;
 pub use entry::AdsEntry;
 pub use error::CoreError;
 pub use frozen::{
-    freeze_sharded, FrozenAdsSet, FrozenError, LoadOptions, ShardManifest, ShardRecord,
+    freeze_sharded, freeze_sharded_format, FrozenAdsSet, FrozenError, LoadOptions, ShardManifest,
+    ShardRecord, StoreFormat,
 };
 pub use hip::{HipItem, HipWeights};
 pub use view::AdsView;

@@ -15,9 +15,16 @@
 //! cargo run --release -p adsketch-serve --bin loadgen -- \
 //!     [--n 100000] [--k 16] [--clients 4] [--workers 4] [--batch 256] \
 //!     [--requests 200] [--router N] [--replicas R] [--chaos] \
-//!     [--zipf S] [--cache BYTES] [--coalesce-us U] \
+//!     [--zipf S] [--cache BYTES] [--coalesce-us U] [--format v1|v2] \
 //!     [--json BENCH_serve.json] [--append] [--smoke]
 //! ```
+//!
+//! `--format v2` freezes the store in the compressed on-disk format
+//! (delta+varint columns; see `adsketch-core`'s `frozen` module): every
+//! identity gate still runs, so the bitwise-equality guarantee is
+//! asserted over the wire on v2 shards too, and the cold-start line
+//! reports the mapped store's **actual** resident bytes (compressed
+//! footprint for v2, not the decoded width).
 //!
 //! `--append` splices this run's records onto an existing `--json`
 //! snapshot instead of overwriting it, so one file can collect rows
@@ -64,7 +71,9 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use adsketch_core::frozen::SHARD_MANIFEST_FILE;
-use adsketch_core::{freeze_sharded, AdsSet, LoadOptions, QueryEngine, ShardManifest};
+use adsketch_core::{
+    freeze_sharded_format, AdsSet, LoadOptions, QueryEngine, ShardManifest, StoreFormat,
+};
 use adsketch_graph::{generators, NodeId};
 use adsketch_serve::{
     BackendStore, CacheStatsHandle, Client, Router, RouterConfig, Server, ServerHandle,
@@ -149,6 +158,14 @@ fn main() {
     let zipf_s: f64 = arg_str("zipf", "0").parse().unwrap_or(0.0);
     let cache_bytes = arg_u64("cache", 0) as usize;
     let coalesce_us = arg_u64("coalesce-us", 0);
+    let store_format = match arg_str("format", "v1").as_str() {
+        "v1" => StoreFormat::V1,
+        "v2" => StoreFormat::V2,
+        other => {
+            eprintln!("--format must be v1 or v2, got {other:?}");
+            std::process::exit(2);
+        }
+    };
     let json = arg_str("json", "");
     let append = arg_flag("append");
     if chaos && (router_n == 0 || replicas < 2) {
@@ -185,7 +202,7 @@ fn main() {
         let dir = std::env::temp_dir().join(format!("adsketch_loadgen_s{shards}"));
         let _ = std::fs::remove_dir_all(&dir);
         let t0 = Instant::now();
-        freeze_sharded(&ads, shards, &dir).expect("freeze_sharded");
+        freeze_sharded_format(&ads, shards, &dir, store_format).expect("freeze_sharded");
         let freeze_t = t0.elapsed();
         // Cold-start triple over the same frozen store: the copying
         // loader, the trusted warm-restart mmap path (no checksum
@@ -200,9 +217,16 @@ fn main() {
         let t0 = Instant::now();
         let store = Arc::new(ShardedStore::load(&dir).expect("load sharded store"));
         let mmap_ms = t0.elapsed().as_secs_f64() * 1e3;
+        // `resident_bytes` is format-aware: a mapped v2 store reports its
+        // compressed on-disk footprint (plus parsed metadata), not the
+        // decoded full-width size.
         println!(
-            "\n--- shards = {shards}: freeze {freeze_t:.2?}, cold start copy {copy_ms:.2} ms / \
-             mmap+verify {mmap_ms:.2} ms / mmap trusted {trusted_ms:.2} ms, {} B resident ---",
+            "\n--- shards = {shards} ({}): freeze {freeze_t:.2?}, cold start copy {copy_ms:.2} ms \
+             / mmap+verify {mmap_ms:.2} ms / mmap trusted {trusted_ms:.2} ms, {} B resident ---",
+            match store_format {
+                StoreFormat::V1 => "v1",
+                StoreFormat::V2 => "v2",
+            },
             store.resident_bytes()
         );
         if shards == 1 {
@@ -289,7 +313,7 @@ fn main() {
     if router_n > 0 {
         let dir = std::env::temp_dir().join(format!("adsketch_loadgen_router_s{router_n}"));
         let _ = std::fs::remove_dir_all(&dir);
-        freeze_sharded(&ads, router_n, &dir).expect("freeze_sharded");
+        freeze_sharded_format(&ads, router_n, &dir, store_format).expect("freeze_sharded");
 
         // One in-process backend server per (shard, replica), each
         // holding only its own shard file, then a stateless router in

@@ -218,6 +218,16 @@ impl Lru {
         Some(self.slots[i as usize].bits)
     }
 
+    /// Actual allocated bytes of this segment: the slab array plus the
+    /// index map's table (one `(key, slot)` entry and one control byte
+    /// per usable bucket). Bounded by construction — the slab never
+    /// grows past `cap` and the map is pre-sized to it — but measures
+    /// real allocation, not the [`ENTRY_BYTES`] budgeting estimate.
+    fn alloc_bytes(&self) -> usize {
+        self.slots.capacity() * std::mem::size_of::<Slot>()
+            + self.map.capacity() * (std::mem::size_of::<(CacheKey, u32)>() + 1)
+    }
+
     fn insert(&mut self, key: CacheKey, bits: u64) {
         if let Some(&i) = self.map.get(&key) {
             self.slots[i as usize].bits = bits;
@@ -363,10 +373,21 @@ impl CacheStatsHandle {
         self.inner.capacity_entries()
     }
 
-    /// Budgeted resident bytes ([`resident_entries`](Self::resident_entries)
-    /// × the per-entry byte estimate).
+    /// Actual allocated bytes across all segments: the LRU slab arrays
+    /// plus the index maps' tables. This measures what the cache really
+    /// holds in memory — **not** the per-entry budgeting estimate
+    /// used to derive entry capacity from
+    /// [`crate::RouterConfig::cache_bytes`] — so serve-tier size
+    /// accounting reflects reality. Still bounded by construction: every
+    /// segment's slab and map are capped at their fixed entry capacity,
+    /// so this can exceed the configured byte budget only by allocator
+    /// rounding, never grow with the workload.
     pub fn resident_bytes(&self) -> usize {
-        self.resident_entries() * ENTRY_BYTES
+        self.inner
+            .segments
+            .iter()
+            .map(|s| s.lock().expect("cache segment lock").alloc_bytes())
+            .sum()
     }
 }
 

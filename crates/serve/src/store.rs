@@ -2,13 +2,16 @@
 //! node-id routing behind the [`AdsView`] trait.
 //!
 //! A sharded store is a directory written by
-//! [`adsketch_core::freeze_sharded`]: `S` full-width `FrozenAdsSet` v1
-//! files (shard `i` populates only the node range its manifest record
-//! declares) plus the checksummed `ADSKSHD1` manifest. [`ShardedStore::load`]
+//! [`adsketch_core::freeze_sharded`] (or
+//! [`adsketch_core::freeze_sharded_format`]): `S` `FrozenAdsSet` files —
+//! full-width v1 or compressed v2, and a directory may mix both — where
+//! shard `i` populates only the node range its manifest record declares,
+//! plus the checksummed `ADSKSHD1` manifest. [`ShardedStore::load`]
 //! reads the manifest, then brings all shards up in **parallel** (one
 //! thread per shard via the builders' `shard_slots` helper), mapping
-//! each shard's columns in place where the platform supports it
-//! (`mmap`; replicas share the kernel page cache) and verifying for
+//! each shard in place where the platform supports it (`mmap`; replicas
+//! share the kernel page cache; mapped v2 shards stay compressed and
+//! decode lazily per row block on first touch) and verifying for
 //! each shard:
 //!
 //! * the store-level format checks (magic, version, checksum, structure —
@@ -142,9 +145,15 @@ pub(crate) fn load_shard(
     if opts.verify {
         let digest = digest.expect("verified loads always produce a whole-file digest");
         if digest != rec.digest {
+            // The digest pins the exact bytes, including the store-format
+            // version — re-encoding a shard in another format (say v1 → v2)
+            // without re-freezing the manifest lands here, so name the
+            // format we actually read to make that case self-explanatory.
             return Err(ServeError::Store(format!(
-                "shard {i}: file digest {digest:#018x} does not match the manifest's {:#018x} \
-                 (corrupt file, or a shard from a different freeze)",
+                "shard {i}: file digest {digest:#018x} (a format-v{} store) does not match the \
+                 manifest's {:#018x} (corrupt file, a shard from a different freeze, or a shard \
+                 re-encoded in a different format version than the manifest was computed over)",
+                shard.format_version(),
                 rec.digest
             )));
         }

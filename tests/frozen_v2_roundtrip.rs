@@ -1,0 +1,434 @@
+//! Compressed (format v2) store round trips must be bitwise lossless:
+//! freeze → v2 encode → decode must reproduce every stored bit, and
+//! every estimator must answer **bitwise identically** from the decoded
+//! v2 store and from the heap-backed [`AdsSet`] it came from — across
+//! directed / weighted / zero-weight-tie / disconnected graphs. Targeted
+//! corruption of the compressed columns (truncated varint, overlong
+//! varint, wrong escape-column length, bad version byte) must surface as
+//! clean typed errors — mirroring `tests/frozen_roundtrip.rs` for the
+//! v1 format. Golden fixture files committed under `tests/fixtures/`
+//! pin both formats' byte images so future writer changes cannot
+//! silently break old stores.
+
+use std::path::PathBuf;
+
+use proptest::prelude::*;
+
+use adsketch::core::frozen::Fnv1a64;
+use adsketch::core::{
+    basic, centrality, similarity, size_est, AdsSet, AdsView, FrozenAdsSet, FrozenError,
+    LoadOptions, QueryEngine, StoreFormat,
+};
+use adsketch::graph::{generators, Graph, NodeId};
+
+/// The estimator battery of `tests/frozen_roundtrip.rs`: every estimator
+/// answers bitwise identically from `frozen` and from `ads`.
+fn assert_estimators_bitwise_equal(ads: &AdsSet, frozen: &FrozenAdsSet) {
+    assert_eq!(frozen.k(), ads.k());
+    assert_eq!(frozen.num_nodes(), ads.num_nodes());
+    assert_eq!(frozen.num_entries(), ads.total_entries());
+    let n = ads.num_nodes() as NodeId;
+    for v in 0..n {
+        let hip = ads.hip(v);
+        assert_eq!(frozen.hip_weights_of(v), hip, "node {v}: HIP weights");
+        assert_eq!(frozen.hip_reachable(v), hip.reachable_estimate());
+        for d in [0.0, 0.5, 1.0, 2.0, 4.0, f64::INFINITY] {
+            assert_eq!(frozen.hip_cardinality_at(v, d), hip.cardinality_at(d));
+            if ads.k() > 1 {
+                assert_eq!(
+                    basic::cardinality_at_in(frozen, v, d),
+                    basic::cardinality_at(ads.sketch(v), d)
+                );
+            }
+            assert_eq!(
+                size_est::cardinality_at_in(frozen, v, d),
+                size_est::cardinality_at(ads.sketch(v), d)
+            );
+        }
+        assert_eq!(
+            frozen.neighborhood_function_of(v),
+            hip.neighborhood_function()
+        );
+        assert_eq!(
+            centrality::harmonic_in(frozen, v),
+            centrality::harmonic(&hip)
+        );
+        let u = (v + 1) % n.max(1);
+        assert_eq!(
+            similarity::neighborhood_jaccard_in(frozen, v, u, 2.0),
+            similarity::neighborhood_jaccard(ads.sketch(v), ads.sketch(u), 2.0)
+        );
+    }
+    assert_eq!(
+        frozen.distance_distribution_estimate(),
+        ads.distance_distribution_estimate()
+    );
+}
+
+/// freeze → v2 encode → decode, asserting the round trip is the
+/// identity: the decoded store compares bitwise equal to the original,
+/// re-encodes to the identical v2 bytes, and writes the identical v1
+/// bytes the full-width store would.
+fn roundtrip_v2(ads: &AdsSet) -> FrozenAdsSet {
+    let frozen = ads.freeze();
+    let v2 = frozen.to_bytes_format(StoreFormat::V2);
+    let restored = FrozenAdsSet::from_bytes(&v2).expect("v2 decodes");
+    assert_eq!(restored.format_version(), 2);
+    assert_eq!(restored, frozen, "v2 round trip must be bitwise identity");
+    assert_eq!(
+        restored.to_bytes_format(StoreFormat::V2),
+        v2,
+        "re-encoding the decoded store must be deterministic"
+    );
+    assert_eq!(
+        restored.to_bytes(),
+        frozen.to_bytes(),
+        "a v2 store must write the exact v1 byte image back"
+    );
+    restored
+}
+
+/// Strategy: a small directed graph as (n, arcs).
+fn small_digraph() -> impl Strategy<Value = (usize, Vec<(NodeId, NodeId)>)> {
+    (2usize..40).prop_flat_map(|n| {
+        let arcs = prop::collection::vec((0..n as NodeId, 0..n as NodeId), 0..120);
+        (Just(n), arcs)
+    })
+}
+
+proptest! {
+    /// Random graph → build → freeze → v2 encode → decode: every
+    /// estimator answer is bitwise equal to the in-memory AdsSet answer.
+    #[test]
+    fn random_graph_v2_roundtrip_bitwise(
+        (n, arcs) in small_digraph(),
+        seed in 0u64..1_000,
+        k in 1usize..6,
+    ) {
+        let g = Graph::directed(n, &arcs).unwrap();
+        let ads = AdsSet::build(&g, k, seed);
+        let restored = roundtrip_v2(&ads);
+        assert_estimators_bitwise_equal(&ads, &restored);
+    }
+
+    /// Corrupting any single byte of a v2 store, or truncating it
+    /// anywhere, must make from_bytes fail — never silently misread.
+    #[test]
+    fn corrupted_or_truncated_v2_buffers_rejected(
+        seed in 0u64..1_000,
+        cut_frac in 0.0f64..1.0,
+        flip_frac in 0.0f64..1.0,
+    ) {
+        let g = generators::gnp_directed(30, 0.1, seed);
+        let bytes = AdsSet::build(&g, 3, seed)
+            .freeze()
+            .to_bytes_format(StoreFormat::V2);
+        let cut = ((bytes.len() as f64 * cut_frac) as usize).min(bytes.len() - 1);
+        prop_assert!(
+            FrozenAdsSet::from_bytes(&bytes[..cut]).is_err(),
+            "truncation to {cut}/{} bytes must be rejected",
+            bytes.len()
+        );
+        let mut corrupted = bytes.clone();
+        let at = ((corrupted.len() as f64 * flip_frac) as usize).min(corrupted.len() - 1);
+        corrupted[at] ^= 0x10;
+        prop_assert!(
+            FrozenAdsSet::from_bytes(&corrupted).is_err(),
+            "bit flip at byte {at} must be rejected"
+        );
+    }
+}
+
+#[test]
+fn directed_weighted_ties_disconnected_v2_roundtrips() {
+    let k = 4;
+    // Directed unweighted.
+    let directed = generators::gnp_directed(120, 0.04, 3);
+    // Weighted digraph: real-valued distances exercise the raw-dist
+    // escape (too many distinct values for a win from dictionaries to
+    // matter, every bit preserved regardless).
+    let weighted = generators::random_weighted_digraph(80, 4, 0.5, 2.5, 7);
+    // Zero-weight ties: a weighted digraph where many arcs cost 0, so
+    // whole clusters sit at bit-identical distances — the canonical
+    // (dist, node) tie-break produces long same-distance runs, the best
+    // and most delicate case for the delta-coded node column.
+    let mut tie_arcs: Vec<(NodeId, NodeId, f64)> = Vec::new();
+    for v in 0..60u32 {
+        tie_arcs.push((v, (v + 1) % 60, if v % 3 == 0 { 1.0 } else { 0.0 }));
+        tie_arcs.push((v, (v * 7 + 2) % 60, 0.0));
+    }
+    let ties = Graph::directed_weighted(60, &tie_arcs).unwrap();
+    // Disconnected: two G(n,p) islands plus isolated nodes.
+    let mut arcs = generators::gnp(40, 0.1, 5)
+        .all_arcs()
+        .map(|(u, v, _)| (u, v))
+        .collect::<Vec<_>>();
+    arcs.extend(
+        generators::gnp(40, 0.1, 6)
+            .all_arcs()
+            .map(|(u, v, _)| (u + 40, v + 40)),
+    );
+    let disconnected = Graph::directed(100, &arcs).unwrap(); // nodes 80..100 isolated
+    for (name, g) in [
+        ("directed", &directed),
+        ("weighted", &weighted),
+        ("zero_weight_ties", &ties),
+        ("disconnected", &disconnected),
+    ] {
+        let ads = AdsSet::build(g, k, 11);
+        let restored = roundtrip_v2(&ads);
+        assert_estimators_bitwise_equal(&ads, &restored);
+        // The batch engine on the v2 store must match the per-node heap
+        // path bitwise, for every thread count.
+        let per_node: Vec<f64> = (0..g.num_nodes() as NodeId)
+            .map(|v| centrality::harmonic(&ads.hip(v)))
+            .collect();
+        for threads in [1usize, 3, 0] {
+            assert_eq!(
+                QueryEngine::with_threads(&restored, threads).harmonic_all(),
+                per_node,
+                "{name}: v2 batch harmonic, threads = {threads}"
+            );
+        }
+    }
+}
+
+#[test]
+fn v2_save_load_file_roundtrip_all_load_options() {
+    let g = generators::barabasi_albert(150, 3, 9);
+    let ads = AdsSet::build(&g, 8, 4);
+    let frozen = ads.freeze();
+    let path = std::env::temp_dir().join("adsketch_test_frozen_v2_roundtrip.ads");
+    frozen.save_format(&path, StoreFormat::V2).expect("save v2");
+    for opts in [
+        LoadOptions::default(),
+        LoadOptions::mapped(),
+        LoadOptions::trusted(),
+    ] {
+        let loaded = FrozenAdsSet::load_with(&path, opts).expect("load v2");
+        assert_eq!(loaded.format_version(), 2);
+        assert_eq!(loaded, frozen);
+        assert_estimators_bitwise_equal(&ads, &loaded);
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+// ---------------------------------------------------------------------
+// Targeted corruption of the compressed columns
+// ---------------------------------------------------------------------
+
+/// Byte-level v2 container geometry, parsed from a valid buffer so tests
+/// can corrupt precisely one compressed column and re-sign the checksum.
+struct V2Layout {
+    /// Tag bytes `[node, dist, rank, weight]` (header bytes 40..44).
+    tags: [u8; 4],
+    /// Absolute offset of the first block's span inside the file.
+    block0: usize,
+    /// Byte length of the first block's span.
+    block0_len: usize,
+}
+
+fn parse_v2_layout(bytes: &[u8]) -> V2Layout {
+    let u32_at = |at: usize| u32::from_le_bytes(bytes[at..at + 4].try_into().unwrap()) as usize;
+    let u64_at = |at: usize| u64::from_le_bytes(bytes[at..at + 8].try_into().unwrap()) as usize;
+    assert_eq!(u32_at(8), 2, "fixture must be a v2 store");
+    let n = u64_at(16);
+    let tags = bytes[40..44].try_into().unwrap();
+    let rows_per_block = u32_at(44);
+    let dict_at = 48 + (n + 1) * 4;
+    let dict_len = u32_at(dict_at);
+    let blocks_at = dict_at + 4 + dict_len * 8;
+    let num_blocks = n.div_ceil(rows_per_block);
+    let blob_at = blocks_at + (num_blocks + 1) * 8 + 8;
+    let b0 = u64_at(blocks_at);
+    let b1 = u64_at(blocks_at + 8);
+    V2Layout {
+        tags,
+        block0: blob_at + b0,
+        block0_len: b1 - b0,
+    }
+}
+
+/// The start and length (within the file) of block 0's node section —
+/// the last of the four per-block column sections.
+fn node_section(bytes: &[u8], lay: &V2Layout) -> (usize, usize) {
+    let span = lay.block0;
+    let len = |i: usize| {
+        u32::from_le_bytes(bytes[span + i * 4..span + i * 4 + 4].try_into().unwrap()) as usize
+    };
+    let (l0, l1, l2, l3) = (len(0), len(1), len(2), len(3));
+    assert_eq!(16 + l0 + l1 + l2 + l3, lay.block0_len, "sections tile");
+    (span + 16 + l0 + l1 + l2, l3)
+}
+
+/// Recomputes and patches a store buffer's header checksum, so tests can
+/// tamper with payload bytes and prove the *column validators* reject
+/// the result (not just the checksum).
+fn resign_store(bytes: &mut [u8]) {
+    let mut h = Fnv1a64::new();
+    h.update(&bytes[..32]);
+    h.update(&[0u8; 8]);
+    h.update(&bytes[40..]);
+    let digest = h.digest();
+    bytes[32..40].copy_from_slice(&digest.to_le_bytes());
+}
+
+/// A v2 buffer whose encoder picked every compressed representation:
+/// delta-coded nodes, dict16 distances, 7-byte ranks, τ-ref weights.
+fn fully_compressed_sample() -> Vec<u8> {
+    let g = generators::gnp_directed(60, 0.08, 21);
+    let bytes = AdsSet::build(&g, 3, 5)
+        .freeze()
+        .to_bytes_format(StoreFormat::V2);
+    let lay = parse_v2_layout(&bytes);
+    // The corruption below targets specific column encodings; fail
+    // loudly if the encoder's tag choices ever change out from under it.
+    assert_eq!(
+        lay.tags,
+        [0, 0, 0, 0],
+        "sample must use delta nodes / dict16 dists / fixed7 ranks / tau-ref weights"
+    );
+    bytes
+}
+
+#[test]
+fn truncated_varint_in_node_column_is_a_clean_typed_error() {
+    let mut bytes = fully_compressed_sample();
+    let lay = parse_v2_layout(&bytes);
+    let (at, len) = node_section(&bytes, &lay);
+    assert!(len >= 1, "block 0 must have a nonempty node section");
+    // Setting the continuation bit on the section's final byte makes the
+    // last varint run off the end of the column.
+    bytes[at + len - 1] |= 0x80;
+    resign_store(&mut bytes);
+    let err = FrozenAdsSet::from_bytes(&bytes).unwrap_err();
+    assert!(matches!(err, FrozenError::Corrupt(_)), "{err:?}");
+    assert!(err.to_string().contains("truncated varint"), "{err}");
+}
+
+#[test]
+fn overlong_varint_in_node_column_is_a_clean_typed_error() {
+    let mut bytes = fully_compressed_sample();
+    let lay = parse_v2_layout(&bytes);
+    let (at, len) = node_section(&bytes, &lay);
+    assert!(len >= 2, "need two bytes to splice an overlong form");
+    // The section opens with a single-byte varint (node ids < 60): fuse
+    // it with the next byte into `[x|0x80, 0x00]` — a redundant
+    // continuation, the canonical-form violation decoders must reject.
+    assert!(bytes[at] & 0x80 == 0, "first varint must be single-byte");
+    bytes[at] |= 0x80;
+    bytes[at + 1] = 0x00;
+    resign_store(&mut bytes);
+    let err = FrozenAdsSet::from_bytes(&bytes).unwrap_err();
+    assert!(matches!(err, FrozenError::Corrupt(_)), "{err:?}");
+    assert!(err.to_string().contains("overlong"), "{err}");
+}
+
+#[test]
+fn wrong_escape_column_length_is_a_clean_typed_error() {
+    let mut bytes = fully_compressed_sample();
+    let lay = parse_v2_layout(&bytes);
+    // Move 7 bytes from the rank section's declared length into the
+    // weight section's: the four lengths still tile the block span
+    // exactly, but the fixed-width rank column no longer matches its
+    // tag's 7-bytes-per-entry shape.
+    let span = lay.block0;
+    let rank_len = u32::from_le_bytes(bytes[span + 4..span + 8].try_into().unwrap());
+    assert!(rank_len >= 7, "block 0 must hold at least one rank");
+    bytes[span + 4..span + 8].copy_from_slice(&(rank_len - 7).to_le_bytes());
+    let weight_len = u32::from_le_bytes(bytes[span + 8..span + 12].try_into().unwrap());
+    bytes[span + 8..span + 12].copy_from_slice(&(weight_len + 7).to_le_bytes());
+    resign_store(&mut bytes);
+    let err = FrozenAdsSet::from_bytes(&bytes).unwrap_err();
+    assert!(matches!(err, FrozenError::Corrupt(_)), "{err:?}");
+    assert!(
+        err.to_string().contains("wrong escape-column length"),
+        "{err}"
+    );
+}
+
+#[test]
+fn wrong_version_byte_is_a_clean_typed_error() {
+    let mut bytes = fully_compressed_sample();
+    bytes[8] = 3;
+    resign_store(&mut bytes);
+    match FrozenAdsSet::from_bytes(&bytes) {
+        Err(FrozenError::UnsupportedVersion(3)) => {}
+        other => panic!("expected UnsupportedVersion(3), got {other:?}"),
+    }
+    // Version 0 likewise.
+    bytes[8] = 0;
+    resign_store(&mut bytes);
+    assert!(matches!(
+        FrozenAdsSet::from_bytes(&bytes),
+        Err(FrozenError::UnsupportedVersion(0))
+    ));
+}
+
+#[test]
+fn unknown_column_tag_is_a_clean_typed_error() {
+    let mut bytes = fully_compressed_sample();
+    bytes[40] = 9; // node-column tag
+    resign_store(&mut bytes);
+    let err = FrozenAdsSet::from_bytes(&bytes).unwrap_err();
+    assert!(matches!(err, FrozenError::Corrupt(_)), "{err:?}");
+    assert!(err.to_string().contains("tag"), "{err}");
+}
+
+// ---------------------------------------------------------------------
+// Golden fixtures: committed byte images of both formats
+// ---------------------------------------------------------------------
+
+/// The fixture store: tiny, deterministic, and fully exercising the
+/// compressed columns (delta nodes, dict16 dists, fixed7 ranks, τ-ref
+/// weights).
+fn golden_store() -> (AdsSet, FrozenAdsSet) {
+    let g = generators::barabasi_albert(30, 2, 42);
+    let ads = AdsSet::build(&g, 3, 9);
+    let frozen = ads.freeze();
+    (ads, frozen)
+}
+
+fn fixture_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+/// Format-compat gate: today's writer must reproduce the committed v1
+/// and v2 fixture files byte-for-byte, and today's reader must decode
+/// both back to the identical store. A failure here means an on-disk
+/// format change slipped in without a version bump — regenerate with
+/// `ADSKETCH_REGEN_FIXTURES=1 cargo test golden_fixture` only for a
+/// deliberate, versioned format change.
+#[test]
+fn golden_fixture_files_encode_and_decode_byte_for_byte() {
+    let (ads, frozen) = golden_store();
+    let v1 = frozen.to_bytes();
+    let v2 = frozen.to_bytes_format(StoreFormat::V2);
+    let (p1, p2) = (
+        fixture_path("golden_ba30_k3.v1.ads"),
+        fixture_path("golden_ba30_k3.v2.ads"),
+    );
+    if std::env::var("ADSKETCH_REGEN_FIXTURES").is_ok() {
+        std::fs::create_dir_all(p1.parent().unwrap()).unwrap();
+        std::fs::write(&p1, &v1).unwrap();
+        std::fs::write(&p2, &v2).unwrap();
+    }
+    let g1 = std::fs::read(&p1).expect("committed v1 fixture");
+    let g2 = std::fs::read(&p2).expect("committed v2 fixture");
+    assert_eq!(g1, v1, "v1 writer diverged from the committed fixture");
+    assert_eq!(g2, v2, "v2 writer diverged from the committed fixture");
+    let s1 = FrozenAdsSet::from_bytes(&g1).expect("v1 fixture decodes");
+    let s2 = FrozenAdsSet::from_bytes(&g2).expect("v2 fixture decodes");
+    assert_eq!(s1.format_version(), 1);
+    assert_eq!(s2.format_version(), 2);
+    assert_eq!(s1, frozen);
+    assert_eq!(s2, frozen);
+    // Cross-format transcodes reproduce the other fixture exactly.
+    assert_eq!(s1.to_bytes_format(StoreFormat::V2), g2);
+    assert_eq!(s2.to_bytes(), g1);
+    // And the decoded fixtures answer estimators like the build output.
+    assert_estimators_bitwise_equal(&ads, &s1);
+    assert_estimators_bitwise_equal(&ads, &s2);
+}

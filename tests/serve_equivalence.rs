@@ -10,7 +10,9 @@ use std::sync::Arc;
 use proptest::prelude::*;
 
 use adsketch::core::centrality::DecayKernel;
-use adsketch::core::{freeze_sharded, AdsSet, FrozenAdsSet, QueryEngine};
+use adsketch::core::{
+    freeze_sharded, freeze_sharded_format, AdsSet, FrozenAdsSet, QueryEngine, StoreFormat,
+};
 use adsketch::graph::{generators, Graph, NodeId};
 use adsketch::serve::{Client, Request, Response, ServeError, Server, ShardedStore};
 
@@ -113,6 +115,32 @@ fn served_answers_bitwise_identical_across_shards_and_workers() {
             let mut client = Client::connect(guard.addr).expect("connect");
             assert_served_equals_local(&mut client, &ads, &frozen);
         }
+    }
+}
+
+#[test]
+fn served_answers_on_v2_shards_bitwise_identical_to_local_v1_engine() {
+    // The wire-path leg of the cross-format identity gate: shards frozen
+    // in the compressed v2 format must serve every request type bitwise
+    // identical to the local engine on the unsharded full-width store.
+    let g = generators::gnp_directed(90, 0.06, 17);
+    let ads = AdsSet::build(&g, 4, 9);
+    let frozen = ads.freeze();
+    for shards in [1usize, 3] {
+        let dir = std::env::temp_dir().join(format!("adsketch_test_serve_v2_{shards}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        freeze_sharded_format(&ads, shards, &dir, StoreFormat::V2).expect("freeze v2");
+        let store = Arc::new(ShardedStore::load(&dir).expect("load v2 sharded store"));
+        let server = Server::bind("127.0.0.1:0", store, 2).expect("bind");
+        let addr = server.local_addr().expect("addr");
+        let guard = ServerGuard {
+            addr,
+            handle: Some(server.handle()),
+            join: Some(std::thread::spawn(move || server.run())),
+            dir,
+        };
+        let mut client = Client::connect(guard.addr).expect("connect");
+        assert_served_equals_local(&mut client, &ads, &frozen);
     }
 }
 

@@ -12,8 +12,8 @@ use proptest::prelude::*;
 
 use adsketch::core::frozen::{shard_file_name, Fnv1a64, SHARD_MANIFEST_FILE};
 use adsketch::core::{
-    basic, centrality, freeze_sharded, similarity, size_est, AdsSet, AdsView, QueryEngine,
-    ShardManifest,
+    basic, centrality, freeze_sharded, freeze_sharded_format, similarity, size_est, AdsSet,
+    AdsView, FrozenAdsSet, QueryEngine, ShardManifest, StoreFormat,
 };
 use adsketch::graph::{generators, Graph, NodeId};
 use adsketch::serve::{ServeError, ShardedStore};
@@ -322,6 +322,57 @@ fn rejects_missing_corrupt_swapped_and_padded_shard_files() {
 
     // Pristine again ⇒ loads.
     assert!(ShardedStore::load(dir.path()).is_ok());
+}
+
+#[test]
+fn v2_sharded_freeze_roundtrips_bitwise() {
+    // The whole battery again, but with the shards frozen in the
+    // compressed v2 format: the manifest format is unchanged, its
+    // digests simply pin the v2 bytes.
+    let g = generators::gnp_directed(90, 0.06, 13);
+    let ads = AdsSet::build(&g, 4, 11);
+    let dir = ShardDir::new("v2_freeze");
+    let manifest = freeze_sharded_format(&ads, 3, dir.path(), StoreFormat::V2).expect("freeze v2");
+    let store = ShardedStore::load(dir.path()).expect("load v2 sharded store");
+    assert_eq!(store.manifest(), &manifest);
+    for i in 0..store.num_shards() {
+        assert_eq!(store.shard(i).format_version(), 2);
+    }
+    assert_estimators_bitwise_equal(&ads, &store);
+    let frozen = ads.freeze();
+    assert_eq!(
+        store.engine(2).harmonic_all(),
+        QueryEngine::new(&frozen).harmonic_all()
+    );
+}
+
+#[test]
+fn rejects_v2_shard_under_a_manifest_digested_over_v1_bytes() {
+    // Re-encoding one shard file in the v2 format without re-freezing
+    // the manifest leaves a perfectly valid store on disk whose bytes
+    // the manifest never signed. Only the whole-file digest can object —
+    // and its error must say which format it actually read.
+    let (dir, _ads) = sample_dir("format_swap");
+    let shard0 = dir.path().join(shard_file_name(0));
+    let shard = FrozenAdsSet::load(&shard0).expect("shard 0 loads standalone");
+    assert_eq!(shard.format_version(), 1);
+    shard
+        .save_format(&shard0, StoreFormat::V2)
+        .expect("re-encode shard 0 as v2");
+    // The swapped file is a valid v2 store by itself…
+    assert_eq!(
+        FrozenAdsSet::load(&shard0)
+            .expect("valid v2")
+            .format_version(),
+        2
+    );
+    // …but the manifest's digest was computed over the v1 bytes.
+    let err = ShardedStore::load(dir.path()).unwrap_err();
+    let msg = err.to_string();
+    assert!(
+        msg.contains("digest") && msg.contains("format-v2") && msg.contains("format version"),
+        "digest error must name the re-encoded format: {err}"
+    );
 }
 
 #[test]

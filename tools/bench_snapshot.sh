@@ -6,7 +6,10 @@
 #   BENCH_query.json — batch HIP query serving (closeness centrality and
 #   neighborhood cardinality over all nodes, frozen columnar store vs
 #   per-node heap queries; every backend asserted bitwise identical to
-#   the heap baseline before being timed), and
+#   the heap baseline before being timed). Rows carry `store_format`
+#   (`heap` / `v1` / `v2`) and `store_bytes`, so the snapshot tracks the
+#   compressed (v2) format's size win next to its query throughput — the
+#   frozen_v2_* rows must stay no slower than their v1 counterparts. And
 #   BENCH_serve.json — end-to-end TCP serving (sharded store, concurrent
 #   clients over loopback; every served sweep asserted bitwise identical
 #   to the local engine before being timed). Rows carry a `tier` field:
@@ -65,6 +68,10 @@ if [[ "${SMOKE:-0}" == "1" ]]; then
   cargo run --release -p adsketch-serve --bin loadgen -- --router 2 --smoke \
     --k "${K:-16}" --zipf 1.1 --cache 4194304 --coalesce-us 200 \
     --json target/BENCH_serve.router-smoke.json
+  # The same smoke sweep on compressed (v2) shards: the identity gates
+  # assert the wire path is bitwise identical on the v2 format too.
+  cargo run --release -p adsketch-serve --bin loadgen -- --smoke \
+    --k "${K:-16}" --format v2 --json target/BENCH_serve.v2-smoke.json
   # And a tiny chaos drill: 2 shards x 2 replicas, the scheduler kills
   # and restarts one backend replica at a time under live load; any
   # client-visible error or identity mismatch fails the run.
