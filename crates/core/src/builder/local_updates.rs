@@ -105,6 +105,170 @@ pub fn build_approx_with_stats(
     Ok((AdsSet::from_sketches(k, sketches), stats))
 }
 
+/// An incrementally maintained exact bottom-k ADS set over a growing
+/// edge stream (paper, Section 4): arcs arrive one at a time and each
+/// insertion runs the local-update rule to a fixpoint, so after every
+/// [`insert_edge`](DynamicAds::insert_edge) the held sketches are the
+/// canonical ADS of the graph seen so far.
+///
+/// The maintenance rule is the same relaxation the batch builder uses
+/// (`PartialAds::insert_general` with ε = 0), seeded from the sketch
+/// of the new arc's head: every current entry `(j, d)` of `ADS(v)` is
+/// offered to `u` at distance `d + w`, and admitted entries propagate
+/// along the in-arcs accumulated so far. Admission thresholds only ever
+/// tighten as edges arrive, so a rejection against the *current* sketch
+/// is also a rejection against the *final* one — the standing soundness
+/// invariant carries over verbatim — while entries admitted on stale
+/// thresholds are displaced by the insert's retraction sweep. Distances
+/// accumulate in the same reverse-path association order as every other
+/// builder, so the fixpoint is **bitwise identical** to a from-scratch
+/// [`AdsSet::build`] on the final graph, regardless of the order edges
+/// were inserted in (gated by the `dynamic_*` tests here and the
+/// insertion-order proptest in the workspace suite).
+#[derive(Debug, Clone)]
+pub struct DynamicAds {
+    k: usize,
+    ranks: Vec<f64>,
+    partials: Vec<PartialAds>,
+    /// `in_arcs[t]` lists `(y, w)` for every inserted arc `y → t`: the
+    /// transpose adjacency, grown incrementally, along which admitted
+    /// entries propagate (mirrors `gt.arcs(t)` in the batch builder).
+    in_arcs: Vec<Vec<(NodeId, f64)>>,
+    edges: u64,
+    stats: BuildStats,
+}
+
+impl DynamicAds {
+    /// An edgeless `n`-node dynamic sketch set with the same
+    /// [`uniform_ranks`](crate::uniform_ranks) rank assignment
+    /// [`AdsSet::build`] uses for `seed` — so
+    /// `DynamicAds::new(n, k, seed)` fed any permutation of a graph's
+    /// arcs compares bitwise against `AdsSet::build(&g, k, seed)`.
+    pub fn new(n: usize, k: usize, seed: u64) -> Self {
+        Self::with_ranks(k, crate::uniform_ranks(n, seed)).expect("uniform ranks are valid")
+    }
+
+    /// An edgeless dynamic sketch set over explicit per-node ranks
+    /// (`n = ranks.len()`).
+    pub fn with_ranks(k: usize, ranks: Vec<f64>) -> Result<Self, CoreError> {
+        validate_ranks(&ranks, ranks.len())?;
+        let n = ranks.len();
+        let mut partials: Vec<PartialAds> = vec![PartialAds::default(); n];
+        let mut stats = BuildStats::default();
+        for u in 0..n {
+            partials[u].insert_general(k, u as NodeId, 0.0, ranks[u], 0.0);
+            stats.insertions += 1;
+        }
+        Ok(Self {
+            k,
+            ranks,
+            partials,
+            in_arcs: vec![Vec::new(); n],
+            edges: 0,
+            stats,
+        })
+    }
+
+    /// Inserts the directed arc `u → v` with weight `w` and restores the
+    /// exact-ADS invariant by running the local-update rule to its
+    /// fixpoint. Undirected edges are two calls. Parallel arcs,
+    /// self-loops, and zero weights are all legal (zero-weight cycles
+    /// terminate because an equal-distance candidate is rejected, not
+    /// propagated).
+    pub fn insert_edge(&mut self, u: NodeId, v: NodeId, w: f64) -> Result<(), CoreError> {
+        let n = self.ranks.len();
+        for node in [u, v] {
+            if node as usize >= n {
+                return Err(CoreError::NodeOutOfRange { node, nodes: n });
+            }
+        }
+        if !(w.is_finite() && w >= 0.0) {
+            return Err(CoreError::InvalidWeight { weight: w });
+        }
+        self.in_arcs[v as usize].push((u, w));
+        self.edges += 1;
+
+        // Seed: every current entry of ADS(v) crosses the new arc into
+        // u — exactly the messages the batch builder would have sent
+        // along this arc when those entries were admitted at v. Distance
+        // accumulates as `entry.dist + w`, matching the batch builder's
+        // `m.dist + w` association order bit for bit.
+        let mut inbox: Vec<Msg> = Vec::with_capacity(self.partials[v as usize].entries.len());
+        for i in 0..self.partials[v as usize].entries.len() {
+            let e = self.partials[v as usize].entries[i];
+            inbox.push(Msg {
+                target: u,
+                node: e.node,
+                rank: e.rank,
+                dist: e.dist + w,
+            });
+        }
+
+        while !inbox.is_empty() {
+            self.stats.rounds += 1;
+            inbox.sort_unstable_by(|a, b| {
+                (a.target, a.node)
+                    .cmp(&(b.target, b.node))
+                    .then(a.dist.total_cmp(&b.dist))
+            });
+            inbox.dedup_by_key(|m| (m.target, m.node));
+            let mut outbox: Vec<Msg> = Vec::new();
+            for m in inbox.drain(..) {
+                self.stats.relaxations += 1;
+                let (inserted, removed) = self.partials[m.target as usize]
+                    .insert_general(self.k, m.node, m.dist, m.rank, 0.0);
+                self.stats.removals += removed as u64;
+                if inserted {
+                    self.stats.insertions += 1;
+                    for &(y, aw) in &self.in_arcs[m.target as usize] {
+                        outbox.push(Msg {
+                            target: y,
+                            node: m.node,
+                            rank: m.rank,
+                            dist: m.dist + aw,
+                        });
+                    }
+                }
+            }
+            inbox = outbox;
+        }
+        Ok(())
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.ranks.len()
+    }
+
+    /// Sketch parameter k.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of arcs applied so far.
+    pub fn edges_applied(&self) -> u64 {
+        self.edges
+    }
+
+    /// Cumulative work counters across all insertions.
+    pub fn stats(&self) -> &BuildStats {
+        &self.stats
+    }
+
+    /// The current sketches as an immutable [`AdsSet`] — bitwise
+    /// identical to `AdsSet::build` on the graph of all arcs inserted so
+    /// far (with matching ranks). The live state keeps accepting edges;
+    /// this is the freezer's snapshot point.
+    pub fn snapshot(&self) -> AdsSet {
+        let sketches = self
+            .partials
+            .iter()
+            .map(|p| p.clone().into_ads(self.k))
+            .collect();
+        AdsSet::from_sketches(self.k, sketches)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -217,5 +381,131 @@ mod tests {
         if let Some(e) = set.sketch(0).get(19) {
             assert_eq!(e.dist, 19.0);
         }
+    }
+
+    #[test]
+    fn dynamic_matches_batch_build_bitwise() {
+        for seed in 0..5u64 {
+            let g = generators::random_weighted_digraph(60, 4, 0.5, 2.5, seed);
+            let batch = AdsSet::build(&g, 3, seed + 40);
+            let mut dyn_ads = DynamicAds::new(60, 3, seed + 40);
+            for u in 0..60u32 {
+                for (v, w) in g.arcs(u) {
+                    dyn_ads.insert_edge(u, v, w).unwrap();
+                }
+            }
+            assert_eq!(dyn_ads.snapshot(), batch, "seed {seed}");
+            assert_eq!(dyn_ads.edges_applied(), g.num_arcs() as u64);
+        }
+    }
+
+    #[test]
+    fn dynamic_is_insertion_order_invariant() {
+        let g = generators::random_weighted_digraph(40, 4, 0.5, 2.5, 9);
+        let mut arcs: Vec<(u32, u32, f64)> = Vec::new();
+        for u in 0..40u32 {
+            for (v, w) in g.arcs(u) {
+                arcs.push((u, v, w));
+            }
+        }
+        let batch = AdsSet::build(&g, 4, 77);
+        // Forward, reversed, and a deterministic shuffle.
+        let mut shuffled = arcs.clone();
+        let mut state = 0x9E37_79B9_7F4A_7C15u64;
+        for i in (1..shuffled.len()).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            shuffled.swap(i, (state >> 33) as usize % (i + 1));
+        }
+        let orders = [
+            arcs.clone(),
+            arcs.iter().rev().copied().collect::<Vec<_>>(),
+            shuffled,
+        ];
+        for (i, order) in orders.iter().enumerate() {
+            let mut dyn_ads = DynamicAds::new(40, 4, 77);
+            for &(u, v, w) in order {
+                dyn_ads.insert_edge(u, v, w).unwrap();
+            }
+            assert_eq!(dyn_ads.snapshot(), batch, "order {i}");
+        }
+    }
+
+    #[test]
+    fn dynamic_handles_zero_weights_self_loops_and_parallel_arcs() {
+        // Zero-weight 2-cycle, a self-loop, and a parallel arc pair.
+        let arcs: Vec<(u32, u32, f64)> = vec![
+            (0, 1, 0.0),
+            (1, 0, 0.0),
+            (2, 2, 1.0),
+            (0, 2, 3.0),
+            (0, 2, 1.5),
+            (2, 3, 0.5),
+            (3, 1, 0.0),
+        ];
+        let g = Graph::directed_weighted(4, &arcs).unwrap();
+        let batch = AdsSet::build(&g, 2, 5);
+        let mut dyn_ads = DynamicAds::new(4, 2, 5);
+        for &(u, v, w) in &arcs {
+            dyn_ads.insert_edge(u, v, w).unwrap();
+        }
+        assert_eq!(dyn_ads.snapshot(), batch);
+    }
+
+    #[test]
+    fn dynamic_every_prefix_is_exact() {
+        // The invariant holds after *every* insertion, not just the last:
+        // each prefix of the stream answers identically to a batch build
+        // on that prefix.
+        let g = generators::random_weighted_digraph(25, 3, 0.5, 2.0, 3);
+        let mut arcs: Vec<(u32, u32, f64)> = Vec::new();
+        for u in 0..25u32 {
+            for (v, w) in g.arcs(u) {
+                arcs.push((u, v, w));
+            }
+        }
+        let mut dyn_ads = DynamicAds::new(25, 3, 11);
+        for i in 0..arcs.len() {
+            let (u, v, w) = arcs[i];
+            dyn_ads.insert_edge(u, v, w).unwrap();
+            if i % 7 == 0 || i + 1 == arcs.len() {
+                let prefix = Graph::directed_weighted(25, &arcs[..=i]).unwrap();
+                assert_eq!(
+                    dyn_ads.snapshot(),
+                    AdsSet::build(&prefix, 3, 11),
+                    "prefix {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dynamic_rejects_bad_edges() {
+        let mut dyn_ads = DynamicAds::new(4, 2, 1);
+        assert!(matches!(
+            dyn_ads.insert_edge(0, 4, 1.0),
+            Err(CoreError::NodeOutOfRange { node: 4, nodes: 4 })
+        ));
+        assert!(matches!(
+            dyn_ads.insert_edge(0, 1, -1.0),
+            Err(CoreError::InvalidWeight { .. })
+        ));
+        assert!(matches!(
+            dyn_ads.insert_edge(0, 1, f64::NAN),
+            Err(CoreError::InvalidWeight { .. })
+        ));
+        assert_eq!(dyn_ads.edges_applied(), 0);
+    }
+
+    #[test]
+    fn dynamic_snapshot_leaves_live_state_usable() {
+        let mut dyn_ads = DynamicAds::new(10, 2, 2);
+        dyn_ads.insert_edge(0, 1, 1.0).unwrap();
+        let first = dyn_ads.snapshot();
+        dyn_ads.insert_edge(1, 2, 1.0).unwrap();
+        let second = dyn_ads.snapshot();
+        assert_eq!(first.k(), 2);
+        // The earlier snapshot is unaffected by later inserts.
+        assert!(first.sketch(0).get(2).is_none());
+        assert!(second.sketch(0).get(2).is_some());
     }
 }

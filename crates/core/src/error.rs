@@ -26,6 +26,19 @@ pub enum CoreError {
         /// The offending value.
         epsilon: f64,
     },
+    /// An edge endpoint fell outside the node range of a dynamic sketch
+    /// set.
+    NodeOutOfRange {
+        /// The offending endpoint.
+        node: u32,
+        /// Number of nodes the sketch set was created with.
+        nodes: usize,
+    },
+    /// An edge weight was negative or not finite.
+    InvalidWeight {
+        /// The offending value.
+        weight: f64,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -45,6 +58,12 @@ impl fmt::Display for CoreError {
             }
             CoreError::InvalidEpsilon { epsilon } => {
                 write!(f, "epsilon {epsilon} must be finite and non-negative")
+            }
+            CoreError::NodeOutOfRange { node, nodes } => {
+                write!(f, "edge endpoint {node} is outside the {nodes}-node range")
+            }
+            CoreError::InvalidWeight { weight } => {
+                write!(f, "edge weight {weight} must be finite and non-negative")
             }
         }
     }

@@ -94,6 +94,7 @@ pub mod weighted;
 
 pub use ads_set::AdsSet;
 pub use bottomk::BottomKAds;
+pub use builder::local_updates::DynamicAds;
 pub use builder::{shard_slots, thread_count};
 pub use engine::QueryEngine;
 pub use entry::AdsEntry;

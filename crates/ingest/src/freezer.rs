@@ -1,0 +1,398 @@
+//! The generational freezer: live sketches → numbered frozen stores.
+//!
+//! A [`Freezer`] snapshots an [`Ingestor`]'s live sketches into numbered
+//! generation directories (`gen-0001/`, `gen-0002/`, …) under one root.
+//! Each generation is an ordinary sharded frozen store —
+//! [`adsketch_core::freeze_sharded_format`] output, loadable by every
+//! existing loader — plus nothing else: generations are immutable once
+//! published and independently verifiable via their manifests. A
+//! `CURRENT` file at the root names the latest published generation and
+//! is flipped by write-to-temp + atomic rename, so readers either see
+//! the previous generation or the complete new one, never a torn
+//! pointer.
+//!
+//! The ingestor is locked only long enough to **clone** the live
+//! sketches (and read the stream counters); the expensive part —
+//! sharding, encoding, writing, checksumming — runs outside the lock,
+//! so ingest continues while a freeze is in flight. [`spawn_freezer`]
+//! wraps this in a background thread with a publish callback, which is
+//! how a serving process chains a hot-swap
+//! (`adsketch_serve::GenerationStore::swap`) onto each new generation.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use adsketch_core::{freeze_sharded_format, ShardManifest, StoreFormat};
+
+use crate::pipeline::{IngestStats, Ingestor};
+use crate::IngestError;
+
+/// The root-level pointer file naming the latest published generation.
+pub const CURRENT_FILE: &str = "CURRENT";
+
+/// Directory name of generation `generation` under the freezer root.
+pub fn generation_dir_name(generation: u64) -> String {
+    format!("gen-{generation:04}")
+}
+
+/// Reads the root's `CURRENT` pointer: the latest published generation
+/// number and its store directory, or `None` when nothing has been
+/// published yet.
+pub fn current_generation(root: impl AsRef<Path>) -> Result<Option<(u64, PathBuf)>, IngestError> {
+    let root = root.as_ref();
+    let raw = match std::fs::read_to_string(root.join(CURRENT_FILE)) {
+        Ok(s) => s,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(e.into()),
+    };
+    let name = raw.trim();
+    let generation = name
+        .strip_prefix("gen-")
+        .and_then(|s| s.parse::<u64>().ok())
+        .ok_or_else(|| IngestError::TornLog {
+            path: root.join(CURRENT_FILE),
+            detail: format!("unparseable CURRENT pointer {name:?}"),
+        })?;
+    Ok(Some((generation, root.join(name))))
+}
+
+/// One published generation: where it lives and what went into it.
+#[derive(Debug, Clone)]
+pub struct FrozenGeneration {
+    /// The generation number (1-based, strictly increasing).
+    pub generation: u64,
+    /// The sharded store directory holding this generation.
+    pub dir: PathBuf,
+    /// The store's shard manifest (digests pin the exact bytes).
+    pub manifest: ShardManifest,
+    /// Edges the snapshot covers (the log prefix it equals).
+    pub edges: u64,
+    /// Stream counters at snapshot time.
+    pub stats: IngestStats,
+    /// Wall-clock spent freezing (snapshot clone + encode + write).
+    pub freeze_seconds: f64,
+}
+
+/// Snapshots an ingestor into numbered generation directories.
+#[derive(Debug)]
+pub struct Freezer {
+    root: PathBuf,
+    shards: usize,
+    format: StoreFormat,
+    /// Edge-stream window the per-generation recency stats cover.
+    stats_window: u64,
+    next_gen: u64,
+    frozen_edges: u64,
+}
+
+impl Freezer {
+    /// Creates a freezer publishing into `root` (created if missing),
+    /// `shards` shards per generation in `format`. Resumes numbering
+    /// after an existing `CURRENT` pointer, so a restarted process never
+    /// reuses a published generation number.
+    pub fn new(
+        root: impl AsRef<Path>,
+        shards: usize,
+        format: StoreFormat,
+    ) -> Result<Self, IngestError> {
+        let root = root.as_ref().to_path_buf();
+        std::fs::create_dir_all(&root)?;
+        let next_gen = match current_generation(&root)? {
+            Some((generation, _)) => generation + 1,
+            None => 1,
+        };
+        Ok(Freezer {
+            root,
+            shards,
+            format,
+            stats_window: 10_000,
+            next_gen,
+            frozen_edges: 0,
+        })
+    }
+
+    /// Sets the recency window (in edges) the per-generation stream
+    /// stats cover.
+    pub fn stats_window(mut self, window: u64) -> Self {
+        self.stats_window = window;
+        self
+    }
+
+    /// The generation number the next freeze will publish.
+    pub fn next_generation(&self) -> u64 {
+        self.next_gen
+    }
+
+    /// Snapshots `ingestor` (brief lock), freezes the snapshot into the
+    /// next generation directory (no lock held), and atomically flips
+    /// `CURRENT` to it.
+    pub fn freeze(&mut self, ingestor: &Mutex<Ingestor>) -> Result<FrozenGeneration, IngestError> {
+        let started = Instant::now();
+        let (snapshot, stats) = {
+            let mut ing = ingestor.lock().expect("ingestor lock");
+            ing.flush()?; // the journal covers everything the snapshot holds
+            (ing.snapshot(), ing.stats(self.stats_window))
+        };
+        let generation = self.next_gen;
+        let dir = self.root.join(generation_dir_name(generation));
+        // A crash may have left a partial directory under this number
+        // (CURRENT was never flipped to it): clear and rewrite.
+        if dir.exists() {
+            std::fs::remove_dir_all(&dir)?;
+        }
+        let manifest = freeze_sharded_format(&snapshot, self.shards, &dir, self.format)?;
+        let tmp = self.root.join(format!(".CURRENT.tmp.{generation}"));
+        std::fs::write(&tmp, format!("{}\n", generation_dir_name(generation)))?;
+        std::fs::rename(&tmp, self.root.join(CURRENT_FILE))?;
+        self.next_gen += 1;
+        self.frozen_edges = stats.edges;
+        Ok(FrozenGeneration {
+            generation,
+            dir,
+            manifest,
+            edges: stats.edges,
+            stats,
+            freeze_seconds: started.elapsed().as_secs_f64(),
+        })
+    }
+
+    /// [`Freezer::freeze`], but only if edges arrived since the last
+    /// published generation (or nothing was ever published). Returns
+    /// `None` when the stream is quiescent.
+    pub fn freeze_if_dirty(
+        &mut self,
+        ingestor: &Mutex<Ingestor>,
+    ) -> Result<Option<FrozenGeneration>, IngestError> {
+        let edges = ingestor.lock().expect("ingestor lock").edges();
+        if self.next_gen > 1 && edges == self.frozen_edges {
+            return Ok(None);
+        }
+        self.freeze(ingestor).map(Some)
+    }
+}
+
+/// A running background freezer; [`FreezerHandle::stop`] joins it.
+#[derive(Debug)]
+pub struct FreezerHandle {
+    stop: Arc<AtomicBool>,
+    join: std::thread::JoinHandle<Result<u64, IngestError>>,
+}
+
+impl FreezerHandle {
+    /// Signals the freeze loop to exit, performs one final freeze if
+    /// edges arrived since the last generation, and returns how many
+    /// generations the loop published in total.
+    pub fn stop(self) -> Result<u64, IngestError> {
+        self.stop.store(true, Ordering::SeqCst);
+        self.join.join().expect("freezer thread")
+    }
+}
+
+/// Spawns the background freeze loop: every `interval`, publish a new
+/// generation if the stream moved, and hand it to `on_freeze` (the
+/// serving process's hot-swap hook). The loop exits promptly on
+/// [`FreezerHandle::stop`], after one final catch-up freeze.
+pub fn spawn_freezer<F>(
+    mut freezer: Freezer,
+    ingestor: Arc<Mutex<Ingestor>>,
+    interval: Duration,
+    mut on_freeze: F,
+) -> FreezerHandle
+where
+    F: FnMut(&FrozenGeneration) + Send + 'static,
+{
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop_flag = Arc::clone(&stop);
+    let join = std::thread::spawn(move || {
+        let mut published = 0u64;
+        let tick = Duration::from_millis(2).min(interval);
+        let mut since_freeze = Duration::ZERO;
+        while !stop_flag.load(Ordering::SeqCst) {
+            std::thread::sleep(tick);
+            since_freeze += tick;
+            if since_freeze < interval {
+                continue;
+            }
+            since_freeze = Duration::ZERO;
+            if let Some(generation) = freezer.freeze_if_dirty(&ingestor)? {
+                on_freeze(&generation);
+                published += 1;
+            }
+        }
+        // Catch-up freeze so the final generation covers the whole log.
+        if let Some(generation) = freezer.freeze_if_dirty(&ingestor)? {
+            on_freeze(&generation);
+            published += 1;
+        }
+        Ok(published)
+    });
+    FreezerHandle { stop, join }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adsketch_core::frozen::{shard_file_name, SHARD_MANIFEST_FILE};
+    use adsketch_core::{AdsSet, FrozenAdsSet, QueryEngine, ShardManifest};
+    use adsketch_graph::Graph;
+
+    struct Scratch(PathBuf);
+
+    impl Scratch {
+        fn new(tag: &str) -> Self {
+            let dir = std::env::temp_dir()
+                .join(format!("adsketch_ingest_frz_{tag}_{}", std::process::id()));
+            std::fs::remove_dir_all(&dir).ok();
+            Scratch(dir)
+        }
+    }
+
+    impl Drop for Scratch {
+        fn drop(&mut self) {
+            std::fs::remove_dir_all(&self.0).ok();
+        }
+    }
+
+    /// Loads a generation directory shard by shard and answers harmonic
+    /// centrality for all nodes — the oracle comparison the serve tier
+    /// makes over the wire, minus the wire. Shards keep global node ids.
+    fn harmonic_of_generation(dir: &Path, n: usize) -> Vec<f64> {
+        let manifest = ShardManifest::load(dir.join(SHARD_MANIFEST_FILE)).unwrap();
+        let mut out = vec![0.0; n];
+        for (i, rec) in manifest.records().iter().enumerate() {
+            let shard = FrozenAdsSet::load(dir.join(shard_file_name(i))).unwrap();
+            let engine = QueryEngine::new(&shard);
+            let nodes: Vec<u32> = (rec.start as u32..rec.end as u32).collect();
+            for (v, x) in nodes.iter().zip(engine.harmonic_batch(&nodes)) {
+                out[*v as usize] = x;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn generations_advance_and_current_points_at_latest() {
+        let s = Scratch::new("advance");
+        let ingestor = Mutex::new(Ingestor::open(s.0.join("log"), 30, 4, 5, 64).unwrap());
+        let mut freezer = Freezer::new(s.0.join("store"), 2, StoreFormat::V1).unwrap();
+        for i in 0..20u32 {
+            ingestor
+                .lock()
+                .unwrap()
+                .ingest(i % 30, (i + 1) % 30, 1.0)
+                .unwrap();
+        }
+        let g1 = freezer.freeze(&ingestor).unwrap();
+        assert_eq!(g1.generation, 1);
+        assert_eq!(g1.edges, 20);
+        for i in 0..10u32 {
+            ingestor
+                .lock()
+                .unwrap()
+                .ingest((i + 5) % 30, (i + 9) % 30, 2.0)
+                .unwrap();
+        }
+        let g2 = freezer.freeze_if_dirty(&ingestor).unwrap().expect("dirty");
+        assert_eq!(g2.generation, 2);
+        assert_eq!(g2.edges, 30);
+        // Quiescent: no third generation.
+        assert!(freezer.freeze_if_dirty(&ingestor).unwrap().is_none());
+        let (current, dir) = current_generation(s.0.join("store")).unwrap().unwrap();
+        assert_eq!(current, 2);
+        assert_eq!(dir, g2.dir);
+        // Both generations remain loadable; the latest matches the live
+        // snapshot bitwise.
+        let live = ingestor.lock().unwrap().snapshot();
+        let oracle = QueryEngine::new(&live.freeze()).harmonic_all();
+        assert_eq!(harmonic_of_generation(&g2.dir, 30), oracle);
+        assert_eq!(
+            harmonic_of_generation(&g1.dir, 30).len(),
+            30 // gen 1 predates the last 10 edges but still serves
+        );
+    }
+
+    #[test]
+    fn freezer_numbering_resumes_after_restart() {
+        let s = Scratch::new("resume");
+        let ingestor = Mutex::new(Ingestor::open(s.0.join("log"), 10, 4, 5, 64).unwrap());
+        let mut freezer = Freezer::new(s.0.join("store"), 1, StoreFormat::V2).unwrap();
+        ingestor.lock().unwrap().ingest(0, 1, 1.0).unwrap();
+        assert_eq!(freezer.freeze(&ingestor).unwrap().generation, 1);
+        drop(freezer);
+        let mut freezer = Freezer::new(s.0.join("store"), 1, StoreFormat::V2).unwrap();
+        assert_eq!(freezer.next_generation(), 2);
+        ingestor.lock().unwrap().ingest(1, 2, 1.0).unwrap();
+        assert_eq!(freezer.freeze(&ingestor).unwrap().generation, 2);
+    }
+
+    #[test]
+    fn crash_recovery_replays_the_log_into_the_next_generation() {
+        let s = Scratch::new("crash");
+        let edges: Vec<(u32, u32, f64)> = (0..25u32)
+            .map(|i| (i % 20, (i * 3 + 1) % 20, 1.5))
+            .collect();
+        {
+            let ingestor = Mutex::new(Ingestor::open(s.0.join("log"), 20, 4, 7, 8).unwrap());
+            let mut freezer = Freezer::new(s.0.join("store"), 2, StoreFormat::V1).unwrap();
+            for &(u, v, w) in &edges[..10] {
+                ingestor.lock().unwrap().ingest(u, v, w).unwrap();
+            }
+            freezer.freeze(&ingestor).unwrap();
+            for &(u, v, w) in &edges[10..] {
+                ingestor.lock().unwrap().ingest(u, v, w).unwrap();
+            }
+            ingestor.lock().unwrap().flush().unwrap();
+            // "Crash": drop everything without freezing the tail.
+        }
+        // Restart: replay the journal, freeze, and the new generation
+        // equals the batch build of the *entire* edge stream.
+        let ingestor = Mutex::new(Ingestor::open(s.0.join("log"), 20, 4, 7, 8).unwrap());
+        assert_eq!(ingestor.lock().unwrap().edges(), 25);
+        let mut freezer = Freezer::new(s.0.join("store"), 2, StoreFormat::V1).unwrap();
+        let g2 = freezer.freeze(&ingestor).unwrap();
+        assert_eq!(g2.generation, 2);
+        let oracle = AdsSet::build(&Graph::directed_weighted(20, &edges).unwrap(), 4, 7);
+        let expect = QueryEngine::new(&oracle.freeze()).harmonic_all();
+        assert_eq!(harmonic_of_generation(&g2.dir, 20), expect);
+    }
+
+    #[test]
+    fn background_freezer_publishes_while_ingest_continues() {
+        let s = Scratch::new("bg");
+        let ingestor = Arc::new(Mutex::new(
+            Ingestor::open(s.0.join("log"), 40, 4, 3, 256).unwrap(),
+        ));
+        let freezer = Freezer::new(s.0.join("store"), 2, StoreFormat::V1).unwrap();
+        let seen: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
+        let seen_sink = Arc::clone(&seen);
+        let handle = spawn_freezer(
+            freezer,
+            Arc::clone(&ingestor),
+            Duration::from_millis(10),
+            move |g| seen_sink.lock().unwrap().push(g.generation),
+        );
+        for i in 0..400u32 {
+            ingestor
+                .lock()
+                .unwrap()
+                .ingest(i % 40, (i + 1) % 40, 1.0)
+                .unwrap();
+            if i % 50 == 0 {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        }
+        let published = handle.stop().unwrap();
+        assert!(published >= 1, "at least the catch-up freeze publishes");
+        let seen = seen.lock().unwrap();
+        assert_eq!(seen.len() as u64, published);
+        assert!(seen.windows(2).all(|w| w[0] < w[1]), "monotone: {seen:?}");
+        // The final generation covers the whole stream.
+        let (current, dir) = current_generation(s.0.join("store")).unwrap().unwrap();
+        assert_eq!(current, *seen.last().unwrap());
+        let live = ingestor.lock().unwrap().snapshot();
+        let oracle = QueryEngine::new(&live.freeze()).harmonic_all();
+        assert_eq!(harmonic_of_generation(&dir, 40), oracle);
+    }
+}

@@ -14,7 +14,7 @@
 //! ```text
 //! cargo run --release -p adsketch-serve --bin loadgen -- \
 //!     [--n 100000] [--k 16] [--clients 4] [--workers 4] [--batch 256] \
-//!     [--requests 200] [--router N] [--replicas R] [--chaos] \
+//!     [--requests 200] [--router N] [--replicas R] [--chaos] [--churn] \
 //!     [--zipf S] [--cache BYTES] [--coalesce-us U] [--format v1|v2] \
 //!     [--json BENCH_serve.json] [--append] [--smoke]
 //! ```
@@ -61,23 +61,37 @@
 //! replica per shard — and the run fails on **any** client-visible
 //! error or identity mismatch.
 //!
+//! `--churn` runs the **dynamic-graph drill** instead of the static
+//! sweeps: edges stream through the ingest tier (`adsketch-ingest`) in
+//! three phases, each phase is frozen into a numbered generation, and a
+//! live [`GenerationStore`]-backed server is hot-swapped to generations
+//! 2 and 3 **while client threads hammer it**. Every response is
+//! asserted bitwise against the from-scratch build of some generation
+//! the request could legally observe (the serving generation is polled
+//! around each request via `GenInfo`); once the server reports a
+//! generation, an answer matching an older one fails the drill. Any
+//! client-visible error, hang (10 s read timeout), or stale post-swap
+//! answer panics the process. The drill's snapshot records report
+//! ingest throughput (edges/s) and freeze latency.
+//!
 //! `--smoke` shrinks everything to CI size (tiny graph, a handful of
 //! requests, no timing gates) — the identity assertions still run.
 
 use std::net::SocketAddr;
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use adsketch_core::frozen::SHARD_MANIFEST_FILE;
 use adsketch_core::{
     freeze_sharded_format, AdsSet, LoadOptions, QueryEngine, ShardManifest, StoreFormat,
 };
-use adsketch_graph::{generators, NodeId};
+use adsketch_graph::{generators, Graph, NodeId};
+use adsketch_ingest::{Freezer, Ingestor};
 use adsketch_serve::{
-    BackendStore, CacheStatsHandle, Client, Router, RouterConfig, Server, ServerHandle,
-    ShardedStore,
+    BackendStore, CacheStatsHandle, Client, GenerationStore, Router, RouterConfig, Server,
+    ServerHandle, ShardedStore,
 };
 use adsketch_util::args::{arg_flag, arg_str, arg_u64};
 use adsketch_util::{Rng64, SplitMix64};
@@ -142,10 +156,14 @@ fn zipf_node(rng: &mut SplitMix64, n: usize, s: f64) -> NodeId {
 
 fn main() {
     let smoke = arg_flag("smoke");
+    let churn = arg_flag("churn");
     let n = if smoke {
         2_000
     } else {
-        arg_u64("n", 100_000) as usize
+        // The churn drill builds three from-scratch oracle generations
+        // and replays every edge through the incremental builder, so its
+        // default graph is smaller than the static sweep's.
+        arg_u64("n", if churn { 20_000 } else { 100_000 }) as usize
     };
     let k = arg_u64("k", 16) as usize;
     let clients = arg_u64("clients", if smoke { 2 } else { 4 }) as usize;
@@ -172,7 +190,26 @@ fn main() {
         eprintln!("--chaos needs --router N and --replicas >= 2");
         std::process::exit(2);
     }
+    if churn && (chaos || router_n > 0) {
+        eprintln!("--churn is a standalone dynamic-graph drill; drop --router/--chaos");
+        std::process::exit(2);
+    }
     assert!(replicas >= 1, "--replicas must be at least 1");
+
+    if churn {
+        let records = run_churn_drill(ChurnParams {
+            n,
+            k,
+            clients,
+            workers,
+            batch,
+            requests,
+            store_format,
+            smoke,
+        });
+        write_snapshot(&json, append, &records);
+        return;
+    }
 
     let g = generators::barabasi_albert(n, 4, 7);
     println!(
@@ -471,20 +508,24 @@ fn main() {
         std::fs::remove_dir_all(&dir).ok();
     }
 
-    if !json.is_empty() && !records.is_empty() {
-        let rendered = render_json(&records);
-        // `--append` splices this run's records onto an existing
-        // snapshot array, so one BENCH_serve.json can hold rows from
-        // several tiers (see tools/bench_snapshot.sh).
-        let payload = match std::fs::read_to_string(&json) {
-            Ok(prev) if append && prev.trim_end().ends_with(']') => {
-                merge_json_arrays(&prev, &rendered)
-            }
-            _ => rendered,
-        };
-        std::fs::write(&json, payload).expect("write json snapshot");
-        eprintln!("snapshot written to {json}");
+    write_snapshot(&json, append, &records);
+}
+
+/// Writes (or `--append`-splices) this run's records to `json`, if set.
+fn write_snapshot(json: &str, append: bool, records: &[Record]) {
+    if json.is_empty() || records.is_empty() {
+        return;
     }
+    let rendered = render_json(records);
+    // `--append` splices this run's records onto an existing snapshot
+    // array, so one BENCH_serve.json can hold rows from several tiers
+    // (see tools/bench_snapshot.sh).
+    let payload = match std::fs::read_to_string(json) {
+        Ok(prev) if append && prev.trim_end().ends_with(']') => merge_json_arrays(&prev, &rendered),
+        _ => rendered,
+    };
+    std::fs::write(json, payload).expect("write json snapshot");
+    eprintln!("snapshot written to {json}");
 }
 
 /// Splices two rendered record arrays into one flat array.
@@ -495,6 +536,256 @@ fn merge_json_arrays(prev: &str, new: &str) -> String {
         return new.to_string();
     }
     format!("{prev_body},\n  {new_body}")
+}
+
+/// Knobs for the `--churn` dynamic-graph drill.
+struct ChurnParams {
+    n: usize,
+    k: usize,
+    clients: usize,
+    workers: usize,
+    batch: usize,
+    requests: usize,
+    store_format: StoreFormat,
+    smoke: bool,
+}
+
+/// Streams `edges` through the ingest pipeline in small locked chunks
+/// (so a concurrent freeze can interleave), flushes the journal, and
+/// returns the observed throughput in edges per second.
+fn ingest_range(ingestor: &Mutex<Ingestor>, edges: &[(NodeId, NodeId, f64)]) -> f64 {
+    let t0 = Instant::now();
+    for chunk in edges.chunks(64) {
+        let mut ing = ingestor.lock().expect("ingestor lock");
+        for &(u, v, w) in chunk {
+            ing.ingest(u, v, w).expect("ingest edge");
+        }
+    }
+    ingestor
+        .lock()
+        .expect("ingestor lock")
+        .flush()
+        .expect("flush edge log");
+    edges.len() as f64 / t0.elapsed().as_secs_f64().max(1e-9)
+}
+
+/// The dynamic-graph chaos drill: three edge tranches become three
+/// frozen generations; generations 2 and 3 are hot-swapped into a live
+/// server while client threads assert every answer bitwise against the
+/// from-scratch oracle of a generation the request could legally
+/// observe. Panics (non-zero exit) on any client error, hang, stale
+/// post-swap answer, or generation regression.
+fn run_churn_drill(p: ChurnParams) -> Vec<Record> {
+    const SEED: u64 = 13;
+    let ChurnParams {
+        n,
+        k,
+        clients,
+        workers,
+        batch,
+        requests,
+        store_format,
+        smoke,
+    } = p;
+    let g = generators::barabasi_albert(n, 4, 7);
+    let mut edges: Vec<(NodeId, NodeId, f64)> = Vec::with_capacity(g.num_arcs());
+    for u in 0..n as NodeId {
+        for (v, w) in g.arcs(u) {
+            edges.push((u, v, w));
+        }
+    }
+    let m = edges.len();
+    let cuts = [m / 3, 2 * m / 3, m];
+    println!("=== churn drill: n={n}, arcs={m}, k={k}, 3 generations, 2 live swaps ===");
+
+    // From-scratch oracle per generation: what a cold rebuild of that
+    // edge prefix answers. The live incremental server must match one of
+    // these bitwise on every response.
+    let t0 = Instant::now();
+    let oracle: Vec<(Vec<f64>, Vec<f64>)> = cuts
+        .iter()
+        .map(|&cut| {
+            let gp = Graph::directed_weighted(n, &edges[..cut]).expect("prefix graph");
+            let ads = AdsSet::build_parallel(&gp, k, SEED, 0);
+            let frozen = ads.freeze();
+            let engine = QueryEngine::new(&frozen);
+            let card_all: Vec<(NodeId, f64)> = (0..n as NodeId).map(|v| (v, 3.0)).collect();
+            (engine.harmonic_all(), engine.cardinality_batch(&card_all))
+        })
+        .collect();
+    println!("oracles (3 from-scratch builds): {:.2?}", t0.elapsed());
+
+    let scratch =
+        std::env::temp_dir().join(format!("adsketch_loadgen_churn_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&scratch);
+    let ingestor = Arc::new(Mutex::new(
+        Ingestor::open(scratch.join("log"), n, k, SEED, 1 << 16).expect("open ingestor"),
+    ));
+    let mut freezer = Freezer::new(scratch.join("store"), 2, store_format).expect("freezer");
+
+    // Generation 1: first tranche, frozen and serving before traffic.
+    let mut edge_rates = vec![ingest_range(&ingestor, &edges[..cuts[0]])];
+    let gen1 = freezer.freeze(ingestor.as_ref()).expect("freeze gen 1");
+    let mut freeze_secs = vec![gen1.freeze_seconds];
+    let store = Arc::new(GenerationStore::new(
+        ShardedStore::load(&gen1.dir).expect("load gen 1"),
+        gen1.generation,
+    ));
+    let server = Server::bind("127.0.0.1:0", Arc::clone(&store), workers).expect("bind churn");
+    let addr = server.local_addr().expect("churn addr");
+    let handle = server.handle();
+    let join = std::thread::spawn(move || server.run());
+
+    let done = AtomicBool::new(false);
+    let swap_pause = Duration::from_millis(if smoke { 50 } else { 200 });
+    std::thread::scope(|s| {
+        for ci in 0..clients {
+            let done = &done;
+            let oracle = &oracle;
+            s.spawn(move || {
+                let mut rng = SplitMix64::new(0xD1CE ^ ci as u64);
+                let mut client = Client::connect(addr).expect("churn client");
+                // A hang is a failure, not a stall: any response taking
+                // longer than this kills the drill.
+                client
+                    .set_read_timeout(Some(Duration::from_secs(10)))
+                    .expect("read timeout");
+                let mut issued = 0usize;
+                let mut last_gen = 0u64;
+                while issued < requests || !done.load(Ordering::SeqCst) {
+                    let nodes: Vec<NodeId> = (0..batch)
+                        .map(|_| (rng.next_u64() % n as u64) as NodeId)
+                        .collect();
+                    let g_before = client.gen_info().expect("gen info");
+                    assert!(g_before >= last_gen, "serving generation regressed");
+                    last_gen = g_before;
+                    let col = issued % 2;
+                    let got = if col == 0 {
+                        client.harmonic(&nodes).expect("churn harmonic")
+                    } else {
+                        let queries: Vec<(NodeId, f64)> = nodes.iter().map(|&v| (v, 3.0)).collect();
+                        client.cardinality(&queries).expect("churn cardinality")
+                    };
+                    let g_after = client.gen_info().expect("gen info");
+                    let matches_gen = |gen: u64| {
+                        let base = if col == 0 {
+                            &oracle[gen as usize - 1].0
+                        } else {
+                            &oracle[gen as usize - 1].1
+                        };
+                        nodes
+                            .iter()
+                            .zip(&got)
+                            .all(|(&v, &x)| x.to_bits() == base[v as usize].to_bits())
+                    };
+                    if g_before == g_after {
+                        // No swap straddled this request: the answer must
+                        // be that exact generation's, bit for bit.
+                        assert!(
+                            matches_gen(g_before),
+                            "stale or wrong answer at generation {g_before}"
+                        );
+                    } else {
+                        // A swap landed between the bracketing GenInfo
+                        // probes. The per-frame pin still forbids mixing:
+                        // the whole response must match ONE generation in
+                        // the bracket.
+                        assert!(
+                            (g_before..=g_after).any(matches_gen),
+                            "answer matches no single generation in {g_before}..={g_after}"
+                        );
+                    }
+                    issued += 1;
+                }
+            });
+        }
+
+        // The swapper runs on the scope's own thread; the drop guard
+        // releases the clients even if a freeze/swap panics.
+        struct SetOnDrop<'a>(&'a AtomicBool);
+        impl Drop for SetOnDrop<'_> {
+            fn drop(&mut self) {
+                self.0.store(true, Ordering::SeqCst);
+            }
+        }
+        let _release = SetOnDrop(&done);
+        std::thread::sleep(swap_pause); // let clients observe generation 1
+        for phase in 1..3 {
+            edge_rates.push(ingest_range(
+                &ingestor,
+                &edges[cuts[phase - 1]..cuts[phase]],
+            ));
+            let frozen = freezer
+                .freeze(ingestor.as_ref())
+                .expect("freeze generation");
+            let next = ShardedStore::load(&frozen.dir).expect("load generation");
+            let old = store.swap(next, frozen.generation);
+            assert_eq!(old, frozen.generation - 1, "swaps must be sequential");
+            freeze_secs.push(frozen.freeze_seconds);
+            println!(
+                "swapped live server to generation {} ({} edges, freeze {:.1} ms)",
+                frozen.generation,
+                frozen.edges,
+                frozen.freeze_seconds * 1e3
+            );
+            std::thread::sleep(swap_pause); // let clients straddle the swap
+        }
+    });
+
+    // Post-drill strict gate: the live server now answers generation 3
+    // bitwise equal to its from-scratch oracle...
+    let mut client = Client::connect(addr).expect("final client");
+    assert_eq!(client.gen_info().expect("final gen info"), 3);
+    let all_nodes: Vec<NodeId> = (0..n as NodeId).collect();
+    let mut served = Vec::with_capacity(n);
+    for chunk in all_nodes.chunks(4096) {
+        served.extend(client.harmonic(chunk).expect("final harmonic"));
+    }
+    assert_eq!(served, oracle[2].0, "post-swap sweep diverged from oracle");
+    // ...and a cold process loading the published CURRENT generation
+    // agrees with both.
+    let (cur_gen, cur_dir) = adsketch_ingest::current_generation(scratch.join("store"))
+        .expect("read CURRENT")
+        .expect("a published generation");
+    assert_eq!(cur_gen, 3, "CURRENT must point at the last generation");
+    let fresh = ShardedStore::load(&cur_dir).expect("fresh load");
+    assert_eq!(
+        QueryEngine::new(&fresh).harmonic_all(),
+        oracle[2].0,
+        "fresh load of CURRENT diverged"
+    );
+    println!("churn drill passed: 2 swaps under load, zero client errors, bitwise oracle match");
+
+    handle.shutdown();
+    join.join()
+        .expect("churn server thread")
+        .expect("churn server run");
+    std::fs::remove_dir_all(&scratch).ok();
+
+    let edges_per_sec = edge_rates.iter().sum::<f64>() / edge_rates.len() as f64;
+    let freeze_ms = freeze_secs.iter().sum::<f64>() / freeze_secs.len() as f64 * 1e3;
+    vec![Record {
+        workload: "churn_ingest_freeze_swap",
+        tier: "dynamic",
+        shards: 2,
+        workers,
+        clients,
+        batch,
+        requests_per_client: requests,
+        n,
+        m,
+        k,
+        zipf_s: 0.0,
+        // For this row the throughput column is ingest throughput
+        // (edges/s through the incremental builder + journal) and the
+        // cold-start column is the mean freeze-to-published latency.
+        node_queries_per_sec: edges_per_sec,
+        p50_us: 0.0,
+        p99_us: 0.0,
+        cache_hit_rate: None,
+        cold_start_ms: freeze_ms,
+        host_threads: std::thread::available_parallelism().map_or(1, |p| p.get()),
+    }]
 }
 
 /// Asserts that a full served node sweep equals the committed local

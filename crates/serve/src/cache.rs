@@ -1,14 +1,17 @@
 //! The router's sharded, size-bounded answer cache.
 //!
 //! A frozen store is **immutable per generation** — a shard file never
-//! changes under a running router (deployments replace whole store
-//! directories atomically and restart the fleet). That makes per-node
-//! float answers perfectly cacheable: there is no invalidation problem,
-//! only a memory bound. The cache maps one [`CacheKey`] — `(request
-//! kind, kernel tag, parameter bits, node / pair)` — to the `f64::to_bits`
-//! of the answer a backend already served, so a hit replays the **exact
-//! bits** the scatter/gather path would produce and the router's
-//! bitwise-identity guarantee is preserved verbatim.
+//! changes under a running server; the dynamic tier instead hot-swaps
+//! whole generations atomically ([`crate::GenerationStore`]). That makes
+//! per-node float answers perfectly cacheable *within* a generation, so
+//! the generation number is simply part of the key: the cache maps one
+//! [`CacheKey`] — `(generation, request kind, kernel tag, parameter
+//! bits, node / pair)` — to the `f64::to_bits` of the answer a backend
+//! already served, so a hit replays the **exact bits** the
+//! scatter/gather path would produce and the router's bitwise-identity
+//! guarantee is preserved verbatim. A swap invalidates stale entries by
+//! key construction — old-generation bits can never answer a
+//! new-generation lookup — and the orphaned entries age out of the LRU.
 //!
 //! Layout: [`NUM_SHARDS`] independent LRU segments, each behind its own
 //! mutex (keys are spread by a mixed FNV hash), so concurrent router
@@ -47,6 +50,10 @@ pub(crate) const ENTRY_BYTES: usize = 64;
 /// The identity of one cached float answer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub(crate) struct CacheKey {
+    /// The store generation the answer was served from. Frozen fleets
+    /// (which never swap) report a constant `0`; dynamic fleets bump it
+    /// on every hot-swap, retiring all older entries by mismatch.
+    gen: u64,
     /// Request kind (`KIND_*`).
     kind: u8,
     /// Decay-kernel tag; zero for every other kind.
@@ -61,8 +68,9 @@ pub(crate) struct CacheKey {
 }
 
 impl CacheKey {
-    pub(crate) fn harmonic(v: u32) -> Self {
+    pub(crate) fn harmonic(gen: u64, v: u32) -> Self {
         Self {
+            gen,
             kind: KIND_HARMONIC,
             tag: 0,
             params: 0,
@@ -71,8 +79,9 @@ impl CacheKey {
         }
     }
 
-    pub(crate) fn decay(tag: u8, param_bits: u64, v: u32) -> Self {
+    pub(crate) fn decay(gen: u64, tag: u8, param_bits: u64, v: u32) -> Self {
         Self {
+            gen,
             kind: KIND_DECAY,
             tag,
             params: param_bits,
@@ -81,8 +90,9 @@ impl CacheKey {
         }
     }
 
-    pub(crate) fn cardinality(v: u32, d: f64) -> Self {
+    pub(crate) fn cardinality(gen: u64, v: u32, d: f64) -> Self {
         Self {
+            gen,
             kind: KIND_CARDINALITY,
             tag: 0,
             params: d.to_bits(),
@@ -94,8 +104,9 @@ impl CacheKey {
     /// Pairs are cached as queried — `(u, v)` and `(v, u)` are distinct
     /// keys, so a hit can only ever replay an answer the engine produced
     /// for the identical request.
-    pub(crate) fn jaccard(d: f64, u: u32, v: u32) -> Self {
+    pub(crate) fn jaccard(gen: u64, d: f64, u: u32, v: u32) -> Self {
         Self {
+            gen,
             kind: KIND_JACCARD,
             tag: 0,
             params: d.to_bits(),
@@ -109,6 +120,7 @@ impl CacheKey {
     fn mix(&self) -> u64 {
         let mut h = 0xcbf2_9ce4_8422_2325u64;
         for w in [
+            self.gen,
             self.params,
             (u64::from(self.a) << 32) | u64::from(self.b),
             (u64::from(self.kind) << 8) | u64::from(self.tag),
@@ -404,20 +416,32 @@ mod tests {
     fn hits_replay_exact_bits_and_counters_track() {
         let cache = AnswerCache::new(1 << 20).expect("enabled");
         let nan = f64::from_bits(0x7ff8_0000_0000_1234);
-        let key = CacheKey::cardinality(7, 2.5);
+        let key = CacheKey::cardinality(0, 7, 2.5);
         assert_eq!(cache.get(&key), None);
         cache.insert(key, nan.to_bits());
         assert_eq!(cache.get(&key), Some(nan.to_bits()));
         // A different d is a different key.
-        assert_eq!(cache.get(&CacheKey::cardinality(7, 3.5)), None);
+        assert_eq!(cache.get(&CacheKey::cardinality(0, 7, 3.5)), None);
         // Pair order matters: (u, v) never answers (v, u).
-        cache.insert(CacheKey::jaccard(1.0, 1, 2), 42);
-        assert_eq!(cache.get(&CacheKey::jaccard(1.0, 2, 1)), None);
-        assert_eq!(cache.get(&CacheKey::jaccard(1.0, 1, 2)), Some(42));
+        cache.insert(CacheKey::jaccard(0, 1.0, 1, 2), 42);
+        assert_eq!(cache.get(&CacheKey::jaccard(0, 1.0, 2, 1)), None);
+        assert_eq!(cache.get(&CacheKey::jaccard(0, 1.0, 1, 2)), Some(42));
         let handle = CacheStatsHandle { inner: cache };
         assert_eq!(handle.hits(), 2);
         assert_eq!(handle.misses(), 3);
         assert!((handle.hit_rate() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn generations_partition_the_keyspace() {
+        // A hot-swap bumps the generation; old-generation bits must
+        // never answer a new-generation lookup.
+        let cache = AnswerCache::new(1 << 20).expect("enabled");
+        cache.insert(CacheKey::harmonic(1, 9), 111);
+        assert_eq!(cache.get(&CacheKey::harmonic(2, 9)), None);
+        assert_eq!(cache.get(&CacheKey::harmonic(1, 9)), Some(111));
+        cache.insert(CacheKey::jaccard(1, 0.5, 3, 4), 7);
+        assert_eq!(cache.get(&CacheKey::jaccard(2, 0.5, 3, 4)), None);
     }
 
     #[test]
@@ -428,7 +452,7 @@ mod tests {
         let cap = cache.capacity_entries();
         assert!(cap >= 64, "budget grants at least the requested entries");
         for v in 0..10_000u32 {
-            cache.insert(CacheKey::harmonic(v), u64::from(v));
+            cache.insert(CacheKey::harmonic(0, v), u64::from(v));
         }
         assert!(
             cache.resident_entries() <= cap,
@@ -441,11 +465,11 @@ mod tests {
         assert!(
             (9_990..10_000u32).any(|v| {
                 cache
-                    .segment(&CacheKey::harmonic(v))
+                    .segment(&CacheKey::harmonic(0, v))
                     .lock()
                     .unwrap()
                     .map
-                    .contains_key(&CacheKey::harmonic(v))
+                    .contains_key(&CacheKey::harmonic(0, v))
             }),
             "recent inserts survive eviction"
         );
@@ -456,9 +480,9 @@ mod tests {
         // One segment of capacity 2: touching an entry saves it.
         let mut lru = Lru::new(2);
         let (a, b, c) = (
-            CacheKey::harmonic(1),
-            CacheKey::harmonic(2),
-            CacheKey::harmonic(3),
+            CacheKey::harmonic(0, 1),
+            CacheKey::harmonic(0, 2),
+            CacheKey::harmonic(0, 3),
         );
         lru.insert(a, 10);
         lru.insert(b, 20);

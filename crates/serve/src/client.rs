@@ -318,6 +318,19 @@ impl Client {
         }
     }
 
+    /// Asks which frozen generation the server currently answers from
+    /// (`0` for a store that never swaps). A churn drill polls this to
+    /// detect a [`crate::GenerationStore`] hot-swap landing.
+    pub fn gen_info(&mut self) -> Result<u64, ServeError> {
+        match self.request(&Request::GenInfo)? {
+            Response::GenInfo { generation } => Ok(generation),
+            Response::Error { code, message } => Err(ServeError::Remote { code, message }),
+            other => Err(ServeError::Protocol(format!(
+                "expected a GenInfo response, got {other:?}"
+            ))),
+        }
+    }
+
     /// Sends a float-batch request, accepting a degraded-mode
     /// [`Response::Partial`] answer: each slot comes back as `Ok(value)`
     /// (bitwise identical to the local engine) or `Err(code)`

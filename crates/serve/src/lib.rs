@@ -18,6 +18,7 @@
 //! | [`server`] | [`Server`]: `TcpListener` + fixed thread pool (the builders' `shard_slots` helper), per-connection pipelining, graceful shutdown; generic over [`RequestStore`] |
 //! | [`client`] | [`Client`]: blocking client with batched and pipelined requests |
 //! | [`backend`] | [`BackendStore`]: one shard resident in one backend process, serving its manifest node range |
+//! | [`generation`] | [`GenerationStore`]: hot-swappable store wrapper — a live server atomically switches to a new frozen generation mid-traffic (`GenInfo` reports which) |
 //! | [`router`] | [`Router`]: stateless scatter/gather over replica sets of backends, merging answers bitwise identical to the single-process engine |
 //! | `health` (internal) | per-endpoint circuit breaker (closed / cooling / open / half-open probe) shared by the router's workers and prober |
 //! | `cache` (internal) | the router's sharded, size-bounded LRU answer cache ([`RouterConfig::cache_bytes`]); counters via [`CacheStatsHandle`] |
@@ -86,6 +87,7 @@ pub(crate) mod cache;
 pub mod client;
 pub(crate) mod coalesce;
 pub mod error;
+pub mod generation;
 pub(crate) mod health;
 pub mod proto;
 pub mod router;
@@ -96,6 +98,7 @@ pub use backend::BackendStore;
 pub use cache::CacheStatsHandle;
 pub use client::Client;
 pub use error::ServeError;
+pub use generation::GenerationStore;
 pub use proto::{BatchSlot, Request, Response};
 pub use router::{Router, RouterConfig};
 pub use server::{RequestStore, Server, ServerHandle};

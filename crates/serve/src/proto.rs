@@ -32,6 +32,7 @@
 //! | `0x05` Jaccard | `u64 distance bits`, `u32 count`, then `count × (u32 u, u32 v)` |
 //! | `0x06` SketchPrefix | `u64 distance bits`, `u32 count`, then `count × u32` node ids |
 //! | `0x07` Health | empty — a liveness/ownership ping |
+//! | `0x08` GenInfo | empty — asks which frozen generation is being served |
 //!
 //! Response types (server → client):
 //!
@@ -42,6 +43,7 @@
 //! | `0x83` Sketches | `u32 count`, then per node `u32 len` + `len × (u64 rank bits, u32 node id)` |
 //! | `0x84` Partial | `u32 count`, then per slot a `u8` tag: `0` + `u64` answer bits (the query succeeded, bitwise identical to the local engine) or `1` + `u16` error code (the shard owning that query is down) |
 //! | `0x85` Health | `u64 range start`, `u64 range end` — the node range this server owns |
+//! | `0x86` GenInfo | `u64 generation` — the frozen generation currently served (`0` for a store that never swaps) |
 //! | `0xEE` Error | `u16 code`, `u32 message length`, then the UTF-8 message |
 //!
 //! `SketchPrefix` is the distributed tier's join primitive: it returns,
@@ -105,11 +107,13 @@ const TYPE_NEIGHBORHOOD: u8 = 0x04;
 const TYPE_JACCARD: u8 = 0x05;
 const TYPE_SKETCH_PREFIX: u8 = 0x06;
 const TYPE_HEALTH: u8 = 0x07;
+const TYPE_GEN_INFO: u8 = 0x08;
 const TYPE_FLOATS: u8 = 0x81;
 const TYPE_CURVES: u8 = 0x82;
 const TYPE_SKETCHES: u8 = 0x83;
 const TYPE_PARTIAL: u8 = 0x84;
 const TYPE_HEALTH_REPLY: u8 = 0x85;
+const TYPE_GEN_INFO_REPLY: u8 = 0x86;
 const TYPE_ERROR: u8 = 0xEE;
 const SLOT_VALUE: u8 = 0;
 const SLOT_DOWN: u8 = 1;
@@ -160,6 +164,11 @@ pub enum Request {
     /// the router's health prober can verify a replica is alive *and*
     /// serving the shard it is configured for at negligible cost.
     Health,
+    /// Asks which frozen generation the server currently answers from.
+    /// A store that never swaps reports generation `0`; a hot-swapping
+    /// [`crate::GenerationStore`] reports the generation it has pinned.
+    /// Like [`Request::Health`] this touches no sketch data.
+    GenInfo,
 }
 
 /// One slot of a degraded-mode [`Response::Partial`] batch.
@@ -195,6 +204,11 @@ pub enum Response {
         start: u64,
         /// One past the last owned node id.
         end: u64,
+    },
+    /// Answers [`Request::GenInfo`]: the frozen generation being served.
+    GenInfo {
+        /// The serving generation (`0` when the store never swaps).
+        generation: u64,
     },
     /// The request could not be served; the connection stays usable.
     Error {
@@ -336,6 +350,7 @@ impl Request {
                 push_nodes(&mut out, nodes);
             }
             Request::Health => out.push(TYPE_HEALTH),
+            Request::GenInfo => out.push(TYPE_GEN_INFO),
         }
         out
     }
@@ -386,6 +401,7 @@ impl Request {
                 }
             }
             TYPE_HEALTH => Request::Health,
+            TYPE_GEN_INFO => Request::GenInfo,
             t => {
                 return Err(ServeError::Protocol(format!(
                     "unknown request type {t:#04x}"
@@ -451,6 +467,10 @@ impl Response {
                 out.push(TYPE_HEALTH_REPLY);
                 out.extend_from_slice(&start.to_le_bytes());
                 out.extend_from_slice(&end.to_le_bytes());
+            }
+            Response::GenInfo { generation } => {
+                out.push(TYPE_GEN_INFO_REPLY);
+                out.extend_from_slice(&generation.to_le_bytes());
             }
             Response::Error { code, message } => {
                 out.push(TYPE_ERROR);
@@ -526,6 +546,9 @@ impl Response {
                     end: c.u64()?,
                 }
             }
+            TYPE_GEN_INFO_REPLY => Response::GenInfo {
+                generation: c.u64()?,
+            },
             TYPE_ERROR => {
                 let code = c.u16()?;
                 let len = c.count(1)?;
@@ -649,6 +672,7 @@ mod tests {
             nodes: vec![0, 42],
         });
         roundtrip_request(Request::Health);
+        roundtrip_request(Request::GenInfo);
     }
 
     #[test]
@@ -678,6 +702,10 @@ mod tests {
         roundtrip_response(Response::Health {
             start: 7,
             end: u64::MAX,
+        });
+        roundtrip_response(Response::GenInfo { generation: 0 });
+        roundtrip_response(Response::GenInfo {
+            generation: u64::MAX,
         });
         // Partial slots carry raw bits too — NaN values survive.
         let partial = Response::Partial(vec![
@@ -724,6 +752,9 @@ mod tests {
         assert!(Response::decode(&[0x00]).is_err());
         // Health requests carry no payload; trailing bytes are rejected.
         assert!(Request::decode(&[TYPE_HEALTH, 0]).is_err());
+        // Same for GenInfo, and its reply needs its full u64.
+        assert!(Request::decode(&[TYPE_GEN_INFO, 0]).is_err());
+        assert!(Response::decode(&[TYPE_GEN_INFO_REPLY, 1, 2, 3]).is_err());
         // Unknown partial-slot tag.
         let mut bad = vec![TYPE_PARTIAL];
         bad.extend_from_slice(&1u32.to_le_bytes());

@@ -67,10 +67,25 @@
 //! exactly the queries owned by dead shards, bitwise-correct answers for
 //! everything else. Curve and sketch batches stay all-or-nothing in
 //! either mode.
+//!
+//! # Serving generation
+//!
+//! The background prober also polls every endpoint's `GenInfo` frame each
+//! interval and tracks the fleet's **serving generation**: the minimum
+//! generation reported across the endpoints that answered the poll. The
+//! router answers `GenInfo` from this number and tags every answer-cache
+//! key with it, so a [`crate::GenerationStore`] hot-swap behind the fleet
+//! retires the router's cached bits *by key construction*: the serving
+//! generation advances only once every polled endpoint reports the new
+//! generation, and generations only move forward (a replica rejoins the
+//! fleet at the current or a newer generation, never an older one), so a
+//! cached entry's bits always came from the generation its key names.
+//! Static frozen fleets never swap, report generation `0` forever, and
+//! pay nothing.
 
 use std::collections::HashMap;
 use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -210,6 +225,10 @@ pub struct Router {
     health: Arc<HealthTracker>,
     cache: Option<Arc<AnswerCache>>,
     coalescer: Option<Arc<Coalescer>>,
+    /// The fleet-wide serving generation (see the module docs): advanced
+    /// by the prober, read by workers for `GenInfo` answers and cache
+    /// keys.
+    serving_gen: Arc<AtomicU64>,
 }
 
 impl Router {
@@ -261,6 +280,7 @@ impl Router {
             health: Arc::new(health),
             cache,
             coalescer,
+            serving_gen: Arc::new(AtomicU64::new(0)),
         })
     }
 
@@ -306,10 +326,20 @@ impl Router {
             health,
             cache,
             coalescer,
+            serving_gen,
         } = self;
         let served = std::thread::scope(|scope| {
-            let prober =
-                scope.spawn(|| prober_loop(&manifest, &replicas, &config, &health, &stop, &wake));
+            let prober = scope.spawn(|| {
+                prober_loop(
+                    &manifest,
+                    &replicas,
+                    &config,
+                    &health,
+                    &serving_gen,
+                    &stop,
+                    &wake,
+                )
+            });
             let served = serve_pool(&listener, workers, &stop, &|_worker| {
                 let mut fleet = Fleet::new(
                     Arc::clone(&manifest),
@@ -318,6 +348,7 @@ impl Router {
                     Arc::clone(&health),
                     cache.clone(),
                     coalescer.clone(),
+                    Arc::clone(&serving_gen),
                 );
                 move |req: &Request| fleet.route(req)
             });
@@ -333,13 +364,15 @@ impl Router {
 }
 
 /// The background half-open prober: wakes every `probe_interval` (or
-/// instantly on shutdown, via the condvar), claims open endpoints whose
-/// cooldown expired, and pings each with a `Health` frame.
+/// instantly on shutdown, via the condvar), refreshes the fleet's
+/// serving generation, then claims open endpoints whose cooldown expired
+/// and pings each with a `Health` frame.
 fn prober_loop(
     manifest: &ShardManifest,
     replicas: &[Vec<SocketAddr>],
     config: &RouterConfig,
     health: &HealthTracker,
+    serving_gen: &AtomicU64,
     stop: &AtomicBool,
     wake: &Wake,
 ) {
@@ -347,6 +380,10 @@ fn prober_loop(
         if wake.wait_timeout(config.probe_interval) || stop.load(Ordering::SeqCst) {
             return;
         }
+        // Generation tracking runs every interval, independent of circuit
+        // state — a hot-swap must surface even when the whole fleet is
+        // healthy (which is exactly when swaps normally happen).
+        poll_serving_generation(replicas, config, serving_gen, stop);
         if !health.any_open() {
             continue;
         }
@@ -366,6 +403,42 @@ fn prober_loop(
             }
         }
     }
+}
+
+/// One serving-generation sweep: ask every endpoint for its `GenInfo`
+/// and advance `serving_gen` to the **minimum** generation the answering
+/// endpoints report. Unanswered polls (endpoint down) don't hold the
+/// fleet back — a replica rejoins at the current or a newer generation —
+/// and the advance is monotone (`fetch_max`), so the number can never
+/// regress even across interleaved sweeps.
+fn poll_serving_generation(
+    replicas: &[Vec<SocketAddr>],
+    config: &RouterConfig,
+    serving_gen: &AtomicU64,
+    stop: &AtomicBool,
+) {
+    let mut fleet_min: Option<u64> = None;
+    for reps in replicas {
+        for addr in reps {
+            if stop.load(Ordering::SeqCst) {
+                return;
+            }
+            if let Some(g) = poll_generation(addr, config) {
+                fleet_min = Some(fleet_min.map_or(g, |m| m.min(g)));
+            }
+        }
+    }
+    if let Some(g) = fleet_min {
+        serving_gen.fetch_max(g, Ordering::SeqCst);
+    }
+}
+
+/// One bounded `GenInfo` poll against one endpoint; `None` if the
+/// endpoint is unreachable or misbehaves (the sweep just skips it).
+fn poll_generation(addr: &SocketAddr, config: &RouterConfig) -> Option<u64> {
+    let mut client = Client::connect_timeout(addr, config.connect_timeout).ok()?;
+    client.set_read_timeout(Some(config.read_timeout)).ok()?;
+    client.gen_info().ok()
 }
 
 /// One half-open probe: connect, handshake, `Health` ping. The endpoint
@@ -423,6 +496,9 @@ struct Fleet {
     /// The router-wide cross-client coalescer; `None` when
     /// [`RouterConfig::coalesce_window`] is unset.
     coalescer: Option<Arc<Coalescer>>,
+    /// The prober-maintained fleet serving generation — read for
+    /// `GenInfo` answers and to tag answer-cache keys.
+    serving_gen: Arc<AtomicU64>,
 }
 
 impl Fleet {
@@ -433,6 +509,7 @@ impl Fleet {
         health: Arc<HealthTracker>,
         cache: Option<Arc<AnswerCache>>,
         coalescer: Option<Arc<Coalescer>>,
+        serving_gen: Arc<AtomicU64>,
     ) -> Self {
         let sizes: Vec<usize> = addrs.iter().map(Vec::len).collect();
         Self {
@@ -442,6 +519,7 @@ impl Fleet {
             health,
             cache,
             coalescer,
+            serving_gen,
             conns: sizes
                 .iter()
                 .map(|&r| (0..r).map(|_| None).collect())
@@ -811,7 +889,7 @@ impl Fleet {
             Request::Jaccard { pairs, .. } => {
                 check_nodes(&mut pairs.iter().flat_map(|&(u, v)| [u, v]), n, &all)
             }
-            Request::Health => None,
+            Request::Health | Request::GenInfo => None,
         };
         if let Some(err) = precheck {
             return Ok(err);
@@ -824,7 +902,8 @@ impl Fleet {
             Request::Jaccard { pairs, .. } => batch_too_large(pairs.len()),
             Request::NeighborhoodFunction { .. }
             | Request::SketchPrefix { .. }
-            | Request::Health => None,
+            | Request::Health
+            | Request::GenInfo => None,
         };
         if let Some(err) = too_large {
             return Ok(err);
@@ -843,6 +922,11 @@ impl Fleet {
             Request::Jaccard { d, pairs } => self.route_jaccard(*d, pairs),
             // The router owns (routes for) the whole keyspace.
             Request::Health => Ok(Response::Health { start: 0, end: n }),
+            // Answered locally from the prober's fleet-wide view: the
+            // generation every polled endpoint has reached (module docs).
+            Request::GenInfo => Ok(Response::GenInfo {
+                generation: self.serving_gen.load(Ordering::SeqCst),
+            }),
         }
     }
 
@@ -909,18 +993,21 @@ impl Fleet {
     /// here — harmonic, decay, cardinality — are all cacheable).
     fn cache_keys(&self, req: &Request) -> Option<Vec<CacheKey>> {
         self.cache.as_ref()?;
+        let gen = self.serving_gen.load(Ordering::SeqCst);
         Some(match req {
-            Request::Harmonic { nodes } => nodes.iter().map(|&v| CacheKey::harmonic(v)).collect(),
+            Request::Harmonic { nodes } => {
+                nodes.iter().map(|&v| CacheKey::harmonic(gen, v)).collect()
+            }
             Request::Decay { kernel, nodes } => {
                 let (tag, bits) = kernel_to_wire(*kernel);
                 nodes
                     .iter()
-                    .map(|&v| CacheKey::decay(tag, bits, v))
+                    .map(|&v| CacheKey::decay(gen, tag, bits, v))
                     .collect()
             }
             Request::Cardinality { queries } => queries
                 .iter()
-                .map(|&(v, d)| CacheKey::cardinality(v, d))
+                .map(|&(v, d)| CacheKey::cardinality(gen, v, d))
                 .collect(),
             _ => return None,
         })
@@ -1227,9 +1314,10 @@ impl Fleet {
         let Some(cache) = self.cache.clone() else {
             return self.route_jaccard_cold(d, pairs);
         };
+        let gen = self.serving_gen.load(Ordering::SeqCst);
         let keys: Vec<CacheKey> = pairs
             .iter()
-            .map(|&(u, v)| CacheKey::jaccard(d, u, v))
+            .map(|&(u, v)| CacheKey::jaccard(gen, d, u, v))
             .collect();
         let (hits, miss) = peel(&cache, &keys);
         if miss.is_empty() {

@@ -84,9 +84,33 @@ pub trait RequestStore: AdsView + Send + Sync {
     fn owned_range(&self) -> std::ops::Range<u64> {
         0..self.num_nodes() as u64
     }
+
+    /// The frozen generation this store currently serves, reported by
+    /// [`Request::GenInfo`]. A plain store loaded once never changes —
+    /// generation `0`. A hot-swapping [`crate::GenerationStore`] reports
+    /// the generation of the snapshot it has pinned.
+    fn generation(&self) -> u64 {
+        0
+    }
+
+    /// Answers one request batch. The default evaluates over `self`
+    /// directly; [`crate::GenerationStore`] overrides this to pin one
+    /// snapshot `Arc` for the whole request, so a concurrent generation
+    /// swap can never mix two generations' rows inside a single answer.
+    fn answer_request(&self, req: &Request) -> Response
+    where
+        Self: Sized,
+    {
+        answer(self, req)
+    }
 }
 
 impl RequestStore for ShardedStore {}
+
+// A heap `AdsSet` can serve directly too: the dynamic-graph tier swaps
+// live snapshots into a [`crate::GenerationStore`] without freezing to
+// disk first, and tests compare served answers against it.
+impl RequestStore for adsketch_core::AdsSet {}
 
 /// A bound query server over a [`RequestStore`].
 pub struct Server<S: RequestStore = ShardedStore> {
@@ -205,7 +229,7 @@ impl<S: RequestStore> Server<S> {
         } = self;
         let served = serve_pool(&listener, workers, &stop, &|_worker| {
             let store = Arc::clone(&store);
-            move |req: &Request| answer(&*store, req)
+            move |req: &Request| store.answer_request(req)
         });
         Ok(served)
     }
@@ -513,7 +537,7 @@ pub(crate) fn check_nodes(
 /// are rejected up front when too long, and curve/sketch batches stop
 /// evaluating the moment their running encoded size would overflow a
 /// frame — a legal request can never force an unbounded allocation.
-fn answer<S: RequestStore>(store: &S, req: &Request) -> Response {
+pub(crate) fn answer<S: RequestStore>(store: &S, req: &Request) -> Response {
     let n = store.num_nodes() as u64;
     let owned = store.owned_range();
     let check = |nodes: &mut dyn Iterator<Item = NodeId>| check_nodes(nodes, n, &owned);
@@ -540,6 +564,10 @@ fn answer<S: RequestStore>(store: &S, req: &Request) -> Response {
         Request::Health => Response::Health {
             start: owned.start,
             end: owned.end,
+        },
+        // Equally cheap: which frozen generation this store answers from.
+        Request::GenInfo => Response::GenInfo {
+            generation: store.generation(),
         },
     }
 }

@@ -17,9 +17,13 @@
 //!   Section-4 basic estimators.
 //! * [`stream`] (`adsketch-stream`) — streaming ADS, HIP distinct
 //!   counters, HyperLogLog, Morris counters.
+//! * [`ingest`] (`adsketch-ingest`) — dynamic graphs: the append-only
+//!   edge log, incremental ADS maintenance (bitwise equal to a
+//!   from-scratch rebuild), and the generational freezer.
 //! * [`serve`] (`adsketch-serve`) — sharded frozen stores and the
 //!   std-only TCP query tier (server, client, load generator), answering
-//!   bitwise identically to the local engine.
+//!   bitwise identically to the local engine; `GenerationStore` hot-swaps
+//!   frozen generations under live traffic.
 //! * [`util`] (`adsketch-util`) — deterministic RNG, rank hashing,
 //!   statistics.
 //!
@@ -54,6 +58,7 @@
 
 pub use adsketch_core as core;
 pub use adsketch_graph as graph;
+pub use adsketch_ingest as ingest;
 pub use adsketch_minhash as minhash;
 pub use adsketch_serve as serve;
 pub use adsketch_stream as stream;

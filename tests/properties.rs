@@ -4,12 +4,12 @@
 use proptest::prelude::*;
 
 use adsketch::core::builder::{local_updates, pruned_dijkstra};
-use adsketch::core::{reference, size_est, uniform_ranks};
+use adsketch::core::{reference, size_est, uniform_ranks, AdsSet, DynamicAds};
 use adsketch::graph::{Graph, NodeId};
 use adsketch::minhash::BottomKSketch;
 use adsketch::stream::MorrisCounter;
 use adsketch::util::ranks::BaseB;
-use adsketch::util::RankHasher;
+use adsketch::util::{RankHasher, Rng64, SplitMix64};
 
 /// Strategy: a small directed graph as (n, arcs).
 fn small_digraph() -> impl Strategy<Value = (usize, Vec<(NodeId, NodeId)>)> {
@@ -130,6 +130,38 @@ proptest! {
                 i += same;
             }
         }
+    }
+
+    /// Incremental maintenance is order-insensitive and bitwise exact:
+    /// a [`DynamicAds`] fed the same arc multiset in ANY insertion order
+    /// — zero-weight ties, self-loops, parallel arcs and all — finishes
+    /// bitwise identical to a from-scratch batch build of the final
+    /// graph. This is the dynamic-graph tentpole invariant.
+    #[test]
+    fn dynamic_insertions_equal_batch_build_in_any_order(
+        (n, warcs) in small_weighted_digraph(),
+        seed in 0u64..1_000,
+        shuffle in 0u64..1_000,
+        k in 1usize..5,
+    ) {
+        let mut arcs: Vec<(NodeId, NodeId, f64)> = warcs
+            .iter()
+            .map(|&(u, v, w)| (u, v, WEIGHT_PALETTE[w]))
+            .collect();
+        let g = Graph::directed_weighted(n, &arcs).unwrap();
+        let batch = AdsSet::build(&g, k, seed);
+        // Fisher–Yates with a deterministic stream: every `shuffle`
+        // value exercises a different insertion order.
+        let mut rng = SplitMix64::new(shuffle);
+        for i in (1..arcs.len()).rev() {
+            let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+            arcs.swap(i, j);
+        }
+        let mut dynamic = DynamicAds::new(n, k, seed);
+        for &(u, v, w) in &arcs {
+            dynamic.insert_edge(u, v, w).unwrap();
+        }
+        prop_assert_eq!(dynamic.snapshot(), batch);
     }
 
     /// LocalUpdates reaches the same fixpoint on arbitrary digraphs.

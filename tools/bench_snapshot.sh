@@ -2,7 +2,10 @@
 # Refreshes the repo's committed performance baselines:
 #   BENCH_build.json — ADS construction (one record per builder × thread
 #   configuration; every configuration is asserted bitwise identical to
-#   the sequential builder before being timed), and
+#   the sequential builder before being timed), plus one appended
+#   `churn_ingest_freeze_swap` row from the dynamic-graph drill: ingest
+#   throughput in edges/s (node_queries_per_sec column) and mean
+#   freeze-to-published latency (cold_start_ms column), and
 #   BENCH_query.json — batch HIP query serving (closeness centrality and
 #   neighborhood cardinality over all nodes, frozen columnar store vs
 #   per-node heap queries; every backend asserted bitwise identical to
@@ -44,6 +47,18 @@ fi
 cargo run --release -p adsketch-bench --bin tbl_parallel -- "${BUILD_ARGS[@]}"
 cargo run --release -p adsketch-bench --bin tbl_query -- "${QUERY_ARGS[@]}"
 cargo run --release -p adsketch-serve --bin loadgen -- "${SERVE_ARGS[@]}"
+# Dynamic-graph ingest row, appended to the *build* snapshot: throughput
+# (edges/s) through the incremental builder + journal, and mean
+# freeze-to-published latency in the cold_start_ms column. The drill is
+# identity-gated like everything else — every live answer is asserted
+# bitwise against a from-scratch oracle build before the row is written.
+if [[ "${SMOKE:-0}" == "1" ]]; then
+  cargo run --release -p adsketch-serve --bin loadgen -- --churn --smoke \
+    --k "${K:-16}" --json target/BENCH_build.smoke.json --append
+else
+  cargo run --release -p adsketch-serve --bin loadgen -- --churn \
+    --k "${K:-16}" --json BENCH_build.json --append
+fi
 if [[ "${SMOKE:-0}" != "1" ]]; then
   # Distributed-tier rows, appended to the same snapshot: the same
   # Zipf-skewed workload through the router with the answer cache off,
